@@ -1,0 +1,128 @@
+// Command edap reproduces the density/area side of the evaluation: the
+// per-line cell footprints and the Energy-Delay-Area product comparison of
+// Figure 11 (Product-D with dynamic energy, Product-S with system energy,
+// both normalized to the TLC design), plus the Table VII subarray
+// decomposition from the NVSim-lite model.
+//
+// Usage:
+//
+//	edap [-area] [-budget=1000000] [-seed=1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"readduo/internal/area"
+	"readduo/internal/report"
+	"readduo/internal/sim"
+	"readduo/internal/trace"
+)
+
+func main() {
+	areaOnly := flag.Bool("area", false, "print only the Table VII subarray area decomposition")
+	budget := flag.Uint64("budget", 1_000_000, "instructions per core")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if err := run(*areaOnly, *budget, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "edap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(areaOnly bool, budget uint64, seed int64) error {
+	if err := printTableVII(); err != nil {
+		return err
+	}
+	if areaOnly {
+		return nil
+	}
+	printFootprints()
+
+	schemes := []sim.Scheme{
+		sim.TLC(), sim.Scrubbing(), sim.MMetric(),
+		sim.Hybrid(), sim.LWT(4, true), sim.Select(4, 2),
+	}
+	runner := report.Runner{Budget: budget, Seed: seed}
+	m, err := runner.RunMatrix(trace.Benchmarks(), schemes)
+	if err != nil {
+		return err
+	}
+	productD, err := m.EDAPMatrix("TLC", false)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteKeyValueTable(os.Stdout,
+		"Figure 11 Product-D: EDAP (dynamic energy) normalized to TLC", m.Schemes, productD); err != nil {
+		return err
+	}
+	fmt.Println()
+	productS, err := m.EDAPMatrix("TLC", true)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteKeyValueTable(os.Stdout,
+		"Figure 11 Product-S: EDAP (system energy) normalized to TLC", m.Schemes, productS); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func printTableVII() error {
+	sub := area.DefaultSubarray()
+	occ, err := sub.Occupancy()
+	if err != nil {
+		return err
+	}
+	ovh, err := sub.HybridOverhead()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table VII: subarray area occupancy (hybrid sense amplifier)")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "cell array\t%.2f%%\n", 100*occ.CellArray)
+	fmt.Fprintf(tw, "row decoder\t%.2f%%\n", 100*occ.RowDecoder)
+	fmt.Fprintf(tw, "column mux\t%.2f%%\n", 100*occ.ColumnMux)
+	fmt.Fprintf(tw, "current-mode S/A\t%.2f%%\n", 100*occ.CurrentSA)
+	fmt.Fprintf(tw, "voltage-mode S/A (added)\t%.2f%%\n", 100*occ.VoltageSA)
+	fmt.Fprintf(tw, "mat routing share\t%.2f%%\n", 100*occ.MatShare)
+	fmt.Fprintf(tw, "hybrid overhead vs current-only\t%.2f%%\n", 100*ovh)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFootprints() {
+	fmt.Println("Cells to store one protected 64B line (Figure 11, density axis)")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tlc := area.TLCFootprint()
+	rows := []struct {
+		name  string
+		cells float64
+	}{
+		{"TLC (72,64) SECDED", tlc.EquivalentCells()},
+	}
+	if mlc, err := area.MLCFootprint(80, 0); err == nil {
+		rows = append(rows, struct {
+			name  string
+			cells float64
+		}{"MLC + BCH-8 (Scrubbing/M-metric/Hybrid)", mlc.EquivalentCells()})
+	}
+	if lwtFp, err := area.MLCFootprint(80, 6); err == nil {
+		rows = append(rows, struct {
+			name  string
+			cells float64
+		}{"MLC + BCH-8 + LWT-4 flags", lwtFp.EquivalentCells()})
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f cells\t%.3f of TLC\n", r.name, r.cells, r.cells/tlc.EquivalentCells())
+	}
+	tw.Flush()
+	fmt.Println()
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestPrintTableVII(t *testing.T) {
+	if err := printTableVII(); err != nil {
+		t.Errorf("printTableVII: %v", err)
+	}
+}
+
+func TestRunAreaOnly(t *testing.T) {
+	if err := run(true, 0, 0); err != nil {
+		t.Errorf("area-only run: %v", err)
+	}
+}
+
+func TestRunFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full matrix")
+	}
+	if err := run(false, 20_000, 1); err != nil {
+		t.Errorf("full run: %v", err)
+	}
+}

@@ -1,0 +1,159 @@
+// Command lertables regenerates the analytical reliability tables of the
+// ReadDuo paper: the drift-model configurations (Tables I/II), the line
+// error rates under (BCH=E, S) efficient scrubbing for both readout metrics
+// (Tables III/IV), and the W=1 interval probabilities (Table V).
+//
+// Usage:
+//
+//	lertables [-tables=config|ler|wpolicy|all] [-metric=R|M|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"readduo/internal/drift"
+	"readduo/internal/reliability"
+)
+
+func main() {
+	tables := flag.String("tables", "all", "which tables to print: config, ler, wpolicy, all")
+	metric := flag.String("metric", "both", "metric for the LER table: R, M, both")
+	flag.Parse()
+
+	if err := run(*tables, *metric); err != nil {
+		fmt.Fprintln(os.Stderr, "lertables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tables, metric string) error {
+	printR := metric == "R" || metric == "both"
+	printM := metric == "M" || metric == "both"
+	if !printR && !printM {
+		return fmt.Errorf("unknown metric %q", metric)
+	}
+	all := tables == "all"
+	any := false
+	if all || tables == "config" {
+		any = true
+		if printR {
+			printConfig("Table I: R-metric configuration (t0 = 1s)", drift.RMetricConfig())
+		}
+		if printM {
+			printConfig("Table II: M-metric configuration (t0 = 1s)", drift.MMetricConfig())
+		}
+	}
+	if all || tables == "ler" {
+		any = true
+		if printR {
+			if err := printLER("Table III: LER under (BCH=E, S) with R-metric sensing", drift.RMetricConfig()); err != nil {
+				return err
+			}
+		}
+		if printM {
+			if err := printLER("Table IV: LER under (BCH=E, S) with M-metric sensing", drift.MMetricConfig()); err != nil {
+				return err
+			}
+		}
+	}
+	if all || tables == "wpolicy" {
+		any = true
+		if err := printWPolicy(); err != nil {
+			return err
+		}
+	}
+	if !any {
+		return fmt.Errorf("unknown table set %q", tables)
+	}
+	return nil
+}
+
+func printConfig(title string, cfg drift.Config) {
+	fmt.Println(title)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "level\tdata\tmu_log10\tsigma_log10\tmu_alpha\tsigma_alpha")
+	for i, lv := range cfg.Levels {
+		fmt.Fprintf(tw, "%d\t%02b\t%g\t%.4f\t%g\t%g\n",
+			i, lv.Data, lv.MuLog, lv.SigmaLog, lv.MuAlpha, lv.SigmaAlpha)
+	}
+	tw.Flush()
+	fmt.Println()
+}
+
+func printLER(title string, cfg drift.Config) error {
+	an, err := reliability.NewAnalyzer(cfg)
+	if err != nil {
+		return err
+	}
+	tab := an.BuildTable(reliability.PaperIntervals(), reliability.PaperECCs())
+	fmt.Println(title)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "S (s)")
+	for _, e := range tab.ECCs {
+		fmt.Fprintf(tw, "\tE=%d", e)
+	}
+	fmt.Fprintln(tw, "\ttarget")
+	for i, s := range tab.Intervals {
+		fmt.Fprintf(tw, "%g", s)
+		for _, v := range tab.Values[i] {
+			fmt.Fprintf(tw, "\t%s", formatProb(v))
+		}
+		fmt.Fprintf(tw, "\t%.2e\n", tab.Targets[i])
+	}
+	tw.Flush()
+	fmt.Println()
+	return nil
+}
+
+// formatProb renders probabilities the way the paper does, collapsing the
+// numerically invisible ones.
+func formatProb(v float64) string {
+	if v < 1e-30 {
+		return "too small"
+	}
+	return fmt.Sprintf("%.2e", v)
+}
+
+func printWPolicy() error {
+	rAn, err := reliability.NewAnalyzer(drift.RMetricConfig())
+	if err != nil {
+		return err
+	}
+	mAn, err := reliability.NewAnalyzer(drift.MMetricConfig())
+	if err != nil {
+		return err
+	}
+	rows := []struct {
+		label string
+		an    *reliability.Analyzer
+		e     int
+		s     float64
+	}{
+		{"R(BCH=8,S=8)", rAn, 8, 8},
+		{"R(BCH=10,S=8)", rAn, 10, 8},
+		{"M(BCH=8,S=640)", mAn, 8, 640},
+	}
+	fmt.Println("Table V: W=1 interval probabilities (ii) and (iii)")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tprob(ii)\tbudget(2S)\tprob(iii)\tbudget(3S)\tW=1 safe")
+	for _, row := range rows {
+		p2, err := row.an.WPolicySecondInterval(row.e, 1, row.s)
+		if err != nil {
+			return err
+		}
+		p3, err := row.an.WPolicyThirdInterval(row.e, 1, row.s)
+		if err != nil {
+			return err
+		}
+		b2 := reliability.TargetLER(2 * row.s)
+		b3 := reliability.TargetLER(3 * row.s)
+		fmt.Fprintf(tw, "%s\t%s\t%.2e\t%s\t%.2e\t%v\n",
+			row.label, formatProb(p2), b2, formatProb(p3), b3, p2 <= b2 && p3 <= b3)
+	}
+	tw.Flush()
+	fmt.Println()
+	return nil
+}

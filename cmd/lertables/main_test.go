@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunTableSets(t *testing.T) {
+	for _, tables := range []string{"config", "ler", "wpolicy", "all"} {
+		if err := run(tables, "both"); err != nil {
+			t.Errorf("run(%q): %v", tables, err)
+		}
+	}
+	if err := run("ler", "R"); err != nil {
+		t.Errorf("run(ler, R): %v", err)
+	}
+	if err := run("ler", "M"); err != nil {
+		t.Errorf("run(ler, M): %v", err)
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run("nonesuch", "both"); err == nil {
+		t.Error("unknown table set accepted")
+	}
+	if err := run("ler", "Q"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestFormatProb(t *testing.T) {
+	if got := formatProb(1e-40); got != "too small" {
+		t.Errorf("deep tail rendered %q", got)
+	}
+	if got := formatProb(2.5e-3); got != "2.50e-03" {
+		t.Errorf("probability rendered %q", got)
+	}
+}

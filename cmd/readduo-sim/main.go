@@ -1,0 +1,209 @@
+// Command readduo-sim runs the full-system evaluation: every scheme the
+// paper compares on the 14-workload suite, reporting normalized execution
+// time (Figure 9), dynamic energy (Figure 10), system energy, and relative
+// lifetime (Figure 15).
+//
+// Usage:
+//
+//	readduo-sim [-benchmarks=mcf,sphinx3] [-schemes=prior|readduo|all]
+//	            [-budget=2000000] [-seed=1] [-report=time|energy|lifetime|all]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"readduo/internal/report"
+	"readduo/internal/sim"
+	"readduo/internal/trace"
+)
+
+func main() {
+	benchList := flag.String("benchmarks", "", "comma-separated workload names (default: full suite)")
+	schemeSet := flag.String("schemes", "all", "prior (Scrubbing/M-metric/TLC), readduo, or all")
+	budget := flag.Uint64("budget", 2_000_000, "instructions per core")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	what := flag.String("report", "all", "time, energy, lifetime, or all")
+	traceFile := flag.String("trace", "", "replay this capture (from tracegen) instead of generating accesses; requires -benchmarks naming the matching profile")
+	jsonOut := flag.Bool("json", false, "emit the full result matrix as JSON instead of tables")
+	flag.Parse()
+
+	if err := run(*benchList, *schemeSet, *budget, *seed, *what, *traceFile, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "readduo-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func selectBenches(list string) ([]trace.Benchmark, error) {
+	if list == "" {
+		return trace.Benchmarks(), nil
+	}
+	var out []trace.Benchmark
+	for _, name := range strings.Split(list, ",") {
+		b, ok := trace.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func selectSchemes(set string) ([]sim.Scheme, error) {
+	switch set {
+	case "prior":
+		return []sim.Scheme{sim.Ideal(), sim.Scrubbing(), sim.MMetric(), sim.TLC()}, nil
+	case "readduo":
+		return []sim.Scheme{sim.Ideal(), sim.Hybrid(), sim.LWT(4, true), sim.Select(4, 2)}, nil
+	case "all":
+		return []sim.Scheme{
+			sim.Ideal(), sim.Scrubbing(), sim.MMetric(), sim.TLC(),
+			sim.Hybrid(), sim.LWT(4, true), sim.Select(4, 2),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheme set %q", set)
+	}
+}
+
+func run(benchList, schemeSet string, budget uint64, seed int64, what, traceFile string, jsonOut bool) error {
+	benches, err := selectBenches(benchList)
+	if err != nil {
+		return err
+	}
+	schemes, err := selectSchemes(schemeSet)
+	if err != nil {
+		return err
+	}
+	runner := report.Runner{Budget: budget, Seed: seed}
+	if traceFile != "" {
+		if len(benches) != 1 {
+			return fmt.Errorf("-trace needs exactly one -benchmarks entry for the age profile")
+		}
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// Each scheme run replays from the start for fairness.
+		runner.Configure = func(cfg *sim.Config) {
+			if _, err := f.Seek(0, 0); err != nil {
+				return
+			}
+			rp, err := trace.NewReplayer(f)
+			if err != nil {
+				return
+			}
+			cfg.Source = rp
+		}
+	}
+	m, err := runner.RunMatrix(benches, schemes)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeJSON(os.Stdout, m)
+	}
+
+	all := what == "all"
+	printed := false
+	if all || what == "time" {
+		printed = true
+		rows, means, err := m.Normalized("Ideal", report.ExecTime)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteNormalizedTable(os.Stdout,
+			"Figure 9: execution time normalized to Ideal", m, rows, means); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if all || what == "energy" {
+		printed = true
+		rows, means, err := m.Normalized("Ideal", report.DynamicEnergy)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteNormalizedTable(os.Stdout,
+			"Figure 10: dynamic energy normalized to Ideal", m, rows, means); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if all || what == "lifetime" {
+		printed = true
+		life, err := m.RelativeLifetime("Ideal")
+		if err != nil {
+			return err
+		}
+		if err := report.WriteKeyValueTable(os.Stdout,
+			"Figure 15: lifetime relative to Ideal", m.Schemes, life); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if !printed {
+		return fmt.Errorf("unknown report %q", what)
+	}
+	return nil
+}
+
+// jsonRun is the machine-readable form of one (benchmark, scheme) result.
+type jsonRun struct {
+	Benchmark      string  `json:"benchmark"`
+	Scheme         string  `json:"scheme"`
+	ExecTimeNS     int64   `json:"exec_time_ns"`
+	Instructions   uint64  `json:"instructions"`
+	RReads         uint64  `json:"r_reads"`
+	MReads         uint64  `json:"m_reads"`
+	RMReads        uint64  `json:"rm_reads"`
+	Untracked      uint64  `json:"untracked_reads"`
+	Conversions    uint64  `json:"conversions"`
+	ConverterT     int     `json:"converter_t"`
+	FullWrites     uint64  `json:"full_writes"`
+	DiffWrites     uint64  `json:"diff_writes"`
+	ScrubReads     uint64  `json:"scrub_reads"`
+	ScrubWrites    uint64  `json:"scrub_writes"`
+	DynamicPJ      float64 `json:"dynamic_energy_pj"`
+	SystemPJ       float64 `json:"system_energy_pj"`
+	CellWrites     uint64  `json:"cell_writes"`
+	AreaCells      float64 `json:"area_cells_per_line"`
+	AvgReadLatency string  `json:"avg_read_latency"`
+}
+
+func writeJSON(w io.Writer, m *report.Matrix) error {
+	out := make([]jsonRun, 0, len(m.Benchmarks)*len(m.Schemes))
+	for i := range m.Benchmarks {
+		for j := range m.Schemes {
+			r := m.Results[i][j]
+			out = append(out, jsonRun{
+				Benchmark:      r.Benchmark,
+				Scheme:         r.Scheme,
+				ExecTimeNS:     r.ExecTime.Nanoseconds(),
+				Instructions:   r.Instructions,
+				RReads:         r.RReads,
+				MReads:         r.MReads,
+				RMReads:        r.RMReads,
+				Untracked:      r.UntrackedReads,
+				Conversions:    r.Conversions,
+				ConverterT:     r.ConverterT,
+				FullWrites:     r.FullWrites,
+				DiffWrites:     r.DiffWrites,
+				ScrubReads:     r.Mem.ScrubReads,
+				ScrubWrites:    r.Mem.ScrubWrites,
+				DynamicPJ:      r.Energy.Total(),
+				SystemPJ:       r.SystemEnergyPJ,
+				CellWrites:     r.CellWrites,
+				AreaCells:      r.AreaCellsPerLine,
+				AvgReadLatency: r.Mem.AvgReadLatency().String(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"readduo/internal/report"
+	"readduo/internal/sim"
+	"readduo/internal/trace"
+)
+
+func TestSelectBenches(t *testing.T) {
+	all, err := selectBenches("")
+	if err != nil || len(all) != 14 {
+		t.Errorf("default suite: %d, %v", len(all), err)
+	}
+	two, err := selectBenches("mcf, sphinx3")
+	if err != nil || len(two) != 2 {
+		t.Errorf("two benches: %d, %v", len(two), err)
+	}
+	if _, err := selectBenches("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSelectSchemes(t *testing.T) {
+	for set, want := range map[string]int{"prior": 4, "readduo": 4, "all": 7} {
+		s, err := selectSchemes(set)
+		if err != nil || len(s) != want {
+			t.Errorf("%s: %d schemes, %v", set, len(s), err)
+		}
+	}
+	if _, err := selectSchemes("x"); err == nil {
+		t.Error("unknown set accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	gcc, _ := trace.ByName("gcc")
+	m, err := report.Runner{Budget: 20_000, Seed: 1}.RunMatrix(
+		[]trace.Benchmark{gcc}, []sim.Scheme{sim.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var runs []jsonRun
+	if err := json.Unmarshal(buf.Bytes(), &runs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(runs) != 1 || runs[0].Scheme != "Ideal" || runs[0].ExecTimeNS <= 0 {
+		t.Errorf("runs = %+v", runs)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("gcc", "all", 10_000, 1, "nonesuch", "", false); err == nil ||
+		!strings.Contains(err.Error(), "unknown report") {
+		t.Errorf("bad report error = %v", err)
+	}
+	if err := run("", "all", 10_000, 1, "time", "/nonexistent/file", false); err == nil {
+		t.Error("trace with full suite accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Command sweeps reproduces the sensitivity studies of the evaluation:
+// the sub-interval count k (Figure 12, LWT-2 vs LWT-4), the selective
+// rewrite spacing s (Figure 13, Select-4:1 vs Select-4:2), and the R-M-read
+// conversion on/off comparison (Figure 14).
+//
+// Usage:
+//
+//	sweeps [-sweep=k|s|conversion|all] [-budget=2000000] [-seed=1]
+//	       [-benchmarks=mcf,sphinx3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"readduo/internal/report"
+	"readduo/internal/sim"
+	"readduo/internal/trace"
+)
+
+func main() {
+	sweep := flag.String("sweep", "all", "k, s, conversion, or all")
+	budget := flag.Uint64("budget", 2_000_000, "instructions per core")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	benchList := flag.String("benchmarks", "", "comma-separated workloads (default: full suite)")
+	flag.Parse()
+
+	if err := run(*sweep, *budget, *seed, *benchList); err != nil {
+		fmt.Fprintln(os.Stderr, "sweeps:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sweep string, budget uint64, seed int64, benchList string) error {
+	benches := trace.Benchmarks()
+	if benchList != "" {
+		benches = benches[:0]
+		for _, name := range strings.Split(benchList, ",") {
+			b, ok := trace.ByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown benchmark %q", name)
+			}
+			benches = append(benches, b)
+		}
+	}
+	runner := report.Runner{Budget: budget, Seed: seed}
+	all := sweep == "all"
+	ran := false
+
+	if all || sweep == "k" {
+		ran = true
+		m, err := runner.RunMatrix(benches, []sim.Scheme{sim.Ideal(), sim.LWT(2, true), sim.LWT(4, true)})
+		if err != nil {
+			return err
+		}
+		rows, means, err := m.Normalized("Ideal", report.ExecTime)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteNormalizedTable(os.Stdout,
+			"Figure 12: sub-interval count k (execution time vs Ideal)", m, rows, means); err != nil {
+			return err
+		}
+		fmt.Printf("\nk=4 improvement over k=2 (mean): %.2f%%\n\n", 100*(means[1]-means[2])/means[1])
+	}
+
+	if all || sweep == "s" {
+		ran = true
+		m, err := runner.RunMatrix(benches, []sim.Scheme{sim.Ideal(), sim.Select(4, 1), sim.Select(4, 2)})
+		if err != nil {
+			return err
+		}
+		rows, means, err := m.Normalized("Ideal", report.DynamicEnergy)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteNormalizedTable(os.Stdout,
+			"Figure 13: rewrite spacing s (dynamic energy vs Ideal)", m, rows, means); err != nil {
+			return err
+		}
+		fmt.Printf("\ns=2 energy saving over s=1 (mean): %.2f%%\n\n", 100*(means[1]-means[2])/means[1])
+	}
+
+	if all || sweep == "conversion" {
+		ran = true
+		m, err := runner.RunMatrix(benches, []sim.Scheme{sim.Ideal(), sim.LWT(4, false), sim.LWT(4, true)})
+		if err != nil {
+			return err
+		}
+		rows, means, err := m.Normalized("Ideal", report.ExecTime)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteNormalizedTable(os.Stdout,
+			"Figure 14: R-M-read conversion off vs on (execution time vs Ideal)", m, rows, means); err != nil {
+			return err
+		}
+		fmt.Printf("\nconversion improvement (mean): %.2f%%\n\n", 100*(means[1]-means[2])/means[1])
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown sweep %q", sweep)
+	}
+	return nil
+}

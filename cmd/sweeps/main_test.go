@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunSweepValidation(t *testing.T) {
+	if err := run("nonesuch", 10_000, 1, "gcc"); err == nil {
+		t.Error("unknown sweep accepted")
+	}
+	if err := run("k", 10_000, 1, "nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	for _, sweep := range []string{"k", "s", "conversion"} {
+		if err := run(sweep, 30_000, 1, "gcc"); err != nil {
+			t.Errorf("run(%s): %v", sweep, err)
+		}
+	}
+}

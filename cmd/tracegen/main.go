@@ -1,0 +1,94 @@
+// Command tracegen lists the synthetic workload suite (the Table X
+// stand-in) and generates binary memory-access trace files from it, so the
+// simulator's inputs can be inspected, archived, or replayed elsewhere.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -benchmark=mcf -records=1000000 -cores=4 -seed=1 -out=mcf.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"readduo/internal/trace"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the workload suite (Table X)")
+	bench := flag.String("benchmark", "", "workload to generate")
+	records := flag.Uint64("records", 1_000_000, "total records to emit")
+	cores := flag.Int("cores", 4, "core count")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (default <benchmark>.trace)")
+	flag.Parse()
+
+	if err := run(*list, *bench, *records, *cores, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, bench string, records uint64, cores int, seed int64, out string) error {
+	if list {
+		printSuite()
+		return nil
+	}
+	if bench == "" {
+		return fmt.Errorf("need -benchmark or -list")
+	}
+	b, ok := trace.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", bench)
+	}
+	if out == "" {
+		out = bench + ".trace"
+	}
+	gen, err := trace.NewGenerator(b, cores, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, b.Name, cores)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < records; i++ {
+		rec, err := gen.Next(int(i % uint64(cores)))
+		if err != nil {
+			return err
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records for %s to %s\n", w.Count(), b.Name, out)
+	return nil
+}
+
+func printSuite() {
+	fmt.Println("Workload suite (synthetic stand-in for Table X)")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tRPKI\tWPKI\tworking set\thot set\thot%\tstream%\tfresh%\tmid%\told%")
+	for _, b := range trace.Benchmarks() {
+		old := 1 - b.FreshFrac - b.MidFrac
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			b.Name, b.RPKI, b.WPKI, b.WorkingSetLines, b.HotSetLines,
+			100*b.HotFraction, 100*b.StreamFraction,
+			100*b.FreshFrac, 100*b.MidFrac, 100*old)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"readduo/internal/trace"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run(true, "", 0, 0, 0, ""); err != nil {
+		t.Errorf("list: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(false, "", 10, 4, 1, ""); err == nil {
+		t.Error("missing benchmark accepted")
+	}
+	if err := run(false, "nonesuch", 10, 4, 1, ""); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunGeneratesReadableTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.trace")
+	if err := run(false, "gcc", 500, 2, 7, out); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if r.BenchmarkName() != "gcc" || r.Cores() != 2 {
+		t.Errorf("header %q/%d", r.BenchmarkName(), r.Cores())
+	}
+	var n int
+	for {
+		if _, err := r.Read(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 500 {
+		t.Errorf("records = %d, want 500", n)
+	}
+}

@@ -1,0 +1,196 @@
+// Command validate runs the reproduction's cross-tier consistency checks at
+// configurable scale: the Monte-Carlo cell tier must reproduce the
+// analytical reliability numbers the policy analysis (and the paper's
+// Tables III-V) is built on, and the assembled ReadDuo device must return
+// correct data across random schedules. It is the long-form version of the
+// validation tests, for skeptics with CPU time.
+//
+// Usage:
+//
+//	validate [-cells=200000] [-lines=4000] [-devices=40] [-seed=1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"readduo/internal/bch"
+	"readduo/internal/cell"
+	"readduo/internal/drift"
+	"readduo/internal/lwt"
+	"readduo/internal/readout"
+	"readduo/internal/reliability"
+)
+
+func main() {
+	cells := flag.Int("cells", 200_000, "cells per level for the drift check")
+	lines := flag.Int("lines", 4_000, "lines for the LER distribution check")
+	devices := flag.Int("devices", 40, "device schedules for the end-to-end check")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	ok := true
+	ok = validateDrift(*cells, *seed) && ok
+	ok = validateLER(*lines, *seed) && ok
+	ok = validateDevice(*devices, *seed) && ok
+	if !ok {
+		fmt.Println("\nVALIDATION FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("\nall cross-tier validations passed")
+}
+
+// validateDrift compares per-level Monte-Carlo error rates against the
+// analytical crossing probabilities at several ages.
+func validateDrift(n int, seed int64) bool {
+	fmt.Printf("drift tier: %d cells/level, R-metric, ages {8, 64, 640} s\n", n)
+	cfg := drift.RMetricConfig()
+	rng := rand.New(rand.NewSource(seed))
+	pass := true
+	for _, age := range []float64{8, 64, 640} {
+		for level := 0; level < drift.LevelCount; level++ {
+			want := cfg.CellErrorProb(level, age)
+			var errs int
+			for i := 0; i < n; i++ {
+				v0 := cfg.SampleInitial(level, rng)
+				a := cfg.SampleAlpha(level, rng)
+				if cfg.SenseLevel(cfg.LogValueAt(v0, a, age)) != level {
+					errs++
+				}
+			}
+			got := float64(errs) / float64(n)
+			sigma := math.Sqrt(want*(1-want)/float64(n)) + 1e-9
+			status := "ok"
+			if math.Abs(got-want) > 5*sigma+1e-6 {
+				status = "FAIL"
+				pass = false
+			}
+			if want > 1e-7 || got > 0 {
+				fmt.Printf("  age %4.0fs level %d: empirical %.3e analytic %.3e  %s\n",
+					age, level, got, want, status)
+			}
+		}
+	}
+	return pass
+}
+
+// validateLER compares the empirical line-error-count tail against the
+// binomial analysis on BCH-protected lines.
+func validateLER(n int, seed int64) bool {
+	fmt.Printf("line tier: %d BCH-8 lines at 640 s\n", n)
+	an, err := reliability.NewAnalyzer(drift.RMetricConfig(), reliability.WithCellsPerLine(296))
+	if err != nil {
+		fmt.Println("  analyzer:", err)
+		return false
+	}
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		fmt.Println("  bch:", err)
+		return false
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	payload := make([]byte, 64)
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		rng.Read(payload)
+		l, err := cell.NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code)
+		if err != nil {
+			fmt.Println("  line:", err)
+			return false
+		}
+		if err := l.Write(payload, 0, rng); err != nil {
+			fmt.Println("  write:", err)
+			return false
+		}
+		counts[l.DriftErrorCount(cell.ReadR, 640)]++
+	}
+	pass := true
+	for e := 0; e <= 4; e++ {
+		var tail int
+		for errs, c := range counts {
+			if errs > e {
+				tail += c
+			}
+		}
+		got := float64(tail) / float64(n)
+		want := an.LER(e, 640)
+		sigma := math.Sqrt(want*(1-want)/float64(n)) + 1e-9
+		status := "ok"
+		if math.Abs(got-want) > 5*sigma+0.005 {
+			status = "FAIL"
+			pass = false
+		}
+		fmt.Printf("  P[>%d errors]: empirical %.4f analytic %.4f  %s\n", e, got, want, status)
+	}
+	return pass
+}
+
+// validateDevice runs random multi-interval schedules through the full
+// ReadDuo pipeline and requires every read to return the latest payload.
+func validateDevice(schedules int, seed int64) bool {
+	fmt.Printf("device tier: %d random schedules through the full pipeline\n", schedules)
+	rng := rand.New(rand.NewSource(seed + 2))
+	var reads, rReads int
+	for sched := 0; sched < schedules; sched++ {
+		cfg := readout.DefaultConfig()
+		d, err := readout.NewDevice(cfg)
+		if err != nil {
+			fmt.Println("  device:", err)
+			return false
+		}
+		conv, err := lwt.NewConverter()
+		if err != nil {
+			fmt.Println("  converter:", err)
+			return false
+		}
+		current := make([]byte, d.DataBytes())
+		rng.Read(current)
+		if _, err := d.Write(current, 0, rng); err != nil {
+			fmt.Println("  write:", err)
+			return false
+		}
+		now := 0.0
+		for op := 0; op < 50; op++ {
+			now += 1 + rng.Float64()*float64(rng.Intn(1500))
+			if rng.Intn(3) == 0 {
+				rng.Read(current)
+				if _, err := d.Write(current, now, rng); err != nil {
+					fmt.Println("  write:", err)
+					return false
+				}
+				continue
+			}
+			res, err := d.Read(now, conv, rng)
+			if err != nil {
+				fmt.Println("  read:", err)
+				return false
+			}
+			reads++
+			if res.Mode.String() == "R-read" {
+				rReads++
+			}
+			if !equal(res.Data, current) {
+				fmt.Printf("  FAIL: schedule %d op %d returned stale/corrupt data\n", sched, op)
+				return false
+			}
+		}
+	}
+	fmt.Printf("  %d reads all correct (%.0f%% serviced by fast R-reads)\n",
+		reads, 100*float64(rReads)/float64(reads))
+	return true
+}
+
+func equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

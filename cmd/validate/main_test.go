@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestValidateTiersAtSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo validation")
+	}
+	if !validateDrift(20_000, 1) {
+		t.Error("drift tier failed")
+	}
+	if !validateLER(600, 1) {
+		t.Error("line tier failed")
+	}
+	if !validateDevice(6, 1) {
+		t.Error("device tier failed")
+	}
+}
+
+func TestEqualHelper(t *testing.T) {
+	if !equal([]byte{1, 2}, []byte{1, 2}) {
+		t.Error("equal slices reported unequal")
+	}
+	if equal([]byte{1}, []byte{1, 2}) || equal([]byte{1}, []byte{2}) {
+		t.Error("unequal slices reported equal")
+	}
+}

@@ -1,0 +1,108 @@
+// Quickstart walks the three layers of the readduo library in one sitting:
+//
+//  1. plan a scrub policy analytically (can MLC PCM match DRAM
+//     reliability?),
+//  2. exercise a Monte-Carlo MLC line with BCH protection through drift,
+//     and
+//  3. run a small full-system simulation comparing ReadDuo to the
+//     M-metric-only baseline.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"readduo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+	planPolicy()
+	driveLine()
+	simulate()
+}
+
+// planPolicy reproduces the paper's §III policy analysis in a few calls.
+func planPolicy() {
+	fmt.Println("== 1. Scrub-policy planning ==")
+	rAn, err := readduo.NewReliabilityAnalyzer(readduo.RMetric())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mAn, err := readduo.NewReliabilityAnalyzer(readduo.MMetric())
+	if err != nil {
+		log.Fatal(err)
+	}
+	policies := []struct {
+		an *readduo.ReliabilityAnalyzer
+		p  readduo.ScrubPolicy
+	}{
+		{rAn, readduo.ScrubPolicy{E: 8, S: 8, W: 1}},   // fails (ii): needs W=0
+		{rAn, readduo.ScrubPolicy{E: 8, S: 8, W: 0}},   // the Scrubbing baseline
+		{mAn, readduo.ScrubPolicy{E: 8, S: 640, W: 1}}, // ReadDuo's relaxed M-scrub
+		{rAn, readduo.ScrubPolicy{E: 8, S: 640, W: 0}}, // R-sensing cannot stretch to 640s
+	}
+	for _, pp := range policies {
+		rep, err := pp.an.Check(pp.p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s %v  -> meets DRAM budget: %v (P_i=%.2e, budget %.2e)\n",
+			pp.an.Metric(), pp.p, rep.Meets, rep.FirstInterval, rep.TargetFirst)
+	}
+	fmt.Println()
+}
+
+// driveLine writes a BCH-8-protected MLC line, lets it drift for 640
+// seconds, and reads it back with both sensing circuits.
+func driveLine() {
+	fmt.Println("== 2. Monte-Carlo line through 640 s of drift ==")
+	line, err := readduo.NewMLCLine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	payload := make([]byte, line.DataBytes())
+	rng.Read(payload)
+	if err := line.Write(payload, 0, rng); err != nil {
+		log.Fatal(err)
+	}
+	for _, metric := range []readduo.LineReadMetric{readduo.LineReadR, readduo.LineReadM} {
+		res, err := line.Read(metric, 640)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  metric %v: %d drifted cells, ECC status %v, payload intact: %v\n",
+			metric, res.CellErrors, res.Status, bytes.Equal(res.Data, payload))
+	}
+	fmt.Println()
+}
+
+// simulate compares ReadDuo-LWT-4 against the all-voltage-sensing baseline
+// on the mcf workload.
+func simulate() {
+	fmt.Println("== 3. Full-system simulation on mcf ==")
+	cfg, err := readduo.SimConfigFor("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.CPU.InstrBudget = 400_000 // keep the example snappy
+	var baseline float64
+	for _, scheme := range []readduo.Scheme{
+		readduo.SchemeIdeal(), readduo.SchemeMMetric(), readduo.SchemeLWT(4, true),
+	} {
+		res, err := readduo.Simulate(cfg, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = float64(res.ExecTime)
+		}
+		fmt.Printf("  %-9s exec %v (%.2fx Ideal), reads R/M/RM = %d/%d/%d\n",
+			res.Scheme, res.ExecTime, float64(res.ExecTime)/baseline,
+			res.RReads, res.MReads, res.RMReads)
+	}
+}

@@ -1,0 +1,3 @@
+module readduo
+
+go 1.22

@@ -1,0 +1,171 @@
+// Package area models the storage-density and silicon-area side of the
+// ReadDuo evaluation: the cells each scheme needs to store one protected
+// 64-byte line (the density bars of Figure 11) and an NVSim-style subarray
+// floorplan estimating the overhead of adding voltage-mode sense amplifiers
+// next to the conventional current-mode ones (Table VII; the paper's
+// revised-NVSim result is a 0.27% increase).
+package area
+
+import (
+	"fmt"
+	"math"
+)
+
+// LineBits is the payload of one memory line.
+const LineBits = 512
+
+// LineFootprint describes the cell cost of storing one 64-byte line under a
+// scheme.
+type LineFootprint struct {
+	// MLCCells is the number of 2-bit MLC cells (data + BCH parity).
+	MLCCells int
+	// TLCCells is the number of tri-level cells (TLC scheme only).
+	TLCCells int
+	// SLCFlagBits is the per-line SLC flag storage (LWT vector+index),
+	// held in the ECC chip.
+	SLCFlagBits int
+}
+
+// EquivalentCells reduces the footprint to a single comparable cell count:
+// one SLC flag bit occupies one cell-sized device, as do MLC and TLC cells
+// (all are one access device + one GST element; they differ in bits stored,
+// which is exactly the density question).
+func (f LineFootprint) EquivalentCells() float64 {
+	return float64(f.MLCCells + f.TLCCells + f.SLCFlagBits)
+}
+
+// MLCFootprint returns the line footprint of an MLC scheme protected by a
+// BCH code with parityBits, carrying flagBits of SLC metadata (0 for
+// non-LWT schemes).
+func MLCFootprint(parityBits, flagBits int) (LineFootprint, error) {
+	if parityBits < 0 || parityBits%2 != 0 {
+		return LineFootprint{}, fmt.Errorf("area: parity bits %d must be even and nonnegative", parityBits)
+	}
+	if flagBits < 0 {
+		return LineFootprint{}, fmt.Errorf("area: flag bits %d must be nonnegative", flagBits)
+	}
+	return LineFootprint{
+		MLCCells:    (LineBits + parityBits) / 2,
+		SLCFlagBits: flagBits,
+	}, nil
+}
+
+// TLCFootprint returns the footprint of the Tri-Level-Cell baseline: the
+// drift-prone state is dropped, each cell stores log2(3) bits, and the line
+// carries a (72,64) SECDED code per 64-bit word — 576 bits total. Two
+// tri-level cells hold three bits in the practical encoding, so the count
+// rounds up to an even cell pair.
+func TLCFootprint() LineFootprint {
+	const codedBits = LineBits * 72 / 64 // 576
+	cells := int(math.Ceil(float64(codedBits) * 2 / 3))
+	if cells%2 != 0 {
+		cells++
+	}
+	return LineFootprint{TLCCells: cells}
+}
+
+// Subarray is an NVSim-lite floorplan of one PCM subarray, used to estimate
+// the relative area cost of the hybrid sense amplifier.
+type Subarray struct {
+	// Rows and Cols are the cell-array dimensions.
+	Rows, Cols int
+	// CellAreaF2 is the cell footprint in F^2 (4 for cross-point-style
+	// PCM with a selection device).
+	CellAreaF2 float64
+	// FeatureNM is the process feature size in nanometers.
+	FeatureNM float64
+	// RowDecoderFrac and ColumnMuxFrac are peripheral areas as a fraction
+	// of the cell-array area.
+	RowDecoderFrac, ColumnMuxFrac float64
+	// CurrentSAFrac is the conventional current-mode sense amplifier
+	// strip (with its I-V converters) as a fraction of cell-array area.
+	CurrentSAFrac float64
+	// VoltageSAFrac is the added voltage-mode sensing strip. Voltage
+	// sensing needs no I-V conversion stage and its comparators are
+	// shared at a wider column mux, so the strip is far smaller.
+	VoltageSAFrac float64
+	// MatSubarrays is how many subarrays share one mat's inter-subarray
+	// routing/control, which dilutes the per-subarray overhead at bank
+	// level.
+	MatSubarrays int
+	// MatOverheadFrac is that shared routing/control area per mat,
+	// relative to one subarray's cell-array area.
+	MatOverheadFrac float64
+}
+
+// DefaultSubarray returns the configuration matching the paper's 2 GB bank
+// of 32 mats x 16 subarrays, calibrated so the added voltage sensing costs
+// ~0.27% of total area as the paper's revised NVSim reports.
+func DefaultSubarray() Subarray {
+	return Subarray{
+		Rows: 1024, Cols: 1024,
+		CellAreaF2: 4, FeatureNM: 45,
+		RowDecoderFrac:  0.050,
+		ColumnMuxFrac:   0.020,
+		CurrentSAFrac:   0.080,
+		VoltageSAFrac:   0.00313,
+		MatSubarrays:    16,
+		MatOverheadFrac: 0.35,
+	}
+}
+
+// Validate checks the floorplan parameters.
+func (s Subarray) Validate() error {
+	if s.Rows <= 0 || s.Cols <= 0 || s.CellAreaF2 <= 0 || s.FeatureNM <= 0 {
+		return fmt.Errorf("area: array geometry must be positive: %+v", s)
+	}
+	if s.RowDecoderFrac < 0 || s.ColumnMuxFrac < 0 || s.CurrentSAFrac < 0 || s.VoltageSAFrac < 0 {
+		return fmt.Errorf("area: peripheral fractions must be nonnegative")
+	}
+	if s.MatSubarrays <= 0 || s.MatOverheadFrac < 0 {
+		return fmt.Errorf("area: mat parameters must be positive")
+	}
+	return nil
+}
+
+// CellArrayUM2 returns the raw cell-array area in square micrometers.
+func (s Subarray) CellArrayUM2() float64 {
+	f := s.FeatureNM * 1e-3 // um
+	return float64(s.Rows) * float64(s.Cols) * s.CellAreaF2 * f * f
+}
+
+// Occupancy reports the Table VII-style area decomposition of a subarray
+// (plus its share of mat overhead), as fractions of the total.
+type Occupancy struct {
+	CellArray  float64
+	RowDecoder float64
+	ColumnMux  float64
+	CurrentSA  float64
+	VoltageSA  float64
+	MatShare   float64
+}
+
+// Occupancy computes the decomposition with the hybrid (dual) sense
+// amplifier in place.
+func (s Subarray) Occupancy() (Occupancy, error) {
+	if err := s.Validate(); err != nil {
+		return Occupancy{}, err
+	}
+	matShare := s.MatOverheadFrac / float64(s.MatSubarrays)
+	total := 1 + s.RowDecoderFrac + s.ColumnMuxFrac + s.CurrentSAFrac + s.VoltageSAFrac + matShare
+	return Occupancy{
+		CellArray:  1 / total,
+		RowDecoder: s.RowDecoderFrac / total,
+		ColumnMux:  s.ColumnMuxFrac / total,
+		CurrentSA:  s.CurrentSAFrac / total,
+		VoltageSA:  s.VoltageSAFrac / total,
+		MatShare:   matShare / total,
+	}, nil
+}
+
+// HybridOverhead returns the fractional area increase of adding the
+// voltage-mode sensing strip to a conventional current-sensing design —
+// the paper's 0.27% headline from revised NVSim.
+func (s Subarray) HybridOverhead() (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	matShare := s.MatOverheadFrac / float64(s.MatSubarrays)
+	base := 1 + s.RowDecoderFrac + s.ColumnMuxFrac + s.CurrentSAFrac + matShare
+	return s.VoltageSAFrac / base, nil
+}

@@ -1,0 +1,119 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMLCFootprint(t *testing.T) {
+	// BCH-8 over GF(2^10): 80 parity bits -> (512+80)/2 = 296 MLC cells.
+	f, err := MLCFootprint(80, 0)
+	if err != nil {
+		t.Fatalf("MLCFootprint: %v", err)
+	}
+	if f.MLCCells != 296 || f.SLCFlagBits != 0 {
+		t.Errorf("footprint = %+v, want 296 MLC cells", f)
+	}
+	// LWT-4 adds 4+2 = 6 SLC flag bits.
+	f, err = MLCFootprint(80, 6)
+	if err != nil {
+		t.Fatalf("MLCFootprint: %v", err)
+	}
+	if f.EquivalentCells() != 302 {
+		t.Errorf("LWT-4 equivalent cells = %v, want 302", f.EquivalentCells())
+	}
+}
+
+func TestMLCFootprintValidation(t *testing.T) {
+	if _, err := MLCFootprint(-2, 0); err == nil {
+		t.Error("negative parity accepted")
+	}
+	if _, err := MLCFootprint(81, 0); err == nil {
+		t.Error("odd parity bit count accepted")
+	}
+	if _, err := MLCFootprint(80, -1); err == nil {
+		t.Error("negative flag bits accepted")
+	}
+}
+
+func TestTLCFootprintDensityPenalty(t *testing.T) {
+	tlc := TLCFootprint()
+	// 576 SECDED-coded bits at 1.5 bits per cell -> 384 cells.
+	if tlc.TLCCells != 384 {
+		t.Errorf("TLC cells = %d, want 384", tlc.TLCCells)
+	}
+	mlc, err := MLCFootprint(80, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MLC schemes must be denser than TLC — the density win ReadDuo
+	// preserves (Figure 11's cells-per-line comparison).
+	if mlc.EquivalentCells() >= tlc.EquivalentCells() {
+		t.Errorf("MLC footprint %v not denser than TLC %v",
+			mlc.EquivalentCells(), tlc.EquivalentCells())
+	}
+	ratio := mlc.EquivalentCells() / tlc.EquivalentCells()
+	if ratio < 0.70 || ratio > 0.85 {
+		t.Errorf("MLC/TLC cell ratio = %v, want ~0.75-0.80", ratio)
+	}
+}
+
+func TestSubarrayValidate(t *testing.T) {
+	if err := DefaultSubarray().Validate(); err != nil {
+		t.Fatalf("default subarray invalid: %v", err)
+	}
+	bad := DefaultSubarray()
+	bad.Rows = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rows accepted")
+	}
+	bad = DefaultSubarray()
+	bad.CurrentSAFrac = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative SA fraction accepted")
+	}
+	bad = DefaultSubarray()
+	bad.MatSubarrays = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero mat subarrays accepted")
+	}
+}
+
+func TestOccupancySumsToOne(t *testing.T) {
+	occ, err := DefaultSubarray().Occupancy()
+	if err != nil {
+		t.Fatalf("Occupancy: %v", err)
+	}
+	sum := occ.CellArray + occ.RowDecoder + occ.ColumnMux + occ.CurrentSA + occ.VoltageSA + occ.MatShare
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("occupancy fractions sum to %v", sum)
+	}
+	if occ.CellArray < 0.8 {
+		t.Errorf("cell array occupies %v, want the dominant share", occ.CellArray)
+	}
+	if occ.VoltageSA >= occ.CurrentSA {
+		t.Error("voltage SA strip must be smaller than the current-mode strip")
+	}
+}
+
+// TestHybridOverheadMatchesPaper pins the Table VII headline: adding the
+// voltage-mode sensing to every subarray costs ~0.27% of bank area.
+func TestHybridOverheadMatchesPaper(t *testing.T) {
+	ovh, err := DefaultSubarray().HybridOverhead()
+	if err != nil {
+		t.Fatalf("HybridOverhead: %v", err)
+	}
+	if ovh < 0.0022 || ovh > 0.0032 {
+		t.Errorf("hybrid S/A overhead = %.4f, want ~0.0027 (paper: 0.27%%)", ovh)
+	}
+}
+
+func TestCellArrayArea(t *testing.T) {
+	s := DefaultSubarray()
+	got := s.CellArrayUM2()
+	// 1024*1024 cells * 4F^2 at F=45nm = 1024^2 * 4 * 0.045^2 um^2.
+	want := 1024 * 1024 * 4 * 0.045 * 0.045
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("CellArrayUM2 = %v, want %v", got, want)
+	}
+}

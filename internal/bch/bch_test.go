@@ -1,0 +1,342 @@
+package bch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lineCode returns the paper's line code: BCH-8 over GF(2^10) protecting
+// 512 data bits with 80 parity bits.
+func lineCode(t testing.TB) *Code {
+	t.Helper()
+	c, err := New(10, 8, 512)
+	if err != nil {
+		t.Fatalf("New(10,8,512): %v", err)
+	}
+	return c
+}
+
+func TestLineCodeGeometry(t *testing.T) {
+	c := lineCode(t)
+	if c.ParityBits() != 80 {
+		t.Errorf("parity bits = %d, want 80 (8 cosets of size 10)", c.ParityBits())
+	}
+	if c.DataBits() != 512 || c.DataBytes() != 64 || c.ParityBytes() != 10 {
+		t.Errorf("geometry = %d/%d/%d, want 512/64/10",
+			c.DataBits(), c.DataBytes(), c.ParityBytes())
+	}
+	if c.CorrectCapability() != 8 {
+		t.Errorf("t = %d, want 8", c.CorrectCapability())
+	}
+	if c.DetectCapability() != 17 {
+		t.Errorf("detect capability = %d, want 17 (paper: 8*2+1)", c.DetectCapability())
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(10, 0, 512); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := New(10, 8, 0); err == nil {
+		t.Error("dataBits=0 accepted")
+	}
+	if _, err := New(2, 1, 1); err == nil {
+		t.Error("m=2 accepted")
+	}
+	// 2^10-1 = 1023 total; 1000 data + 80 parity > 1023.
+	if _, err := New(10, 8, 1000); err == nil {
+		t.Error("oversized shortening accepted")
+	}
+}
+
+func TestEncodeDecodeCleanRoundTrip(t *testing.T) {
+	c := lineCode(t)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		data := randomData(rng, c.DataBytes())
+		parity, err := c.Encode(data)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		res, err := c.Decode(data, parity)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if res.Status != StatusClean {
+			t.Fatalf("clean codeword decoded as %v", res.Status)
+		}
+	}
+}
+
+func TestDecodeCorrectsUpToT(t *testing.T) {
+	c := lineCode(t)
+	rng := rand.New(rand.NewSource(2))
+	total := c.DataBits() + c.ParityBits()
+	for errs := 1; errs <= c.CorrectCapability(); errs++ {
+		for trial := 0; trial < 10; trial++ {
+			data := randomData(rng, c.DataBytes())
+			parity, err := c.Encode(data)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			orig := append([]byte(nil), data...)
+			origP := append([]byte(nil), parity...)
+			for _, pos := range distinctPositions(rng, errs, total) {
+				if pos < c.ParityBits() {
+					flipBit(parity, pos)
+				} else {
+					flipBit(data, pos-c.ParityBits())
+				}
+			}
+			res, err := c.Decode(data, parity)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if res.Status != StatusCorrected {
+				t.Fatalf("%d errors: status %v, want corrected", errs, res.Status)
+			}
+			if len(res.CorrectedBits) != errs {
+				t.Fatalf("%d errors: corrected %d bits", errs, len(res.CorrectedBits))
+			}
+			if !bytes.Equal(data, orig) || !bytes.Equal(parity, origP) {
+				t.Fatalf("%d errors: repaired word differs from original", errs)
+			}
+		}
+	}
+}
+
+func TestDecodeDetectsBeyondT(t *testing.T) {
+	// 9..17 errors: ReadDuo relies on these being flagged so the read can
+	// be retried with M-sensing. (Guaranteed detection holds through 2t
+	// for a distance-(2t+1) code; we exercise the paper's full range and
+	// require no *silent* corruption: every outcome must be either
+	// uncorrectable or a correction that restores the true codeword.)
+	c := lineCode(t)
+	rng := rand.New(rand.NewSource(3))
+	total := c.DataBits() + c.ParityBits()
+	for errs := 9; errs <= 17; errs++ {
+		for trial := 0; trial < 5; trial++ {
+			data := randomData(rng, c.DataBytes())
+			parity, err := c.Encode(data)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			orig := append([]byte(nil), data...)
+			for _, pos := range distinctPositions(rng, errs, total) {
+				if pos < c.ParityBits() {
+					flipBit(parity, pos)
+				} else {
+					flipBit(data, pos-c.ParityBits())
+				}
+			}
+			res, err := c.Decode(data, parity)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			switch res.Status {
+			case StatusUncorrectable:
+				// expected; buffers untouched by contract
+			case StatusCorrected:
+				if !bytes.Equal(data, orig) {
+					t.Fatalf("%d errors: silent miscorrection", errs)
+				}
+			default:
+				t.Fatalf("%d errors: status %v", errs, res.Status)
+			}
+		}
+	}
+}
+
+func TestDecodeSingleBitEveryRegion(t *testing.T) {
+	c := lineCode(t)
+	rng := rand.New(rand.NewSource(4))
+	data := randomData(rng, c.DataBytes())
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for _, pos := range []int{0, 1, 79, 80, 81, 300, 591} {
+		d := append([]byte(nil), data...)
+		p := append([]byte(nil), parity...)
+		if pos < c.ParityBits() {
+			flipBit(p, pos)
+		} else {
+			flipBit(d, pos-c.ParityBits())
+		}
+		res, err := c.Decode(d, p)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if res.Status != StatusCorrected || len(res.CorrectedBits) != 1 || res.CorrectedBits[0] != pos {
+			t.Errorf("single error at %d: status %v corrected %v", pos, res.Status, res.CorrectedBits)
+		}
+	}
+}
+
+func TestDecodeLengthValidation(t *testing.T) {
+	c := lineCode(t)
+	if _, err := c.Encode(make([]byte, 63)); err == nil {
+		t.Error("short data accepted by Encode")
+	}
+	if _, err := c.Decode(make([]byte, 64), make([]byte, 9)); err == nil {
+		t.Error("short parity accepted by Decode")
+	}
+	if _, err := c.Decode(make([]byte, 65), make([]byte, 10)); err == nil {
+		t.Error("long data accepted by Decode")
+	}
+}
+
+func TestSmallCodeExhaustiveSingleError(t *testing.T) {
+	// BCH(15, 7, t=2) over GF(2^4): exhaustively verify every single- and
+	// double-bit error pattern corrects.
+	c, err := New(4, 2, 7)
+	if err != nil {
+		t.Fatalf("New(4,2,7): %v", err)
+	}
+	if c.ParityBits() != 8 {
+		t.Fatalf("BCH(15,7) parity = %d, want 8", c.ParityBits())
+	}
+	data := []byte{0b1011001}
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	total := c.DataBits() + c.ParityBits()
+	flipAt := func(d, p []byte, pos int) {
+		if pos < c.ParityBits() {
+			flipBit(p, pos)
+		} else {
+			flipBit(d, pos-c.ParityBits())
+		}
+	}
+	for i := 0; i < total; i++ {
+		for j := i; j < total; j++ {
+			d := append([]byte(nil), data...)
+			p := append([]byte(nil), parity...)
+			flipAt(d, p, i)
+			if j != i {
+				flipAt(d, p, j)
+			}
+			res, err := c.Decode(d, p)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if res.Status != StatusCorrected {
+				t.Fatalf("errors at %d,%d: %v", i, j, res.Status)
+			}
+			if !bytes.Equal(d, data) || !bytes.Equal(p, parity) {
+				t.Fatalf("errors at %d,%d: bad repair", i, j)
+			}
+		}
+	}
+}
+
+func TestAllZeroAndAllOneData(t *testing.T) {
+	c := lineCode(t)
+	zero := make([]byte, c.DataBytes())
+	p, err := c.Encode(zero)
+	if err != nil {
+		t.Fatalf("Encode zero: %v", err)
+	}
+	for _, b := range p {
+		if b != 0 {
+			t.Error("parity of zero word not zero (code must be linear)")
+			break
+		}
+	}
+	ones := bytes.Repeat([]byte{0xff}, c.DataBytes())
+	p1, err := c.Encode(ones)
+	if err != nil {
+		t.Fatalf("Encode ones: %v", err)
+	}
+	res, err := c.Decode(ones, p1)
+	if err != nil || res.Status != StatusClean {
+		t.Errorf("all-ones decode: %v %v", res.Status, err)
+	}
+}
+
+func TestEncodeLinearityProperty(t *testing.T) {
+	// parity(a XOR b) == parity(a) XOR parity(b) — linearity of the code.
+	c := lineCode(t)
+	prop := func(seedA, seedB int64) bool {
+		ra, rb := rand.New(rand.NewSource(seedA)), rand.New(rand.NewSource(seedB))
+		a, b := randomData(ra, 64), randomData(rb, 64)
+		pa, err1 := c.Encode(a)
+		pb, err2 := c.Encode(b)
+		xor := make([]byte, 64)
+		for i := range xor {
+			xor[i] = a[i] ^ b[i]
+		}
+		pxor, err3 := c.Encode(xor)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range pxor {
+			if pxor[i] != pa[i]^pb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomErrorCorrectionProperty(t *testing.T) {
+	c := lineCode(t)
+	prop := func(seed int64, errCountRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		errs := int(errCountRaw)%c.CorrectCapability() + 1
+		data := randomData(rng, c.DataBytes())
+		parity, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		orig := append([]byte(nil), data...)
+		total := c.DataBits() + c.ParityBits()
+		for _, pos := range distinctPositions(rng, errs, total) {
+			if pos < c.ParityBits() {
+				flipBit(parity, pos)
+			} else {
+				flipBit(data, pos-c.ParityBits())
+			}
+		}
+		res, err := c.Decode(data, parity)
+		return err == nil && res.Status == StatusCorrected && bytes.Equal(data, orig)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusClean.String() != "clean" || StatusCorrected.String() != "corrected" ||
+		StatusUncorrectable.String() != "uncorrectable" {
+		t.Error("Status.String mismatch")
+	}
+	if Status(0).String() != "Status(0)" {
+		t.Error("unknown status string mismatch")
+	}
+}
+
+func randomData(rng *rand.Rand, n int) []byte {
+	buf := make([]byte, n)
+	rng.Read(buf)
+	return buf
+}
+
+func distinctPositions(rng *rand.Rand, count, total int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < count {
+		p := rng.Intn(total)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

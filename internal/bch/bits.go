@@ -1,0 +1,100 @@
+package bch
+
+// Bit helpers. All buffers use little-endian bit order within each byte:
+// bit i of the stream is byte i/8, bit position i%8.
+
+func getBit(buf []byte, i int) uint8 {
+	return buf[i/8] >> (i % 8) & 1
+}
+
+func setBit(buf []byte, i int) {
+	buf[i/8] |= 1 << (i % 8)
+}
+
+func flipBit(buf []byte, i int) {
+	buf[i/8] ^= 1 << (i % 8)
+}
+
+// polyDegree returns the degree of a GF(2) polynomial stored as bit words,
+// or -1 for the zero polynomial.
+func polyDegree(p []uint64) int {
+	for w := len(p) - 1; w >= 0; w-- {
+		if p[w] == 0 {
+			continue
+		}
+		for b := 63; b >= 0; b-- {
+			if p[w]>>b&1 != 0 {
+				return w*64 + b
+			}
+		}
+	}
+	return -1
+}
+
+// polyMulGF2 multiplies a multi-word GF(2) polynomial by a single-word one.
+func polyMulGF2(a []uint64, b uint64) []uint64 {
+	degA := polyDegree(a)
+	degB := polyDegree([]uint64{b})
+	if degA < 0 || degB < 0 {
+		return []uint64{0}
+	}
+	out := make([]uint64, (degA+degB)/64+1)
+	for i := 0; i <= degB; i++ {
+		if b>>i&1 == 0 {
+			continue
+		}
+		// out ^= a << i
+		word, bit := i/64, i%64
+		for w, aw := range a {
+			if aw == 0 {
+				continue
+			}
+			out[w+word] ^= aw << bit
+			if bit != 0 && w+word+1 < len(out) {
+				out[w+word+1] ^= aw >> (64 - bit)
+			}
+		}
+	}
+	return out
+}
+
+// genWithoutTop returns the generator with its leading (degree) bit cleared,
+// sized to hold `bits` bits — the XOR mask applied by the encoding LFSR.
+func genWithoutTop(gen []uint64, bits int) []uint64 {
+	words := (bits + 63) / 64
+	out := make([]uint64, words)
+	copy(out, gen)
+	if bits%64 != 0 {
+		// The degree bit lives inside the copied words; clear it. (When
+		// bits is a multiple of 64 it sits one word above and was never
+		// copied.)
+		out[bits/64] &^= 1 << (bits % 64)
+	}
+	return out
+}
+
+// shiftLeft1 shifts a bit vector of logical width `bits` left by one,
+// discarding the bit that leaves the width.
+func shiftLeft1(v []uint64, bits int) {
+	var carry uint64
+	for w := range v {
+		next := v[w] >> 63
+		v[w] = v[w]<<1 | carry
+		carry = next
+	}
+	// Clear anything at or above the logical width.
+	top := bits % 64
+	if top != 0 {
+		v[len(v)-1] &= 1<<top - 1
+	}
+}
+
+// trimPoly removes trailing zero coefficients of a GF(2^m) polynomial,
+// keeping at least the constant term.
+func trimPoly(p []uint32) []uint32 {
+	end := len(p)
+	for end > 1 && p[end-1] == 0 {
+		end--
+	}
+	return p[:end]
+}

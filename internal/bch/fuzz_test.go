@@ -1,0 +1,91 @@
+package bch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeArbitraryBuffers feeds the decoder arbitrary data/parity
+// contents: it must never panic and always return a coherent status.
+func FuzzDecodeArbitraryBuffers(f *testing.F) {
+	code, err := New(10, 8, 512)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(make([]byte, 74))
+	f.Add(bytes.Repeat([]byte{0xa5}, 74))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < code.DataBytes()+code.ParityBytes() {
+			return
+		}
+		data := append([]byte(nil), raw[:code.DataBytes()]...)
+		parity := append([]byte(nil), raw[code.DataBytes():code.DataBytes()+code.ParityBytes()]...)
+		res, err := code.Decode(data, parity)
+		if err != nil {
+			t.Fatalf("Decode error on arbitrary input: %v", err)
+		}
+		switch res.Status {
+		case StatusClean, StatusCorrected, StatusUncorrectable:
+		default:
+			t.Fatalf("incoherent status %v", res.Status)
+		}
+		if res.Status == StatusCorrected && len(res.CorrectedBits) > code.CorrectCapability() {
+			t.Fatalf("claimed to correct %d > t bits", len(res.CorrectedBits))
+		}
+	})
+}
+
+// FuzzDecodeWithinCapability corrupts a valid codeword at fuzz-chosen
+// positions (up to t of them) and requires exact repair every time.
+func FuzzDecodeWithinCapability(f *testing.F) {
+	code, err := New(10, 8, 512)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{9, 10})
+	f.Add([]byte{0, 0}, []byte{0xff})
+	f.Fuzz(func(t *testing.T, positions []byte, seed []byte) {
+		data := make([]byte, code.DataBytes())
+		for i := range data {
+			if len(seed) > 0 {
+				data[i] = seed[i%len(seed)]
+			}
+		}
+		parity, err := code.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := append([]byte(nil), data...)
+		total := code.DataBits() + code.ParityBits()
+		seen := map[int]bool{}
+		for _, p := range positions {
+			if len(seen) >= code.CorrectCapability() {
+				break
+			}
+			pos := int(p) * total / 256
+			if seen[pos] {
+				continue
+			}
+			seen[pos] = true
+			if pos < code.ParityBits() {
+				parity[pos/8] ^= 1 << (pos % 8)
+			} else {
+				d := pos - code.ParityBits()
+				data[d/8] ^= 1 << (d % 8)
+			}
+		}
+		res, err := code.Decode(data, parity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) == 0 {
+			if res.Status != StatusClean {
+				t.Fatalf("clean word decoded as %v", res.Status)
+			}
+			return
+		}
+		if res.Status != StatusCorrected || !bytes.Equal(data, orig) {
+			t.Fatalf("%d errors: status %v, repaired=%v", len(seen), res.Status, bytes.Equal(data, orig))
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Package cell provides the Monte-Carlo model of MLC PCM cells and memory
+// lines: program-and-verify writes, resistance drift over time, R-/M-metric
+// sensing, and BCH-protected line readout. It is the physical ground truth
+// the higher-level simulator's analytical shortcuts are validated against,
+// and the engine behind the paper's Figure 6 (why differential writes break
+// the programmed resistance distribution).
+//
+// A physical cell has one phase-configuration; the R-metric and M-metric are
+// two readouts of that same state. The model therefore samples one drift
+// exponent per cell and derives the M-metric trajectory from it (alpha_M =
+// alpha_R / 7, value four decades below), keeping the two readouts of a cell
+// perfectly correlated as in the underlying device physics.
+package cell
+
+import (
+	"fmt"
+	"math/rand"
+
+	"readduo/internal/drift"
+)
+
+// Cell is one 2-bit MLC PCM cell.
+type Cell struct {
+	level        int8    // programmed storage level 0..3
+	logR0        float64 // log10 of the R-metric at program time
+	alphaR       float64 // per-write drift exponent (R-metric)
+	programmedAt float64 // seconds; drift reference for this write
+	writes       uint64  // endurance counter
+	programmed   bool
+	endurance    uint64 // writes until permanent failure; 0 = unlimited
+	stuck        bool   // worn out: ignores programming, holds its level
+}
+
+// Level returns the programmed level (ground truth, independent of drift).
+func (c *Cell) Level() int { return int(c.level) }
+
+// Writes returns how many program operations the cell has absorbed — the
+// quantity PCM endurance is measured in.
+func (c *Cell) Writes() uint64 { return c.writes }
+
+// Programmed reports whether the cell has ever been written.
+func (c *Cell) Programmed() bool { return c.programmed }
+
+// Program performs a program-and-verify write at time now (seconds): the
+// iterative SET/RESET loop lands the R-metric inside the acceptance window
+// 10^(mu +/- 2.746 sigma) of the target level, and the write resets the
+// drift clock. A worn-out (stuck) cell ignores programming; a cell that
+// reaches its endurance on this write completes it and then fails stuck at
+// the freshly written level (the common stuck-at-last-value model).
+func (c *Cell) Program(rcfg drift.Config, level int, now float64, rng *rand.Rand) {
+	if c.stuck {
+		return
+	}
+	c.level = int8(level)
+	c.logR0 = rcfg.SampleInitial(level, rng)
+	c.alphaR = rcfg.SampleAlpha(level, rng)
+	c.programmedAt = now
+	c.writes++
+	c.programmed = true
+	if c.endurance > 0 && c.writes >= c.endurance {
+		c.stuck = true
+	}
+}
+
+// age converts absolute time to drift age, guarding against clock skew.
+func (c *Cell) age(now float64) float64 {
+	if !c.programmed || now <= c.programmedAt {
+		return 0
+	}
+	return now - c.programmedAt
+}
+
+// LogR returns log10 of the cell's current R-metric value.
+func (c *Cell) LogR(rcfg drift.Config, now float64) float64 {
+	return rcfg.LogValueAt(c.logR0, c.alphaR, c.age(now)+rcfg.T0)
+}
+
+// LogM returns log10 of the cell's current M-metric value. The M-metric is
+// a second readout of the same phase state: its initial value sits at the
+// same relative position within the M window (the level-mean offset between
+// the two configs) and its drift exponent scales by the configs' alpha
+// ratio (1/7 for the paper's parameters).
+func (c *Cell) LogM(rcfg, mcfg drift.Config, now float64) float64 {
+	rl, ml := rcfg.Levels[c.level], mcfg.Levels[c.level]
+	logM0 := c.logR0 + (ml.MuLog - rl.MuLog)
+	alphaM := 0.0
+	if rl.MuAlpha > 0 {
+		alphaM = c.alphaR * ml.MuAlpha / rl.MuAlpha
+	}
+	return mcfg.LogValueAt(logM0, alphaM, c.age(now)+mcfg.T0)
+}
+
+// SenseR returns the level an R-metric (current-mode) readout reports now.
+func (c *Cell) SenseR(rcfg drift.Config, now float64) int {
+	return rcfg.SenseLevel(c.LogR(rcfg, now))
+}
+
+// SenseM returns the level an M-metric (voltage-mode) readout reports now.
+func (c *Cell) SenseM(rcfg, mcfg drift.Config, now float64) int {
+	return mcfg.SenseLevel(c.LogM(rcfg, mcfg, now))
+}
+
+// Population is a cohort of cells programmed to the same level, used to
+// study distribution shape over time (Figure 6).
+type Population struct {
+	rcfg  drift.Config
+	cells []Cell
+}
+
+// NewPopulation programs n cells to level at time 0.
+func NewPopulation(rcfg drift.Config, level, n int, rng *rand.Rand) (*Population, error) {
+	if err := rcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cell: %w", err)
+	}
+	if level < 0 || level >= drift.LevelCount {
+		return nil, fmt.Errorf("cell: level %d out of range", level)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("cell: population size %d must be positive", n)
+	}
+	p := &Population{rcfg: rcfg, cells: make([]Cell, n)}
+	for i := range p.cells {
+		p.cells[i].Program(rcfg, level, 0, rng)
+	}
+	return p, nil
+}
+
+// Size returns the population size.
+func (p *Population) Size() int { return len(p.cells) }
+
+// DriftedCells returns the indices of cells sensing at the wrong level at
+// time now (R-metric).
+func (p *Population) DriftedCells(now float64) []int {
+	var out []int
+	for i := range p.cells {
+		c := &p.cells[i]
+		if c.SenseR(p.rcfg, now) != c.Level() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RewriteCells re-programs exactly the given cells at time now — a
+// differential write. The remaining cells keep drifting from their original
+// program instants, which is how a differential write skews the line's
+// resistance distribution toward the boundary (Figure 6b).
+func (p *Population) RewriteCells(indices []int, now float64, rng *rand.Rand) {
+	for _, i := range indices {
+		if i >= 0 && i < len(p.cells) {
+			p.cells[i].Program(p.rcfg, p.cells[i].Level(), now, rng)
+		}
+	}
+}
+
+// RewriteAll re-programs the whole cohort at time now — a full-line write
+// restoring the normal distribution (Figure 6a after scrub).
+func (p *Population) RewriteAll(now float64, rng *rand.Rand) {
+	for i := range p.cells {
+		p.cells[i].Program(p.rcfg, p.cells[i].Level(), now, rng)
+	}
+}
+
+// Histogram bins the current log10 R values into `bins` equal-width buckets
+// across [lo, hi), returning the counts. Values outside the range clamp to
+// the edge bins so totals are preserved.
+func (p *Population) Histogram(now float64, lo, hi float64, bins int) []int {
+	counts := make([]int, bins)
+	if bins == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(bins)
+	for i := range p.cells {
+		v := p.cells[i].LogR(p.rcfg, now)
+		b := int((v - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// GuardBandMass returns the fraction of the cohort currently within
+// `fraction` of the distance between the level mean and the upper boundary
+// (e.g. 0.25 = the last quarter before the boundary) — the "cells close to
+// the boundary" population that makes differential writes dangerous.
+func (p *Population) GuardBandMass(now float64, fraction float64) float64 {
+	if len(p.cells) == 0 {
+		return 0
+	}
+	level := p.cells[0].Level()
+	bound := p.rcfg.UpperBoundary(level)
+	mu := p.rcfg.Levels[level].MuLog
+	threshold := bound - fraction*(bound-mu)
+	var n int
+	for i := range p.cells {
+		if v := p.cells[i].LogR(p.rcfg, now); v >= threshold && v <= bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.cells))
+}

@@ -1,0 +1,176 @@
+package cell
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"readduo/internal/drift"
+)
+
+func TestProgramSetsState(t *testing.T) {
+	rcfg := drift.RMetricConfig()
+	rng := rand.New(rand.NewSource(1))
+	var c Cell
+	if c.Programmed() {
+		t.Error("zero-value cell reports programmed")
+	}
+	c.Program(rcfg, 2, 100, rng)
+	if !c.Programmed() || c.Level() != 2 || c.Writes() != 1 {
+		t.Errorf("after program: programmed=%v level=%d writes=%d", c.Programmed(), c.Level(), c.Writes())
+	}
+	c.Program(rcfg, 0, 200, rng)
+	if c.Level() != 0 || c.Writes() != 2 {
+		t.Errorf("after second program: level=%d writes=%d", c.Level(), c.Writes())
+	}
+}
+
+func TestFreshCellSensesCorrectly(t *testing.T) {
+	rcfg, mcfg := drift.RMetricConfig(), drift.MMetricConfig()
+	rng := rand.New(rand.NewSource(2))
+	for level := 0; level < drift.LevelCount; level++ {
+		for i := 0; i < 500; i++ {
+			var c Cell
+			c.Program(rcfg, level, 50, rng)
+			if got := c.SenseR(rcfg, 50); got != level {
+				t.Fatalf("fresh R-sense level %d -> %d", level, got)
+			}
+			if got := c.SenseM(rcfg, mcfg, 50); got != level {
+				t.Fatalf("fresh M-sense level %d -> %d", level, got)
+			}
+		}
+	}
+}
+
+func TestDriftMonotoneAndMetricConsistency(t *testing.T) {
+	rcfg, mcfg := drift.RMetricConfig(), drift.MMetricConfig()
+	rng := rand.New(rand.NewSource(3))
+	var c Cell
+	c.Program(rcfg, 2, 0, rng)
+	prevR := math.Inf(-1)
+	for _, dt := range []float64{0, 1, 10, 100, 1000, 1e5} {
+		r := c.LogR(rcfg, dt)
+		if r < prevR-1e-12 {
+			t.Fatalf("R value decreased at t=%v", dt)
+		}
+		prevR = r
+		// M drifts strictly slower than R (relative to its own window).
+		m := c.LogM(rcfg, mcfg, dt)
+		driftR := r - c.LogR(rcfg, 0)
+		driftM := m - c.LogM(rcfg, mcfg, 0)
+		if driftM > driftR+1e-12 {
+			t.Fatalf("M drifted more than R at t=%v (%v vs %v)", dt, driftM, driftR)
+		}
+	}
+}
+
+func TestRewriteResetsDriftClock(t *testing.T) {
+	rcfg := drift.RMetricConfig()
+	rng := rand.New(rand.NewSource(4))
+	var c Cell
+	c.Program(rcfg, 2, 0, rng)
+	drifted := c.LogR(rcfg, 1e4) - c.LogR(rcfg, 0)
+	if drifted <= 0 {
+		t.Skip("cell drew a non-drifting alpha; statistical no-op")
+	}
+	c.Program(rcfg, 2, 1e4, rng)
+	// Immediately after reprogramming, the value must be back inside the
+	// program window.
+	if got := c.SenseR(rcfg, 1e4); got != 2 {
+		t.Errorf("freshly rewritten cell senses %d", got)
+	}
+}
+
+func TestMSensingSurvivesWhereRSensingFails(t *testing.T) {
+	// Statistical: at a very long age, some level-2 cells mis-sense under
+	// R but all (practically) still sense correctly under M.
+	rcfg, mcfg := drift.RMetricConfig(), drift.MMetricConfig()
+	rng := rand.New(rand.NewSource(5))
+	const n = 30000
+	age := 1e5
+	var rWrong, mWrong int
+	for i := 0; i < n; i++ {
+		var c Cell
+		c.Program(rcfg, 2, 0, rng)
+		if c.SenseR(rcfg, age) != 2 {
+			rWrong++
+		}
+		if c.SenseM(rcfg, mcfg, age) != 2 {
+			mWrong++
+		}
+	}
+	if rWrong == 0 {
+		t.Error("expected some R-sense drift errors at 1e5 s")
+	}
+	if mWrong > rWrong/100 {
+		t.Errorf("M-sense errors %d not <<1%% of R-sense errors %d", mWrong, rWrong)
+	}
+}
+
+func TestNewPopulationValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewPopulation(drift.RMetricConfig(), -1, 10, rng); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := NewPopulation(drift.RMetricConfig(), 1, 0, rng); err == nil {
+		t.Error("empty population accepted")
+	}
+	bad := drift.RMetricConfig()
+	bad.T0 = 0
+	if _, err := NewPopulation(bad, 1, 10, rng); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPopulationDriftAndRewrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p, err := NewPopulation(drift.RMetricConfig(), 2, 50000, rng)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	if p.Size() != 50000 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	at := 640.0
+	drifted := p.DriftedCells(at)
+	if len(drifted) == 0 {
+		t.Fatal("no drift errors at 640 s in 50k level-2 cells; model broken")
+	}
+	// Figure 6b: rewriting only the drifted cells leaves the guard band
+	// crowded; Figure 6a: rewriting all cells empties it.
+	p.RewriteCells(drifted, at, rng)
+	if n := len(p.DriftedCells(at)); n != 0 {
+		t.Errorf("%d cells still in error right after selective rewrite", n)
+	}
+	crowdedSelective := p.GuardBandMass(at, 0.25)
+
+	p2, err := NewPopulation(drift.RMetricConfig(), 2, 50000, rng)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	p2.RewriteAll(at, rng)
+	crowdedFull := p2.GuardBandMass(at, 0.25)
+	if crowdedSelective <= crowdedFull*1.5 {
+		t.Errorf("selective rewrite guard-band mass %v not clearly above full rewrite %v",
+			crowdedSelective, crowdedFull)
+	}
+}
+
+func TestPopulationHistogramTotalPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p, err := NewPopulation(drift.RMetricConfig(), 1, 5000, rng)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	h := p.Histogram(100, 3.0, 5.0, 40)
+	var total int
+	for _, c := range h {
+		total += c
+	}
+	if total != 5000 {
+		t.Errorf("histogram total = %d, want 5000", total)
+	}
+	if got := p.Histogram(100, 5.0, 3.0, 10); len(got) != 10 {
+		t.Errorf("degenerate range histogram length = %d", len(got))
+	}
+}

@@ -1,0 +1,271 @@
+package cell
+
+import (
+	"fmt"
+	"math/rand"
+
+	"readduo/internal/bch"
+	"readduo/internal/drift"
+)
+
+// Line is one BCH-protected 64-byte MLC PCM line: 256 data cells plus the
+// parity cells of the attached code, all subject to drift.
+type Line struct {
+	rcfg drift.Config
+	mcfg drift.Config
+	code *bch.Code
+
+	dataCells   []Cell
+	parityCells []Cell
+	written     bool
+}
+
+// ReadMetric selects the sensing circuit for a line read.
+type ReadMetric int
+
+// Available line read metrics.
+const (
+	ReadR ReadMetric = iota + 1 // fast current sensing
+	ReadM                       // drift-resilient voltage sensing
+)
+
+// String implements fmt.Stringer.
+func (m ReadMetric) String() string {
+	switch m {
+	case ReadR:
+		return "R-sensing"
+	case ReadM:
+		return "M-sensing"
+	default:
+		return fmt.Sprintf("ReadMetric(%d)", int(m))
+	}
+}
+
+// ReadResult is the outcome of a BCH-protected line read.
+type ReadResult struct {
+	// Data is the 64-byte payload after any ECC correction.
+	Data []byte
+	// Status is the ECC decode outcome.
+	Status bch.Status
+	// CellErrors is the number of cells that sensed at the wrong level
+	// (ground truth from the simulation, available because this is a
+	// model; hardware only sees Status/Corrected).
+	CellErrors int
+	// Corrected is the number of bit errors the ECC repaired.
+	Corrected int
+}
+
+// NewLine builds an unwritten line. The code must protect exactly 512 data
+// bits (the 64-byte line of the paper).
+func NewLine(rcfg, mcfg drift.Config, code *bch.Code) (*Line, error) {
+	if err := rcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cell: R config: %w", err)
+	}
+	if err := mcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cell: M config: %w", err)
+	}
+	if code.DataBits()%2 != 0 || code.ParityBits()%2 != 0 {
+		return nil, fmt.Errorf("cell: code bits (%d data, %d parity) must pack into 2-bit cells",
+			code.DataBits(), code.ParityBits())
+	}
+	return &Line{
+		rcfg:        rcfg,
+		mcfg:        mcfg,
+		code:        code,
+		dataCells:   make([]Cell, code.DataBits()/2),
+		parityCells: make([]Cell, code.ParityBits()/2),
+	}, nil
+}
+
+// DataBytes returns the payload size of the line.
+func (l *Line) DataBytes() int { return l.code.DataBytes() }
+
+// Written reports whether the line holds data.
+func (l *Line) Written() bool { return l.written }
+
+// Write performs a full-line write at time now: every data and parity cell
+// is re-programmed, restoring all programmed distributions.
+func (l *Line) Write(data []byte, now float64, rng *rand.Rand) error {
+	parity, err := l.code.Encode(data)
+	if err != nil {
+		return fmt.Errorf("cell: line write: %w", err)
+	}
+	programAll(l.dataCells, data, l.rcfg, now, rng)
+	programAll(l.parityCells, parity, l.rcfg, now, rng)
+	l.written = true
+	return nil
+}
+
+// WriteDifferential programs only the cells whose target level differs from
+// their currently programmed level, plus nothing else — the selective
+// differential write of ReadDuo-Select. Unchanged cells keep their original
+// drift clocks. It returns how many cells were programmed (the quantity
+// that costs energy and endurance).
+func (l *Line) WriteDifferential(data []byte, now float64, rng *rand.Rand) (int, error) {
+	if !l.written {
+		return 0, fmt.Errorf("cell: differential write to unwritten line")
+	}
+	parity, err := l.code.Encode(data)
+	if err != nil {
+		return 0, fmt.Errorf("cell: differential write: %w", err)
+	}
+	n := programChanged(l.dataCells, data, l.rcfg, now, rng)
+	n += programChanged(l.parityCells, parity, l.rcfg, now, rng)
+	return n, nil
+}
+
+// Read senses the whole line with the chosen metric at time now and decodes
+// it through the attached BCH code.
+func (l *Line) Read(metric ReadMetric, now float64) (ReadResult, error) {
+	if !l.written {
+		return ReadResult{}, fmt.Errorf("cell: read of unwritten line")
+	}
+	data, dErr := l.senseBuf(l.dataCells, metric, now)
+	parity, pErr := l.senseBuf(l.parityCells, metric, now)
+	res, err := l.code.Decode(data, parity)
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("cell: line read: %w", err)
+	}
+	return ReadResult{
+		Data:       data,
+		Status:     res.Status,
+		CellErrors: dErr + pErr,
+		Corrected:  len(res.CorrectedBits),
+	}, nil
+}
+
+// DriftErrorCount returns the ground-truth number of cells (data + parity)
+// sensing at the wrong level under the chosen metric at time now.
+func (l *Line) DriftErrorCount(metric ReadMetric, now float64) int {
+	if !l.written {
+		return 0
+	}
+	var n int
+	for i := range l.dataCells {
+		if l.senseLevel(&l.dataCells[i], metric, now) != l.dataCells[i].Level() {
+			n++
+		}
+	}
+	for i := range l.parityCells {
+		if l.senseLevel(&l.parityCells[i], metric, now) != l.parityCells[i].Level() {
+			n++
+		}
+	}
+	return n
+}
+
+// Scrub models one scrub visit with rewrite threshold w at time now using
+// metric for the error scan. The scan only sees what the ECC decoder
+// reports — the corrected-bit count — exactly as the hardware scrub engine
+// would: if the decoder repaired >= w bits (or w == 0, the unconditional
+// variant), the corrected data is rewritten full-line. It reports whether a
+// rewrite happened.
+func (l *Line) Scrub(metric ReadMetric, w int, now float64, rng *rand.Rand) (bool, error) {
+	if !l.written {
+		return false, nil
+	}
+	res, err := l.Read(metric, now)
+	if err != nil {
+		return false, err
+	}
+	if res.Status == bch.StatusUncorrectable {
+		// The line is already beyond repair; rewriting the sensed (wrong)
+		// data would silently commit the corruption, so leave it for the
+		// caller's error accounting.
+		return false, nil
+	}
+	if w > 0 && res.Corrected < w {
+		return false, nil
+	}
+	if err := l.Write(res.Data, now, rng); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// TotalCellWrites sums the endurance counters across the line.
+func (l *Line) TotalCellWrites() uint64 {
+	var n uint64
+	for i := range l.dataCells {
+		n += l.dataCells[i].Writes()
+	}
+	for i := range l.parityCells {
+		n += l.parityCells[i].Writes()
+	}
+	return n
+}
+
+// MaxCellWrites returns the highest per-cell write count — the wear-out
+// determinant under perfect intra-line leveling assumptions.
+func (l *Line) MaxCellWrites() uint64 {
+	var m uint64
+	for i := range l.dataCells {
+		if w := l.dataCells[i].Writes(); w > m {
+			m = w
+		}
+	}
+	for i := range l.parityCells {
+		if w := l.parityCells[i].Writes(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+func (l *Line) senseLevel(c *Cell, metric ReadMetric, now float64) int {
+	if metric == ReadM {
+		return c.SenseM(l.rcfg, l.mcfg, now)
+	}
+	return c.SenseR(l.rcfg, now)
+}
+
+// senseBuf reads a cell region into a packed little-endian bit buffer and
+// also returns the ground-truth wrong-level cell count.
+func (l *Line) senseBuf(cells []Cell, metric ReadMetric, now float64) ([]byte, int) {
+	buf := make([]byte, (len(cells)*2+7)/8)
+	var wrong int
+	for i := range cells {
+		lv := l.senseLevel(&cells[i], metric, now)
+		if lv != cells[i].Level() {
+			wrong++
+		}
+		v := l.rcfg.DataForLevel(lv)
+		bit0 := v & 1
+		bit1 := v >> 1 & 1
+		pos := 2 * i
+		buf[pos/8] |= bit0 << (pos % 8)
+		pos++
+		buf[pos/8] |= bit1 << (pos % 8)
+	}
+	return buf, wrong
+}
+
+// programAll writes every cell of a region to the levels encoding buf.
+func programAll(cells []Cell, buf []byte, rcfg drift.Config, now float64, rng *rand.Rand) {
+	for i := range cells {
+		cells[i].Program(rcfg, levelAt(buf, i, rcfg), now, rng)
+	}
+}
+
+// programChanged writes only cells whose stored level differs from the
+// target, returning how many were programmed.
+func programChanged(cells []Cell, buf []byte, rcfg drift.Config, now float64, rng *rand.Rand) int {
+	var n int
+	for i := range cells {
+		target := levelAt(buf, i, rcfg)
+		if !cells[i].Programmed() || cells[i].Level() != target {
+			cells[i].Program(rcfg, target, now, rng)
+			n++
+		}
+	}
+	return n
+}
+
+// levelAt extracts cell i's 2-bit value from a packed buffer and maps it to
+// a storage level via the Gray code.
+func levelAt(buf []byte, i int, rcfg drift.Config) int {
+	pos := 2 * i
+	bit0 := buf[pos/8] >> (pos % 8) & 1
+	bit1 := buf[(pos+1)/8] >> ((pos + 1) % 8) & 1
+	return rcfg.LevelForData(bit1<<1 | bit0)
+}

@@ -1,0 +1,239 @@
+package cell
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"readduo/internal/bch"
+	"readduo/internal/drift"
+)
+
+func newTestLine(t testing.TB) *Line {
+	t.Helper()
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		t.Fatalf("bch.New: %v", err)
+	}
+	l, err := NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code)
+	if err != nil {
+		t.Fatalf("NewLine: %v", err)
+	}
+	return l
+}
+
+func randomLineData(rng *rand.Rand) []byte {
+	buf := make([]byte, 64)
+	rng.Read(buf)
+	return buf
+}
+
+func TestLineWriteReadRoundTrip(t *testing.T) {
+	l := newTestLine(t)
+	rng := rand.New(rand.NewSource(1))
+	data := randomLineData(rng)
+	if err := l.Write(data, 0, rng); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	for _, metric := range []ReadMetric{ReadR, ReadM} {
+		res, err := l.Read(metric, 0)
+		if err != nil {
+			t.Fatalf("Read(%v): %v", metric, err)
+		}
+		if res.Status != bch.StatusClean {
+			t.Errorf("fresh read status %v, want clean", res.Status)
+		}
+		if !bytes.Equal(res.Data, data) {
+			t.Errorf("fresh read data mismatch")
+		}
+	}
+}
+
+func TestLineReadUnwrittenFails(t *testing.T) {
+	l := newTestLine(t)
+	if _, err := l.Read(ReadR, 0); err == nil {
+		t.Error("read of unwritten line succeeded")
+	}
+	if _, err := l.WriteDifferential(make([]byte, 64), 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("differential write to unwritten line succeeded")
+	}
+}
+
+func TestLineDriftCorrectedByECC(t *testing.T) {
+	// After a moderate age, R-sensing sees a few drifted cells; BCH-8
+	// corrects them and the payload survives.
+	rng := rand.New(rand.NewSource(2))
+	var sawErrors bool
+	for trial := 0; trial < 40; trial++ {
+		l := newTestLine(t)
+		data := randomLineData(rng)
+		if err := l.Write(data, 0, rng); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		res, err := l.Read(ReadR, 64)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if res.CellErrors > 0 {
+			sawErrors = true
+		}
+		if res.CellErrors <= 8 {
+			if !bytes.Equal(res.Data, data) {
+				t.Fatalf("payload corrupted with %d cell errors", res.CellErrors)
+			}
+		}
+	}
+	if !sawErrors {
+		t.Error("no drift errors across 40 lines at 64 s; drift model suspicious")
+	}
+}
+
+func TestLineMReadAtLongAge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := newTestLine(t)
+	data := randomLineData(rng)
+	if err := l.Write(data, 0, rng); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	res, err := l.Read(ReadM, 640)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if res.Status == bch.StatusUncorrectable || !bytes.Equal(res.Data, data) {
+		t.Errorf("M-read at 640 s failed: status %v, errors %d", res.Status, res.CellErrors)
+	}
+}
+
+func TestLineDifferentialWriteCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := newTestLine(t)
+	data := randomLineData(rng)
+	if err := l.Write(data, 0, rng); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// Rewriting identical data immediately: zero cells change level.
+	n, err := l.WriteDifferential(data, 1, rng)
+	if err != nil {
+		t.Fatalf("WriteDifferential: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("identical differential write programmed %d cells, want 0", n)
+	}
+	// Flip one data byte: at most 4 data cells plus parity cells change.
+	mod := append([]byte(nil), data...)
+	mod[10] ^= 0xff
+	n, err = l.WriteDifferential(mod, 2, rng)
+	if err != nil {
+		t.Fatalf("WriteDifferential: %v", err)
+	}
+	if n < 4 {
+		t.Errorf("flipping 8 bits programmed only %d cells", n)
+	}
+	if n > 4+40 {
+		t.Errorf("flipping one byte programmed %d cells, more than 4 data + 40 parity", n)
+	}
+	res, err := l.Read(ReadR, 2)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(res.Data, mod) {
+		t.Error("differential write lost data")
+	}
+}
+
+func TestLineScrubRewritePolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := newTestLine(t)
+	data := randomLineData(rng)
+	if err := l.Write(data, 0, rng); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	writesBefore := l.TotalCellWrites()
+	// W=0: unconditional rewrite even with no errors.
+	rewrote, err := l.Scrub(ReadM, 0, 1, rng)
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if !rewrote {
+		t.Error("W=0 scrub skipped the rewrite")
+	}
+	if l.TotalCellWrites() <= writesBefore {
+		t.Error("W=0 scrub did not program cells")
+	}
+	// W=1 right after a write: no errors, no rewrite.
+	writesBefore = l.TotalCellWrites()
+	rewrote, err = l.Scrub(ReadM, 1, 2, rng)
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if rewrote || l.TotalCellWrites() != writesBefore {
+		t.Error("W=1 scrub rewrote an error-free line")
+	}
+}
+
+func TestLineScrubClearsAccumulatedDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Find a line that actually accumulates R errors by 640 s, then verify
+	// a W=1 R-scrub rewrites and clears them.
+	for trial := 0; trial < 60; trial++ {
+		l := newTestLine(t)
+		data := randomLineData(rng)
+		if err := l.Write(data, 0, rng); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if l.DriftErrorCount(ReadR, 640) == 0 {
+			continue
+		}
+		rewrote, err := l.Scrub(ReadR, 1, 640, rng)
+		if err != nil {
+			t.Fatalf("Scrub: %v", err)
+		}
+		if !rewrote {
+			t.Fatal("scrub saw errors but did not rewrite")
+		}
+		if n := l.DriftErrorCount(ReadR, 640); n != 0 {
+			t.Fatalf("%d errors remain after scrub rewrite", n)
+		}
+		res, err := l.Read(ReadR, 640)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if !bytes.Equal(res.Data, data) {
+			t.Fatal("scrub corrupted payload")
+		}
+		return
+	}
+	t.Skip("no line accumulated R errors by 640 s in 60 trials (improbable)")
+}
+
+func TestLineWearCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := newTestLine(t)
+	data := randomLineData(rng)
+	if err := l.Write(data, 0, rng); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if got, want := l.TotalCellWrites(), uint64(256+40); got != want {
+		t.Errorf("TotalCellWrites after one full write = %d, want %d", got, want)
+	}
+	if got := l.MaxCellWrites(); got != 1 {
+		t.Errorf("MaxCellWrites = %d, want 1", got)
+	}
+	if err := l.Write(data, 1, rng); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if got := l.MaxCellWrites(); got != 2 {
+		t.Errorf("MaxCellWrites after two full writes = %d, want 2", got)
+	}
+}
+
+func TestNewLineRejectsOddCode(t *testing.T) {
+	// 7 data bits cannot pack into 2-bit cells.
+	code, err := bch.New(4, 2, 7)
+	if err != nil {
+		t.Fatalf("bch.New: %v", err)
+	}
+	if _, err := NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code); err == nil {
+		t.Error("odd-bit code accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"readduo/internal/drift"
+)
+
+// Hard-error (endurance wearout) support. PCM cells fail permanently after
+// a bounded number of SET/RESET cycles — typically modeled as a lognormal
+// per-cell endurance around 1e8 writes. A worn-out cell is stuck at its
+// last programmed level: the program-and-verify loop detects the failure
+// (the cell never reaches the target window), which is what pointer-based
+// hard-error schemes like ECP build on. This file adds wearout to Cell and
+// verified writes to Line; package ecp supplies the correction structure.
+
+// SetEndurance arms the cell's wearout: it fails permanently at the given
+// write count. Zero disables wearout (the default for soft-error studies).
+func (c *Cell) SetEndurance(writes uint64) {
+	c.endurance = writes
+}
+
+// Stuck reports whether the cell has worn out.
+func (c *Cell) Stuck() bool { return c.stuck }
+
+// SampleEndurance draws a lognormal endurance: median `median` writes with
+// sigma in natural-log units (0.2-0.3 is typical for PCM arrays).
+func SampleEndurance(median float64, sigma float64, rng *rand.Rand) uint64 {
+	if median <= 0 {
+		return 0
+	}
+	v := median * math.Exp(sigma*rng.NormFloat64())
+	if v < 1 {
+		v = 1
+	}
+	return uint64(v)
+}
+
+// programChecked is Program plus the verify step: it reports whether the
+// cell holds the target level afterwards — false exactly when a stuck cell
+// refused a different level, which is how the P&V loop detects hard
+// failures.
+func (c *Cell) programChecked(rcfg drift.Config, level int, now float64, rng *rand.Rand) bool {
+	c.Program(rcfg, level, now, rng)
+	return int(c.level) == level
+}
+
+// ArmWearout samples a per-cell endurance for every cell in the line.
+func (l *Line) ArmWearout(median, sigma float64, rng *rand.Rand) {
+	for i := range l.dataCells {
+		l.dataCells[i].SetEndurance(SampleEndurance(median, sigma, rng))
+	}
+	for i := range l.parityCells {
+		l.parityCells[i].SetEndurance(SampleEndurance(median, sigma, rng))
+	}
+}
+
+// StuckCells returns the indices (data cells first, then parity cells) of
+// worn-out cells.
+func (l *Line) StuckCells() []int {
+	var out []int
+	for i := range l.dataCells {
+		if l.dataCells[i].Stuck() {
+			out = append(out, i)
+		}
+	}
+	for i := range l.parityCells {
+		if l.parityCells[i].Stuck() {
+			out = append(out, len(l.dataCells)+i)
+		}
+	}
+	return out
+}
+
+// CellCount returns the line's total cell count (data + parity).
+func (l *Line) CellCount() int { return len(l.dataCells) + len(l.parityCells) }
+
+// VerifyFailure reports one cell whose program-and-verify loop could not
+// land the target level (a hard failure).
+type VerifyFailure struct {
+	// Cell is the line cell index (data cells first, then parity).
+	Cell int
+	// Want is the level the write intended.
+	Want int
+}
+
+// WriteVerified performs a full-line write with program-and-verify failure
+// detection: it programs every cell and returns the cells whose verify
+// failed — stuck cells that do not hold their target level. The caller
+// (typically an ECP structure) must correct those on every read.
+func (l *Line) WriteVerified(data []byte, now float64, rng *rand.Rand) ([]VerifyFailure, error) {
+	parity, err := l.code.Encode(data)
+	if err != nil {
+		return nil, fmt.Errorf("cell: verified write: %w", err)
+	}
+	var failed []VerifyFailure
+	for i := range l.dataCells {
+		target := levelAt(data, i, l.rcfg)
+		if !l.dataCells[i].programChecked(l.rcfg, target, now, rng) {
+			failed = append(failed, VerifyFailure{Cell: i, Want: target})
+		}
+	}
+	for i := range l.parityCells {
+		target := levelAt(parity, i, l.rcfg)
+		if !l.parityCells[i].programChecked(l.rcfg, target, now, rng) {
+			failed = append(failed, VerifyFailure{Cell: len(l.dataCells) + i, Want: target})
+		}
+	}
+	l.written = true
+	return failed, nil
+}
+
+// ReadCorrected is Read with a hard-error override hook: before ECC
+// decoding, each sensed cell level may be replaced by the correction
+// structure (overrides returns the stored replacement level and true for
+// repaired cells). Drift errors still flow to the BCH decoder as usual.
+func (l *Line) ReadCorrected(metric ReadMetric, now float64, overrides func(cellIdx int) (int, bool)) (ReadResult, error) {
+	if !l.written {
+		return ReadResult{}, fmt.Errorf("cell: read of unwritten line")
+	}
+	if overrides == nil {
+		return l.Read(metric, now)
+	}
+	data, dErr := l.senseBufCorrected(l.dataCells, metric, now, 0, overrides)
+	parity, pErr := l.senseBufCorrected(l.parityCells, metric, now, len(l.dataCells), overrides)
+	res, err := l.code.Decode(data, parity)
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("cell: corrected read: %w", err)
+	}
+	return ReadResult{
+		Data:       data,
+		Status:     res.Status,
+		CellErrors: dErr + pErr,
+		Corrected:  len(res.CorrectedBits),
+	}, nil
+}
+
+// senseBufCorrected mirrors senseBuf with per-cell overrides applied before
+// bit packing; the wrong-level count excludes repaired cells.
+func (l *Line) senseBufCorrected(cells []Cell, metric ReadMetric, now float64, base int, overrides func(int) (int, bool)) ([]byte, int) {
+	buf := make([]byte, (len(cells)*2+7)/8)
+	var wrong int
+	for i := range cells {
+		lv, repaired := overrides(base + i)
+		if !repaired {
+			lv = l.senseLevel(&cells[i], metric, now)
+			if lv != cells[i].Level() {
+				wrong++
+			}
+		}
+		v := l.rcfg.DataForLevel(lv)
+		pos := 2 * i
+		buf[pos/8] |= (v & 1) << (pos % 8)
+		pos++
+		buf[pos/8] |= (v >> 1 & 1) << (pos % 8)
+	}
+	return buf, wrong
+}
+
+// SensedLevel reads one line cell (data-first indexing) through the chosen
+// sensing circuit — what a pointer-based corrector compares against the
+// intended level.
+func (l *Line) SensedLevel(cellIdx int, metric ReadMetric, now float64) (int, error) {
+	c, err := l.cellAt(cellIdx)
+	if err != nil {
+		return 0, err
+	}
+	return l.senseLevel(c, metric, now), nil
+}
+
+func (l *Line) cellAt(i int) (*Cell, error) {
+	switch {
+	case i < 0 || i >= l.CellCount():
+		return nil, fmt.Errorf("cell: index %d out of range 0..%d", i, l.CellCount()-1)
+	case i < len(l.dataCells):
+		return &l.dataCells[i], nil
+	default:
+		return &l.parityCells[i-len(l.dataCells)], nil
+	}
+}

@@ -1,0 +1,225 @@
+package cell
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"readduo/internal/bch"
+	"readduo/internal/drift"
+)
+
+func TestSampleEndurance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := SampleEndurance(0, 0.25, rng); got != 0 {
+		t.Errorf("zero median endurance = %d, want 0 (disabled)", got)
+	}
+	var min, max uint64 = 1 << 62, 0
+	for i := 0; i < 5000; i++ {
+		e := SampleEndurance(1e8, 0.25, rng)
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	// Lognormal(1e8, 0.25): essentially all mass within a factor ~3.
+	if min < 2e7 || max > 5e8 {
+		t.Errorf("endurance spread [%d, %d] implausible for sigma 0.25", min, max)
+	}
+	if min >= max {
+		t.Error("no variance in sampled endurance")
+	}
+}
+
+func TestCellWearsOutAndSticks(t *testing.T) {
+	rcfg := drift.RMetricConfig()
+	rng := rand.New(rand.NewSource(2))
+	var c Cell
+	c.SetEndurance(3)
+	for i := 0; i < 3; i++ {
+		c.Program(rcfg, i%2, float64(i), rng) // alternate levels 0/1
+	}
+	if !c.Stuck() {
+		t.Fatal("cell not stuck after reaching endurance")
+	}
+	held := c.Level()
+	// Further programming is ignored.
+	c.Program(rcfg, 3, 10, rng)
+	if c.Level() != held {
+		t.Errorf("stuck cell reprogrammed from %d to %d", held, c.Level())
+	}
+	if c.Writes() != 3 {
+		t.Errorf("writes advanced past endurance: %d", c.Writes())
+	}
+}
+
+func TestWriteVerifiedReportsFailures(t *testing.T) {
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if l.CellCount() != 296 {
+		t.Fatalf("CellCount = %d", l.CellCount())
+	}
+	data := make([]byte, 64)
+	rng.Read(data)
+	// First write on healthy cells: no failures.
+	failed, err := l.WriteVerified(data, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("healthy line reported %d failures", len(failed))
+	}
+	// Exhaust two cells (their next program is their last), then demand a
+	// different level from them: verify must flag exactly the mismatches.
+	l.dataCells[0].SetEndurance(l.dataCells[0].Writes())
+	l.dataCells[0].stuck = true
+	l.dataCells[5].SetEndurance(l.dataCells[5].Writes())
+	l.dataCells[5].stuck = true
+	flipped := append([]byte(nil), data...)
+	flipped[0] ^= 0x03 // change cell 0's two bits
+	flipped[1] ^= 0x0c // change cell 5's two bits
+	failed, err = l.WriteVerified(flipped, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 2 {
+		t.Fatalf("failures = %+v, want cells 0 and 5", failed)
+	}
+	for _, f := range failed {
+		if f.Cell != 0 && f.Cell != 5 {
+			t.Errorf("unexpected failed cell %d", f.Cell)
+		}
+		if lv, err := l.SensedLevel(f.Cell, ReadR, 1); err != nil || lv == f.Want {
+			t.Errorf("cell %d: sensed %d (err %v) should differ from want %d", f.Cell, lv, err, f.Want)
+		}
+	}
+}
+
+func TestReadCorrectedRepairsStuckCells(t *testing.T) {
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 64)
+	rng.Read(data)
+	if _, err := l.WriteVerified(data, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Stick 12 data cells at wrong levels (reprogram so the sensed
+	// resistance actually moves) — beyond BCH-8 on its own.
+	overrides := map[int]int{}
+	for i := 0; i < 12; i++ {
+		idx := i * 20
+		want := l.dataCells[idx].Level()
+		wrong := (want + 2) % 4
+		l.dataCells[idx].Program(drift.RMetricConfig(), wrong, 0, rng)
+		l.dataCells[idx].stuck = true
+		overrides[idx] = want
+	}
+	// Unrepaired: uncorrectable (12 > 8).
+	res, err := l.Read(ReadR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != bch.StatusUncorrectable {
+		t.Fatalf("12 stuck cells decoded as %v", res.Status)
+	}
+	// With pointer repair the payload comes back.
+	res, err = l.ReadCorrected(ReadR, 0, func(i int) (int, bool) {
+		lv, ok := overrides[i]
+		return lv, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == bch.StatusUncorrectable || !bytes.Equal(res.Data, data) {
+		t.Errorf("corrected read failed: status %v", res.Status)
+	}
+	// Nil overrides fall back to the plain path.
+	if _, err := l.ReadCorrected(ReadR, 0, nil); err != nil {
+		t.Errorf("nil-override read: %v", err)
+	}
+}
+
+func TestArmWearoutAndStuckCells(t *testing.T) {
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	l.ArmWearout(4, 0.3, rng)
+	data := make([]byte, 64)
+	for w := 0; w < 12; w++ {
+		rng.Read(data)
+		if _, err := l.WriteVerified(data, float64(w), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l.StuckCells()) == 0 {
+		t.Error("no cells stuck after 12 writes at endurance ~4")
+	}
+}
+
+func TestCellAtAndSensedLevelBounds(t *testing.T) {
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.SensedLevel(-1, ReadR, 0); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := l.SensedLevel(296, ReadR, 0); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 64)
+	if err := l.Write(data, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Index 295 addresses the last parity cell.
+	if _, err := l.SensedLevel(295, ReadM, 0); err != nil {
+		t.Errorf("parity-region index rejected: %v", err)
+	}
+}
+
+func TestLineAccessors(t *testing.T) {
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.DataBytes() != 64 || l.Written() {
+		t.Errorf("fresh line: %d bytes, written=%v", l.DataBytes(), l.Written())
+	}
+	if ReadR.String() != "R-sensing" || ReadM.String() != "M-sensing" {
+		t.Error("ReadMetric strings")
+	}
+	if ReadMetric(9).String() != "ReadMetric(9)" {
+		t.Error("unknown metric string")
+	}
+}

@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogChoose returns log C(n, k) using lgamma, valid for n up to millions.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// LogSumExp returns log(exp(a) + exp(b)) without overflow.
+func LogSumExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// LogBinomPMF returns log P[X = k] for X ~ Binomial(n, p).
+func LogBinomPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	switch {
+	case p <= 0:
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	case p >= 1:
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+}
+
+// BinomTailGT returns P[X > e] for X ~ Binomial(n, p), accurate in the deep
+// tail (down to ~1e-300) by summing PMF terms in log space from e+1 upward.
+//
+// For the LER analysis p is tiny (<=1e-2) and e << n, so the first few terms
+// dominate; the loop stops once terms fall 40 orders of magnitude below the
+// head, or switches to 1-CDF when p is large enough for the complement to be
+// stable.
+func BinomTailGT(n int, p float64, e int) float64 {
+	switch {
+	case e < 0:
+		return 1
+	case e >= n:
+		return 0
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return 1
+	}
+	// If the tail is large, compute the (short) complement instead.
+	mean := float64(n) * p
+	if float64(e) < mean {
+		var cdf float64
+		for k := 0; k <= e; k++ {
+			cdf += math.Exp(LogBinomPMF(n, p, k))
+		}
+		if cdf < 0.99 {
+			return 1 - cdf
+		}
+		// Tail is tiny and the complement lost precision: fall through to
+		// direct log-space summation.
+	}
+	logSum := math.Inf(-1)
+	var head float64
+	for k := e + 1; k <= n; k++ {
+		lt := LogBinomPMF(n, p, k)
+		if k == e+1 {
+			head = lt
+		}
+		logSum = LogSumExp(logSum, lt)
+		if lt < head-92 { // e^-92 ~ 1e-40 below the head term
+			break
+		}
+	}
+	return math.Exp(logSum)
+}
+
+// BinomTailGE returns P[X >= e] for X ~ Binomial(n, p).
+func BinomTailGE(n int, p float64, e int) float64 {
+	return BinomTailGT(n, p, e-1)
+}
+
+// MultinomJointTail computes, for n independent cells where each cell
+// independently lands in category A with probability pA, category B with
+// probability pB, and neither with probability 1-pA-pB:
+//
+//	P[ #A < w  AND  #B > e ]
+//
+// This is the quantity behind Table V: category A is "cell drifted into
+// error during the earlier interval(s)" (fewer than W of those means the
+// scrub skipped the rewrite) and category B is "cell drifted into error
+// during the interval under analysis".
+//
+// The sum runs over a = 0..w-1 and b = e+1..n-a in log space.
+func MultinomJointTail(n int, pA, pB float64, w, e int) (float64, error) {
+	if pA < 0 || pB < 0 || pA+pB > 1+1e-12 {
+		return 0, fmt.Errorf("%w: multinomial p_A=%v p_B=%v", ErrInvalidParam, pA, pB)
+	}
+	if w <= 0 || e >= n {
+		return 0, nil
+	}
+	logPA := math.Log(pA)
+	logPB := math.Log(pB)
+	pRest := 1 - pA - pB
+	if pRest < 0 {
+		pRest = 0
+	}
+	logPRest := math.Log(pRest)
+	logSum := math.Inf(-1)
+	for a := 0; a < w && a <= n; a++ {
+		var logTermA float64
+		if a == 0 {
+			logTermA = 0
+		} else if pA == 0 {
+			continue
+		} else {
+			logTermA = LogChoose(n, a) + float64(a)*logPA
+		}
+		var logInner float64 = math.Inf(-1)
+		var head float64
+		for b := e + 1; b <= n-a; b++ {
+			if pB == 0 {
+				break
+			}
+			rest := n - a - b
+			lt := LogChoose(n-a, b) + float64(b)*logPB + float64(rest)*logPRest
+			if b == e+1 {
+				head = lt
+			}
+			logInner = LogSumExp(logInner, lt)
+			if lt < head-92 {
+				break
+			}
+		}
+		logSum = LogSumExp(logSum, logTermA+logInner)
+	}
+	return math.Exp(logSum), nil
+}

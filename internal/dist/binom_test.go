@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogChooseSmall(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, tt := range tests {
+		if got := LogChoose(tt.n, tt.k); !almostEqual(got, tt.want, 1e-10) {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+	if got := LogChoose(5, 7); !math.IsInf(got, -1) {
+		t.Errorf("LogChoose(5,7) = %v, want -Inf", got)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp(math.Log(3), math.Log(4))
+	if !almostEqual(got, math.Log(7), 1e-14) {
+		t.Errorf("LogSumExp(log3, log4) = %v, want log 7", got)
+	}
+	if got := LogSumExp(math.Inf(-1), 2.5); got != 2.5 {
+		t.Errorf("LogSumExp(-Inf, 2.5) = %v, want 2.5", got)
+	}
+	// Huge magnitude difference must not overflow.
+	if got := LogSumExp(-1000, -2000); !almostEqual(got, -1000, 1e-12) {
+		t.Errorf("LogSumExp(-1000,-2000) = %v, want ~-1000", got)
+	}
+}
+
+func TestBinomPMFSumsToOne(t *testing.T) {
+	n, p := 40, 0.3
+	var sum float64
+	for k := 0; k <= n; k++ {
+		sum += math.Exp(LogBinomPMF(n, p, k))
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Errorf("sum of PMF = %v, want 1", sum)
+	}
+}
+
+func TestBinomTailEdgeCases(t *testing.T) {
+	if got := BinomTailGT(10, 0.5, -1); got != 1 {
+		t.Errorf("P[X > -1] = %v, want 1", got)
+	}
+	if got := BinomTailGT(10, 0.5, 10); got != 0 {
+		t.Errorf("P[X > n] = %v, want 0", got)
+	}
+	if got := BinomTailGT(10, 0, 0); got != 0 {
+		t.Errorf("p=0 tail = %v, want 0", got)
+	}
+	if got := BinomTailGT(10, 1, 5); got != 1 {
+		t.Errorf("p=1 tail = %v, want 1", got)
+	}
+}
+
+func TestBinomTailExactSmall(t *testing.T) {
+	// X ~ Bin(4, 0.5): P[X > 2] = P[3] + P[4] = 4/16 + 1/16 = 5/16.
+	if got := BinomTailGT(4, 0.5, 2); !almostEqual(got, 5.0/16, 1e-13) {
+		t.Errorf("Bin(4,0.5) P[X>2] = %v, want 0.3125", got)
+	}
+	// P[X >= 1] = 1 - (1-p)^n.
+	n, p := 256, 2.9e-4
+	want := 1 - math.Pow(1-p, float64(n))
+	if got := BinomTailGE(n, p, 1); !almostEqual(got, want, 1e-12) {
+		t.Errorf("P[X>=1] = %v, want %v", got, want)
+	}
+}
+
+func TestBinomTailDeep(t *testing.T) {
+	// Deep tail: n=256, p=1e-4, P[X > 8] ~ C(256,9) p^9 = leading term.
+	n, p := 256, 1e-4
+	got := BinomTailGT(n, p, 8)
+	lead := math.Exp(LogChoose(n, 9) + 9*math.Log(p) + float64(n-9)*math.Log1p(-p))
+	if got < lead || got > lead*1.01 {
+		t.Errorf("deep tail %v not within 1%% above leading term %v", got, lead)
+	}
+}
+
+func TestBinomTailMonotoneInE(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		p := rng.Float64()
+		prev := 1.1
+		for e := -1; e <= n; e++ {
+			cur := BinomTailGT(n, p, e)
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomTailMatchesMonteCarlo(t *testing.T) {
+	n, p, e := 256, 0.01, 4
+	rng := rand.New(rand.NewSource(7))
+	const trials = 100000
+	var hits int
+	for i := 0; i < trials; i++ {
+		var count int
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				count++
+			}
+		}
+		if count > e {
+			hits++
+		}
+	}
+	emp := float64(hits) / trials
+	want := BinomTailGT(n, p, e)
+	if math.Abs(emp-want) > 0.01 {
+		t.Errorf("Monte-Carlo tail %v vs analytic %v", emp, want)
+	}
+}
+
+func TestMultinomJointTailDegeneratesToBinomial(t *testing.T) {
+	// With w=1 and pA=0, P[#A<1 AND #B>e] = P[#B>e].
+	n, pB, e := 256, 0.001, 3
+	got, err := MultinomJointTail(n, 0, pB, 1, e)
+	if err != nil {
+		t.Fatalf("MultinomJointTail: %v", err)
+	}
+	want := BinomTailGT(n, pB, e)
+	if !almostEqual(got, want, 1e-10) {
+		t.Errorf("joint tail = %v, want binomial %v", got, want)
+	}
+}
+
+func TestMultinomJointTailBoundedByMarginals(t *testing.T) {
+	n, pA, pB, w, e := 256, 0.002, 0.003, 2, 5
+	got, err := MultinomJointTail(n, pA, pB, w, e)
+	if err != nil {
+		t.Fatalf("MultinomJointTail: %v", err)
+	}
+	margB := BinomTailGT(n, pB, e)
+	if got > margB*(1+1e-9) {
+		t.Errorf("joint %v exceeds marginal P[#B>e] = %v", got, margB)
+	}
+}
+
+func TestMultinomJointTailMatchesMonteCarlo(t *testing.T) {
+	n, pA, pB, w, e := 64, 0.03, 0.05, 2, 5
+	want, err := MultinomJointTail(n, pA, pB, w, e)
+	if err != nil {
+		t.Fatalf("MultinomJointTail: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const trials = 200000
+	var hits int
+	for i := 0; i < trials; i++ {
+		var a, b int
+		for j := 0; j < n; j++ {
+			u := rng.Float64()
+			switch {
+			case u < pA:
+				a++
+			case u < pA+pB:
+				b++
+			}
+		}
+		if a < w && b > e {
+			hits++
+		}
+	}
+	emp := float64(hits) / trials
+	if math.Abs(emp-want) > 0.002 {
+		t.Errorf("Monte-Carlo joint %v vs analytic %v", emp, want)
+	}
+}
+
+func TestMultinomJointTailRejectsBadParams(t *testing.T) {
+	if _, err := MultinomJointTail(10, 0.7, 0.6, 1, 2); err == nil {
+		t.Error("pA+pB>1 accepted, want error")
+	}
+	if _, err := MultinomJointTail(10, -0.1, 0.2, 1, 2); err == nil {
+		t.Error("negative pA accepted, want error")
+	}
+}
+
+func TestMultinomJointTailZeroW(t *testing.T) {
+	got, err := MultinomJointTail(100, 0.01, 0.01, 0, 2)
+	if err != nil {
+		t.Fatalf("MultinomJointTail: %v", err)
+	}
+	if got != 0 {
+		t.Errorf("w=0 joint tail = %v, want 0 (impossible event)", got)
+	}
+}

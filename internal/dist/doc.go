@@ -1,0 +1,9 @@
+// Package dist provides the probability and numerical machinery underlying
+// the ReadDuo reliability analysis: normal and truncated-normal
+// distributions, Gauss-Legendre quadrature, and log-space binomial and
+// multinomial tail probabilities.
+//
+// The line-error-rate tables in the paper (Tables III-V) require evaluating
+// probabilities as small as 1e-50; all tail computations therefore work in
+// log space and only exponentiate at the very end.
+package dist

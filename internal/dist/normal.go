@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrInvalidParam reports a distribution constructed with non-positive scale
+// or otherwise unusable parameters.
+var ErrInvalidParam = errors.New("dist: invalid distribution parameter")
+
+const (
+	invSqrt2   = 1.0 / math.Sqrt2
+	invSqrt2Pi = 0.3989422804014327 // 1/sqrt(2*pi)
+)
+
+// StdNormalPDF returns the standard normal density at z.
+func StdNormalPDF(z float64) float64 {
+	return invSqrt2Pi * math.Exp(-0.5*z*z)
+}
+
+// StdNormalCDF returns P[Z <= z] for Z ~ N(0,1).
+//
+// It is implemented with erfc so the lower tail keeps full relative
+// precision down to ~1e-300, which the deep LER tails depend on.
+func StdNormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z*invSqrt2)
+}
+
+// StdNormalSF returns the survival function P[Z > z] for Z ~ N(0,1).
+func StdNormalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z*invSqrt2)
+}
+
+// LogStdNormalSF returns log P[Z > z] without underflow for large z.
+//
+// For z beyond the range where erfc underflows (~37.5), it switches to the
+// asymptotic expansion log Q(z) = -z^2/2 - log(z*sqrt(2*pi)) + log1p(-1/z^2 + 3/z^4).
+func LogStdNormalSF(z float64) float64 {
+	if z < 30 {
+		sf := StdNormalSF(z)
+		if sf > 0 {
+			return math.Log(sf)
+		}
+	}
+	z2 := z * z
+	// Three-term asymptotic series; relative error < 1e-10 for z >= 30.
+	return -0.5*z2 - math.Log(z) - 0.5*math.Log(2*math.Pi) + math.Log1p(-1/z2+3/(z2*z2))
+}
+
+// Normal is a normal distribution with mean Mu and standard deviation Sigma.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewNormal validates parameters and returns the distribution.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsNaN(mu) {
+		return Normal{}, fmt.Errorf("%w: normal(mu=%v, sigma=%v)", ErrInvalidParam, mu, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// PDF returns the density at x.
+func (n Normal) PDF(x float64) float64 {
+	return StdNormalPDF((x-n.Mu)/n.Sigma) / n.Sigma
+}
+
+// CDF returns P[X <= x].
+func (n Normal) CDF(x float64) float64 {
+	return StdNormalCDF((x - n.Mu) / n.Sigma)
+}
+
+// SF returns P[X > x].
+func (n Normal) SF(x float64) float64 {
+	return StdNormalSF((x - n.Mu) / n.Sigma)
+}
+
+// Sample draws one variate using rng.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// TruncNormal is a normal distribution restricted to [Lo, Hi] and
+// renormalized. ReadDuo uses it for the programmed resistance of a cell: the
+// program-and-verify loop only accepts resistances inside the desired
+// 10^(mu +/- 2.746 sigma) window.
+type TruncNormal struct {
+	base Normal
+	lo   float64
+	hi   float64
+	// mass is P[lo <= X <= hi] under the untruncated distribution.
+	mass  float64
+	cdfLo float64
+}
+
+// NewTruncNormal builds the truncation of Normal(mu, sigma) to [lo, hi].
+func NewTruncNormal(mu, sigma, lo, hi float64) (TruncNormal, error) {
+	base, err := NewNormal(mu, sigma)
+	if err != nil {
+		return TruncNormal{}, err
+	}
+	if !(lo < hi) {
+		return TruncNormal{}, fmt.Errorf("%w: truncation [%v, %v]", ErrInvalidParam, lo, hi)
+	}
+	cdfLo := base.CDF(lo)
+	mass := base.CDF(hi) - cdfLo
+	if mass <= 0 {
+		return TruncNormal{}, fmt.Errorf("%w: truncation [%v, %v] has no mass", ErrInvalidParam, lo, hi)
+	}
+	return TruncNormal{base: base, lo: lo, hi: hi, mass: mass, cdfLo: cdfLo}, nil
+}
+
+// Bounds returns the truncation interval.
+func (t TruncNormal) Bounds() (lo, hi float64) { return t.lo, t.hi }
+
+// PDF returns the renormalized density at x (zero outside [lo, hi]).
+func (t TruncNormal) PDF(x float64) float64 {
+	if x < t.lo || x > t.hi {
+		return 0
+	}
+	return t.base.PDF(x) / t.mass
+}
+
+// CDF returns P[X <= x] for the truncated variable.
+func (t TruncNormal) CDF(x float64) float64 {
+	switch {
+	case x <= t.lo:
+		return 0
+	case x >= t.hi:
+		return 1
+	default:
+		return (t.base.CDF(x) - t.cdfLo) / t.mass
+	}
+}
+
+// Sample draws one variate by rejection from the parent normal. The
+// acceptance mass for ReadDuo's +/-2.746 sigma window is >99.3%, so rejection
+// is essentially free.
+func (t TruncNormal) Sample(rng *rand.Rand) float64 {
+	for {
+		x := t.base.Sample(rng)
+		if x >= t.lo && x <= t.hi {
+			return x
+		}
+	}
+}
+
+// Mean returns the mean of the truncated distribution.
+func (t TruncNormal) Mean() float64 {
+	a := (t.lo - t.base.Mu) / t.base.Sigma
+	b := (t.hi - t.base.Mu) / t.base.Sigma
+	return t.base.Mu + t.base.Sigma*(StdNormalPDF(a)-StdNormalPDF(b))/t.mass
+}

@@ -1,0 +1,197 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff < tol
+	}
+	return diff/scale < tol
+}
+
+func TestStdNormalCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		z    float64
+		want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{2, 0.9772498680518208},
+		{3, 0.9986501019683699},
+		{-3, 0.0013498980316301035},
+		{6, 0.999999999013412},
+	}
+	for _, tt := range tests {
+		if got := StdNormalCDF(tt.z); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("StdNormalCDF(%v) = %v, want %v", tt.z, got, tt.want)
+		}
+	}
+}
+
+func TestStdNormalSFSymmetry(t *testing.T) {
+	for _, z := range []float64{-5, -1.3, 0, 0.4, 2.9, 7} {
+		if got, want := StdNormalSF(z), StdNormalCDF(-z); !almostEqual(got, want, 1e-14) {
+			t.Errorf("SF(%v) = %v, want CDF(%v) = %v", z, got, -z, want)
+		}
+	}
+}
+
+func TestStdNormalDeepTail(t *testing.T) {
+	// Q(10) = 7.619853e-24 (known value); erfc path must keep precision.
+	got := StdNormalSF(10)
+	if !almostEqual(got, 7.619853024160527e-24, 1e-9) {
+		t.Errorf("StdNormalSF(10) = %v, want 7.6198530e-24", got)
+	}
+}
+
+func TestLogStdNormalSFMatchesDirect(t *testing.T) {
+	for _, z := range []float64{0, 1, 5, 10, 20, 29.9} {
+		direct := math.Log(StdNormalSF(z))
+		got := LogStdNormalSF(z)
+		if !almostEqual(got, direct, 1e-9) {
+			t.Errorf("LogStdNormalSF(%v) = %v, want %v", z, got, direct)
+		}
+	}
+}
+
+func TestLogStdNormalSFExtreme(t *testing.T) {
+	// At z=40, Q(z) ~ 1.4e-350 underflows float64; the log must still be finite.
+	got := LogStdNormalSF(40)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("LogStdNormalSF(40) = %v, want finite", got)
+	}
+	// log Q(40) ~ -0.5*1600 - log(40*sqrt(2pi)) ~ -804.608
+	if got > -800 || got < -810 {
+		t.Errorf("LogStdNormalSF(40) = %v, want about -804.6", got)
+	}
+}
+
+func TestNewNormalRejectsBadParams(t *testing.T) {
+	for _, sigma := range []float64{0, -1, math.NaN()} {
+		if _, err := NewNormal(0, sigma); err == nil {
+			t.Errorf("NewNormal(0, %v) succeeded, want error", sigma)
+		}
+	}
+}
+
+func TestNormalPDFIntegratesToOne(t *testing.T) {
+	n := Normal{Mu: 2, Sigma: 0.5}
+	got := GaussLegendre(n.PDF, n.Mu-10*n.Sigma, n.Mu+10*n.Sigma, 200)
+	if !almostEqual(got, 1, 1e-10) {
+		t.Errorf("integral of PDF = %v, want 1", got)
+	}
+}
+
+func TestTruncNormalCDFEndpoints(t *testing.T) {
+	tn, err := NewTruncNormal(0, 1, -2, 2)
+	if err != nil {
+		t.Fatalf("NewTruncNormal: %v", err)
+	}
+	if got := tn.CDF(-2.5); got != 0 {
+		t.Errorf("CDF below lo = %v, want 0", got)
+	}
+	if got := tn.CDF(3); got != 1 {
+		t.Errorf("CDF above hi = %v, want 1", got)
+	}
+	if got := tn.CDF(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF(0) = %v, want 0.5 by symmetry", got)
+	}
+}
+
+func TestTruncNormalPDFIntegratesToOne(t *testing.T) {
+	tn, err := NewTruncNormal(4, 1.0/6, 4-2.746/6, 4+2.746/6)
+	if err != nil {
+		t.Fatalf("NewTruncNormal: %v", err)
+	}
+	lo, hi := tn.Bounds()
+	got := GaussLegendre(tn.PDF, lo, hi, 200)
+	if !almostEqual(got, 1, 1e-10) {
+		t.Errorf("integral of truncated PDF = %v, want 1", got)
+	}
+}
+
+func TestTruncNormalSampleStaysInBounds(t *testing.T) {
+	tn, err := NewTruncNormal(0, 1, -0.5, 1.5)
+	if err != nil {
+		t.Fatalf("NewTruncNormal: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		x := tn.Sample(rng)
+		if x < -0.5 || x > 1.5 {
+			t.Fatalf("sample %v outside bounds", x)
+		}
+	}
+}
+
+func TestTruncNormalMeanSymmetric(t *testing.T) {
+	tn, err := NewTruncNormal(7, 2, 7-3, 7+3)
+	if err != nil {
+		t.Fatalf("NewTruncNormal: %v", err)
+	}
+	if got := tn.Mean(); !almostEqual(got, 7, 1e-12) {
+		t.Errorf("Mean of symmetric truncation = %v, want 7", got)
+	}
+}
+
+func TestTruncNormalRejectsEmptyInterval(t *testing.T) {
+	if _, err := NewTruncNormal(0, 1, 2, 2); err == nil {
+		t.Error("NewTruncNormal with lo==hi succeeded, want error")
+	}
+	if _, err := NewTruncNormal(0, 1, 3, 1); err == nil {
+		t.Error("NewTruncNormal with lo>hi succeeded, want error")
+	}
+}
+
+// Property: CDF is monotone nondecreasing and bounded in [0,1].
+func TestTruncNormalCDFMonotoneProperty(t *testing.T) {
+	tn, err := NewTruncNormal(0, 1, -2.5, 2.5)
+	if err != nil {
+		t.Fatalf("NewTruncNormal: %v", err)
+	}
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 4)
+		b = math.Mod(b, 4)
+		if a > b {
+			a, b = b, a
+		}
+		ca, cb := tn.CDF(a), tn.CDF(b)
+		return ca <= cb && ca >= 0 && cb <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: empirical CDF of samples converges to analytic CDF.
+func TestTruncNormalSampleMatchesCDF(t *testing.T) {
+	tn, err := NewTruncNormal(5, 0.25, 4.4, 5.6)
+	if err != nil {
+		t.Fatalf("NewTruncNormal: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	probe := 5.1
+	var count int
+	for i := 0; i < n; i++ {
+		if tn.Sample(rng) <= probe {
+			count++
+		}
+	}
+	emp := float64(count) / n
+	want := tn.CDF(probe)
+	if math.Abs(emp-want) > 0.005 {
+		t.Errorf("empirical CDF(%v) = %v, analytic %v", probe, emp, want)
+	}
+}

@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussLegendrePolynomialExact(t *testing.T) {
+	// An n-point rule is exact for polynomials of degree 2n-1.
+	got := GaussLegendre(func(x float64) float64 { return 3*x*x + 2*x + 1 }, -1, 3, 10)
+	// Integral of x^3 + x^2 + x from -1 to 3 = (27+9+3) - (-1+1-1) = 40.
+	if !almostEqual(got, 40, 1e-13) {
+		t.Errorf("quadratic integral = %v, want 40", got)
+	}
+}
+
+func TestGaussLegendreGaussian(t *testing.T) {
+	got := GaussLegendre(StdNormalPDF, -8, 8, 200)
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("integral of standard normal = %v, want 1", got)
+	}
+}
+
+func TestGaussLegendreOscillatory(t *testing.T) {
+	got := GaussLegendre(math.Sin, 0, math.Pi, 100)
+	if !almostEqual(got, 2, 1e-12) {
+		t.Errorf("integral of sin over [0,pi] = %v, want 2", got)
+	}
+}
+
+func TestGaussLegendreDegenerateInterval(t *testing.T) {
+	if got := GaussLegendre(math.Exp, 2, 2, 50); got != 0 {
+		t.Errorf("zero-width integral = %v, want 0", got)
+	}
+	if got := GaussLegendre(math.Exp, 3, 1, 50); got != 0 {
+		t.Errorf("reversed interval = %v, want 0", got)
+	}
+}
+
+func TestGaussLegendreRuleWeightsSumToTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 200} {
+		r := gaussLegendreRule(n)
+		var sum float64
+		for _, w := range r.weights {
+			sum += w
+		}
+		if !almostEqual(sum, 2, 1e-12) {
+			t.Errorf("n=%d: weights sum to %v, want 2", n, sum)
+		}
+		for i := 1; i < n; i++ {
+			if r.nodes[i] <= r.nodes[i-1] {
+				t.Errorf("n=%d: nodes not strictly increasing at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestBisectFindsRoot(t *testing.T) {
+	root := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if !almostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("Bisect sqrt(2) = %v", root)
+	}
+}
+
+func TestBisectNoBracketReturnsBetterEndpoint(t *testing.T) {
+	got := Bisect(func(x float64) float64 { return x + 10 }, 0, 1, 1e-12)
+	if got != 0 {
+		t.Errorf("Bisect without bracket = %v, want endpoint 0", got)
+	}
+}

@@ -1,0 +1,145 @@
+// Package ecp implements Error-Correcting Pointers (Schechter et al., the
+// paper's reference [27]) adapted to MLC cells — the hard-error companion
+// the ReadDuo paper leaves as orthogonal work in §III-E ("to defend hard
+// errors, we may increase the error correction capability of the current
+// ECC chip").
+//
+// PCM cells wear out permanently after ~1e8 programs; the program-and-
+// verify loop detects each failure at write time. An ECP-n structure spends
+// a few extra bits per line on n (pointer, replacement-level) entries: a
+// read substitutes the stored level for each failed cell before ECC
+// decoding, so the BCH-8 budget stays dedicated to drift (soft) errors —
+// exactly the separation of concerns ReadDuo's reliability analysis
+// assumes.
+package ecp
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"readduo/internal/cell"
+)
+
+// ErrExhausted reports a line with more hard failures than the table can
+// repair — the line must be decommissioned (remapped by a higher-level
+// scheme such as PAYG or FREE-p, outside this package's scope).
+var ErrExhausted = errors.New("ecp: correction entries exhausted")
+
+// Entry is one pointer: a failed cell and the level reads should see.
+type Entry struct {
+	Cell  int
+	Level int
+}
+
+// Table is an ECP-n structure for one memory line.
+type Table struct {
+	capacity int
+	cells    int
+	entries  []Entry
+}
+
+// New builds an ECP table with `capacity` entries covering a line of
+// `cells` cells.
+func New(capacity, cells int) (*Table, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("ecp: capacity %d must be positive", capacity)
+	}
+	if cells < 2 {
+		return nil, fmt.Errorf("ecp: cell count %d must be at least 2", cells)
+	}
+	return &Table{capacity: capacity, cells: cells}, nil
+}
+
+// Capacity returns the entry budget and Used the consumed entries.
+func (t *Table) Capacity() int { return t.capacity }
+
+// Used returns how many entries are occupied.
+func (t *Table) Used() int { return len(t.entries) }
+
+// StorageBits returns the per-line SLC cost of the structure: per entry a
+// cell pointer plus a 2-bit replacement level, plus one line-level "full"
+// flag, following the original ECP layout.
+func (t *Table) StorageBits() int {
+	ptr := bits.Len(uint(t.cells - 1))
+	return t.capacity*(ptr+2) + 1
+}
+
+// Register records (or updates) the replacement level for a failed cell.
+func (t *Table) Register(cellIdx, level int) error {
+	if cellIdx < 0 || cellIdx >= t.cells {
+		return fmt.Errorf("ecp: cell %d out of range 0..%d", cellIdx, t.cells-1)
+	}
+	if level < 0 || level > 3 {
+		return fmt.Errorf("ecp: level %d out of range 0..3", level)
+	}
+	for i := range t.entries {
+		if t.entries[i].Cell == cellIdx {
+			t.entries[i].Level = level
+			return nil
+		}
+	}
+	if len(t.entries) >= t.capacity {
+		return fmt.Errorf("%w: %d entries", ErrExhausted, t.capacity)
+	}
+	t.entries = append(t.entries, Entry{Cell: cellIdx, Level: level})
+	return nil
+}
+
+// Lookup returns the replacement level for a repaired cell.
+func (t *Table) Lookup(cellIdx int) (int, bool) {
+	for _, e := range t.entries {
+		if e.Cell == cellIdx {
+			return e.Level, true
+		}
+	}
+	return 0, false
+}
+
+// ProtectedLine couples a Monte-Carlo MLC line with an ECP table: writes
+// run program-and-verify and register hard failures; reads substitute the
+// registered levels before BCH decoding.
+type ProtectedLine struct {
+	line  *cell.Line
+	table *Table
+}
+
+// NewProtectedLine wraps a line with an ECP-capacity table.
+func NewProtectedLine(line *cell.Line, capacity int) (*ProtectedLine, error) {
+	if line == nil {
+		return nil, fmt.Errorf("ecp: nil line")
+	}
+	table, err := New(capacity, line.CellCount())
+	if err != nil {
+		return nil, err
+	}
+	return &ProtectedLine{line: line, table: table}, nil
+}
+
+// Table exposes the correction structure (for inspection).
+func (p *ProtectedLine) Table() *Table { return p.table }
+
+// DataBytes returns the payload size.
+func (p *ProtectedLine) DataBytes() int { return p.line.DataBytes() }
+
+// Write stores data at time now, registering every verify failure. It
+// returns ErrExhausted (wrapped) once the line has more worn-out cells than
+// the table covers; the data is then no longer durably stored.
+func (p *ProtectedLine) Write(data []byte, now float64, rng *rand.Rand) error {
+	failures, err := p.line.WriteVerified(data, now, rng)
+	if err != nil {
+		return err
+	}
+	for _, f := range failures {
+		if err := p.table.Register(f.Cell, f.Want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read senses the line, repairs registered hard failures, and decodes.
+func (p *ProtectedLine) Read(metric cell.ReadMetric, now float64) (cell.ReadResult, error) {
+	return p.line.ReadCorrected(metric, now, p.table.Lookup)
+}

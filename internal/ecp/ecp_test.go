@@ -1,0 +1,184 @@
+package ecp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"readduo/internal/bch"
+	"readduo/internal/cell"
+	"readduo/internal/drift"
+)
+
+func newLine(t testing.TB) *cell.Line {
+	t.Helper()
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := cell.NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := New(0, 296); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(6, 1); err == nil {
+		t.Error("single-cell line accepted")
+	}
+	tab, err := New(2, 296)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Register(-1, 0); err == nil {
+		t.Error("negative cell accepted")
+	}
+	if err := tab.Register(296, 0); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+	if err := tab.Register(0, 4); err == nil {
+		t.Error("invalid level accepted")
+	}
+}
+
+func TestTableRegisterLookupExhaust(t *testing.T) {
+	tab, err := New(2, 296)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Register(10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Register(20, 1); err != nil {
+		t.Fatal(err)
+	}
+	if lv, ok := tab.Lookup(10); !ok || lv != 3 {
+		t.Errorf("Lookup(10) = %d,%v", lv, ok)
+	}
+	if _, ok := tab.Lookup(99); ok {
+		t.Error("unregistered cell found")
+	}
+	// Updating an existing entry consumes no new slot.
+	if err := tab.Register(10, 0); err != nil {
+		t.Errorf("update rejected: %v", err)
+	}
+	if lv, _ := tab.Lookup(10); lv != 0 {
+		t.Error("update lost")
+	}
+	if err := tab.Register(30, 2); !errors.Is(err, ErrExhausted) {
+		t.Errorf("third entry error = %v, want ErrExhausted", err)
+	}
+	if tab.Used() != 2 || tab.Capacity() != 2 {
+		t.Errorf("used/capacity = %d/%d", tab.Used(), tab.Capacity())
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	// ECP-6 over a 296-cell line: pointer = 9 bits, level = 2 bits,
+	// plus the full flag: 6*11+1 = 67.
+	tab, err := New(6, 296)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.StorageBits(); got != 67 {
+		t.Errorf("StorageBits = %d, want 67", got)
+	}
+}
+
+func TestProtectedLineSurvivesStuckCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	line := newLine(t)
+	// Median endurance 50 writes: hammering quickly wears cells out.
+	line.ArmWearout(50, 0.25, rng)
+	pl, err := NewProtectedLine(line, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, pl.DataBytes())
+	now := 0.0
+	var lastGood []byte
+	for w := 0; w < 60; w++ {
+		rng.Read(data)
+		now += 1
+		if err := pl.Write(data, now, rng); err != nil {
+			if errors.Is(err, ErrExhausted) {
+				break // line died; verified below that it lived a while
+			}
+			t.Fatalf("write %d: %v", w, err)
+		}
+		lastGood = append(lastGood[:0], data...)
+		res, err := pl.Read(cell.ReadR, now)
+		if err != nil {
+			t.Fatalf("read %d: %v", w, err)
+		}
+		if !bytes.Equal(res.Data, lastGood) {
+			t.Fatalf("write %d: payload corrupted with %d stuck cells repaired",
+				w, pl.Table().Used())
+		}
+	}
+	if len(line.StuckCells()) == 0 {
+		t.Fatal("no cells wore out; test premise broken")
+	}
+	if pl.Table().Used() == 0 {
+		t.Fatal("ECP never engaged")
+	}
+}
+
+func TestProtectedLineWithoutWearoutIsTransparent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pl, err := NewProtectedLine(newLine(t), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, pl.DataBytes())
+	rng.Read(data)
+	if err := pl.Write(data, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Read(cell.ReadM, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Error("payload lost")
+	}
+	if pl.Table().Used() != 0 {
+		t.Errorf("phantom registrations: %d", pl.Table().Used())
+	}
+}
+
+func TestProtectedLineExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	line := newLine(t)
+	line.ArmWearout(5, 0.3, rng) // brutal endurance: fails fast
+	pl, err := NewProtectedLine(line, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, pl.DataBytes())
+	var sawExhausted bool
+	for w := 0; w < 40; w++ {
+		rng.Read(data)
+		if err := pl.Write(data, float64(w), rng); err != nil {
+			if !errors.Is(err, ErrExhausted) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawExhausted = true
+			break
+		}
+	}
+	if !sawExhausted {
+		t.Error("ECP-2 never exhausted under endurance-5 hammering")
+	}
+}
+
+func TestNewProtectedLineNil(t *testing.T) {
+	if _, err := NewProtectedLine(nil, 6); err == nil {
+		t.Error("nil line accepted")
+	}
+}

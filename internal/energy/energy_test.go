@@ -1,0 +1,114 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func mustAcct(t *testing.T) *Accounting {
+	t.Helper()
+	a, err := NewAccounting(DefaultParams())
+	if err != nil {
+		t.Fatalf("NewAccounting: %v", err)
+	}
+	return a
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := DefaultParams()
+	bad.WritePerCell = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero write energy accepted")
+	}
+	bad = DefaultParams()
+	bad.StaticPowerWatts = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative static power accepted")
+	}
+	if _, err := NewAccounting(bad); err == nil {
+		t.Error("NewAccounting accepted invalid params")
+	}
+}
+
+func TestVoltageSensingCostsMore(t *testing.T) {
+	p := DefaultParams()
+	if p.MReadPerCell <= p.RReadPerCell {
+		t.Error("M-read per cell must cost more than R-read (3x sensing window)")
+	}
+	if p.WritePerCell <= p.MReadPerCell {
+		t.Error("P&V write must dominate read energy")
+	}
+}
+
+func TestDynamicBreakdown(t *testing.T) {
+	a := mustAcct(t)
+	p := DefaultParams()
+	a.AddRRead(296)
+	a.AddMRead(296)
+	a.AddWrite(296)
+	a.AddFlagAccess(6)
+	a.AddScrubRead(296, true)
+	a.AddScrubWrite(132)
+
+	b := a.Dynamic()
+	wantRead := 296*p.RReadPerCell + 296*p.MReadPerCell
+	if math.Abs(b.ReadPJ-wantRead) > 1e-9 {
+		t.Errorf("ReadPJ = %v, want %v", b.ReadPJ, wantRead)
+	}
+	if math.Abs(b.WritePJ-296*p.WritePerCell) > 1e-9 {
+		t.Errorf("WritePJ = %v", b.WritePJ)
+	}
+	if math.Abs(b.ScrubReadPJ-296*p.MReadPerCell) > 1e-9 {
+		t.Errorf("ScrubReadPJ = %v", b.ScrubReadPJ)
+	}
+	if math.Abs(b.ScrubWritePJ-132*p.WritePerCell) > 1e-9 {
+		t.Errorf("ScrubWritePJ = %v", b.ScrubWritePJ)
+	}
+	if math.Abs(b.FlagPJ-6*p.FlagBitAccess) > 1e-9 {
+		t.Errorf("FlagPJ = %v", b.FlagPJ)
+	}
+	sum := b.ReadPJ + b.WritePJ + b.ScrubReadPJ + b.ScrubWritePJ + b.FlagPJ
+	if math.Abs(b.Total()-sum) > 1e-9 {
+		t.Errorf("Total %v != sum %v", b.Total(), sum)
+	}
+}
+
+func TestRMReadChargesBothRounds(t *testing.T) {
+	a := mustAcct(t)
+	a.AddRMRead(296)
+	b := a.Dynamic()
+	p := DefaultParams()
+	want := 296 * (p.RReadPerCell + p.MReadPerCell)
+	if math.Abs(b.ReadPJ-want) > 1e-9 {
+		t.Errorf("R-M-read energy %v, want %v", b.ReadPJ, want)
+	}
+}
+
+func TestSystemIncludesStatic(t *testing.T) {
+	a := mustAcct(t)
+	a.AddRRead(296)
+	dyn := a.Dynamic().Total()
+	dur := 10 * time.Millisecond
+	sys := a.System(dur)
+	wantStatic := DefaultParams().StaticPowerWatts * dur.Seconds() * 1e12
+	if math.Abs(sys-(dyn+wantStatic)) > 1e-3 {
+		t.Errorf("System = %v, want %v", sys, dyn+wantStatic)
+	}
+	if sys <= dyn {
+		t.Error("system energy must exceed dynamic energy for positive durations")
+	}
+}
+
+func TestWriteCellCount(t *testing.T) {
+	a := mustAcct(t)
+	a.AddWrite(296)
+	a.AddWrite(130)
+	a.AddScrubWrite(296)
+	if got := a.WriteCellCount(); got != 722 {
+		t.Errorf("WriteCellCount = %d, want 722", got)
+	}
+}

@@ -1,0 +1,192 @@
+// Package gf implements arithmetic over the binary extension fields GF(2^m)
+// used by the BCH error-correcting codes that protect MLC PCM lines.
+//
+// Elements are represented in polynomial basis as uint32 bit vectors.
+// Multiplication and inversion go through log/antilog tables built from a
+// primitive polynomial, the standard construction for ECC hardware and the
+// fastest software approach for m <= 16.
+package gf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDivideByZero reports division or inversion of the zero element.
+var ErrDivideByZero = errors.New("gf: divide by zero")
+
+// primitivePolys[m] is a primitive polynomial of degree m over GF(2),
+// including the x^m term, for the field sizes BCH codes use in practice.
+// These are the conventional choices (e.g. Lin & Costello, Table 2.7).
+var primitivePolys = map[int]uint32{
+	3:  0b1011,              // x^3 + x + 1
+	4:  0b10011,             // x^4 + x + 1
+	5:  0b100101,            // x^5 + x^2 + 1
+	6:  0b1000011,           // x^6 + x + 1
+	7:  0b10001001,          // x^7 + x^3 + 1
+	8:  0b100011101,         // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0b1000010001,        // x^9 + x^4 + 1
+	10: 0b10000001001,       // x^10 + x^3 + 1
+	11: 0b100000000101,      // x^11 + x^2 + 1
+	12: 0b1000001010011,     // x^12 + x^6 + x^4 + x + 1
+	13: 0b10000000011011,    // x^13 + x^4 + x^3 + x + 1
+	14: 0b100010001000011,   // x^14 + x^10 + x^6 + x + 1
+	15: 0b1000000000000011,  // x^15 + x + 1
+	16: 0b10001000000001011, // x^16 + x^12 + x^3 + x + 1
+}
+
+// Field is GF(2^m) with precomputed log/antilog tables.
+type Field struct {
+	m    int
+	size uint32 // 2^m
+	mask uint32 // 2^m - 1, also the multiplicative order
+	poly uint32
+	exp  []uint32 // exp[i] = alpha^i, doubled length to skip a mod
+	log  []uint32 // log[x] = i such that alpha^i = x, for x != 0
+}
+
+// NewField constructs GF(2^m) for 3 <= m <= 16 using the conventional
+// primitive polynomial.
+func NewField(m int) (*Field, error) {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("gf: unsupported field degree m=%d (want 3..16)", m)
+	}
+	f := &Field{
+		m:    m,
+		size: 1 << m,
+		mask: 1<<m - 1,
+		poly: poly,
+	}
+	f.exp = make([]uint32, 2*int(f.mask))
+	f.log = make([]uint32, f.size)
+	x := uint32(1)
+	for i := uint32(0); i < f.mask; i++ {
+		f.exp[i] = x
+		f.log[x] = i
+		x <<= 1
+		if x&f.size != 0 {
+			x ^= poly
+		}
+	}
+	if x != 1 {
+		// The polynomial was not primitive: alpha's order is below 2^m-1.
+		return nil, fmt.Errorf("gf: polynomial %#b is not primitive for m=%d", poly, m)
+	}
+	// Mirror the table so exp[i+mask] == exp[i], avoiding a modulo in Mul.
+	copy(f.exp[f.mask:], f.exp[:f.mask])
+	return f, nil
+}
+
+// M returns the field degree.
+func (f *Field) M() int { return f.m }
+
+// Order returns the multiplicative order 2^m - 1 (also the BCH natural code
+// length).
+func (f *Field) Order() int { return int(f.mask) }
+
+// Add returns a + b (= a - b) in GF(2^m).
+func (f *Field) Add(a, b uint32) uint32 { return a ^ b }
+
+// Mul returns a * b.
+func (f *Field) Mul(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Inv returns the multiplicative inverse of a.
+func (f *Field) Inv(a uint32) (uint32, error) {
+	if a == 0 {
+		return 0, ErrDivideByZero
+	}
+	return f.exp[f.mask-f.log[a]], nil
+}
+
+// Div returns a / b.
+func (f *Field) Div(a, b uint32) (uint32, error) {
+	if b == 0 {
+		return 0, ErrDivideByZero
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	return f.exp[f.log[a]+f.mask-f.log[b]], nil
+}
+
+// Exp returns alpha^i for any integer exponent (negative allowed).
+func (f *Field) Exp(i int) uint32 {
+	i %= int(f.mask)
+	if i < 0 {
+		i += int(f.mask)
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete log of a (a != 0): the i with alpha^i = a.
+func (f *Field) Log(a uint32) (int, error) {
+	if a == 0 {
+		return 0, ErrDivideByZero
+	}
+	return int(f.log[a]), nil
+}
+
+// Pow returns a^n.
+func (f *Field) Pow(a uint32, n int) uint32 {
+	if a == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	la := int(f.log[a]) * n
+	la %= int(f.mask)
+	if la < 0 {
+		la += int(f.mask)
+	}
+	return f.exp[la]
+}
+
+// MinPolynomial returns the minimal polynomial over GF(2) of alpha^i as a
+// bit vector (bit j = coefficient of x^j). It is the product of
+// (x - alpha^(i*2^j)) over the cyclotomic coset of i, computed with
+// coefficients in GF(2^m); the result always collapses to {0,1} coefficients.
+func (f *Field) MinPolynomial(i int) uint64 {
+	coset := f.CyclotomicCoset(i)
+	// poly holds GF(2^m) coefficients, poly[d] for degree d; start at 1.
+	poly := []uint32{1}
+	for _, e := range coset {
+		root := f.Exp(e)
+		next := make([]uint32, len(poly)+1)
+		for d, c := range poly {
+			// Multiply by (x + root): x*c contributes to degree d+1,
+			// root*c to degree d.
+			next[d+1] ^= c
+			next[d] ^= f.Mul(c, root)
+		}
+		poly = next
+	}
+	var bits uint64
+	for d, c := range poly {
+		if c == 1 {
+			bits |= 1 << d
+		} else if c != 0 {
+			// Cannot happen for a genuine cyclotomic coset; guard anyway.
+			return 0
+		}
+	}
+	return bits
+}
+
+// CyclotomicCoset returns the 2-cyclotomic coset of i modulo 2^m-1 in
+// ascending orbit order {i, 2i, 4i, ...}.
+func (f *Field) CyclotomicCoset(i int) []int {
+	n := int(f.mask)
+	i = ((i % n) + n) % n
+	coset := []int{i}
+	for j := i * 2 % n; j != i; j = j * 2 % n {
+		coset = append(coset, j)
+	}
+	return coset
+}

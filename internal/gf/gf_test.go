@@ -1,0 +1,215 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustField(t *testing.T, m int) *Field {
+	t.Helper()
+	f, err := NewField(m)
+	if err != nil {
+		t.Fatalf("NewField(%d): %v", m, err)
+	}
+	return f
+}
+
+func TestNewFieldSupportedDegrees(t *testing.T) {
+	for m := 3; m <= 16; m++ {
+		f := mustField(t, m)
+		if f.Order() != 1<<m-1 {
+			t.Errorf("m=%d: order %d, want %d", m, f.Order(), 1<<m-1)
+		}
+	}
+}
+
+func TestNewFieldRejectsUnsupported(t *testing.T) {
+	for _, m := range []int{0, 1, 2, 17, -3} {
+		if _, err := NewField(m); err == nil {
+			t.Errorf("NewField(%d) succeeded, want error", m)
+		}
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	f := mustField(t, 10)
+	for i := 0; i < f.Order(); i++ {
+		a := f.Exp(i)
+		got, err := f.Log(a)
+		if err != nil {
+			t.Fatalf("Log(%d): %v", a, err)
+		}
+		if got != i {
+			t.Fatalf("Log(Exp(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestExpNegativeAndWrap(t *testing.T) {
+	f := mustField(t, 8)
+	n := f.Order()
+	if f.Exp(-1) != f.Exp(n-1) {
+		t.Error("Exp(-1) != Exp(order-1)")
+	}
+	if f.Exp(n) != 1 {
+		t.Error("Exp(order) != 1")
+	}
+	if f.Exp(3*n+5) != f.Exp(5) {
+		t.Error("Exp does not wrap for large exponents")
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	f := mustField(t, 10)
+	rng := rand.New(rand.NewSource(5))
+	randElem := func() uint32 { return uint32(rng.Intn(1 << 10)) }
+	for i := 0; i < 5000; i++ {
+		a, b, c := randElem(), randElem(), randElem()
+		if f.Mul(a, b) != f.Mul(b, a) {
+			t.Fatalf("commutativity fails at %d,%d", a, b)
+		}
+		if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+			t.Fatalf("associativity fails at %d,%d,%d", a, b, c)
+		}
+		// Distributivity over XOR addition.
+		if f.Mul(a, b^c) != f.Mul(a, b)^f.Mul(a, c) {
+			t.Fatalf("distributivity fails at %d,%d,%d", a, b, c)
+		}
+		if f.Mul(a, 1) != a {
+			t.Fatalf("identity fails at %d", a)
+		}
+		if f.Mul(a, 0) != 0 {
+			t.Fatalf("zero annihilator fails at %d", a)
+		}
+	}
+}
+
+func TestInvDiv(t *testing.T) {
+	f := mustField(t, 9)
+	for a := uint32(1); a < uint32(f.Order())+1; a++ {
+		inv, err := f.Inv(a)
+		if err != nil {
+			t.Fatalf("Inv(%d): %v", a, err)
+		}
+		if f.Mul(a, inv) != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d", a)
+		}
+	}
+	if _, err := f.Inv(0); err == nil {
+		t.Error("Inv(0) succeeded")
+	}
+	if _, err := f.Div(5, 0); err == nil {
+		t.Error("Div by 0 succeeded")
+	}
+	got, err := f.Div(0, 7)
+	if err != nil || got != 0 {
+		t.Errorf("Div(0,7) = %d, %v", got, err)
+	}
+}
+
+func TestDivMulRoundTrip(t *testing.T) {
+	f := mustField(t, 10)
+	prop := func(aRaw, bRaw uint16) bool {
+		a := uint32(aRaw) & 1023
+		b := uint32(bRaw) & 1023
+		if b == 0 {
+			return true
+		}
+		q, err := f.Div(a, b)
+		return err == nil && f.Mul(q, b) == a
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := mustField(t, 8)
+	a := f.Exp(37)
+	if f.Pow(a, 0) != 1 {
+		t.Error("a^0 != 1")
+	}
+	if f.Pow(0, 0) != 1 {
+		t.Error("0^0 != 1 (empty product convention)")
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Error("0^5 != 0")
+	}
+	want := uint32(1)
+	for i := 0; i < 6; i++ {
+		want = f.Mul(want, a)
+	}
+	if f.Pow(a, 6) != want {
+		t.Errorf("Pow(a,6) = %d, want %d", f.Pow(a, 6), want)
+	}
+	// Fermat: a^(2^m-1) = 1.
+	if f.Pow(a, f.Order()) != 1 {
+		t.Error("a^order != 1")
+	}
+	// Negative exponent = inverse power.
+	inv, _ := f.Inv(a)
+	if f.Pow(a, -1) != inv {
+		t.Error("a^-1 != Inv(a)")
+	}
+}
+
+func TestCyclotomicCoset(t *testing.T) {
+	f := mustField(t, 4) // n = 15
+	got := f.CyclotomicCoset(1)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("coset of 1 = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coset of 1 = %v, want %v", got, want)
+		}
+	}
+	// Coset of 5 mod 15 is {5, 10}.
+	got5 := f.CyclotomicCoset(5)
+	if len(got5) != 2 || got5[0] != 5 || got5[1] != 10 {
+		t.Errorf("coset of 5 = %v, want [5 10]", got5)
+	}
+}
+
+func TestMinPolynomialGF16(t *testing.T) {
+	// Classic GF(16) with x^4+x+1: minimal polynomial of alpha is
+	// x^4+x+1 = 0b10011, of alpha^3 is x^4+x^3+x^2+x+1 = 0b11111,
+	// of alpha^5 is x^2+x+1 = 0b111 (alpha^5 has order 3).
+	f := mustField(t, 4)
+	tests := []struct {
+		i    int
+		want uint64
+	}{
+		{1, 0b10011},
+		{3, 0b11111},
+		{5, 0b111},
+	}
+	for _, tt := range tests {
+		if got := f.MinPolynomial(tt.i); got != tt.want {
+			t.Errorf("MinPolynomial(alpha^%d) = %#b, want %#b", tt.i, got, tt.want)
+		}
+	}
+}
+
+func TestMinPolynomialHasRoot(t *testing.T) {
+	// Every element of the coset must be a root of the minimal polynomial
+	// when evaluated in GF(2^m).
+	f := mustField(t, 10)
+	for _, i := range []int{1, 3, 5, 7, 9, 11, 13, 15} {
+		mp := f.MinPolynomial(i)
+		for _, e := range f.CyclotomicCoset(i) {
+			root := f.Exp(e)
+			var val uint32
+			for d := 0; d < 64; d++ {
+				if mp&(1<<d) != 0 {
+					val ^= f.Pow(root, d)
+				}
+			}
+			if val != 0 {
+				t.Errorf("alpha^%d is not a root of minpoly(alpha^%d) = %#b", e, i, mp)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package lifetime converts write-traffic statistics into PCM endurance
+// projections (the paper's Figure 15). PCM cells wear out after a bounded
+// number of SET/RESET cycles; with ideal wear-leveling the chip's lifetime
+// is inversely proportional to the average cell-write rate, so every scrub
+// rewrite and R-M-read conversion shortens life while selective
+// differential writes extend it.
+package lifetime
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultEndurance is the per-cell write endurance assumed for MLC PCM
+// (10^8 program cycles, the figure commonly used for MLC GST).
+const DefaultEndurance = 1e8
+
+// Model projects lifetime from accumulated cell-write counts.
+type Model struct {
+	// EndurancePerCell is the number of programs a cell survives.
+	EndurancePerCell float64
+	// TotalCells is the cell population the writes spread across under
+	// ideal wear-leveling.
+	TotalCells float64
+}
+
+// NewModel validates and builds a Model.
+func NewModel(endurance, totalCells float64) (*Model, error) {
+	if endurance <= 0 || totalCells <= 0 {
+		return nil, fmt.Errorf("lifetime: endurance %v and cells %v must be positive", endurance, totalCells)
+	}
+	return &Model{EndurancePerCell: endurance, TotalCells: totalCells}, nil
+}
+
+// WearRate returns average cell programs per cell-second for a run that
+// issued cellWrites programs over duration.
+func (m *Model) WearRate(cellWrites uint64, duration time.Duration) (float64, error) {
+	if duration <= 0 {
+		return 0, fmt.Errorf("lifetime: duration %v must be positive", duration)
+	}
+	return float64(cellWrites) / m.TotalCells / duration.Seconds(), nil
+}
+
+// Project returns the projected chip lifetime under the observed write
+// rate. A run with zero writes projects +Inf, reported as the maximum
+// representable duration.
+func (m *Model) Project(cellWrites uint64, duration time.Duration) (time.Duration, error) {
+	rate, err := m.WearRate(cellWrites, duration)
+	if err != nil {
+		return 0, err
+	}
+	if rate == 0 {
+		return time.Duration(1<<63 - 1), nil
+	}
+	seconds := m.EndurancePerCell / rate
+	const maxSeconds = float64(1<<63-1) / float64(time.Second)
+	if seconds >= maxSeconds {
+		return time.Duration(1<<63 - 1), nil
+	}
+	return time.Duration(seconds * float64(time.Second)), nil
+}
+
+// Relative compares a scheme's lifetime against a baseline running the same
+// workload for the same duration: the ratio of write rates inverted, e.g.
+// 1.42 means the scheme's chip lives 42% longer than the baseline's.
+func Relative(baselineCellWrites, schemeCellWrites uint64) (float64, error) {
+	if schemeCellWrites == 0 {
+		return 0, fmt.Errorf("lifetime: scheme issued no writes; relative lifetime undefined")
+	}
+	return float64(baselineCellWrites) / float64(schemeCellWrites), nil
+}

@@ -1,0 +1,90 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(0, 100); err == nil {
+		t.Error("zero endurance accepted")
+	}
+	if _, err := NewModel(1e8, 0); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := NewModel(1e8, 1e9); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestWearRateAndProjection(t *testing.T) {
+	m, err := NewModel(1e8, 1e6) // 1M cells, 1e8 endurance
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1e6 cell writes over 1 second -> 1 write/cell/sec -> lifetime 1e8 s.
+	rate, err := m.WearRate(1e6, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-1) > 1e-12 {
+		t.Errorf("WearRate = %v, want 1", rate)
+	}
+	life, err := m.Project(1e6, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(life.Seconds()-1e8) > 1 {
+		t.Errorf("Project = %v s, want 1e8 s", life.Seconds())
+	}
+}
+
+func TestProjectZeroWrites(t *testing.T) {
+	m, err := NewModel(1e8, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	life, err := m.Project(0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life != time.Duration(1<<63-1) {
+		t.Errorf("zero-write projection = %v, want max duration", life)
+	}
+}
+
+func TestProjectInvalidDuration(t *testing.T) {
+	m, err := NewModel(1e8, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Project(10, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := m.WearRate(10, -time.Second); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	// Scheme writing 70% of the baseline's cells lives 1/0.7 = 1.43x.
+	rel, err := Relative(1000, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel-1000.0/700) > 1e-12 {
+		t.Errorf("Relative = %v, want %v", rel, 1000.0/700)
+	}
+	// Scheme writing more than baseline lives shorter.
+	rel, err = Relative(1000, 1124)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel >= 1 {
+		t.Errorf("heavier writer relative lifetime = %v, want < 1", rel)
+	}
+	if _, err := Relative(1000, 0); err == nil {
+		t.Error("zero scheme writes accepted")
+	}
+}

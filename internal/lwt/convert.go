@@ -1,0 +1,123 @@
+package lwt
+
+import "fmt"
+
+// Converter implements ReadDuo-LWT's adaptive R-M-read conversion
+// (§III-C): after servicing a read with the slow R-M-read path (the line
+// was untracked), the controller may write the data back so the line
+// becomes tracked and later reads in the interval enjoy fast R-sensing.
+//
+// Blind conversion of every R-M-read would wreck chip lifetime, so the
+// controller converts only T% of them and adapts T each epoch from two
+// observations:
+//
+//   - P, the fraction of reads landing on untracked lines: if it stays
+//     above the saturation threshold (85%), conversion cannot keep up with
+//     a uniformly cold access stream — back off (the paper's explicit
+//     backoff rule);
+//   - the conversion payoff — fast tracked reads later served by lines this
+//     controller converted, per conversion spent. A payoff of 2x or better
+//     means each converted write saves multiple slow reads: lean in. A
+//     payoff below break-even means the workload does not re-read what we
+//     convert (streaming or uniform-cold traffic): back off.
+//
+// T moves in steps of 10 within [0,100] as the paper specifies; the exact
+// hill-climbing sentence in the published text is garbled, and the payoff
+// reading above is the one that reproduces both reported behaviors
+// (sphinx-like read-mostly reuse converges to high T and gains ~20%;
+// streaming workloads converge to T=0 and lose nothing).
+type Converter struct {
+	t        int // conversion percentage, multiples of 10 in [0,100]
+	tick     int // deterministic T% sampling without an RNG
+	converts uint64
+	offers   uint64
+}
+
+// Payoff thresholds for the epoch feedback. A conversion costs a full-line
+// write (~1000 ns of bank time plus cell wear) while each re-hit saves one
+// M-sensing round (~450 ns), so break-even sits near 2.2 re-hits per
+// conversion; the controller leans in only on a clear win and retreats when
+// payoff falls below ~1.5.
+const (
+	payoffLeanIn  = 3.0 // rehits per conversion that justify converting more
+	payoffBackOff = 1.5 // below write-cost break-even: stop spending writes
+	saturationP   = 0.85
+	probeP        = 0.10 // minimum untracked fraction worth probing at T=0
+)
+
+// ConverterOption configures a Converter.
+type ConverterOption func(*Converter)
+
+// WithInitialT sets the starting conversion percentage (default 50).
+func WithInitialT(t int) ConverterOption {
+	return func(c *Converter) { c.t = t }
+}
+
+// NewConverter builds an adaptive converter.
+func NewConverter(opts ...ConverterOption) (*Converter, error) {
+	c := &Converter{t: 50}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.t < 0 || c.t > 100 || c.t%10 != 0 {
+		return nil, fmt.Errorf("lwt: initial T=%d must be a multiple of 10 in [0,100]", c.t)
+	}
+	return c, nil
+}
+
+// T returns the current conversion percentage.
+func (c *Converter) T() int { return c.t }
+
+// ShouldConvert is called once per R-M-read and reports whether this one
+// should be converted to a redundant write. Sampling is a deterministic
+// T-out-of-100 rotation so simulations are reproducible.
+func (c *Converter) ShouldConvert() bool {
+	c.offers++
+	slot := c.tick
+	c.tick = (c.tick + 1) % 100
+	ok := slot < c.t
+	if ok {
+		c.converts++
+	}
+	return ok
+}
+
+// EpochUpdate adjusts T from the finished epoch's observations: p is the
+// fraction of reads that hit untracked lines; conversions is how many
+// R-M-reads were converted; rehits is how many fast tracked reads were
+// served by previously converted lines.
+func (c *Converter) EpochUpdate(p float64, conversions, rehits uint64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("lwt: untracked-read fraction %v outside [0,1]", p)
+	}
+	switch {
+	case conversions == 0:
+		// Nothing to measure. If a meaningful share of reads is slow and
+		// we are not converting at all, probe.
+		if c.t == 0 && p > probeP {
+			c.t = 10
+		}
+	default:
+		payoff := float64(rehits) / float64(conversions)
+		switch {
+		case payoff >= payoffLeanIn:
+			// Profitable even if P is still saturated (warming up a hot
+			// read-only set looks saturated until conversion catches up).
+			c.t += 10
+		case payoff < payoffBackOff || p > saturationP:
+			c.t -= 10
+		}
+	}
+	if c.t < 0 {
+		c.t = 0
+	}
+	if c.t > 100 {
+		c.t = 100
+	}
+	return nil
+}
+
+// Stats returns how many R-M-reads were offered and converted so far.
+func (c *Converter) Stats() (offers, converts uint64) {
+	return c.offers, c.converts
+}

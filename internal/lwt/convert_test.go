@@ -1,0 +1,177 @@
+package lwt
+
+import "testing"
+
+func TestNewConverterValidation(t *testing.T) {
+	if _, err := NewConverter(WithInitialT(55)); err == nil {
+		t.Error("non-multiple-of-10 T accepted")
+	}
+	if _, err := NewConverter(WithInitialT(-10)); err == nil {
+		t.Error("negative T accepted")
+	}
+	if _, err := NewConverter(WithInitialT(110)); err == nil {
+		t.Error("T>100 accepted")
+	}
+	c, err := NewConverter()
+	if err != nil {
+		t.Fatalf("NewConverter: %v", err)
+	}
+	if c.T() != 50 {
+		t.Errorf("default T = %d, want 50", c.T())
+	}
+}
+
+func TestShouldConvertRate(t *testing.T) {
+	for _, tPct := range []int{0, 30, 100} {
+		c, err := NewConverter(WithInitialT(tPct))
+		if err != nil {
+			t.Fatalf("NewConverter: %v", err)
+		}
+		var converted int
+		const offers = 1000
+		for i := 0; i < offers; i++ {
+			if c.ShouldConvert() {
+				converted++
+			}
+		}
+		want := offers * tPct / 100
+		if converted != want {
+			t.Errorf("T=%d: converted %d of %d, want %d", tPct, converted, offers, want)
+		}
+		o, cv := c.Stats()
+		if o != offers || cv != uint64(want) {
+			t.Errorf("T=%d: stats %d/%d", tPct, o, cv)
+		}
+	}
+}
+
+func TestEpochUpdateBacksOffWhenSaturated(t *testing.T) {
+	c, err := NewConverter(WithInitialT(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P above 85% with mediocre payoff: conversion cannot keep up with a
+	// uniformly cold stream — back off.
+	for i := 0; i < 10; i++ {
+		if err := c.EpochUpdate(0.95, 100, 120); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.T() != 0 {
+		t.Errorf("T after sustained saturation = %d, want 0", c.T())
+	}
+	// But saturation during a profitable warmup (payoff >= 2x) must not
+	// kill conversion — that is exactly the sphinx3 warm-up pattern.
+	c2, err := NewConverter(WithInitialT(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c2.EpochUpdate(0.9, 100, 350); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c2.T() <= 50 {
+		t.Errorf("T = %d after profitable saturated warmup, want above 50", c2.T())
+	}
+}
+
+func TestEpochUpdateLeansInOnPayoff(t *testing.T) {
+	c, err := NewConverter(WithInitialT(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each conversion yields 4 fast re-reads: clearly profitable.
+	for i := 0; i < 5; i++ {
+		if err := c.EpochUpdate(0.4, 100, 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.T() != 100 {
+		t.Errorf("T = %d after profitable epochs, want 100", c.T())
+	}
+}
+
+func TestEpochUpdateBacksOffOnWaste(t *testing.T) {
+	c, err := NewConverter(WithInitialT(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming workload: converted lines are rarely re-read (payoff well
+	// below the write-cost break-even).
+	for i := 0; i < 10; i++ {
+		if err := c.EpochUpdate(0.2, 100, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.T() != 0 {
+		t.Errorf("T = %d after wasted conversions, want 0", c.T())
+	}
+}
+
+func TestEpochUpdateHoldsAtBreakEven(t *testing.T) {
+	c, err := NewConverter(WithInitialT(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payoff ~2: between the thresholds, T holds.
+	for i := 0; i < 6; i++ {
+		if err := c.EpochUpdate(0.3, 100, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.T() != 40 {
+		t.Errorf("T drifted to %d at break-even payoff, want 40", c.T())
+	}
+}
+
+func TestEpochUpdateProbesFromZero(t *testing.T) {
+	c, err := NewConverter(WithInitialT(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No conversions, but a fifth of reads are slow: probe.
+	if err := c.EpochUpdate(0.2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.T() != 10 {
+		t.Errorf("T = %d after probe trigger, want 10", c.T())
+	}
+	// Negligible slow traffic: stay at zero.
+	c2, err := NewConverter(WithInitialT(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.EpochUpdate(0.05, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c2.T() != 0 {
+		t.Errorf("T = %d with negligible P, want 0", c2.T())
+	}
+}
+
+func TestEpochUpdateValidation(t *testing.T) {
+	c, err := NewConverter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EpochUpdate(1.5, 0, 0); err == nil {
+		t.Error("P>1 accepted")
+	}
+	if err := c.EpochUpdate(-0.1, 0, 0); err == nil {
+		t.Error("P<0 accepted")
+	}
+}
+
+func TestEpochUpdateClampsAt100(t *testing.T) {
+	c, err := NewConverter(WithInitialT(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EpochUpdate(0.3, 10, 100); err != nil {
+		t.Fatal(err)
+	}
+	if c.T() != 100 {
+		t.Errorf("T = %d, want clamped at 100", c.T())
+	}
+}

@@ -1,0 +1,170 @@
+// Package lwt implements ReadDuo's last-write tracking (ReadDuo-LWT): the
+// per-line flag automaton that lets the readout controller decide whether
+// fast R-sensing is still reliable (the line was written within one
+// M-scrubbing interval) or the read must fall back to drift-resilient
+// M-sensing.
+//
+// A ReadDuo-LWT-k scheme divides the line's scrub interval S into k
+// sub-intervals, labeled 0..k-1 relative to the line's own scrub phase (the
+// scrub lands at label 0). Each line carries a k-bit vector-flag — bit x set
+// means "there was a write in the current or most recent sub-interval
+// labeled x" — and a log2(k)-bit index-flag holding the label of the last
+// write in the current interval. Both are stored as SLC cells, immune to
+// drift.
+//
+// Soundness invariant (enforced by tests): AllowRSense(label) returns true
+// only if the most recent full write or scrub rewrite happened strictly
+// within the past k sub-intervals. The scrub transition here keeps only the
+// last-write bit rather than the paper's literal "clear [0, ind-1]" — the
+// literal rule can leave one stale bit from two intervals back alive, and
+// dropping the older bits loses no information because only the most recent
+// write can justify R-sensing. The behavior on the paper's Figure 5 example
+// is identical.
+package lwt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxK bounds the vector-flag width (it must fit the SLC flag budget; the
+// paper evaluates k = 2 and 4).
+const MaxK = 32
+
+// Tracker is the per-line LWT flag state.
+type Tracker struct {
+	k      int
+	vector uint32
+	ind    int
+}
+
+// New creates a tracker for k sub-intervals per scrub interval.
+func New(k int) (*Tracker, error) {
+	if k < 2 || k > MaxK {
+		return nil, fmt.Errorf("lwt: k=%d out of range 2..%d", k, MaxK)
+	}
+	return &Tracker{k: k}, nil
+}
+
+// K returns the sub-interval count.
+func (t *Tracker) K() int { return t.k }
+
+// FlagBits returns the per-line SLC storage cost: k vector bits plus
+// ceil(log2 k) index bits.
+func (t *Tracker) FlagBits() int {
+	return t.k + bits.Len(uint(t.k-1))
+}
+
+// Vector exposes the raw vector-flag (for inspection and tests).
+func (t *Tracker) Vector() uint32 { return t.vector }
+
+// Index exposes the raw index-flag.
+func (t *Tracker) Index() int { return t.ind }
+
+// RecordWrite notes a full-line write in sub-interval `label` of the
+// current interval. Labels must move forward within an interval (the scrub
+// at label 0 opens each interval), so label >= the current index-flag.
+//
+// Bits strictly between the previous last write and the new one are
+// retired: if they were set, they date from the previous interval and are
+// at least k sub-intervals old by now.
+func (t *Tracker) RecordWrite(label int) error {
+	if err := t.checkLabel(label); err != nil {
+		return err
+	}
+	for x := t.ind + 1; x < label; x++ {
+		t.vector &^= 1 << x
+	}
+	t.vector |= 1 << label
+	t.ind = label
+	return nil
+}
+
+// RecordScrub notes the per-line scrub that opens a new interval (label 0).
+// rewrote says whether the scrub actually rewrote the line (it always does
+// under a W=0 policy; under W=1 only when errors were found).
+//
+// Only the bit of the interval's last write survives — everything older can
+// no longer justify R-sensing — and bit 0 is then set iff the scrub rewrote
+// the line, which counts as a fresh write at label 0. The index-flag resets
+// to 0, marking "start of a new scrubbing interval".
+func (t *Tracker) RecordScrub(rewrote bool) {
+	if t.ind == 0 {
+		// No write during the finished interval: whatever bits remain are
+		// a full interval old or more.
+		t.vector = 0
+	} else {
+		t.vector &= 1 << t.ind
+	}
+	if rewrote {
+		t.vector |= 1
+	} else {
+		t.vector &^= 1
+	}
+	t.ind = 0
+}
+
+// AllowRSense reports whether a read arriving in sub-interval `label` of
+// the current interval may use fast R-sensing (the paper's three-case
+// readout control):
+//
+//  1. index-flag non-zero: the last write is inside the current interval —
+//     R-sensing is reliable.
+//  2. vector-flag zero: no write within the last interval — M-sensing.
+//  3. index-flag zero but vector non-zero: bits in [1, label] describe
+//     writes from the previous interval that are now >= k sub-intervals
+//     old; after discarding them, any surviving bit (bit 0 from a scrub
+//     rewrite, or a late-previous-interval write) justifies R-sensing.
+func (t *Tracker) AllowRSense(label int) (bool, error) {
+	if err := t.checkLabel(label); err != nil {
+		return false, err
+	}
+	if t.ind != 0 && t.vector != 0 {
+		return true, nil
+	}
+	if t.vector == 0 {
+		return false, nil
+	}
+	masked := t.vector
+	for x := 1; x <= label; x++ {
+		masked &^= 1 << x
+	}
+	return masked != 0, nil
+}
+
+// SubIntervalsSinceLastWrite returns a conservative (never underestimated)
+// count of sub-intervals since the last tracked full write, as observed at
+// `label` of the current interval. If no tracked write is visible it
+// returns k, the "beyond one interval" sentinel. ReadDuo-Select uses this
+// distance to decide between a differential and a full write.
+func (t *Tracker) SubIntervalsSinceLastWrite(label int) (int, error) {
+	if err := t.checkLabel(label); err != nil {
+		return 0, err
+	}
+	if t.ind != 0 {
+		return label - t.ind, nil
+	}
+	best := t.k
+	if t.vector&1 != 0 {
+		best = label // scrub rewrite or write at label 0 of this interval
+	}
+	for x := label + 1; x < t.k; x++ {
+		if t.vector>>x&1 != 0 {
+			// Previous-interval write at label x: label + k - x old.
+			if d := label + t.k - x; d < best {
+				best = d
+			}
+		}
+	}
+	return best, nil
+}
+
+func (t *Tracker) checkLabel(label int) error {
+	if label < 0 || label >= t.k {
+		return fmt.Errorf("lwt: sub-interval label %d out of range 0..%d", label, t.k-1)
+	}
+	if label < t.ind {
+		return fmt.Errorf("lwt: label %d behind current index %d (time ran backwards?)", label, t.ind)
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package lwt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustTracker(t *testing.T, k int) *Tracker {
+	t.Helper()
+	tr, err := New(k)
+	if err != nil {
+		t.Fatalf("New(%d): %v", k, err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, k := range []int{-1, 0, 1, 33, 100} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d) accepted", k)
+		}
+	}
+	for _, k := range []int{2, 4, 8, 32} {
+		if _, err := New(k); err != nil {
+			t.Errorf("New(%d) rejected: %v", k, err)
+		}
+	}
+}
+
+func TestFlagBits(t *testing.T) {
+	tests := []struct{ k, want int }{
+		{2, 3},  // 2 vector + 1 index
+		{4, 6},  // 4 vector + 2 index
+		{8, 11}, // 8 vector + 3 index
+	}
+	for _, tt := range tests {
+		if got := mustTracker(t, tt.k).FlagBits(); got != tt.want {
+			t.Errorf("FlagBits(k=%d) = %d, want %d", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestFreshTrackerForcesMSense(t *testing.T) {
+	tr := mustTracker(t, 4)
+	for label := 0; label < 4; label++ {
+		ok, err := tr.AllowRSense(label)
+		if err != nil {
+			t.Fatalf("AllowRSense: %v", err)
+		}
+		if ok {
+			t.Errorf("untracked line allows R-sense at label %d", label)
+		}
+	}
+}
+
+func TestWriteEnablesRSenseWithinInterval(t *testing.T) {
+	tr := mustTracker(t, 4)
+	if err := tr.RecordWrite(1); err != nil {
+		t.Fatalf("RecordWrite: %v", err)
+	}
+	for label := 1; label < 4; label++ {
+		ok, err := tr.AllowRSense(label)
+		if err != nil {
+			t.Fatalf("AllowRSense: %v", err)
+		}
+		if !ok {
+			t.Errorf("R-sense denied at label %d after same-interval write", label)
+		}
+	}
+}
+
+// TestFigure5Example replays the paper's Figure 5 walk-through: a write in
+// sub-interval 2, scrubs that never rewrite, and a read in sub-interval 2
+// of the following interval that must fall back to M-sensing.
+func TestFigure5Example(t *testing.T) {
+	tr := mustTracker(t, 4)
+	// W1 in sub-interval 2: bit 2 set, index-flag = 2.
+	if err := tr.RecordWrite(2); err != nil {
+		t.Fatalf("RecordWrite: %v", err)
+	}
+	if tr.Vector() != 0b0100 || tr.Index() != 2 {
+		t.Fatalf("after W1: vector %04b index %d, want 0100/2", tr.Vector(), tr.Index())
+	}
+	// scrub1 (no rewrite): bits before the last write are cleared; the
+	// write bit survives; index resets.
+	tr.RecordScrub(false)
+	if tr.Vector() != 0b0100 || tr.Index() != 0 {
+		t.Fatalf("after scrub1: vector %04b index %d, want 0100/0", tr.Vector(), tr.Index())
+	}
+	// R1 in sub-interval 2 of the new interval: discarding bits [1,2]
+	// empties the vector -> M-sensing (the write is now ~a full interval
+	// old).
+	ok, err := tr.AllowRSense(2)
+	if err != nil {
+		t.Fatalf("AllowRSense: %v", err)
+	}
+	if ok {
+		t.Error("R1 allowed R-sensing; Figure 5 requires M-sensing")
+	}
+	// But a read early in the new interval (label 1 < write label 2) is
+	// still within 640 s and may R-sense.
+	ok, err = tr.AllowRSense(1)
+	if err != nil {
+		t.Fatalf("AllowRSense: %v", err)
+	}
+	if !ok {
+		t.Error("read at label 1 denied although the write is < k sub-intervals old")
+	}
+	// scrub2 (no rewrite, no writes since): everything clears — "scrub3
+	// clears all bits" in the paper's 3-scrub trace.
+	tr.RecordScrub(false)
+	if tr.Vector() != 0 {
+		t.Errorf("after idle scrub: vector %04b, want 0", tr.Vector())
+	}
+}
+
+func TestScrubRewriteCountsAsWrite(t *testing.T) {
+	tr := mustTracker(t, 4)
+	tr.RecordScrub(true)
+	for label := 0; label < 4; label++ {
+		ok, err := tr.AllowRSense(label)
+		if err != nil {
+			t.Fatalf("AllowRSense: %v", err)
+		}
+		if !ok {
+			t.Errorf("R-sense denied at label %d right after scrub rewrite", label)
+		}
+	}
+	// One idle interval later the rewrite is stale.
+	tr.RecordScrub(false)
+	ok, err := tr.AllowRSense(0)
+	if err != nil {
+		t.Fatalf("AllowRSense: %v", err)
+	}
+	if ok {
+		t.Error("R-sense allowed one full interval after the rewrite")
+	}
+}
+
+func TestLabelValidation(t *testing.T) {
+	tr := mustTracker(t, 4)
+	if err := tr.RecordWrite(4); err == nil {
+		t.Error("label k accepted")
+	}
+	if err := tr.RecordWrite(-1); err == nil {
+		t.Error("negative label accepted")
+	}
+	if err := tr.RecordWrite(3); err != nil {
+		t.Fatalf("RecordWrite(3): %v", err)
+	}
+	if err := tr.RecordWrite(1); err == nil {
+		t.Error("backwards label accepted")
+	}
+	if _, err := tr.AllowRSense(1); err == nil {
+		t.Error("AllowRSense behind index accepted")
+	}
+	if _, err := tr.SubIntervalsSinceLastWrite(0); err == nil {
+		t.Error("SubIntervalsSinceLastWrite behind index accepted")
+	}
+}
+
+func TestSubIntervalsSinceLastWrite(t *testing.T) {
+	tr := mustTracker(t, 4)
+	// Untracked: sentinel k.
+	d, err := tr.SubIntervalsSinceLastWrite(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 {
+		t.Errorf("untracked distance = %d, want sentinel 4", d)
+	}
+	// Write at 1, ask at 3: exact distance 2.
+	if err := tr.RecordWrite(1); err != nil {
+		t.Fatal(err)
+	}
+	d, err = tr.SubIntervalsSinceLastWrite(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("same-interval distance = %d, want 2", d)
+	}
+	// Next interval: write bit survives the scrub; at label 0 the write
+	// is k-1=3 sub-intervals old... (label 0, bit 1 -> 0+4-1 = 3).
+	tr.RecordScrub(false)
+	d, err = tr.SubIntervalsSinceLastWrite(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Errorf("cross-interval distance = %d, want 3", d)
+	}
+	// At label 1 the bit is exactly k old and no longer counts.
+	d, err = tr.SubIntervalsSinceLastWrite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 {
+		t.Errorf("stale distance = %d, want sentinel 4", d)
+	}
+}
+
+// TestSoundnessProperty is the keystone: against a ground-truth oracle over
+// random operation sequences, AllowRSense must return true exactly when the
+// most recent write/rewrite is strictly less than k sub-intervals old, and
+// the SDW distance must never be smaller than the truth (underestimating
+// would let a differential write masquerade as recent).
+func TestSoundnessProperty(t *testing.T) {
+	prop := func(seed int64, kSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ks := []int{2, 4, 8, 16}
+		k := ks[int(kSel)%len(ks)]
+		tr, err := New(k)
+		if err != nil {
+			return false
+		}
+		lastWrite := -1 << 30 // global sub-interval index of last full write
+		// Walk 12 intervals of k sub-intervals each.
+		for g := 0; g < 12*k; g++ {
+			label := g % k
+			if label == 0 {
+				rewrote := rng.Intn(2) == 0
+				tr.RecordScrub(rewrote)
+				if rewrote {
+					lastWrite = g
+				}
+			}
+			if rng.Intn(3) == 0 {
+				if err := tr.RecordWrite(label); err != nil {
+					return false
+				}
+				lastWrite = g
+			}
+			ok, err := tr.AllowRSense(label)
+			if err != nil {
+				return false
+			}
+			fresh := g-lastWrite < k
+			if ok != fresh {
+				return false
+			}
+			d, err := tr.SubIntervalsSinceLastWrite(label)
+			if err != nil {
+				return false
+			}
+			truth := g - lastWrite
+			if truth > k {
+				truth = k
+			}
+			if d < truth {
+				return false // underestimate: unsafe for SDW
+			}
+			if d > truth && truth < k {
+				return false // tracker lost a fresh write it should see
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultipleWritesSameInterval(t *testing.T) {
+	tr := mustTracker(t, 8)
+	for _, label := range []int{1, 3, 6} {
+		if err := tr.RecordWrite(label); err != nil {
+			t.Fatalf("RecordWrite(%d): %v", label, err)
+		}
+	}
+	if tr.Index() != 6 {
+		t.Errorf("index = %d, want 6", tr.Index())
+	}
+	// Bits 1 and 3 survive within the interval (earlier writes), bits
+	// between retired writes stay clear.
+	if tr.Vector()&0b1000010 != 0b1000010 {
+		t.Errorf("vector %08b missing write bits", tr.Vector())
+	}
+	// After the scrub only the last write survives.
+	tr.RecordScrub(false)
+	if tr.Vector() != 0b1000000 {
+		t.Errorf("vector after scrub %08b, want only bit 6", tr.Vector())
+	}
+}

@@ -1,0 +1,58 @@
+package lwt
+
+// This file provides the closed-form equivalents of the Tracker automaton.
+//
+// TestSoundnessProperty establishes that the flag automaton's decisions are
+// a pure function of global sub-interval indices: R-sensing is allowed
+// exactly when fewer than k sub-interval boundaries separate the read from
+// the line's last full write (or scrub rewrite), and the SDW distance is
+// that same difference saturated at k. Large-scale simulations exploit this
+// to evaluate millions of lines lazily — from a stored last-write timestamp
+// and the line's scrub phase — without materializing a Tracker per line.
+// The Tracker type remains the authoritative model of the hardware flags.
+
+// AllowRSenseAt reports whether a read at global sub-interval index subNow
+// may use R-sensing given the line's last full write at index subWrite.
+// Indices are counted relative to the line's own scrub phase (the scrub
+// lands exactly at indices divisible by k). A negative subWrite encodes
+// "written before tracking began" and correctly yields false once subNow
+// advances past k.
+func AllowRSenseAt(k int, subNow, subWrite int64) bool {
+	return subNow-subWrite < int64(k)
+}
+
+// DistanceAt returns the SDW distance in sub-intervals between the last
+// full write and now, saturated at k (the "untracked" sentinel), matching
+// Tracker.SubIntervalsSinceLastWrite.
+func DistanceAt(k int, subNow, subWrite int64) int {
+	d := subNow - subWrite
+	if d < 0 {
+		d = 0
+	}
+	if d > int64(k) {
+		d = int64(k)
+	}
+	return int(d)
+}
+
+// SubIndex converts a timestamp to the line's global sub-interval index:
+// nowNS and phaseNS in nanoseconds, intervalNS the scrub interval S, k the
+// sub-interval count. The line's scrub fires at times phaseNS + n*intervalNS,
+// which land exactly on indices n*k. Times before the phase produce negative
+// indices, which is the desired "long ago" semantics.
+func SubIndex(nowNS, phaseNS, intervalNS int64, k int) int64 {
+	sub := intervalNS / int64(k)
+	if sub <= 0 {
+		return 0
+	}
+	return floorDiv(nowNS-phaseNS, sub)
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

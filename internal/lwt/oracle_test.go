@@ -1,0 +1,108 @@
+package lwt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestOracleMatchesTracker drives the Tracker and the closed-form oracle
+// through the same random histories and requires identical decisions — the
+// justification for the simulator's lazy per-line evaluation.
+func TestOracleMatchesTracker(t *testing.T) {
+	prop := func(seed int64, kSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ks := []int{2, 4, 8}
+		k := ks[int(kSel)%len(ks)]
+		tr, err := New(k)
+		if err != nil {
+			return false
+		}
+		var lastWrite int64 = -1 << 40
+		for g := int64(0); g < int64(10*k); g++ {
+			label := int(g % int64(k))
+			if label == 0 {
+				rewrote := rng.Intn(2) == 0
+				tr.RecordScrub(rewrote)
+				if rewrote {
+					lastWrite = g
+				}
+			}
+			if rng.Intn(3) == 0 {
+				if err := tr.RecordWrite(label); err != nil {
+					return false
+				}
+				lastWrite = g
+			}
+			gotTracker, err := tr.AllowRSense(label)
+			if err != nil {
+				return false
+			}
+			if gotTracker != AllowRSenseAt(k, g, lastWrite) {
+				return false
+			}
+			dTracker, err := tr.SubIntervalsSinceLastWrite(label)
+			if err != nil {
+				return false
+			}
+			if dTracker != DistanceAt(k, g, lastWrite) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubIndex(t *testing.T) {
+	// S = 640 s, k = 4 -> 160 s sub-intervals; phase 100 s.
+	const second = int64(1e9)
+	s := 640 * second
+	phase := 100 * second
+	tests := []struct {
+		now  int64
+		want int64
+	}{
+		{100 * second, 0},
+		{259 * second, 0},
+		{260 * second, 1},
+		{740 * second, 4},   // next scrub boundary
+		{99 * second, -1},   // just before the phase
+		{-60 * second, -1},  // one sub-interval before
+		{-540 * second, -4}, // exactly one interval before
+	}
+	for _, tt := range tests {
+		if got := SubIndex(tt.now, phase, s, 4); got != tt.want {
+			t.Errorf("SubIndex(now=%ds) = %d, want %d", tt.now/second, got, tt.want)
+		}
+	}
+	if got := SubIndex(5, 0, 0, 4); got != 0 {
+		t.Errorf("degenerate interval SubIndex = %d, want 0", got)
+	}
+}
+
+func TestSubIndexScrubAlignment(t *testing.T) {
+	// Scrub boundaries must land on multiples of k.
+	const second = int64(1e9)
+	s := 640 * second
+	for n := int64(-3); n <= 3; n++ {
+		got := SubIndex(n*s+7*second, 7*second, s, 4)
+		if got != 4*n {
+			t.Errorf("scrub %d: sub index %d, want %d", n, got, 4*n)
+		}
+	}
+}
+
+func TestDistanceAtSaturation(t *testing.T) {
+	if got := DistanceAt(4, 100, -1<<40); got != 4 {
+		t.Errorf("ancient write distance = %d, want sentinel 4", got)
+	}
+	if got := DistanceAt(4, 10, 10); got != 0 {
+		t.Errorf("same-sub-interval distance = %d, want 0", got)
+	}
+	if got := DistanceAt(4, 9, 10); got != 0 {
+		t.Errorf("future write clamps to %d, want 0", got)
+	}
+}

@@ -1,0 +1,485 @@
+// Package memctrl implements the event-driven PCM memory-system model
+// behind the ReadDuo evaluation: line-interleaved banks, per-bank read and
+// write queues with read priority and forced-drain hysteresis, write
+// cancellation (reads preempt in-flight writes, per the paper's adoption of
+// [18]), and a scrub walker that visits every line once per scrub interval
+// and consumes bank bandwidth exactly at the configured rate.
+//
+// Time is measured in integer picoseconds so a 2 GHz core's 0.5 ns
+// instruction slot stays exact.
+package memctrl
+
+import (
+	"fmt"
+	"time"
+
+	"readduo/internal/energy"
+	"readduo/internal/sense"
+)
+
+// PS converts a time.Duration to picoseconds.
+func PS(d time.Duration) int64 { return d.Nanoseconds() * 1000 }
+
+// Config describes the memory organization and policies.
+type Config struct {
+	// Banks is the number of independent PCM banks (line-interleaved).
+	Banks int
+	// TotalLines is the memory capacity in 64-byte lines.
+	TotalLines uint64
+	// Timing supplies the sensing/programming latencies.
+	Timing sense.Timing
+	// CellsPerLine is the MLC cell count of one protected line (data +
+	// ECC), the unit of read energy.
+	CellsPerLine int
+	// WriteQueueCap bounds each bank's write queue; a full queue
+	// backpressures the producer.
+	WriteQueueCap int
+	// WriteDrainHi/Lo are the forced-drain hysteresis thresholds: at Hi
+	// the bank prioritizes writes over reads until the queue falls to Lo.
+	WriteDrainHi, WriteDrainLo int
+	// CancelWrites enables write cancellation: a demand read arriving at
+	// a bank whose in-flight op is a write restarts that write later.
+	CancelWrites bool
+	// CancelThreshold is the completed fraction below which an in-flight
+	// write is still worth cancelling.
+	CancelThreshold float64
+	// ScrubInterval is S — every line is visited once per interval.
+	// Zero disables scrubbing.
+	ScrubInterval time.Duration
+}
+
+// DefaultConfig returns the Table VIII-style baseline: 4 GB of MLC PCM in 8
+// banks, BCH-8 line layout, write cancellation on.
+func DefaultConfig() Config {
+	return Config{
+		Banks:           8,
+		TotalLines:      1 << 26, // 4 GB / 64 B
+		Timing:          sense.DefaultTiming(),
+		CellsPerLine:    296,
+		WriteQueueCap:   64,
+		WriteDrainHi:    48,
+		WriteDrainLo:    16,
+		CancelWrites:    true,
+		CancelThreshold: 0.75,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Banks < 1 {
+		return fmt.Errorf("memctrl: need at least one bank")
+	}
+	if c.TotalLines < uint64(c.Banks) {
+		return fmt.Errorf("memctrl: %d lines cannot cover %d banks", c.TotalLines, c.Banks)
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.CellsPerLine <= 0 {
+		return fmt.Errorf("memctrl: cells per line must be positive")
+	}
+	if c.WriteQueueCap < 1 || c.WriteDrainHi > c.WriteQueueCap || c.WriteDrainLo < 0 ||
+		c.WriteDrainLo >= c.WriteDrainHi {
+		return fmt.Errorf("memctrl: write queue thresholds inconsistent: cap=%d hi=%d lo=%d",
+			c.WriteQueueCap, c.WriteDrainHi, c.WriteDrainLo)
+	}
+	if c.CancelThreshold < 0 || c.CancelThreshold > 1 {
+		return fmt.Errorf("memctrl: cancel threshold %v outside [0,1]", c.CancelThreshold)
+	}
+	if c.ScrubInterval < 0 {
+		return fmt.Errorf("memctrl: negative scrub interval")
+	}
+	return nil
+}
+
+// ScrubAction tells the controller what one scrub visit does.
+type ScrubAction struct {
+	// ReadLatency is the scan read's bank occupancy.
+	ReadLatency time.Duration
+	// Voltage marks the scan as M-sensing for energy accounting.
+	Voltage bool
+	// Rewrite schedules a full-line rewrite after the scan.
+	Rewrite bool
+	// CellsWritten is the rewrite's programming size.
+	CellsWritten int
+}
+
+// ScrubHook lets the scheme decide per-line scrub behavior (scan metric,
+// W-policy rewrite decision, flag bookkeeping).
+type ScrubHook interface {
+	OnScrub(now int64, line uint64) ScrubAction
+}
+
+// Completion reports a finished demand read.
+type Completion struct {
+	ID uint64
+	At int64 // ps
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads            uint64
+	ReadsByMode      [4]uint64 // indexed by sense.Mode
+	ReadLatencySumPS int64
+	Writes           uint64
+	WriteCells       uint64
+	ScrubReads       uint64
+	ScrubWrites      uint64
+	ScrubWriteCells  uint64
+	Cancellations    uint64
+	BankBusyPS       int64
+	WriteQueueStalls uint64
+}
+
+// Sub returns the counter-wise difference s - base, used to report a
+// measurement window that excludes simulator warmup.
+func (s Stats) Sub(base Stats) Stats {
+	out := Stats{
+		Reads:            s.Reads - base.Reads,
+		ReadLatencySumPS: s.ReadLatencySumPS - base.ReadLatencySumPS,
+		Writes:           s.Writes - base.Writes,
+		WriteCells:       s.WriteCells - base.WriteCells,
+		ScrubReads:       s.ScrubReads - base.ScrubReads,
+		ScrubWrites:      s.ScrubWrites - base.ScrubWrites,
+		ScrubWriteCells:  s.ScrubWriteCells - base.ScrubWriteCells,
+		Cancellations:    s.Cancellations - base.Cancellations,
+		BankBusyPS:       s.BankBusyPS - base.BankBusyPS,
+		WriteQueueStalls: s.WriteQueueStalls - base.WriteQueueStalls,
+	}
+	for i := range out.ReadsByMode {
+		out.ReadsByMode[i] = s.ReadsByMode[i] - base.ReadsByMode[i]
+	}
+	return out
+}
+
+// AvgReadLatency returns the mean demand-read latency.
+func (s Stats) AvgReadLatency() time.Duration {
+	if s.Reads == 0 {
+		return 0
+	}
+	return time.Duration(s.ReadLatencySumPS/int64(s.Reads)) * time.Nanosecond / 1000
+}
+
+type opKind int
+
+const (
+	opRead opKind = iota + 1
+	opWrite
+	opScrubRead
+	opScrubWrite
+)
+
+type op struct {
+	kind         opKind
+	id           uint64
+	line         uint64
+	latencyPS    int64
+	cells        int
+	mode         sense.Mode
+	enqueuedAt   int64
+	startedAt    int64
+	rewriteAfter bool // scrub read: enqueue rewrite on completion
+	rewriteCells int
+}
+
+type bank struct {
+	idx       int
+	readQ     []op
+	writeQ    []op
+	inflight  *op
+	busyUntil int64
+	draining  bool
+
+	scrubEnabled bool
+	nextScrubAt  int64
+	scrubPeriod  int64 // per-line visit period within this bank
+	scrubCursor  uint64
+	scrubPending []op
+	linesInBank  uint64
+}
+
+// Controller is the memory controller plus PCM rank model.
+type Controller struct {
+	cfg         Config
+	banks       []bank
+	hook        ScrubHook
+	acct        *energy.Accounting
+	now         int64
+	stats       Stats
+	completions []Completion
+}
+
+// NewController builds a controller. The energy accounting sink is
+// mandatory; hook may be nil when scrubbing is disabled.
+func NewController(cfg Config, acct *energy.Accounting, hook ScrubHook) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if acct == nil {
+		return nil, fmt.Errorf("memctrl: energy accounting is required")
+	}
+	if cfg.ScrubInterval > 0 && hook == nil {
+		return nil, fmt.Errorf("memctrl: scrubbing enabled but no scrub hook")
+	}
+	c := &Controller{cfg: cfg, hook: hook, acct: acct, banks: make([]bank, cfg.Banks)}
+	linesPerBank := cfg.TotalLines / uint64(cfg.Banks)
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.idx = i
+		b.linesInBank = linesPerBank
+		if cfg.ScrubInterval > 0 {
+			b.scrubEnabled = true
+			b.scrubPeriod = PS(cfg.ScrubInterval) / int64(linesPerBank)
+			if b.scrubPeriod < 1 {
+				b.scrubPeriod = 1
+			}
+			// Stagger bank walkers so scrub traffic doesn't pulse.
+			b.nextScrubAt = int64(i) * b.scrubPeriod / int64(cfg.Banks)
+		}
+	}
+	return c, nil
+}
+
+// Now returns the controller's current time (ps).
+func (c *Controller) Now() int64 { return c.now }
+
+// Stats returns a snapshot of accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// BankOf maps a line address to its bank.
+func (c *Controller) BankOf(line uint64) int { return int(line % uint64(c.cfg.Banks)) }
+
+// EnqueueRead submits a demand read of the given sensing mode; the
+// completion surfaces from AdvanceTo. Reads may cancel an in-flight write
+// on the same bank.
+func (c *Controller) EnqueueRead(now int64, id, line uint64, mode sense.Mode) error {
+	lat := c.cfg.Timing.Latency(mode)
+	if lat <= 0 {
+		return fmt.Errorf("memctrl: unsupported read mode %v", mode)
+	}
+	b := &c.banks[c.BankOf(line)]
+	b.readQ = append(b.readQ, op{
+		kind: opRead, id: id, line: line,
+		latencyPS: PS(lat), cells: c.cfg.CellsPerLine, mode: mode, enqueuedAt: now,
+	})
+	c.maybeCancelWrite(b, now)
+	c.dispatch(b, now)
+	return nil
+}
+
+// EnqueueWrite submits a line write programming `cells` cells. It reports
+// false when the bank's write queue is full (the producer must stall).
+func (c *Controller) EnqueueWrite(now int64, line uint64, cells int) bool {
+	b := &c.banks[c.BankOf(line)]
+	if len(b.writeQ) >= c.cfg.WriteQueueCap {
+		c.stats.WriteQueueStalls++
+		return false
+	}
+	b.writeQ = append(b.writeQ, op{
+		kind: opWrite, line: line,
+		latencyPS: PS(c.cfg.Timing.Write), cells: cells, enqueuedAt: now,
+	})
+	c.dispatch(b, now)
+	return true
+}
+
+// WriteQueueSpace reports free write-queue slots for the line's bank.
+func (c *Controller) WriteQueueSpace(line uint64) int {
+	b := &c.banks[c.BankOf(line)]
+	return c.cfg.WriteQueueCap - len(b.writeQ)
+}
+
+// NextEventAt returns the earliest pending internal event (op completion or
+// scrub due), or ok=false if the controller is fully idle.
+func (c *Controller) NextEventAt() (int64, bool) {
+	best := int64(0)
+	found := false
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.inflight != nil && (!found || b.busyUntil < best) {
+			best, found = b.busyUntil, true
+		}
+		if b.scrubEnabled && (!found || b.nextScrubAt < best) {
+			best, found = b.nextScrubAt, true
+		}
+		// An idle bank with queued work should have been dispatched, but
+		// a bank idled by backpressure interactions re-arms here.
+		if b.inflight == nil && (len(b.readQ) > 0 || len(b.writeQ) > 0 || len(b.scrubPending) > 0) {
+			if !found || c.now < best {
+				best, found = c.now, true
+			}
+		}
+	}
+	return best, found
+}
+
+// AdvanceTo runs the controller forward to time t, returning demand-read
+// completions in time order. Ties at the same instant retire completions
+// before admitting scrub arrivals, so a freed bank is immediately
+// re-dispatchable.
+func (c *Controller) AdvanceTo(t int64) []Completion {
+	c.completions = c.completions[:0]
+	for {
+		bankIdx, isScrub, eventAt := -1, false, t
+		for i := range c.banks {
+			b := &c.banks[i]
+			if b.inflight != nil && b.busyUntil <= eventAt {
+				bankIdx, isScrub, eventAt = i, false, b.busyUntil
+			}
+		}
+		for i := range c.banks {
+			b := &c.banks[i]
+			if b.scrubEnabled && b.nextScrubAt <= eventAt && (bankIdx == -1 || b.nextScrubAt < eventAt) {
+				bankIdx, isScrub, eventAt = i, true, b.nextScrubAt
+			}
+		}
+		if bankIdx == -1 {
+			break
+		}
+		b := &c.banks[bankIdx]
+		if eventAt > c.now {
+			c.now = eventAt
+		}
+		if isScrub {
+			c.scrubArrive(b)
+		} else {
+			c.complete(b)
+		}
+		c.dispatch(b, c.now)
+	}
+	if t > c.now {
+		c.now = t
+	}
+	// Re-arm any banks idled by earlier backpressure.
+	for i := range c.banks {
+		c.dispatch(&c.banks[i], c.now)
+	}
+	return c.completions
+}
+
+// scrubArrive registers the next due scrub visit as pending work.
+func (c *Controller) scrubArrive(b *bank) {
+	line := b.scrubCursor*uint64(c.cfg.Banks) + uint64(b.idx)
+	b.scrubCursor = (b.scrubCursor + 1) % b.linesInBank
+	act := c.hook.OnScrub(c.now, line)
+	if act.ReadLatency <= 0 {
+		act.ReadLatency = c.cfg.Timing.MRead
+	}
+	mode := sense.ModeR
+	if act.Voltage {
+		mode = sense.ModeM
+	}
+	b.scrubPending = append(b.scrubPending, op{
+		kind: opScrubRead, line: line,
+		latencyPS: PS(act.ReadLatency), cells: c.cfg.CellsPerLine, mode: mode,
+		enqueuedAt: c.now, rewriteAfter: act.Rewrite, rewriteCells: act.CellsWritten,
+	})
+	b.nextScrubAt += b.scrubPeriod
+}
+
+// complete retires the bank's in-flight op.
+func (c *Controller) complete(b *bank) {
+	o := b.inflight
+	b.inflight = nil
+	c.stats.BankBusyPS += o.latencyPS
+	switch o.kind {
+	case opRead:
+		c.stats.Reads++
+		if int(o.mode) < len(c.stats.ReadsByMode) {
+			c.stats.ReadsByMode[o.mode]++
+		}
+		c.stats.ReadLatencySumPS += c.now - o.enqueuedAt
+		switch o.mode {
+		case sense.ModeR:
+			c.acct.AddRRead(o.cells)
+		case sense.ModeM:
+			c.acct.AddMRead(o.cells)
+		case sense.ModeRM:
+			c.acct.AddRMRead(o.cells)
+		}
+		c.completions = append(c.completions, Completion{ID: o.id, At: c.now})
+	case opWrite:
+		c.stats.Writes++
+		c.stats.WriteCells += uint64(o.cells)
+		c.acct.AddWrite(o.cells)
+	case opScrubRead:
+		c.stats.ScrubReads++
+		c.acct.AddScrubRead(o.cells, o.mode == sense.ModeM)
+		if o.rewriteAfter {
+			// Scrub rewrites ride the write queue (cancellable, drained
+			// behind demand traffic). A full queue would stall the
+			// walker; rewrite directly in that rare case by requeueing
+			// as pending scrub work.
+			b.writeQ = append(b.writeQ, op{
+				kind: opScrubWrite, line: o.line,
+				latencyPS: PS(c.cfg.Timing.Write), cells: o.rewriteCells, enqueuedAt: c.now,
+			})
+		}
+	case opScrubWrite:
+		c.stats.ScrubWrites++
+		c.stats.ScrubWriteCells += uint64(o.cells)
+		c.acct.AddScrubWrite(o.cells)
+	}
+}
+
+// dispatch starts the next op on an idle bank according to the priority
+// policy: forced write drain > demand reads > scrub scans > opportunistic
+// writes.
+func (c *Controller) dispatch(b *bank, now int64) {
+	if b.inflight != nil {
+		return
+	}
+	if len(b.writeQ) >= c.cfg.WriteDrainHi {
+		b.draining = true
+	}
+	if len(b.writeQ) <= c.cfg.WriteDrainLo {
+		b.draining = false
+	}
+	var next op
+	switch {
+	case b.draining && len(b.writeQ) > 0:
+		next, b.writeQ = b.writeQ[0], b.writeQ[1:]
+	case len(b.readQ) > 0:
+		next, b.readQ = b.readQ[0], b.readQ[1:]
+	case len(b.scrubPending) > 0:
+		next, b.scrubPending = b.scrubPending[0], b.scrubPending[1:]
+	case len(b.writeQ) > 0:
+		next, b.writeQ = b.writeQ[0], b.writeQ[1:]
+	default:
+		return
+	}
+	next.startedAt = now
+	b.inflight = &next
+	b.busyUntil = now + next.latencyPS
+}
+
+// maybeCancelWrite implements write cancellation with pausing (the paper
+// adopts [18], whose practical form preserves completed programming
+// iterations): if the bank is currently programming and the write has not
+// progressed past the threshold, pause it — it returns to the head of the
+// write queue carrying only its remaining latency — and let the read go
+// first. Programming energy is charged once, at final completion, because
+// the iterations already applied are kept.
+func (c *Controller) maybeCancelWrite(b *bank, now int64) {
+	if !c.cfg.CancelWrites || b.inflight == nil {
+		return
+	}
+	o := b.inflight
+	if o.kind != opWrite && o.kind != opScrubWrite {
+		return
+	}
+	done := float64(now-o.startedAt) / float64(o.latencyPS)
+	if done >= c.cfg.CancelThreshold {
+		return
+	}
+	c.stats.Cancellations++
+	c.stats.BankBusyPS += now - o.startedAt
+	paused := *o
+	paused.latencyPS = o.latencyPS - (now - o.startedAt)
+	if paused.latencyPS < 1 {
+		paused.latencyPS = 1
+	}
+	paused.startedAt = 0
+	b.inflight = nil
+	b.writeQ = append([]op{paused}, b.writeQ...)
+}

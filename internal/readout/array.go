@@ -1,0 +1,148 @@
+package readout
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"readduo/internal/lwt"
+	"readduo/internal/sdw"
+)
+
+// Array is a region of ReadDuo-managed lines sharing one adaptive
+// conversion controller — the device-tier counterpart of a PCM bank. Lines
+// get staggered scrub phases (as the hardware scrub register produces), so
+// aggregate behavior over the region is phase-ergodic the way the
+// system-tier simulator assumes.
+type Array struct {
+	cfg     Config
+	devices []*Device
+	conv    *lwt.Converter
+
+	// Epoch accounting for the converter feedback loop.
+	epochReads     uint64
+	epochUntracked uint64
+	epochConv      uint64
+	epochRehits    uint64
+	epochSize      uint64
+	converted      map[int]struct{}
+}
+
+// NewArray builds `lines` devices from the base configuration, assigning
+// each a deterministic scrub phase. Conversion adapts over epochs of
+// epochReads reads (1024 when zero).
+func NewArray(cfg Config, lines int, epochReads uint64) (*Array, error) {
+	if lines < 1 {
+		return nil, fmt.Errorf("readout: array needs at least one line")
+	}
+	if epochReads == 0 {
+		epochReads = 1024
+	}
+	conv, err := lwt.NewConverter()
+	if err != nil {
+		return nil, err
+	}
+	a := &Array{
+		cfg:       cfg,
+		devices:   make([]*Device, lines),
+		conv:      conv,
+		epochSize: epochReads,
+		converted: make(map[int]struct{}),
+	}
+	for i := range a.devices {
+		lineCfg := cfg
+		lineCfg.Phase = time.Duration(uint64(i) * uint64(cfg.ScrubInterval) / uint64(lines))
+		d, err := NewDevice(lineCfg)
+		if err != nil {
+			return nil, err
+		}
+		a.devices[i] = d
+	}
+	return a, nil
+}
+
+// Lines returns the region size.
+func (a *Array) Lines() int { return len(a.devices) }
+
+// DataBytes returns the per-line payload size.
+func (a *Array) DataBytes() int { return a.devices[0].DataBytes() }
+
+// ConverterT exposes the shared controller's current conversion percentage.
+func (a *Array) ConverterT() int { return a.conv.T() }
+
+// Write stores data into the given line at time now.
+func (a *Array) Write(line int, data []byte, now float64, rng *rand.Rand) (sdw.WriteMode, error) {
+	d, err := a.device(line)
+	if err != nil {
+		return 0, err
+	}
+	mode, err := d.Write(data, now, rng)
+	if err != nil {
+		return 0, err
+	}
+	if mode == sdw.WriteFull {
+		// A demand write re-normalizes the line; it no longer owes its
+		// tracking to a conversion.
+		delete(a.converted, line)
+	}
+	return mode, nil
+}
+
+// Read services a demand read on the given line through the full pipeline,
+// feeding the shared conversion controller.
+func (a *Array) Read(line int, now float64, rng *rand.Rand) (ReadResult, error) {
+	d, err := a.device(line)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	res, err := d.Read(now, a.conv, rng)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	a.epochReads++
+	switch {
+	case res.Mode.String() == "R-read":
+		if _, ok := a.converted[line]; ok {
+			a.epochRehits++
+		}
+	default:
+		a.epochUntracked++
+		if res.Converted {
+			a.epochConv++
+			a.converted[line] = struct{}{}
+		}
+	}
+	if a.epochReads >= a.epochSize {
+		p := float64(a.epochUntracked) / float64(a.epochReads)
+		if err := a.conv.EpochUpdate(p, a.epochConv, a.epochRehits); err != nil {
+			return ReadResult{}, err
+		}
+		a.epochReads, a.epochUntracked, a.epochConv, a.epochRehits = 0, 0, 0, 0
+	}
+	return res, nil
+}
+
+// Stats aggregates device counters across the region.
+func (a *Array) Stats() Stats {
+	var total Stats
+	for _, d := range a.devices {
+		s := d.Stats()
+		total.RReads += s.RReads
+		total.RMReads += s.RMReads
+		total.TrackedRetries += s.TrackedRetries
+		total.Conversions += s.Conversions
+		total.FullWrites += s.FullWrites
+		total.DiffWrites += s.DiffWrites
+		total.Scrubs += s.Scrubs
+		total.ScrubRewrites += s.ScrubRewrites
+		total.CellsWritten += s.CellsWritten
+	}
+	return total
+}
+
+func (a *Array) device(line int) (*Device, error) {
+	if line < 0 || line >= len(a.devices) {
+		return nil, fmt.Errorf("readout: line %d out of range 0..%d", line, len(a.devices)-1)
+	}
+	return a.devices[line], nil
+}

@@ -1,0 +1,143 @@
+package readout
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"readduo/internal/sense"
+)
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(DefaultConfig(), 0, 0); err == nil {
+		t.Error("empty array accepted")
+	}
+	bad := DefaultConfig()
+	bad.K = 1
+	if _, err := NewArray(bad, 4, 0); err == nil {
+		t.Error("invalid base config accepted")
+	}
+}
+
+func TestArrayPhasesStaggered(t *testing.T) {
+	a, err := NewArray(DefaultConfig(), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, d := range a.devices {
+		seen[int64(d.cfg.Phase)] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("only %d distinct scrub phases across 8 lines", len(seen))
+	}
+}
+
+func TestArrayReadWriteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, err := NewArray(DefaultConfig(), 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, a.Lines())
+	for i := range payloads {
+		payloads[i] = make([]byte, a.DataBytes())
+		rng.Read(payloads[i])
+		if _, err := a.Write(i, payloads[i], 1, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range payloads {
+		res, err := a.Read(i, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Data, payloads[i]) {
+			t.Errorf("line %d payload mismatch", i)
+		}
+		if res.Mode != sense.ModeR {
+			t.Errorf("line %d fresh read mode %v", i, res.Mode)
+		}
+	}
+	if _, err := a.Read(99, 3, rng); err == nil {
+		t.Error("out-of-range line accepted")
+	}
+	if _, err := a.Write(-1, payloads[0], 3, rng); err == nil {
+		t.Error("negative line accepted")
+	}
+}
+
+// TestArrayConversionConvergence replays the in-memory-database scenario
+// against the aggregate: build a read-only table, age it past the tracking
+// window, then query with reuse. The shared controller must converge to
+// high T and the untracked share must collapse across rounds.
+func TestArrayConversionConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const lines = 64
+	a, err := NewArray(DefaultConfig(), lines, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, a.DataBytes())
+	for i := 0; i < lines; i++ {
+		rng.Read(data)
+		if _, err := a.Write(i, data, 1, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Query rounds starting two intervals later.
+	now := 1400.0
+	var firstRM, lastRM int
+	for round := 0; round < 6; round++ {
+		var rm int
+		for q := 0; q < 256; q++ {
+			res, err := a.Read(rng.Intn(lines), now, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Mode == sense.ModeRM {
+				rm++
+			}
+			now += 0.01
+		}
+		if round == 0 {
+			firstRM = rm
+		}
+		lastRM = rm
+	}
+	if firstRM == 0 {
+		t.Fatal("no slow reads in the first round; aging broken")
+	}
+	if lastRM*4 > firstRM {
+		t.Errorf("conversion did not collapse slow reads: first %d, last %d", firstRM, lastRM)
+	}
+	st := a.Stats()
+	if st.Conversions == 0 {
+		t.Error("no conversions recorded")
+	}
+	if a.ConverterT() < 50 {
+		t.Errorf("converter T = %d; reuse-heavy queries should not drive it down", a.ConverterT())
+	}
+}
+
+func TestArrayStatsAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, err := NewArray(DefaultConfig(), 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, a.DataBytes())
+	for i := 0; i < 3; i++ {
+		rng.Read(data)
+		if _, err := a.Write(i, data, 1, rng); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Read(i, 2, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.FullWrites != 3 || st.RReads != 3 {
+		t.Errorf("aggregate stats %+v", st)
+	}
+}

@@ -1,0 +1,306 @@
+// Package readout assembles ReadDuo's primary contribution as a working
+// device: one memory line whose reads and writes flow through the complete
+// pipeline of the paper — fast R-sensing first, BCH-8 decode with decoupled
+// detection, M-sensing retry on detectable-but-uncorrectable patterns,
+// last-write tracking to skip doomed R attempts, R-M-read conversion, the
+// Select-(k:s) differential write policy, and the periodic M-metric scrub
+// that anchors all of it.
+//
+// Unlike package sim — which evaluates the architecture at system scale
+// with analytical drift sampling — this package operates on Monte-Carlo
+// cells and a real codec, so every claim ("the retry returns correct data",
+// "tracking never allows a stale R-read") is exercised against simulated
+// physics rather than probabilities.
+package readout
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"readduo/internal/bch"
+	"readduo/internal/cell"
+	"readduo/internal/drift"
+	"readduo/internal/lwt"
+	"readduo/internal/sdw"
+	"readduo/internal/sense"
+)
+
+// Config assembles a ReadDuo device.
+type Config struct {
+	// K is the LWT sub-interval count (paper: 4).
+	K int
+	// SDWSpacing is Select's s; 0 disables differential writes (every
+	// write is full-line, as in plain ReadDuo-LWT).
+	SDWSpacing int
+	// ScrubInterval is the per-line scrub period (paper: 640 s).
+	ScrubInterval time.Duration
+	// ScrubW is the rewrite threshold (paper: 1).
+	ScrubW int
+	// Phase offsets this line's scrub within the interval.
+	Phase time.Duration
+	// Timing supplies latencies for the reported read costs.
+	Timing sense.Timing
+}
+
+// DefaultConfig returns the paper's ReadDuo-Select-(4:2) device.
+func DefaultConfig() Config {
+	return Config{
+		K:             4,
+		SDWSpacing:    2,
+		ScrubInterval: 640 * time.Second,
+		ScrubW:        1,
+		Timing:        sense.DefaultTiming(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K < 2 || c.K > lwt.MaxK {
+		return fmt.Errorf("readout: k=%d out of range", c.K)
+	}
+	if c.SDWSpacing < 0 || c.SDWSpacing > c.K {
+		return fmt.Errorf("readout: SDW spacing %d out of range 0..%d", c.SDWSpacing, c.K)
+	}
+	if c.ScrubInterval <= 0 {
+		return fmt.Errorf("readout: scrub interval must be positive")
+	}
+	if c.ScrubW < 0 {
+		return fmt.Errorf("readout: negative scrub threshold")
+	}
+	if c.Phase < 0 || c.Phase >= c.ScrubInterval {
+		return fmt.Errorf("readout: phase %v outside [0, interval)", c.Phase)
+	}
+	return c.Timing.Validate()
+}
+
+// Device is one ReadDuo-managed MLC PCM line.
+type Device struct {
+	cfg     Config
+	line    *cell.Line
+	tracker *lwt.Tracker
+	policy  *sdw.Policy
+
+	// nextScrubAt is the absolute time (seconds) of the next scrub visit;
+	// operations auto-apply overdue scrubs so callers only need
+	// monotonically nondecreasing timestamps.
+	nextScrubAt float64
+	lastOpAt    float64
+
+	stats Stats
+}
+
+// Stats counts device activity.
+type Stats struct {
+	RReads         uint64
+	RMReads        uint64
+	TrackedRetries uint64 // R-sensing failed detectably inside the window
+	Conversions    uint64
+	FullWrites     uint64
+	DiffWrites     uint64
+	Scrubs         uint64
+	ScrubRewrites  uint64
+	CellsWritten   uint64
+}
+
+// ReadResult is the outcome of a device read.
+type ReadResult struct {
+	// Data is the returned payload.
+	Data []byte
+	// Mode is how the read was serviced (R-read or R-M-read).
+	Mode sense.Mode
+	// Latency is the service time under the configured sensing latencies.
+	Latency time.Duration
+	// Converted reports that this R-M-read was converted to a redundant
+	// write (costing a full-line program).
+	Converted bool
+}
+
+// NewDevice builds a device with the paper's drift parameters and BCH-8
+// line code.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		return nil, err
+	}
+	line, err := cell.NewLine(drift.RMetricConfig(), drift.MMetricConfig(), code)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := lwt.New(cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:         cfg,
+		line:        line,
+		tracker:     tracker,
+		nextScrubAt: cfg.Phase.Seconds(),
+	}
+	if d.nextScrubAt == 0 {
+		d.nextScrubAt = cfg.ScrubInterval.Seconds()
+	}
+	if cfg.SDWSpacing > 0 {
+		pol, err := sdw.New(cfg.K, cfg.SDWSpacing)
+		if err != nil {
+			return nil, err
+		}
+		d.policy = pol
+	}
+	return d, nil
+}
+
+// DataBytes returns the payload size.
+func (d *Device) DataBytes() int { return d.line.DataBytes() }
+
+// Stats returns a snapshot of activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// label maps an absolute time to the line's current sub-interval label.
+func (d *Device) label(now float64) int {
+	s := d.cfg.ScrubInterval.Seconds()
+	phase := d.cfg.Phase.Seconds()
+	sub := s / float64(d.cfg.K)
+	pos := now - phase
+	for pos < 0 {
+		pos += s
+	}
+	frac := pos - float64(int64(pos/s))*s
+	l := int(frac / sub)
+	if l >= d.cfg.K {
+		l = d.cfg.K - 1
+	}
+	return l
+}
+
+// advance applies every scrub visit due at or before now. It returns an
+// error only on internal inconsistencies.
+func (d *Device) advance(now float64, rng *rand.Rand) error {
+	if now < d.lastOpAt {
+		return fmt.Errorf("readout: time ran backwards (%v < %v)", now, d.lastOpAt)
+	}
+	d.lastOpAt = now
+	for d.nextScrubAt <= now {
+		if d.line.Written() {
+			rewrote, err := d.line.Scrub(cell.ReadM, d.cfg.ScrubW, d.nextScrubAt, rng)
+			if err != nil {
+				return err
+			}
+			d.stats.Scrubs++
+			if rewrote {
+				d.stats.ScrubRewrites++
+				d.stats.CellsWritten += uint64(d.line.DataBytes()*8/2 + 40)
+			}
+			d.tracker.RecordScrub(rewrote)
+		} else {
+			d.tracker.RecordScrub(false)
+		}
+		d.nextScrubAt += d.cfg.ScrubInterval.Seconds()
+	}
+	return nil
+}
+
+// Write stores data at time now. Under an SDW policy, writes within s
+// sub-intervals of the last full write program only changed cells.
+func (d *Device) Write(data []byte, now float64, rng *rand.Rand) (sdw.WriteMode, error) {
+	if err := d.advance(now, rng); err != nil {
+		return 0, err
+	}
+	label := d.label(now)
+	mode := sdw.WriteFull
+	if d.policy != nil && d.line.Written() {
+		var err error
+		mode, err = d.policy.Decide(d.tracker, label)
+		if err != nil {
+			return 0, err
+		}
+	}
+	switch mode {
+	case sdw.WriteFull:
+		if err := d.line.Write(data, now, rng); err != nil {
+			return 0, err
+		}
+		d.stats.FullWrites++
+		d.stats.CellsWritten += uint64(d.line.DataBytes()*8/2 + 40)
+	case sdw.WriteDifferential:
+		n, err := d.line.WriteDifferential(data, now, rng)
+		if err != nil {
+			return 0, err
+		}
+		d.stats.DiffWrites++
+		d.stats.CellsWritten += uint64(n)
+	}
+	if err := sdw.Apply(d.tracker, mode, label); err != nil {
+		return 0, err
+	}
+	return mode, nil
+}
+
+// Read services a demand read through the full ReadDuo pipeline. A non-nil
+// converter enables R-M-read conversion.
+func (d *Device) Read(now float64, conv *lwt.Converter, rng *rand.Rand) (ReadResult, error) {
+	if err := d.advance(now, rng); err != nil {
+		return ReadResult{}, err
+	}
+	if !d.line.Written() {
+		return ReadResult{}, fmt.Errorf("readout: read of unwritten device")
+	}
+	label := d.label(now)
+	allowR, err := d.tracker.AllowRSense(label)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	if allowR {
+		res, err := d.line.Read(cell.ReadR, now)
+		if err != nil {
+			return ReadResult{}, err
+		}
+		if res.Status != bch.StatusUncorrectable {
+			d.stats.RReads++
+			return ReadResult{
+				Data:    res.Data,
+				Mode:    sense.ModeR,
+				Latency: d.cfg.Timing.Latency(sense.ModeR),
+			}, nil
+		}
+		// Detected-but-uncorrectable inside the tracked window: the
+		// ReadDuo-Hybrid retry path.
+		d.stats.TrackedRetries++
+		return d.retryWithM(now, label, conv, rng, true)
+	}
+	// Untracked: the flags abort the R attempt into the M retry.
+	return d.retryWithM(now, label, conv, rng, false)
+}
+
+// retryWithM performs the M-sensing round of an R-M-read and the optional
+// conversion write-back.
+func (d *Device) retryWithM(now float64, label int, conv *lwt.Converter, rng *rand.Rand, afterR bool) (ReadResult, error) {
+	res, err := d.line.Read(cell.ReadM, now)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	out := ReadResult{
+		Data:    res.Data,
+		Mode:    sense.ModeRM,
+		Latency: d.cfg.Timing.Latency(sense.ModeRM),
+	}
+	d.stats.RMReads++
+	if conv != nil && res.Status != bch.StatusUncorrectable && conv.ShouldConvert() {
+		// Redundant full write re-normalizes the cells and re-enables
+		// fast R-reads; it counts as the only full write of its
+		// sub-interval window.
+		if err := d.line.Write(res.Data, now, rng); err != nil {
+			return ReadResult{}, err
+		}
+		if err := d.tracker.RecordWrite(label); err != nil {
+			return ReadResult{}, err
+		}
+		d.stats.Conversions++
+		d.stats.CellsWritten += uint64(d.line.DataBytes()*8/2 + 40)
+		out.Converted = true
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package reliability
+
+import (
+	"testing"
+
+	"readduo/internal/drift"
+)
+
+func TestWPolicyChainMatchesTableVTerms(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	terms, err := r.WPolicyChain(8, 1, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 3 {
+		t.Fatalf("terms = %d", len(terms))
+	}
+	// Term 1 is condition (i), terms 2 and 3 are exactly the paper's (ii)
+	// and (iii).
+	if got := r.LER(8, 8); terms[0].Probability != got {
+		t.Errorf("term 1 = %v, want LER %v", terms[0].Probability, got)
+	}
+	p2, err := r.WPolicySecondInterval(8, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(terms[1].Probability, p2, 1e-9) {
+		t.Errorf("term 2 = %v, want prob(ii) %v", terms[1].Probability, p2)
+	}
+	p3, err := r.WPolicyThirdInterval(8, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(terms[2].Probability, p3, 1e-9) {
+		t.Errorf("term 3 = %v, want prob(iii) %v", terms[2].Probability, p3)
+	}
+}
+
+func TestWPolicyChainDecays(t *testing.T) {
+	// Drift slows in log time: later intervals must contribute (weakly)
+	// less from term 2 onward.
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	terms, err := r.WPolicyChain(8, 1, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 2; j < len(terms); j++ {
+		if terms[j].Probability > terms[j-1].Probability*1.01 {
+			t.Errorf("chain grew at interval %d: %v -> %v",
+				terms[j].Interval, terms[j-1].Probability, terms[j].Probability)
+		}
+	}
+}
+
+func TestChainSafeVerdicts(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	m := mustAnalyzer(t, drift.MMetricConfig())
+
+	// The paper's verdicts, now over an 8-interval chain: R(8,8,W=1)
+	// fails (at the second interval), R(10,8,W=1) and M(8,640,W=1) hold.
+	safe, firstBad, err := r.ChainSafe(8, 1, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe || firstBad != 2 {
+		t.Errorf("R(8,8,W=1) chain: safe=%v firstBad=%d, want violation at 2", safe, firstBad)
+	}
+	safe, _, err = r.ChainSafe(10, 1, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe {
+		t.Error("R(10,8,W=1) chain unsafe; Table V says safe")
+	}
+	safe, _, err = m.ChainSafe(8, 1, 640, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe {
+		t.Error("M(8,640,W=1) chain unsafe; Table V says safe")
+	}
+}
+
+func TestWPolicyChainValidation(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	if _, err := r.WPolicyChain(8, 0, 8, 3); err == nil {
+		t.Error("w=0 accepted (chain is undefined without a skip threshold)")
+	}
+	if _, err := r.WPolicyChain(8, 1, 0, 3); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := r.WPolicyChain(8, 1, 8, 0); err == nil {
+		t.Error("zero terms accepted")
+	}
+}

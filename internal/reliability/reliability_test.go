@@ -1,0 +1,289 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"readduo/internal/drift"
+)
+
+func mustAnalyzer(t *testing.T, cfg drift.Config) *Analyzer {
+	t.Helper()
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatalf("NewAnalyzer: %v", err)
+	}
+	return a
+}
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b)/math.Max(math.Abs(a), math.Abs(b)) <= tol
+}
+
+func TestDRAMTarget(t *testing.T) {
+	// Paper: 25 FIT/Mbit => 3.56e-15 per line-second and 1.28e-11 per
+	// line-hour for a 512-bit line.
+	perSec := TargetLERPerSecond()
+	if !relClose(perSec, 3.56e-15, 0.01) {
+		t.Errorf("per-second target = %v, want ~3.56e-15", perSec)
+	}
+	if !relClose(perSec*3600, 1.28e-11, 0.01) {
+		t.Errorf("per-hour target = %v, want ~1.28e-11", perSec*3600)
+	}
+	if !relClose(TargetLER(640), 2.28e-12, 0.01) {
+		t.Errorf("640s target = %v, want ~2.28e-12", TargetLER(640))
+	}
+}
+
+// TestTableIIIBody reproduces the numerically robust cells of Table III.
+// (The deep-tail entries reproduce to within ~2.5x; see EXPERIMENTS.md.)
+func TestTableIIIBody(t *testing.T) {
+	a := mustAnalyzer(t, drift.RMetricConfig())
+	tests := []struct {
+		s    float64
+		e    int
+		want float64
+		tol  float64
+	}{
+		{4, 0, 1.23e-2, 0.08},
+		{4, 1, 9.34e-5, 0.15},
+		{8, 0, 7.09e-2, 0.05},
+		{8, 1, 2.56e-3, 0.08},
+		{16, 0, 1.63e-1, 0.05},
+		{16, 1, 1.43e-2, 0.05},
+		{16, 8, 4.07e-13, 0.15},
+		{32, 0, 2.81e-1, 0.05},
+		{32, 7, 2.51e-9, 0.20},
+		{32, 8, 8.98e-11, 0.20},
+		{64, 0, 4.20e-1, 0.05},
+		{128, 1, 2.03e-1, 0.08},
+		{256, 0, 7.02e-1, 0.05},
+		{512, 1, 5.11e-1, 0.08},
+		{1024, 0, 9.03e-1, 0.05},
+	}
+	for _, tt := range tests {
+		got := a.LER(tt.e, tt.s)
+		if math.Abs(got-tt.want)/tt.want > tt.tol {
+			t.Errorf("LER(E=%d, S=%g) = %.3e, paper %.3e (tol %.0f%%)",
+				tt.e, tt.s, got, tt.want, tt.tol*100)
+		}
+	}
+}
+
+// TestPaperDecisionPoints verifies the policy decisions the paper derives
+// from Tables III and IV, which are what the rest of the design depends on.
+func TestPaperDecisionPoints(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	m := mustAnalyzer(t, drift.MMetricConfig())
+
+	// R-sensing with BCH-8 meets the DRAM budget at S=8 but not at S=64.
+	if got := r.LER(8, 8); got > TargetLER(8) {
+		t.Errorf("R(BCH=8,S=8): LER %.3e exceeds target %.3e", got, TargetLER(8))
+	}
+	if got := r.LER(8, 64); got <= TargetLER(64) {
+		t.Errorf("R(BCH=8,S=64): LER %.3e unexpectedly meets target %.3e", got, TargetLER(64))
+	}
+	// M-sensing with BCH-8 meets the budget at S=640 with a huge margin,
+	// and even far beyond (paper: up to 2^14 s).
+	if got := m.LER(8, 640); got > TargetLER(640)/1e3 {
+		t.Errorf("M(BCH=8,S=640): LER %.3e not far below target %.3e", got, TargetLER(640))
+	}
+	if got := m.LER(8, 16384); got > TargetLER(16384) {
+		t.Errorf("M(BCH=8,S=2^14): LER %.3e exceeds target %.3e", got, TargetLER(16384))
+	}
+}
+
+func TestMinECCForTarget(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	e, ok := r.MinECCForTarget(8, 20)
+	if !ok {
+		t.Fatal("no ECC up to 20 meets the target at S=8")
+	}
+	// Paper adopts BCH-8 at S=8; our model's minimum must be 7 or 8.
+	if e < 7 || e > 8 {
+		t.Errorf("min ECC at S=8 = %d, want 7..8", e)
+	}
+	if _, ok := r.MinECCForTarget(1e6, 2); ok {
+		t.Error("BCH<=2 at S=1e6 should not meet target")
+	}
+}
+
+func TestMaxIntervalForTarget(t *testing.T) {
+	m := mustAnalyzer(t, drift.MMetricConfig())
+	s, ok := m.MaxIntervalForTarget(8, []float64{8, 64, 640, 16384})
+	if !ok {
+		t.Fatal("M-metric BCH-8 meets no interval")
+	}
+	if s != 16384 {
+		t.Errorf("M-metric max interval = %v, want 16384 (paper: up to 2^14)", s)
+	}
+}
+
+// TestDetectionWindow probes the ReadDuo-Hybrid safety argument: BCH-8
+// detects up to 17 errors, and the probability of >17 errors must stay
+// within budget for several hundred seconds (paper: through 640 s; our
+// slightly heavier tail crosses between 256 s and 640 s — same shape,
+// see EXPERIMENTS.md).
+func TestDetectionWindow(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	s, ok := r.DetectionWindow(17, []float64{4, 8, 64, 256, 512, 640})
+	if !ok {
+		t.Fatal("detection window empty")
+	}
+	if s < 256 {
+		t.Errorf("17-error detection window = %v s, want >= 256 s", s)
+	}
+}
+
+func TestWPolicyTableV(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	m := mustAnalyzer(t, drift.MMetricConfig())
+
+	// R(BCH=8, S=8, W=1): probability (ii) ~ 3.59e-13 in the paper, which
+	// exceeds the 2-interval budget 5.69e-14 — the reason Scrubbing needs
+	// W=0.
+	p2, err := r.WPolicySecondInterval(8, 1, 8)
+	if err != nil {
+		t.Fatalf("WPolicySecondInterval: %v", err)
+	}
+	if !relClose(p2, 3.59e-13, 0.5) {
+		t.Errorf("R(8,8) prob(ii) = %.3e, paper 3.59e-13", p2)
+	}
+	if p2 <= TargetLER(16) {
+		t.Errorf("R(8,8,W=1) prob(ii) %.3e should exceed budget %.3e", p2, TargetLER(16))
+	}
+
+	// R(BCH=10, S=8, W=1) passes.
+	p2b, err := r.WPolicySecondInterval(10, 1, 8)
+	if err != nil {
+		t.Fatalf("WPolicySecondInterval: %v", err)
+	}
+	if p2b > TargetLER(16) {
+		t.Errorf("R(10,8,W=1) prob(ii) %.3e should meet budget %.3e", p2b, TargetLER(16))
+	}
+
+	// M(BCH=8, S=640, W=1) passes with enormous margin ("too small").
+	p2m, err := m.WPolicySecondInterval(8, 1, 640)
+	if err != nil {
+		t.Fatalf("WPolicySecondInterval: %v", err)
+	}
+	if p2m > TargetLER(1280)/1e6 {
+		t.Errorf("M(8,640,W=1) prob(ii) = %.3e, want vanishing", p2m)
+	}
+}
+
+func TestWPolicyThirdIntervalSmallerThanSecond(t *testing.T) {
+	// Drift slows down (log time), so fewer new errors arrive in the third
+	// interval than the second.
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	p2, err := r.WPolicySecondInterval(8, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := r.WPolicyThirdInterval(8, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 >= p2 {
+		t.Errorf("prob(iii)=%.3e not below prob(ii)=%.3e", p3, p2)
+	}
+}
+
+func TestCheckPolicyVerdicts(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	m := mustAnalyzer(t, drift.MMetricConfig())
+	tests := []struct {
+		name string
+		a    *Analyzer
+		p    Policy
+		want bool
+	}{
+		{"R scrubbing W=0", r, Policy{E: 8, S: 8, W: 0}, true},
+		{"R scrubbing W=1 fails (ii)", r, Policy{E: 8, S: 8, W: 1}, false},
+		{"R BCH-10 W=1", r, Policy{E: 10, S: 8, W: 1}, true},
+		{"M metric W=1", m, Policy{E: 8, S: 640, W: 1}, true},
+		{"M metric W=0", m, Policy{E: 8, S: 640, W: 0}, true},
+		{"R at long interval fails", r, Policy{E: 8, S: 640, W: 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rep, err := tt.a.Check(tt.p)
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if rep.Meets != tt.want {
+				t.Errorf("Check(%v).Meets = %v, want %v (i=%.2e ii=%.2e iii=%.2e)",
+					tt.p, rep.Meets, tt.want, rep.FirstInterval, rep.SecondInterval, rep.ThirdInterval)
+			}
+		})
+	}
+}
+
+func TestCheckRejectsInvalidPolicy(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	for _, p := range []Policy{{E: -1, S: 8, W: 0}, {E: 8, S: 0, W: 0}, {E: 8, S: 8, W: -2}} {
+		if _, err := r.Check(p); err == nil {
+			t.Errorf("Check(%v) accepted invalid policy", p)
+		}
+	}
+}
+
+func TestBuildTableShape(t *testing.T) {
+	r := mustAnalyzer(t, drift.RMetricConfig())
+	tab := r.BuildTable(PaperIntervals(), PaperECCs())
+	if len(tab.Values) != len(PaperIntervals()) {
+		t.Fatalf("rows = %d, want %d", len(tab.Values), len(PaperIntervals()))
+	}
+	for i, row := range tab.Values {
+		if len(row) != len(PaperECCs()) {
+			t.Fatalf("row %d has %d cols", i, len(row))
+		}
+		// LER decreases along each row as ECC strengthens.
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[j-1]+1e-18 {
+				t.Errorf("row %d not nonincreasing at col %d", i, j)
+			}
+		}
+	}
+	// LER increases down each column as the interval grows.
+	for j := range PaperECCs() {
+		for i := 1; i < len(tab.Values); i++ {
+			if tab.Values[i][j] < tab.Values[i-1][j]-1e-18 {
+				t.Errorf("col %d not nondecreasing at row %d", j, i)
+			}
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	got := Policy{E: 8, S: 640, W: 1}.String()
+	if got != "(BCH=8, S=640s, W=1)" {
+		t.Errorf("Policy.String() = %q", got)
+	}
+}
+
+func TestWithCellsPerLine(t *testing.T) {
+	a, err := NewAnalyzer(drift.RMetricConfig(), WithCellsPerLine(128))
+	if err != nil {
+		t.Fatalf("NewAnalyzer: %v", err)
+	}
+	small := a.LER(0, 8)
+	full := mustAnalyzer(t, drift.RMetricConfig()).LER(0, 8)
+	if small >= full {
+		t.Errorf("128-cell line LER %v not below 256-cell %v", small, full)
+	}
+	if _, err := NewAnalyzer(drift.RMetricConfig(), WithCellsPerLine(0)); err == nil {
+		t.Error("cells=0 accepted")
+	}
+}
+
+func TestNewAnalyzerRejectsInvalidConfig(t *testing.T) {
+	bad := drift.RMetricConfig()
+	bad.T0 = -1
+	if _, err := NewAnalyzer(bad); err == nil {
+		t.Error("invalid drift config accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"readduo/internal/sim"
+	"readduo/internal/trace"
+)
+
+func smallMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	gcc, ok := trace.ByName("gcc")
+	if !ok {
+		t.Fatal("gcc missing")
+	}
+	hmmer, ok := trace.ByName("hmmer")
+	if !ok {
+		t.Fatal("hmmer missing")
+	}
+	m, err := Runner{Budget: 40_000, Seed: 3}.RunMatrix(
+		[]trace.Benchmark{gcc, hmmer},
+		[]sim.Scheme{sim.Ideal(), sim.MMetric(), sim.TLC()},
+	)
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	return m
+}
+
+func TestRunMatrixShape(t *testing.T) {
+	m := smallMatrix(t)
+	if len(m.Benchmarks) != 2 || len(m.Schemes) != 3 {
+		t.Fatalf("matrix %dx%d", len(m.Benchmarks), len(m.Schemes))
+	}
+	for i := range m.Results {
+		for j, r := range m.Results[i] {
+			if r == nil {
+				t.Fatalf("missing result %d/%d", i, j)
+			}
+			if r.Scheme != m.Schemes[j] || r.Benchmark != m.Benchmarks[i] {
+				t.Errorf("result labels %s/%s at %d/%d", r.Scheme, r.Benchmark, i, j)
+			}
+		}
+	}
+}
+
+func TestRunMatrixValidation(t *testing.T) {
+	if _, err := (Runner{}).RunMatrix(nil, []sim.Scheme{sim.Ideal()}); err == nil {
+		t.Error("empty benchmarks accepted")
+	}
+	gcc, _ := trace.ByName("gcc")
+	if _, err := (Runner{}).RunMatrix([]trace.Benchmark{gcc}, nil); err == nil {
+		t.Error("empty schemes accepted")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	m := smallMatrix(t)
+	rows, means, err := m.Normalized("Ideal", ExecTime)
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	for i := range rows {
+		if rows[i][0] != 1.0 {
+			t.Errorf("reference column row %d = %v, want 1", i, rows[i][0])
+		}
+		// M-metric must be slower than Ideal everywhere.
+		if rows[i][1] < 1.0 {
+			t.Errorf("M-metric normalized %v < 1 on %s", rows[i][1], m.Benchmarks[i])
+		}
+	}
+	if means[0] != 1.0 {
+		t.Errorf("reference mean = %v", means[0])
+	}
+	if _, _, err := m.Normalized("nope", ExecTime); err == nil {
+		t.Error("unknown reference accepted")
+	}
+}
+
+func TestEDAPMatrix(t *testing.T) {
+	m := smallMatrix(t)
+	edap, err := m.EDAPMatrix("TLC", false)
+	if err != nil {
+		t.Fatalf("EDAPMatrix: %v", err)
+	}
+	if edap["TLC"] != 1.0 {
+		t.Errorf("TLC self-normalized to %v", edap["TLC"])
+	}
+	// The MLC schemes have a ~0.77x area factor, so at comparable time and
+	// energy their EDAP must undercut TLC.
+	if edap["Ideal"] >= 1.0 {
+		t.Errorf("Ideal EDAP %v not below TLC", edap["Ideal"])
+	}
+	if _, err := m.EDAPMatrix("nope", false); err == nil {
+		t.Error("unknown reference accepted")
+	}
+	sys, err := m.EDAPMatrix("TLC", true)
+	if err != nil {
+		t.Fatalf("system EDAPMatrix: %v", err)
+	}
+	if sys["TLC"] != 1.0 {
+		t.Errorf("system TLC self-normalized to %v", sys["TLC"])
+	}
+}
+
+func TestRelativeLifetime(t *testing.T) {
+	m := smallMatrix(t)
+	life, err := m.RelativeLifetime("Ideal")
+	if err != nil {
+		t.Fatalf("RelativeLifetime: %v", err)
+	}
+	if life["Ideal"] != 1.0 {
+		t.Errorf("Ideal self lifetime = %v", life["Ideal"])
+	}
+	// TLC spreads the same demand writes over more cells per line and
+	// writes more cells per line write: per-cell wear matches Ideal.
+	if life["TLC"] < 0.95 || life["TLC"] > 1.05 {
+		t.Errorf("TLC relative lifetime = %v, want ~1", life["TLC"])
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	m := smallMatrix(t)
+	rows, means, err := m.Normalized("Ideal", ExecTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNormalizedTable(&buf, "test table", m, rows, means); err != nil {
+		t.Fatalf("WriteNormalizedTable: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test table", "gcc", "hmmer", "MEAN", "M-metric"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteKeyValueTable(&buf, "kv", m.Schemes, map[string]float64{"Ideal": 1}); err != nil {
+		t.Fatalf("WriteKeyValueTable: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Ideal") {
+		t.Error("kv table missing entry")
+	}
+}
+
+func TestRunnerConfigureHook(t *testing.T) {
+	gcc, _ := trace.ByName("gcc")
+	var saw bool
+	r := Runner{Budget: 20_000, Seed: 1, Configure: func(c *sim.Config) {
+		saw = true
+		c.CPU.MLP = 1
+	}}
+	if _, err := r.RunMatrix([]trace.Benchmark{gcc}, []sim.Scheme{sim.Ideal()}); err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	if !saw {
+		t.Error("Configure hook not invoked")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(1234567 * time.Nanosecond); got != "1.235ms" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+}

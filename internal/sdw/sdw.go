@@ -1,0 +1,104 @@
+// Package sdw implements ReadDuo-Select's selective differential write
+// policy (§III-D). Resistance drift normally forces every MLC line write to
+// re-program all cells — a differential write (programming only changed
+// cells) leaves the untouched cells' resistance distribution drifted toward
+// the state boundary (the paper's Figure 6), so the following scrub
+// interval may accumulate more errors than the ECC can absorb.
+//
+// ReadDuo-Select bounds that risk instead of forbidding differential writes
+// outright: a Select-(k:s) scheme performs at most one full-line write per s
+// consecutive sub-intervals (of the k sub-intervals the LWT tracker already
+// maintains) and converts the writes in between into differential writes.
+// The last-write tracker keeps pointing at the last FULL write, so the
+// readout check conservatively measures R-sensing freshness from the moment
+// the whole line's distributions were last re-normalized.
+package sdw
+
+import (
+	"fmt"
+
+	"readduo/internal/lwt"
+)
+
+// WriteMode is the decision for one line write.
+type WriteMode int
+
+// Write modes.
+const (
+	// WriteFull programs every cell of the line, restoring programmed
+	// distributions, and updates the last-write tracker.
+	WriteFull WriteMode = iota + 1
+	// WriteDifferential programs only modified cells and leaves the
+	// tracker untouched.
+	WriteDifferential
+)
+
+// String implements fmt.Stringer.
+func (m WriteMode) String() string {
+	switch m {
+	case WriteFull:
+		return "full"
+	case WriteDifferential:
+		return "differential"
+	default:
+		return fmt.Sprintf("WriteMode(%d)", int(m))
+	}
+}
+
+// Policy is a Select-(k:s) configuration.
+type Policy struct {
+	k int
+	s int
+}
+
+// New builds a Select-(k:s) policy. s must lie in [1, k]: s=1 allows
+// differential writes only within the sub-interval of the last full write;
+// s=k stretches one full write across the whole scrub interval.
+func New(k, s int) (*Policy, error) {
+	if k < 2 || k > lwt.MaxK {
+		return nil, fmt.Errorf("sdw: k=%d out of range 2..%d", k, lwt.MaxK)
+	}
+	if s < 1 || s > k {
+		return nil, fmt.Errorf("sdw: s=%d out of range 1..%d", s, k)
+	}
+	return &Policy{k: k, s: s}, nil
+}
+
+// K returns the sub-interval count and S the full-write spacing.
+func (p *Policy) K() int { return p.k }
+
+// S returns the full-write spacing in sub-intervals.
+func (p *Policy) S() int { return p.s }
+
+// Decide classifies a demand write arriving in sub-interval `label`, given
+// the line's tracker state: within s sub-intervals of the last full write
+// the write may be differential; otherwise it must be full. Reads converted
+// to writes (R-M-read conversion) must bypass this and write full-line —
+// the conversion exists precisely to re-normalize an untracked line.
+func (p *Policy) Decide(tr *lwt.Tracker, label int) (WriteMode, error) {
+	if tr.K() != p.k {
+		return 0, fmt.Errorf("sdw: tracker k=%d does not match policy k=%d", tr.K(), p.k)
+	}
+	d, err := tr.SubIntervalsSinceLastWrite(label)
+	if err != nil {
+		return 0, fmt.Errorf("sdw: %w", err)
+	}
+	if d < p.s {
+		return WriteDifferential, nil
+	}
+	return WriteFull, nil
+}
+
+// Apply performs the tracker bookkeeping for a decided write: full writes
+// record themselves, differential writes leave the tracker unchanged (the
+// index-flag keeps pointing at the last full-line write, per the paper).
+func Apply(tr *lwt.Tracker, mode WriteMode, label int) error {
+	switch mode {
+	case WriteFull:
+		return tr.RecordWrite(label)
+	case WriteDifferential:
+		return nil
+	default:
+		return fmt.Errorf("sdw: unknown write mode %v", mode)
+	}
+}

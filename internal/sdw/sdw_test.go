@@ -1,0 +1,201 @@
+package sdw
+
+import (
+	"testing"
+
+	"readduo/internal/lwt"
+)
+
+func mustPolicy(t *testing.T, k, s int) *Policy {
+	t.Helper()
+	p, err := New(k, s)
+	if err != nil {
+		t.Fatalf("New(%d,%d): %v", k, s, err)
+	}
+	return p
+}
+
+func mustTracker(t *testing.T, k int) *lwt.Tracker {
+	t.Helper()
+	tr, err := lwt.New(k)
+	if err != nil {
+		t.Fatalf("lwt.New(%d): %v", k, err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		k, s   int
+		wantOK bool
+	}{
+		{4, 1, true}, {4, 2, true}, {4, 4, true},
+		{4, 0, false}, {4, 5, false}, {1, 1, false}, {64, 2, false},
+	}
+	for _, tt := range cases {
+		_, err := New(tt.k, tt.s)
+		if (err == nil) != tt.wantOK {
+			t.Errorf("New(%d,%d) err=%v, want ok=%v", tt.k, tt.s, err, tt.wantOK)
+		}
+	}
+}
+
+func TestFirstWriteIsFull(t *testing.T) {
+	p := mustPolicy(t, 4, 2)
+	tr := mustTracker(t, 4)
+	mode, err := p.Decide(tr, 0)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if mode != WriteFull {
+		t.Errorf("first write mode = %v, want full", mode)
+	}
+}
+
+func TestSelect41SemanticsPerPaper(t *testing.T) {
+	// "When s=1, SDW performs a full-line write only for the first write
+	// operation in each sub-interval and converts following writes from
+	// the same sub-interval to differential writes."
+	p := mustPolicy(t, 4, 1)
+	tr := mustTracker(t, 4)
+
+	mode, err := p.Decide(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != WriteFull {
+		t.Fatalf("first write in sub-interval: %v, want full", mode)
+	}
+	if err := Apply(tr, mode, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Second write in the same sub-interval: differential.
+	mode, err = p.Decide(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != WriteDifferential {
+		t.Fatalf("repeat write in sub-interval: %v, want differential", mode)
+	}
+	if err := Apply(tr, mode, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Next sub-interval: full again.
+	mode, err = p.Decide(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != WriteFull {
+		t.Fatalf("write in next sub-interval: %v, want full", mode)
+	}
+}
+
+func TestSelect42StretchesFullWrites(t *testing.T) {
+	p := mustPolicy(t, 4, 2)
+	tr := mustTracker(t, 4)
+	if err := Apply(tr, WriteFull, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Distance 1 (< s=2): differential.
+	mode, err := p.Decide(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != WriteDifferential {
+		t.Errorf("distance 1 under s=2: %v, want differential", mode)
+	}
+	// Distance 2 (== s): full.
+	mode, err = p.Decide(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != WriteFull {
+		t.Errorf("distance 2 under s=2: %v, want full", mode)
+	}
+}
+
+func TestDifferentialDoesNotRefreshTracking(t *testing.T) {
+	// The tracker must keep measuring from the last FULL write: a stream
+	// of differential writes cannot extend the R-sensing window.
+	p := mustPolicy(t, 4, 2)
+	tr := mustTracker(t, 4)
+	if err := Apply(tr, WriteFull, 1); err != nil {
+		t.Fatal(err)
+	}
+	mode, err := p.Decide(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != WriteDifferential {
+		t.Fatalf("setup: want differential, got %v", mode)
+	}
+	if err := Apply(tr, mode, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Index() != 1 {
+		t.Errorf("index moved to %d after differential write, want 1", tr.Index())
+	}
+	// At label 3 the distance to the full write is 2 >= s: full again,
+	// even though a differential write happened at label 2.
+	mode, err = p.Decide(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != WriteFull {
+		t.Errorf("post-differential distance check: %v, want full", mode)
+	}
+}
+
+func TestDecideTrackerMismatch(t *testing.T) {
+	p := mustPolicy(t, 4, 2)
+	tr := mustTracker(t, 8)
+	if _, err := p.Decide(tr, 0); err == nil {
+		t.Error("k mismatch accepted")
+	}
+}
+
+func TestApplyUnknownMode(t *testing.T) {
+	tr := mustTracker(t, 4)
+	if err := Apply(tr, WriteMode(99), 0); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestCrossIntervalFullWriteCadence(t *testing.T) {
+	// Walk two full intervals under Select-4:2 with one write per
+	// sub-interval and count full writes: distance alternates 0/1/2 ->
+	// full, diff, full, diff ... per interval.
+	p := mustPolicy(t, 4, 2)
+	tr := mustTracker(t, 4)
+	var fulls, diffs int
+	for g := 0; g < 8; g++ {
+		label := g % 4
+		if label == 0 {
+			tr.RecordScrub(false)
+		}
+		mode, err := p.Decide(tr, label)
+		if err != nil {
+			t.Fatalf("Decide at g=%d: %v", g, err)
+		}
+		if err := Apply(tr, mode, label); err != nil {
+			t.Fatalf("Apply at g=%d: %v", g, err)
+		}
+		if mode == WriteFull {
+			fulls++
+		} else {
+			diffs++
+		}
+	}
+	if fulls != 4 || diffs != 4 {
+		t.Errorf("cadence fulls=%d diffs=%d, want 4/4", fulls, diffs)
+	}
+}
+
+func TestWriteModeString(t *testing.T) {
+	if WriteFull.String() != "full" || WriteDifferential.String() != "differential" {
+		t.Error("WriteMode.String mismatch")
+	}
+	if WriteMode(0).String() != "WriteMode(0)" {
+		t.Error("unknown mode string mismatch")
+	}
+}

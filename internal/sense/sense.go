@@ -1,0 +1,115 @@
+// Package sense models the MLC PCM readout circuits of ReadDuo: fast
+// current-mode R-sensing, drift-resilient voltage-mode M-sensing, and the
+// hybrid readout controller that picks between them (the paper's Figure 4
+// read modes and §III-B decision procedure).
+package sense
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mode identifies how a read request was serviced.
+type Mode int
+
+// Read modes (Figure 4).
+const (
+	// ModeR is a plain R-read: current sensing only.
+	ModeR Mode = iota + 1
+	// ModeM is a plain M-read: voltage sensing only (M-metric schemes, or
+	// LWT reads that skip the doomed R attempt because the flags say the
+	// line is untracked).
+	ModeM
+	// ModeRM is an R-M-read: R-sensing failed with a detectable error
+	// pattern and the request was re-issued with M-sensing.
+	ModeRM
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeR:
+		return "R-read"
+	case ModeM:
+		return "M-read"
+	case ModeRM:
+		return "R-M-read"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Timing holds the sensing and programming latencies. The defaults are the
+// paper's: 150 ns R-read, 450 ns optimized M-read, 1000 ns iterative P&V
+// line write.
+type Timing struct {
+	RRead time.Duration
+	MRead time.Duration
+	Write time.Duration
+}
+
+// DefaultTiming returns the paper's latency configuration.
+func DefaultTiming() Timing {
+	return Timing{
+		RRead: 150 * time.Nanosecond,
+		MRead: 450 * time.Nanosecond,
+		Write: 1000 * time.Nanosecond,
+	}
+}
+
+// Validate checks the latencies are usable.
+func (t Timing) Validate() error {
+	if t.RRead <= 0 || t.MRead <= 0 || t.Write <= 0 {
+		return fmt.Errorf("sense: latencies must be positive: %+v", t)
+	}
+	return nil
+}
+
+// Latency returns the service latency of a read mode; an R-M-read pays for
+// both sensing rounds (150+450 = 600 ns with defaults).
+func (t Timing) Latency(m Mode) time.Duration {
+	switch m {
+	case ModeR:
+		return t.RRead
+	case ModeM:
+		return t.MRead
+	case ModeRM:
+		return t.RRead + t.MRead
+	default:
+		return 0
+	}
+}
+
+// Outcome classifies the data returned by a hybrid read.
+type Outcome int
+
+// Hybrid read outcomes.
+const (
+	// OutcomeCorrect means the returned data is correct (possibly after
+	// ECC correction or the M-sensing retry).
+	OutcomeCorrect Outcome = iota + 1
+	// OutcomeSilentError means R-sensing returned data whose error count
+	// exceeded the code's detection reach; the controller cannot tell and
+	// returns wrong data. ReadDuo's reliability analysis keeps the
+	// probability of this below the DRAM budget.
+	OutcomeSilentError
+)
+
+// DecideHybrid implements the ReadDuo-Hybrid readout decision for a line
+// whose R-sensing produced errCount drift errors, protected by a code that
+// corrects up to correctT errors:
+//
+//   - errCount <= correctT: ECC repairs the R-read in place -> ModeR.
+//   - errCount <= 2*correctT+1: detected but uncorrectable -> re-issue with
+//     M-sensing -> ModeRM.
+//   - beyond that: undetectable -> the R-read data is returned as-is.
+func DecideHybrid(errCount, correctT int) (Mode, Outcome) {
+	switch {
+	case errCount <= correctT:
+		return ModeR, OutcomeCorrect
+	case errCount <= 2*correctT+1:
+		return ModeRM, OutcomeCorrect
+	default:
+		return ModeR, OutcomeSilentError
+	}
+}

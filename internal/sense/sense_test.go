@@ -1,0 +1,65 @@
+package sense
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultTimingMatchesPaper(t *testing.T) {
+	tm := DefaultTiming()
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tm.RRead != 150*time.Nanosecond || tm.MRead != 450*time.Nanosecond || tm.Write != 1000*time.Nanosecond {
+		t.Errorf("defaults %+v do not match the paper's 150/450/1000 ns", tm)
+	}
+	if got := tm.Latency(ModeRM); got != 600*time.Nanosecond {
+		t.Errorf("R-M-read latency = %v, want 600ns", got)
+	}
+	if got := tm.Latency(Mode(0)); got != 0 {
+		t.Errorf("unknown mode latency = %v, want 0", got)
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	bad := Timing{RRead: 0, MRead: 450, Write: 1000}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero R-read latency accepted")
+	}
+	bad = Timing{RRead: 150, MRead: -1, Write: 1000}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative M-read latency accepted")
+	}
+}
+
+func TestDecideHybrid(t *testing.T) {
+	tests := []struct {
+		errs        int
+		wantMode    Mode
+		wantOutcome Outcome
+	}{
+		{0, ModeR, OutcomeCorrect},
+		{1, ModeR, OutcomeCorrect},
+		{8, ModeR, OutcomeCorrect},   // corrected by BCH-8
+		{9, ModeRM, OutcomeCorrect},  // detected, retried with M-sensing
+		{17, ModeRM, OutcomeCorrect}, // still within detection reach
+		{18, ModeR, OutcomeSilentError},
+		{40, ModeR, OutcomeSilentError},
+	}
+	for _, tt := range tests {
+		mode, outcome := DecideHybrid(tt.errs, 8)
+		if mode != tt.wantMode || outcome != tt.wantOutcome {
+			t.Errorf("DecideHybrid(%d, 8) = %v/%v, want %v/%v",
+				tt.errs, mode, outcome, tt.wantMode, tt.wantOutcome)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeR.String() != "R-read" || ModeM.String() != "M-read" || ModeRM.String() != "R-M-read" {
+		t.Error("Mode.String mismatch")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode string mismatch")
+	}
+}

@@ -1,0 +1,577 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"readduo/internal/cpu"
+	"readduo/internal/drift"
+	"readduo/internal/energy"
+	"readduo/internal/lwt"
+	"readduo/internal/memctrl"
+	"readduo/internal/reliability"
+	"readduo/internal/sense"
+	"readduo/internal/trace"
+)
+
+// Config assembles a full-system simulation.
+type Config struct {
+	// Mem is the memory organization; the scheme overrides ScrubInterval
+	// and CellsPerLine as needed.
+	Mem memctrl.Config
+	// CPU is the core cluster configuration.
+	CPU cpu.Config
+	// Energy supplies per-operation energies.
+	Energy energy.Params
+	// Bench selects the workload profile.
+	Bench trace.Benchmark
+	// Seed drives every random stream of the run.
+	Seed int64
+	// EpochReads is the converter adjustment epoch (reads per epoch).
+	EpochReads int
+	// DiffDataCellFraction is the fraction of data cells a differential
+	// write programs (paper: ~20% of bits change => 1-0.8^2 = 36% of
+	// 2-bit cells).
+	DiffDataCellFraction float64
+	// ParityCells is the per-line ECC cell count, always reprogrammed by
+	// differential writes (parity avalanche).
+	ParityCells int
+	// TLCCellsPerLine is the tri-level cell count per line for the TLC
+	// scheme's timing/energy.
+	TLCCellsPerLine int
+	// WarmupFrac is the fraction of the instruction budget executed
+	// before measurement begins. Warmup populates line states, trains the
+	// conversion controller, and fills queues; Result reports only the
+	// steady-state window. Standard simulator practice; 0 disables it.
+	WarmupFrac float64
+	// Source, when non-nil, overrides the synthetic generator as the
+	// access stream (e.g. a trace.Replayer over a recorded capture).
+	// Bench still supplies the age profile for first-touch reads.
+	Source cpu.Source
+}
+
+// DefaultConfig returns the Table VIII-style full-system baseline.
+func DefaultConfig(bench trace.Benchmark) Config {
+	return Config{
+		Mem:                  memctrl.DefaultConfig(),
+		CPU:                  cpu.DefaultConfig(),
+		Energy:               energy.DefaultParams(),
+		Bench:                bench,
+		Seed:                 1,
+		EpochReads:           1024,
+		DiffDataCellFraction: 0.36,
+		ParityCells:          40,
+		TLCCellsPerLine:      384,
+		WarmupFrac:           0.3,
+	}
+}
+
+// Validate checks the assembled configuration.
+func (c Config) Validate() error {
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
+	if err := c.Bench.Validate(); err != nil {
+		return err
+	}
+	if c.EpochReads < 1 {
+		return fmt.Errorf("sim: epoch reads must be positive")
+	}
+	if c.DiffDataCellFraction <= 0 || c.DiffDataCellFraction > 1 {
+		return fmt.Errorf("sim: differential cell fraction %v outside (0,1]", c.DiffDataCellFraction)
+	}
+	if c.ParityCells < 0 || c.ParityCells >= c.Mem.CellsPerLine {
+		return fmt.Errorf("sim: parity cells %d inconsistent with %d cells/line",
+			c.ParityCells, c.Mem.CellsPerLine)
+	}
+	if c.TLCCellsPerLine <= 0 {
+		return fmt.Errorf("sim: TLC cells per line must be positive")
+	}
+	if c.WarmupFrac < 0 || c.WarmupFrac >= 1 {
+		return fmt.Errorf("sim: warmup fraction %v outside [0,1)", c.WarmupFrac)
+	}
+	return nil
+}
+
+// engine is one running simulation.
+type engine struct {
+	cfg    Config
+	scheme Scheme
+
+	ctrl    *memctrl.Controller
+	cluster *cpu.Cluster
+	acct    *energy.Accounting
+	rng     *rand.Rand
+
+	// Line state: physical line -> last full write time (ps, possibly
+	// far negative for pre-window writes).
+	lastWrite map[uint64]int64
+
+	// Scrub geometry (ps).
+	scrubIntervalPS int64
+	scrubPerLinePS  int64
+	linesPerBank    uint64
+
+	// Probability caches for the scan metric and the R read path.
+	rProbs *probCache
+	mProbs *probCache
+	// Steady-state W=1 rewrite fraction for lines outside the map.
+	steadyRewrite float64
+
+	converter *lwt.Converter
+	// convertedLines marks lines whose tracking came from an R-M-read
+	// conversion, to measure conversion payoff.
+	convertedLines map[uint64]struct{}
+
+	nextID           uint64
+	reads            uint64
+	epochReads       uint64
+	epochUntracked   uint64
+	epochConversions uint64
+	epochRehits      uint64
+
+	stats runStats
+
+	// Measurement-window snapshot, taken when warmup completes.
+	warmupInstr uint64
+	warmupDone  bool
+	markTimePS  int64
+	markInstr   uint64
+	markEnergy  energy.Breakdown
+	markCellWr  uint64
+	markMem     memctrl.Stats
+	markRun     runStats
+}
+
+// sub returns the counter-wise difference of run stats.
+func (r runStats) sub(base runStats) runStats {
+	return runStats{
+		untrackedReads: r.untrackedReads - base.untrackedReads,
+		conversions:    r.conversions - base.conversions,
+		convSkipped:    r.convSkipped - base.convSkipped,
+		silentErrors:   r.silentErrors - base.silentErrors,
+		fullWrites:     r.fullWrites - base.fullWrites,
+		diffWrites:     r.diffWrites - base.diffWrites,
+		hybridRetries:  r.hybridRetries - base.hybridRetries,
+	}
+}
+
+type runStats struct {
+	untrackedReads uint64
+	conversions    uint64
+	convSkipped    uint64
+	silentErrors   uint64
+	fullWrites     uint64
+	diffWrites     uint64
+	hybridRetries  uint64
+}
+
+var _ cpu.MemPort = (*engine)(nil)
+var _ memctrl.ScrubHook = (*engine)(nil)
+
+// Run executes one (scheme, workload) simulation and returns its Result.
+func Run(cfg Config, scheme Scheme) (*Result, error) {
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:       cfg,
+		scheme:    scheme,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		lastWrite: make(map[uint64]int64, 1<<16),
+	}
+
+	// Scheme-specific memory configuration.
+	memCfg := cfg.Mem
+	interval, metric, w := scheme.ScrubPolicy()
+	memCfg.ScrubInterval = interval
+	if scheme.Kind == KindTLC {
+		memCfg.CellsPerLine = cfg.TLCCellsPerLine
+	}
+	e.scrubIntervalPS = memctrl.PS(interval)
+	e.linesPerBank = memCfg.TotalLines / uint64(memCfg.Banks)
+	if interval > 0 {
+		e.scrubPerLinePS = e.scrubIntervalPS / int64(e.linesPerBank)
+	}
+
+	acct, err := energy.NewAccounting(cfg.Energy)
+	if err != nil {
+		return nil, err
+	}
+	e.acct = acct
+
+	var hook memctrl.ScrubHook
+	if interval > 0 {
+		hook = e
+	}
+	ctrl, err := memctrl.NewController(memCfg, acct, hook)
+	if err != nil {
+		return nil, err
+	}
+	e.ctrl = ctrl
+
+	// Reliability machinery for the scan and read paths.
+	rCfg, mCfg := drift.RMetricConfig(), drift.MMetricConfig()
+	e.rProbs = newProbCache(rCfg, 8)
+	e.mProbs = newProbCache(mCfg, 8)
+	if interval > 0 && w == 1 {
+		scanCfg := rCfg
+		if metric == drift.MetricM {
+			scanCfg = mCfg
+		}
+		an, err := reliability.NewAnalyzer(scanCfg)
+		if err != nil {
+			return nil, err
+		}
+		e.steadyRewrite = an.SteadyStateRewriteFraction(interval.Seconds())
+	}
+
+	if scheme.usesTracking() && scheme.Convert {
+		conv, err := lwt.NewConverter()
+		if err != nil {
+			return nil, err
+		}
+		e.converter = conv
+		e.convertedLines = make(map[uint64]struct{})
+	}
+
+	src := cfg.Source
+	if src == nil {
+		gen, err := trace.NewGenerator(cfg.Bench, cfg.CPU.Cores, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		src = gen
+	}
+	cluster, err := cpu.NewCluster(cfg.CPU, src)
+	if err != nil {
+		return nil, err
+	}
+	e.cluster = cluster
+	e.warmupInstr = uint64(float64(cfg.CPU.InstrBudget*uint64(cfg.CPU.Cores)) * cfg.WarmupFrac)
+	if e.warmupInstr == 0 {
+		e.warmupDone = true
+	}
+
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+// loop is the two-clock event loop: the CPU cluster proposes its next issue
+// time, the memory controller its next internal event; the earlier one
+// advances global time.
+func (e *engine) loop() error {
+	const maxIters = 1 << 62
+	var now int64
+	for iter := 0; ; iter++ {
+		if iter >= maxIters {
+			return fmt.Errorf("sim: event loop did not terminate")
+		}
+		if e.cluster.AllDone() {
+			// Let in-flight work finish for accounting symmetry? The
+			// paper measures execution time; stop at last retirement.
+			return nil
+		}
+		tCPU, okCPU := e.cluster.NextActionAt()
+		tMem, okMem := e.ctrl.NextEventAt()
+		var t int64
+		switch {
+		case okCPU && okMem:
+			t = min64(tCPU, tMem)
+		case okCPU:
+			t = tCPU
+		case okMem:
+			t = tMem
+		default:
+			return fmt.Errorf("sim: deadlock: all cores blocked, memory idle")
+		}
+		if t < now {
+			t = now
+		}
+		progressed := t > now
+		now = t
+		comps := e.ctrl.AdvanceTo(t)
+		for _, comp := range comps {
+			if err := e.cluster.OnReadComplete(comp.ID, comp.At); err != nil {
+				return err
+			}
+		}
+		// Write-queue retries only make sense once memory state changed;
+		// retrying at a frozen timestamp would spin.
+		if progressed || len(comps) > 0 {
+			e.cluster.RetryAt(now)
+		}
+		if err := e.cluster.Step(now, e); err != nil {
+			return err
+		}
+		if !e.warmupDone && e.cluster.TotalRetired() >= e.warmupInstr {
+			e.mark(now)
+		}
+	}
+}
+
+// mark snapshots every counter at the warmup boundary; Result reports the
+// deltas from here.
+func (e *engine) mark(now int64) {
+	e.warmupDone = true
+	e.markTimePS = now
+	e.markInstr = e.cluster.TotalRetired()
+	e.markEnergy = e.acct.Dynamic()
+	e.markCellWr = e.acct.WriteCellCount()
+	e.markMem = e.ctrl.Stats()
+	e.markRun = e.stats
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// physLine maps a trace line address onto the physical line space.
+func (e *engine) physLine(traceLine uint64) uint64 {
+	return splitmix64(traceLine^uint64(e.cfg.Seed)) % e.cfg.Mem.TotalLines
+}
+
+// scrubPhase returns when the walker visits this line within each interval
+// (ps offset in [0, S)), matching the controller's deterministic walk.
+func (e *engine) scrubPhase(phys uint64) int64 {
+	if e.scrubIntervalPS == 0 {
+		return 0
+	}
+	bankIdx := phys % uint64(e.cfg.Mem.Banks)
+	cursor := phys / uint64(e.cfg.Mem.Banks)
+	stagger := int64(bankIdx) * e.scrubPerLinePS / int64(e.cfg.Mem.Banks)
+	return int64(cursor)*e.scrubPerLinePS + stagger
+}
+
+// lastScrubAt returns the most recent walker visit to the line at or before
+// now (can be negative when now is inside the first interval).
+func (e *engine) lastScrubAt(phys uint64, now int64) int64 {
+	if e.scrubIntervalPS == 0 {
+		return -1 << 62
+	}
+	phase := e.scrubPhase(phys)
+	d := now - phase
+	n := d / e.scrubIntervalPS
+	if d < 0 && d%e.scrubIntervalPS != 0 {
+		n--
+	}
+	return phase + n*e.scrubIntervalPS
+}
+
+// lineLastWrite fetches (lazily creating) the line's last full write. For a
+// first-touch read the virtual age comes from the workload profile; a
+// first-touch write is simply recorded at its own time by the caller.
+func (e *engine) lineLastWrite(phys uint64, now int64) int64 {
+	if t, ok := e.lastWrite[phys]; ok {
+		return t
+	}
+	interval := time.Duration(e.scrubIntervalPS/1000) * time.Nanosecond
+	if interval == 0 {
+		interval = 640 * time.Second
+	}
+	age := e.cfg.Bench.SampleInitialAge(interval, e.rng)
+	t := now - memctrl.PS(age)
+	e.lastWrite[phys] = t
+	return t
+}
+
+// ageSeconds converts a last-write timestamp to seconds of drift age.
+func (e *engine) ageSeconds(now, lastWrite int64) float64 {
+	if lastWrite >= now {
+		return 0
+	}
+	return float64(now-lastWrite) / 1e12
+}
+
+// Read implements cpu.MemPort: the scheme's readout decision.
+func (e *engine) Read(now int64, core int, line uint64) (uint64, error) {
+	phys := e.physLine(line)
+	mode := e.readMode(now, phys)
+	e.nextID++
+	id := e.nextID
+	if err := e.ctrl.EnqueueRead(now, id, phys, mode); err != nil {
+		return 0, err
+	}
+	e.reads++
+	e.epochTick()
+	return id, nil
+}
+
+// readMode is the heart of ReadDuo: which sensing services this read.
+func (e *engine) readMode(now int64, phys uint64) sense.Mode {
+	switch e.scheme.Kind {
+	case KindIdeal, KindScrubbing, KindTLC:
+		return sense.ModeR
+
+	case KindMMetric:
+		return sense.ModeM
+
+	case KindHybrid:
+		// W=0 scrubbing guarantees the line was rewritten at its last
+		// scrub visit; drift age is measured from the later of that and
+		// any demand write.
+		last := e.lineLastWrite(phys, now)
+		if s := e.lastScrubAt(phys, now); s > last {
+			last = s
+		}
+		age := e.ageSeconds(now, last)
+		u := e.rng.Float64()
+		if u < e.rProbs.Silent(age) {
+			e.stats.silentErrors++
+			return sense.ModeR // wrong data returned; counted, not felt
+		}
+		if u < e.rProbs.Silent(age)+e.rProbs.Retry(age) {
+			e.stats.hybridRetries++
+			return sense.ModeRM
+		}
+		return sense.ModeR
+
+	case KindLWT, KindSelect:
+		last := e.lineLastWrite(phys, now)
+		phase := e.scrubPhase(phys)
+		subNow := lwt.SubIndex(now, phase, e.scrubIntervalPS, e.scheme.K)
+		subW := lwt.SubIndex(last, phase, e.scrubIntervalPS, e.scheme.K)
+		e.acct.AddFlagAccess(e.scheme.FlagBits())
+		if lwt.AllowRSenseAt(e.scheme.K, subNow, subW) {
+			if e.convertedLines != nil {
+				if _, ok := e.convertedLines[phys]; ok {
+					e.epochRehits++
+				}
+			}
+			return sense.ModeR
+		}
+		// Untracked: the flags abort R-sensing into the M retry.
+		e.stats.untrackedReads++
+		e.epochUntracked++
+		if e.converter != nil && e.converter.ShouldConvert() {
+			// Redundant write-back re-normalizes the line and enables
+			// fast R-reads for the next interval. Opportunistic: skip
+			// when the bank's write queue is saturated.
+			if e.ctrl.WriteQueueSpace(phys) > 1 && e.ctrl.EnqueueWrite(now, phys, e.cfg.Mem.CellsPerLine) {
+				e.lastWrite[phys] = now
+				e.acct.AddFlagAccess(e.scheme.FlagBits())
+				e.stats.conversions++
+				e.epochConversions++
+				e.convertedLines[phys] = struct{}{}
+			} else {
+				e.stats.convSkipped++
+			}
+		}
+		return sense.ModeRM
+
+	default:
+		return sense.ModeR
+	}
+}
+
+// epochTick runs the converter's feedback loop once per epoch of reads.
+func (e *engine) epochTick() {
+	e.epochReads++
+	if e.converter == nil || e.epochReads < uint64(e.cfg.EpochReads) {
+		return
+	}
+	p := float64(e.epochUntracked) / float64(e.epochReads)
+	// The fraction is in [0,1] by construction; an error here is a bug.
+	if err := e.converter.EpochUpdate(p, e.epochConversions, e.epochRehits); err != nil {
+		panic(fmt.Sprintf("sim: converter epoch: %v", err))
+	}
+	e.epochReads, e.epochUntracked, e.epochConversions, e.epochRehits = 0, 0, 0, 0
+}
+
+// Write implements cpu.MemPort: the scheme's write path.
+func (e *engine) Write(now int64, core int, line uint64) (bool, error) {
+	phys := e.physLine(line)
+	cells := e.cfg.Mem.CellsPerLine
+	if e.scheme.Kind == KindTLC {
+		cells = e.cfg.TLCCellsPerLine
+	}
+	full := true
+	if e.scheme.Kind == KindSelect {
+		if last, ok := e.lastWrite[phys]; ok {
+			phase := e.scrubPhase(phys)
+			subNow := lwt.SubIndex(now, phase, e.scrubIntervalPS, e.scheme.K)
+			subW := lwt.SubIndex(last, phase, e.scrubIntervalPS, e.scheme.K)
+			if lwt.DistanceAt(e.scheme.K, subNow, subW) < e.scheme.RewriteS {
+				full = false
+				dataCells := e.cfg.Mem.CellsPerLine - e.cfg.ParityCells
+				cells = int(float64(dataCells)*e.cfg.DiffDataCellFraction) + e.cfg.ParityCells
+			}
+		}
+		e.acct.AddFlagAccess(e.scheme.FlagBits())
+	}
+	if !e.ctrl.EnqueueWrite(now, phys, cells) {
+		return false, nil
+	}
+	if full {
+		e.stats.fullWrites++
+		// Every scheme records demand writes: LWT/Select for the flag
+		// semantics, the rest so scrub-rewrite sampling and Hybrid's age
+		// math see correct drift clocks.
+		e.lastWrite[phys] = now
+		if e.scheme.usesTracking() {
+			e.acct.AddFlagAccess(e.scheme.FlagBits())
+		}
+	} else {
+		e.stats.diffWrites++
+		// Differential writes leave the tracker (and so lastWrite, which
+		// models the last FULL write) untouched.
+	}
+	return true, nil
+}
+
+// OnScrub implements memctrl.ScrubHook: the per-visit scan and W-policy
+// decision.
+func (e *engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
+	interval, metric, w := e.scheme.ScrubPolicy()
+	if interval == 0 {
+		return memctrl.ScrubAction{}
+	}
+	act := memctrl.ScrubAction{CellsWritten: e.cfg.Mem.CellsPerLine}
+	if metric == drift.MetricM {
+		act.ReadLatency = e.cfg.Mem.Timing.MRead
+		act.Voltage = true
+	} else {
+		act.ReadLatency = e.cfg.Mem.Timing.RRead
+	}
+	switch {
+	case w == 0:
+		act.Rewrite = true
+	default:
+		// W=1: rewrite iff the scan finds >= 1 drifted cell.
+		var p float64
+		if last, ok := e.lastWrite[phys]; ok {
+			age := e.ageSeconds(now, last)
+			if metric == drift.MetricM {
+				p = e.mProbs.AnyError(age)
+			} else {
+				p = e.rProbs.AnyError(age)
+			}
+		} else {
+			// Untouched line: long-run renewal rate.
+			p = e.steadyRewrite
+		}
+		act.Rewrite = e.rng.Float64() < p
+	}
+	if act.Rewrite {
+		if _, ok := e.lastWrite[phys]; ok || e.scheme.usesTracking() || e.scheme.Kind == KindHybrid {
+			e.lastWrite[phys] = now
+		}
+	}
+	return act
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math"
+
+	"readduo/internal/dist"
+	"readduo/internal/drift"
+	"readduo/internal/reliability"
+)
+
+// probCache precomputes age-dependent line-error probabilities on a
+// logarithmic age grid so the hot simulation paths never run quadrature.
+type probCache struct {
+	minAge, maxAge float64 // seconds
+	logMin, step   float64
+	// Per grid point:
+	pAnyError []float64 // P(>= 1 drifted cell)
+	pRetry    []float64 // P(correctT < errors <= 2t+1): R-M-read trigger
+	pSilent   []float64 // P(errors > 2t+1): undetectable
+}
+
+const probCachePoints = 128
+
+// newProbCache builds the cache for one readout metric with a BCH-t code
+// over the standard 256-cell line.
+func newProbCache(cfg drift.Config, correctT int) *probCache {
+	pc := &probCache{
+		minAge: 1,
+		maxAge: 1e7, // ~115 days, beyond any workload's OldAge
+	}
+	pc.logMin = math.Log(pc.minAge)
+	pc.step = (math.Log(pc.maxAge) - pc.logMin) / float64(probCachePoints-1)
+	pc.pAnyError = make([]float64, probCachePoints)
+	pc.pRetry = make([]float64, probCachePoints)
+	pc.pSilent = make([]float64, probCachePoints)
+	detect := 2*correctT + 1
+	for i := 0; i < probCachePoints; i++ {
+		age := math.Exp(pc.logMin + float64(i)*pc.step)
+		p := cfg.AvgCellErrorProb(age)
+		n := reliability.CellsPerLine
+		pc.pAnyError[i] = 1 - math.Pow(1-p, float64(n))
+		tailT := dist.BinomTailGT(n, p, correctT)
+		tailDetect := dist.BinomTailGT(n, p, detect)
+		pc.pRetry[i] = tailT - tailDetect
+		if pc.pRetry[i] < 0 {
+			pc.pRetry[i] = 0
+		}
+		pc.pSilent[i] = tailDetect
+	}
+	return pc
+}
+
+// index maps an age in seconds to the nearest grid point.
+func (pc *probCache) index(ageSeconds float64) int {
+	if ageSeconds <= pc.minAge {
+		return 0
+	}
+	if ageSeconds >= pc.maxAge {
+		return probCachePoints - 1
+	}
+	i := int((math.Log(ageSeconds)-pc.logMin)/pc.step + 0.5)
+	if i < 0 {
+		return 0
+	}
+	if i >= probCachePoints {
+		return probCachePoints - 1
+	}
+	return i
+}
+
+// AnyError returns P(>=1 drift error) at the given age.
+func (pc *probCache) AnyError(ageSeconds float64) float64 {
+	if ageSeconds <= 0 {
+		return 0
+	}
+	return pc.pAnyError[pc.index(ageSeconds)]
+}
+
+// Retry returns the R-M-read probability at the given age.
+func (pc *probCache) Retry(ageSeconds float64) float64 {
+	if ageSeconds <= 0 {
+		return 0
+	}
+	return pc.pRetry[pc.index(ageSeconds)]
+}
+
+// Silent returns the undetectable-error probability at the given age.
+func (pc *probCache) Silent(ageSeconds float64) float64 {
+	if ageSeconds <= 0 {
+		return 0
+	}
+	return pc.pSilent[pc.index(ageSeconds)]
+}
+
+// splitmix64 is the standard SplitMix64 mixer, used to derive deterministic
+// per-line randomness (physical placement, scrub phase, age sampling seeds)
+// from line addresses.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"readduo/internal/drift"
+)
+
+func TestProbCacheMonotoneAndBounded(t *testing.T) {
+	pc := newProbCache(drift.RMetricConfig(), 8)
+	prev := -1.0
+	for _, age := range []float64{0.5, 1, 8, 64, 640, 1e4, 1e6, 1e8} {
+		p := pc.AnyError(age)
+		if p < 0 || p > 1 {
+			t.Fatalf("AnyError(%g) = %v outside [0,1]", age, p)
+		}
+		if p < prev-1e-12 {
+			t.Fatalf("AnyError not monotone at age %g", age)
+		}
+		prev = p
+	}
+	if pc.AnyError(0) != 0 || pc.Retry(0) != 0 || pc.Silent(0) != 0 {
+		t.Error("zero age probabilities must vanish")
+	}
+}
+
+func TestProbCacheMatchesDriftModel(t *testing.T) {
+	cfg := drift.RMetricConfig()
+	pc := newProbCache(cfg, 8)
+	// At a grid-aligned age the cached P(>=1) must match the direct
+	// computation closely.
+	age := 640.0
+	direct := 1.0
+	p := cfg.AvgCellErrorProb(age)
+	for i := 0; i < 256; i++ {
+		direct *= 1 - p
+	}
+	direct = 1 - direct
+	got := pc.AnyError(age)
+	if got < direct*0.9 || got > direct*1.1 {
+		t.Errorf("cached AnyError(640) = %v, direct %v", got, direct)
+	}
+}
+
+func TestProbCacheOrdering(t *testing.T) {
+	// At any age: silent <= retry <= any-error, and within the W=0 window
+	// the retry probability is negligible (the Hybrid safety argument).
+	pc := newProbCache(drift.RMetricConfig(), 8)
+	for _, age := range []float64{8, 64, 640, 1e4} {
+		anyE, retry, silent := pc.AnyError(age), pc.Retry(age), pc.Silent(age)
+		if silent > retry+1e-18 {
+			t.Errorf("age %g: silent %v > retry %v", age, silent, retry)
+		}
+		if retry > anyE+1e-18 {
+			t.Errorf("age %g: retry %v > any %v", age, retry, anyE)
+		}
+	}
+	// Within the 8 s Scrubbing window retries are vanishing; at the 640 s
+	// W=0 boundary they reach the ~2e-4 that Table III's E=8 column
+	// predicts (one R-M retry per ~5000 reads — Hybrid's worst case).
+	if r := pc.Retry(8); r > 1e-10 {
+		t.Errorf("retry probability at 8s = %v, want vanishing", r)
+	}
+	if r := pc.Retry(640); r < 1e-5 || r > 1e-3 {
+		t.Errorf("retry probability at 640s = %v, want ~2e-4", r)
+	}
+}
+
+func TestSplitmix64Distinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		v := splitmix64(i)
+		if seen[v] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[v] = true
+	}
+	if splitmix64(42) != splitmix64(42) {
+		t.Error("splitmix64 not deterministic")
+	}
+}

@@ -1,0 +1,180 @@
+// Package sim wires the ReadDuo substrates — drift reliability model, CPU
+// cluster, memory controller, scrub engine, LWT/SDW policies, and energy/
+// area/lifetime accounting — into full-system simulations of the seven
+// schemes the paper evaluates, and produces the statistics behind every
+// figure of the evaluation section.
+//
+// Methodology (see DESIGN.md §2): the simulation window covers a short
+// burst of execution at full memory scale, so bank-level interference
+// (scrub rates, queueing, write cancellation) is exact; the 640-second
+// drift/tracking dynamics enter through per-line virtual write ages sampled
+// from the workload profile and through each line's scrub phase, exploiting
+// the proven equivalence between the LWT flag automaton and sub-interval
+// index arithmetic (package lwt).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"readduo/internal/drift"
+	"readduo/internal/reliability"
+)
+
+// SchemeKind enumerates the drift-mitigation designs under comparison.
+type SchemeKind int
+
+// The schemes of the evaluation (§IV).
+const (
+	// KindIdeal assumes drift-free MLC PCM: R-reads, no scrubbing.
+	KindIdeal SchemeKind = iota + 1
+	// KindScrubbing is efficient scrubbing with R-sensing,
+	// (BCH=8, S=8s, W=1).
+	KindScrubbing
+	// KindMMetric senses everything with the M-metric,
+	// (BCH=8, S=640s, W=1).
+	KindMMetric
+	// KindTLC is the tri-level-cell design: drift-immune, no scrubbing,
+	// lower density.
+	KindTLC
+	// KindHybrid is ReadDuo-Hybrid: R-first reads with M retry,
+	// (BCH=8, S=640s, W=0).
+	KindHybrid
+	// KindLWT is ReadDuo-LWT-k: last-write tracking enables
+	// (BCH=8, S=640s, W=1) plus R-M-read conversion.
+	KindLWT
+	// KindSelect is ReadDuo-Select-(k:s): LWT plus selective differential
+	// writes.
+	KindSelect
+)
+
+// Scheme is one configured design point.
+type Scheme struct {
+	Kind SchemeKind
+	// K is the LWT sub-interval count (LWT/Select).
+	K int
+	// RewriteS is Select's full-write spacing s.
+	RewriteS int
+	// Convert enables R-M-read conversion (LWT/Select; Figure 14 turns
+	// it off).
+	Convert bool
+}
+
+// The paper's named design points.
+
+// Ideal returns the drift-free reference.
+func Ideal() Scheme { return Scheme{Kind: KindIdeal} }
+
+// Scrubbing returns the R-sensing efficient-scrubbing baseline.
+func Scrubbing() Scheme { return Scheme{Kind: KindScrubbing} }
+
+// MMetric returns the all-voltage-sensing baseline.
+func MMetric() Scheme { return Scheme{Kind: KindMMetric} }
+
+// TLC returns the tri-level-cell baseline.
+func TLC() Scheme { return Scheme{Kind: KindTLC} }
+
+// Hybrid returns ReadDuo-Hybrid.
+func Hybrid() Scheme { return Scheme{Kind: KindHybrid} }
+
+// LWT returns ReadDuo-LWT-k.
+func LWT(k int, convert bool) Scheme {
+	return Scheme{Kind: KindLWT, K: k, Convert: convert}
+}
+
+// Select returns ReadDuo-Select-(k:s).
+func Select(k, s int) Scheme {
+	return Scheme{Kind: KindSelect, K: k, RewriteS: s, Convert: true}
+}
+
+// Name renders the paper's label for the scheme.
+func (s Scheme) Name() string {
+	switch s.Kind {
+	case KindIdeal:
+		return "Ideal"
+	case KindScrubbing:
+		return "Scrubbing"
+	case KindMMetric:
+		return "M-metric"
+	case KindTLC:
+		return "TLC"
+	case KindHybrid:
+		return "Hybrid"
+	case KindLWT:
+		if !s.Convert {
+			return fmt.Sprintf("LWT-%d-noconv", s.K)
+		}
+		return fmt.Sprintf("LWT-%d", s.K)
+	case KindSelect:
+		return fmt.Sprintf("Select-%d:%d", s.K, s.RewriteS)
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s.Kind))
+	}
+}
+
+// Validate checks the scheme parameters.
+func (s Scheme) Validate() error {
+	switch s.Kind {
+	case KindIdeal, KindScrubbing, KindMMetric, KindTLC, KindHybrid:
+		return nil
+	case KindLWT:
+		if s.K < 2 || s.K > 32 {
+			return fmt.Errorf("sim: LWT k=%d out of range 2..32", s.K)
+		}
+		return nil
+	case KindSelect:
+		if s.K < 2 || s.K > 32 {
+			return fmt.Errorf("sim: Select k=%d out of range 2..32", s.K)
+		}
+		if s.RewriteS < 1 || s.RewriteS > s.K {
+			return fmt.Errorf("sim: Select s=%d out of range 1..%d", s.RewriteS, s.K)
+		}
+		return nil
+	default:
+		return fmt.Errorf("sim: unknown scheme kind %d", int(s.Kind))
+	}
+}
+
+// usesTracking reports whether the scheme keeps LWT flags.
+func (s Scheme) usesTracking() bool {
+	return s.Kind == KindLWT || s.Kind == KindSelect
+}
+
+// ScrubPolicy returns the scheme's scrub configuration: interval (0 = no
+// scrubbing), scan metric, and rewrite threshold W.
+func (s Scheme) ScrubPolicy() (interval time.Duration, metric drift.Metric, w int) {
+	switch s.Kind {
+	case KindScrubbing:
+		return 8 * time.Second, drift.MetricR, 1
+	case KindMMetric:
+		return 640 * time.Second, drift.MetricM, 1
+	case KindHybrid:
+		return 640 * time.Second, drift.MetricM, 0
+	case KindLWT, KindSelect:
+		return 640 * time.Second, drift.MetricM, 1
+	default:
+		return 0, 0, 0
+	}
+}
+
+// ReliabilityPolicy returns the scheme's (E,S,W) policy for the analytical
+// tables; ok=false for schemes without scrubbing.
+func (s Scheme) ReliabilityPolicy() (reliability.Policy, bool) {
+	interval, _, w := s.ScrubPolicy()
+	if interval == 0 {
+		return reliability.Policy{}, false
+	}
+	return reliability.Policy{E: 8, S: interval.Seconds(), W: w}, true
+}
+
+// FlagBits returns the per-line SLC tracking cost.
+func (s Scheme) FlagBits() int {
+	if !s.usesTracking() {
+		return 0
+	}
+	bits := s.K
+	for v := s.K - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

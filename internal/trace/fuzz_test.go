@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReaderRobustness feeds the trace parser arbitrary bytes: it must
+// never panic, and every record stream must end in EOF or ErrBadTraceFile.
+func FuzzReaderRobustness(f *testing.F) {
+	// Seed with a valid capture and a few mutations.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "seed", 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Write(Record{Core: uint8(i % 2), Line: uint64(i), Gap: uint32(i)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("RDTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			if !errors.Is(err, ErrBadTraceFile) {
+				t.Fatalf("NewReader error %v not wrapped in ErrBadTraceFile", err)
+			}
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, err := r.Read()
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, ErrBadTraceFile) {
+				return
+			}
+			t.Fatalf("Read error %v is neither EOF nor ErrBadTraceFile", err)
+		}
+	})
+}
+
+// FuzzReplayerRobustness drives the replayer over arbitrary captures.
+func FuzzReplayerRobustness(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "x", 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Write(Record{Line: 7}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		rp, err := NewReplayer(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 50; i++ {
+			if _, err := rp.Next(0); err != nil {
+				return // any error is acceptable; panics are not
+			}
+		}
+	})
+}

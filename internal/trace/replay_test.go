@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// memTrace builds an in-memory trace file from records.
+func memTrace(t *testing.T, name string, cores int, recs []Record) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, name, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+func TestReplayerDemux(t *testing.T) {
+	recs := []Record{
+		{Core: 0, Line: 10, Gap: 1},
+		{Core: 1, Line: 20, Gap: 2},
+		{Core: 0, Line: 11, Gap: 3},
+		{Core: 1, Line: 21, Gap: 4, Write: true},
+	}
+	rp, err := NewReplayer(memTrace(t, "x", 2, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.BenchmarkName() != "x" || rp.Cores() != 2 {
+		t.Fatalf("header %q/%d", rp.BenchmarkName(), rp.Cores())
+	}
+	// Core 1 first: the replayer must look ahead past core 0's record.
+	r, err := rp.Next(1)
+	if err != nil || r.Line != 20 {
+		t.Fatalf("core1 first = %+v, %v", r, err)
+	}
+	r, err = rp.Next(0)
+	if err != nil || r.Line != 10 {
+		t.Fatalf("core0 first = %+v, %v (should come from queue)", r, err)
+	}
+	r, err = rp.Next(0)
+	if err != nil || r.Line != 11 {
+		t.Fatalf("core0 second = %+v, %v", r, err)
+	}
+	r, err = rp.Next(1)
+	if err != nil || r.Line != 21 || !r.Write {
+		t.Fatalf("core1 second = %+v, %v", r, err)
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	recs := []Record{{Core: 0, Line: 5, Gap: 7}}
+	rp, err := NewReplayer(memTrace(t, "loop", 1, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r, err := rp.Next(0)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if r.Line != 5 {
+			t.Fatalf("iteration %d: line %d", i, r.Line)
+		}
+	}
+	if rp.Loops() < 9 {
+		t.Errorf("Loops = %d, want >= 9", rp.Loops())
+	}
+}
+
+func TestReplayerMissingCore(t *testing.T) {
+	// A 2-core header whose records only cover core 0.
+	recs := []Record{{Core: 0, Line: 1}}
+	rp, err := NewReplayer(memTrace(t, "m", 2, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rp.Next(1); err == nil {
+		t.Error("missing core served a record")
+	}
+	if _, err := rp.Next(7); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+func TestReplayerDrivesGeneratorOutput(t *testing.T) {
+	// End-to-end: generate a capture, replay it, confirm identical streams.
+	b := Benchmarks()[2]
+	gen, err := NewGenerator(b, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := 0; i < 200; i++ {
+		r, err := gen.Next(i % 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	rp, err := NewReplayer(memTrace(t, b.Name, 2, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := rp.Next(int(want.Core))
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("replay %d: %+v != %+v", i, got, want)
+		}
+	}
+}

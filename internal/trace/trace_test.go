@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBenchmarksValid(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 14 {
+		t.Fatalf("suite has %d benchmarks, want 14 (Table X)", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", b.Name, err)
+		}
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %s", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}
+
+func TestSuiteCharacter(t *testing.T) {
+	// The qualitative traits the paper's discussion depends on.
+	mcf, ok := ByName("mcf")
+	if !ok {
+		t.Fatal("mcf missing")
+	}
+	sphinx, ok := ByName("sphinx3")
+	if !ok {
+		t.Fatal("sphinx3 missing")
+	}
+	for _, b := range Benchmarks() {
+		if b.Name != "mcf" && b.RPKI >= mcf.RPKI {
+			t.Errorf("%s RPKI %v >= mcf %v; mcf must be the most read-intensive", b.Name, b.RPKI, mcf.RPKI)
+		}
+	}
+	if sphinx.WPKI/sphinx.RPKI > 0.1 {
+		t.Error("sphinx3 must be read-dominant (queries over a prebuilt model)")
+	}
+	if sphinx.FreshFrac+sphinx.MidFrac > 0.35 {
+		t.Error("sphinx3 reads must be mostly old data (drives R-M-read conversion)")
+	}
+	if mcf.MidFrac < 0.2 {
+		t.Error("mcf needs substantial medium-age reuse (drives the k sensitivity)")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good := Benchmarks()[0]
+	tests := []struct {
+		name string
+		mut  func(*Benchmark)
+	}{
+		{"empty name", func(b *Benchmark) { b.Name = "" }},
+		{"zero rpki", func(b *Benchmark) { b.RPKI = 0 }},
+		{"negative wpki", func(b *Benchmark) { b.WPKI = -1 }},
+		{"zero ws", func(b *Benchmark) { b.WorkingSetLines = 0 }},
+		{"fraction > 1", func(b *Benchmark) { b.HotFraction = 1.2 }},
+		{"ages sum > 1", func(b *Benchmark) { b.FreshFrac, b.MidFrac = 0.7, 0.5 }},
+		{"old <= mid", func(b *Benchmark) { b.OldAge = b.MidAge }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := good
+			tt.mut(&b)
+			if err := b.Validate(); err == nil {
+				t.Error("Validate accepted bad profile")
+			}
+		})
+	}
+}
+
+func TestSampleInitialAgeClasses(t *testing.T) {
+	b := Benchmark{
+		Name: "x", RPKI: 1, WPKI: 1, WorkingSetLines: 100,
+		FreshFrac: 0.3, MidFrac: 0.4,
+		MidAge: 30 * time.Minute, OldAge: 2 * time.Hour,
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := 640 * time.Second
+	var fresh, mid, old int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		age := b.SampleInitialAge(s, rng)
+		switch {
+		case age < s:
+			fresh++
+		case age < b.MidAge:
+			mid++
+		default:
+			old++
+		}
+		if age < 0 || age > b.OldAge {
+			t.Fatalf("age %v outside [0, OldAge]", age)
+		}
+	}
+	// Fresh class: 0.3 plus the slice of mid that lands under s.
+	if got := float64(fresh) / n; math.Abs(got-0.3-0.4*float64(s)/float64(b.MidAge)) > 0.02 {
+		t.Errorf("fresh fraction = %v", got)
+	}
+	if got := float64(old) / n; math.Abs(got-0.3) > 0.02 {
+		t.Errorf("old fraction = %v, want ~0.3", got)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	b := Benchmarks()[0]
+	g1, err := NewGenerator(b, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(b, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		c := i % 4
+		r1, err1 := g1.Next(c)
+		r2, err2 := g2.Next(c)
+		if err1 != nil || err2 != nil || r1 != r2 {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, r1, r2)
+		}
+	}
+}
+
+func TestGeneratorRates(t *testing.T) {
+	b, _ := ByName("mcf")
+	g, err := NewGenerator(b, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var instr, writes, reads uint64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		r, err := g.Next(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instr += uint64(r.Gap) + 1
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	gotRPKI := float64(reads) / float64(instr) * 1000
+	gotWPKI := float64(writes) / float64(instr) * 1000
+	if math.Abs(gotRPKI-b.RPKI)/b.RPKI > 0.05 {
+		t.Errorf("generated RPKI %v, want ~%v", gotRPKI, b.RPKI)
+	}
+	if math.Abs(gotWPKI-b.WPKI)/b.WPKI > 0.05 {
+		t.Errorf("generated WPKI %v, want ~%v", gotWPKI, b.WPKI)
+	}
+}
+
+func TestGeneratorAddressDisjointness(t *testing.T) {
+	b := Benchmarks()[1]
+	g, err := NewGenerator(b, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 1000; i++ {
+			r, err := g.Next(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(r.Line>>40) != c {
+				t.Fatalf("core %d produced line in slice %d", c, r.Line>>40)
+			}
+			if r.Line&(1<<40-1) >= uint64(b.WorkingSetLines) {
+				t.Fatalf("line offset outside working set")
+			}
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	b := Benchmarks()[0]
+	if _, err := NewGenerator(b, 0, 1); err == nil {
+		t.Error("zero cores accepted")
+	}
+	bad := b
+	bad.RPKI = 0
+	if _, err := NewGenerator(bad, 4, 1); err == nil {
+		t.Error("invalid benchmark accepted")
+	}
+	g, err := NewGenerator(b, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Next(5); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "mcf", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Core: 0, Write: false, Line: 12345, Gap: 17},
+		{Core: 3, Write: true, Line: 1 << 41, Gap: 0},
+		{Core: 1, Write: false, Line: 0, Gap: 4_000_000},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BenchmarkName() != "mcf" || r.Cores() != 4 {
+		t.Errorf("header: %q/%d", r.BenchmarkName(), r.Cores())
+	}
+	for i, want := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("end of stream error = %v, want EOF", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("RD"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Truncated record body.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated record error = %v, want ErrBadTraceFile", err)
+	}
+}
+
+func TestByNameMiss(t *testing.T) {
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName found a benchmark that does not exist")
+	}
+}

@@ -1,0 +1,94 @@
+// Package wearlevel implements Start-Gap wear leveling (Qureshi et al.,
+// the ReadDuo paper's reference [19]) — the address-rotation scheme that
+// spreads hot-line write traffic across the whole PCM array so the
+// per-cell wear the lifetime model assumes ("ideal leveling") is actually
+// approachable with two registers and one spare line.
+//
+// The array stores N logical lines in a circle of N+1 physical slots, one
+// of which is always empty (the GAP). Walking the circle forward from the
+// START slot and skipping the gap, the L-th slot visited holds logical
+// line L — that is the invariant the mapping computes in O(1). Every Psi
+// writes the gap swallows its circular predecessor (one line copy) and
+// steps backward; a full revolution shifts every line forward one slot and
+// advances START, so over N·(N+1)·Psi writes every logical line visits
+// every physical slot.
+package wearlevel
+
+import "fmt"
+
+// StartGap is the remapping state: two registers plus counters.
+type StartGap struct {
+	lines  uint64 // N logical lines; the circle has N+1 slots
+	psi    uint64 // writes between gap movements
+	start  uint64 // slot of logical line 0's walk origin, in [0, N]
+	gap    uint64 // empty slot, in [0, N]
+	writes uint64 // writes since the last gap movement
+	moves  uint64 // total gap movements (diagnostics)
+}
+
+// New builds a Start-Gap mapper over `lines` logical lines, moving the gap
+// every `psi` writes (the original design uses Psi=100 for ~1% overhead).
+func New(lines, psi uint64) (*StartGap, error) {
+	if lines < 2 {
+		return nil, fmt.Errorf("wearlevel: need at least 2 lines, got %d", lines)
+	}
+	if psi < 1 {
+		return nil, fmt.Errorf("wearlevel: psi must be positive")
+	}
+	return &StartGap{lines: lines, psi: psi, gap: lines}, nil
+}
+
+// Lines returns the logical line count N.
+func (s *StartGap) Lines() uint64 { return s.lines }
+
+// PhysicalSlots returns the array size including the spare slot.
+func (s *StartGap) PhysicalSlots() uint64 { return s.lines + 1 }
+
+// GapMoves returns how many line copies the scheme has performed; its
+// write amplification is 1/psi.
+func (s *StartGap) GapMoves() uint64 { return s.moves }
+
+// Map translates a logical line to its current physical slot: the L-th
+// non-gap slot on the circular walk from START.
+func (s *StartGap) Map(logical uint64) (uint64, error) {
+	if logical >= s.lines {
+		return 0, fmt.Errorf("wearlevel: logical line %d out of range 0..%d", logical, s.lines-1)
+	}
+	slots := s.lines + 1
+	gapOffset := (s.gap + slots - s.start) % slots
+	pos := s.start + logical
+	if logical >= gapOffset {
+		pos++
+	}
+	return pos % slots, nil
+}
+
+// Move describes one relocation the memory controller must perform: copy
+// the line currently in From into slot To.
+type Move struct {
+	From, To uint64
+}
+
+// OnWrite accounts one demand write. Every psi-th write the gap swallows
+// its circular predecessor: the returned Move (valid when ok is true) must
+// be executed by the controller; Map reflects the new state immediately.
+//
+// When the swallowed slot is the one just before START on the circle — the
+// slot holding logical line N-1 — the walk boundary itself moves: START
+// advances by one, completing one step of the full rotation.
+func (s *StartGap) OnWrite() (Move, bool) {
+	s.writes++
+	if s.writes < s.psi {
+		return Move{}, false
+	}
+	s.writes = 0
+	s.moves++
+	slots := s.lines + 1
+	prev := (s.gap + slots - 1) % slots
+	mv := Move{From: prev, To: s.gap}
+	if prev == (s.start+slots-1)%slots {
+		s.start = (s.start + 1) % slots
+	}
+	s.gap = prev
+	return mv, true
+}

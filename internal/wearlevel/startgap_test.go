@@ -1,0 +1,167 @@
+package wearlevel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 100); err == nil {
+		t.Error("single line accepted")
+	}
+	if _, err := New(16, 0); err == nil {
+		t.Error("zero psi accepted")
+	}
+	sg, err := New(16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Lines() != 16 || sg.PhysicalSlots() != 17 {
+		t.Errorf("geometry %d/%d", sg.Lines(), sg.PhysicalSlots())
+	}
+	if _, err := sg.Map(16); err == nil {
+		t.Error("out-of-range logical accepted")
+	}
+}
+
+func TestIdentityBeforeAnyMove(t *testing.T) {
+	sg, err := New(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := uint64(0); l < 8; l++ {
+		pa, err := sg.Map(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa != l {
+			t.Errorf("Map(%d) = %d before any move", l, pa)
+		}
+	}
+}
+
+// TestDataConsistencyInvariant is the keystone: simulate the physical array
+// contents through thousands of gap moves (executing every returned copy)
+// and require Map to always point at the slot holding the logical line.
+func TestDataConsistencyInvariant(t *testing.T) {
+	const (
+		n   = 13 // odd size exercises wrap alignment
+		psi = 1  // move on every write: maximum churn
+	)
+	sg, err := New(n, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// phys[slot] = logical line stored there; n+1 marks the (initial) gap.
+	phys := make([]uint64, n+1)
+	for i := uint64(0); i < n; i++ {
+		phys[i] = i
+	}
+	phys[n] = ^uint64(0)
+
+	for step := 0; step < 5*(n+1)*n; step++ {
+		if mv, ok := sg.OnWrite(); ok {
+			phys[mv.To] = phys[mv.From]
+		}
+		for l := uint64(0); l < n; l++ {
+			pa, err := sg.Map(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if phys[pa] != l {
+				t.Fatalf("step %d: Map(%d) = slot %d holding %d", step, l, pa, phys[pa])
+			}
+		}
+	}
+	if sg.GapMoves() == 0 {
+		t.Fatal("gap never moved")
+	}
+}
+
+// TestMappingIsInjective: no two logical lines may share a slot, and no
+// line may sit on the gap.
+func TestMappingIsInjective(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := uint64(2 + rng.Intn(30))
+		sg, err := New(n, 1)
+		if err != nil {
+			return false
+		}
+		steps := rng.Intn(200)
+		for i := 0; i < steps; i++ {
+			sg.OnWrite()
+		}
+		seen := map[uint64]bool{}
+		for l := uint64(0); l < n; l++ {
+			pa, err := sg.Map(l)
+			if err != nil || pa >= sg.PhysicalSlots() || seen[pa] {
+				return false
+			}
+			seen[pa] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHotLineSpreadsWear: hammering one logical line must distribute
+// physical writes across the array over full rotations — the point of the
+// scheme.
+func TestHotLineSpreadsWear(t *testing.T) {
+	const n = 8
+	sg, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wear := make([]uint64, n+1)
+	// Enough writes for several full rotations: n*(n+1)*psi per rotation.
+	for i := 0; i < 6*n*(n+1)*2; i++ {
+		pa, err := sg.Map(0) // always the same hot logical line
+		if err != nil {
+			t.Fatal(err)
+		}
+		wear[pa]++
+		sg.OnWrite()
+	}
+	var touched int
+	for _, w := range wear {
+		if w > 0 {
+			touched++
+		}
+	}
+	if touched != n+1 {
+		t.Errorf("hot line touched %d of %d slots; wear not spread", touched, n+1)
+	}
+	// No slot should absorb more than ~3x its fair share.
+	total := uint64(0)
+	for _, w := range wear {
+		total += w
+	}
+	fair := total / uint64(n+1)
+	for slot, w := range wear {
+		if w > 3*fair {
+			t.Errorf("slot %d absorbed %d writes (fair %d)", slot, w, fair)
+		}
+	}
+}
+
+func TestWriteAmplification(t *testing.T) {
+	sg, err := New(64, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var copies int
+	const writes = 100_000
+	for i := 0; i < writes; i++ {
+		if _, ok := sg.OnWrite(); ok {
+			copies++
+		}
+	}
+	if copies != writes/100 {
+		t.Errorf("copies = %d, want %d (1/psi amplification)", copies, writes/100)
+	}
+}
