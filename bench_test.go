@@ -9,11 +9,14 @@
 package readduo_test
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"readduo/internal/area"
 	"readduo/internal/bch"
+	"readduo/internal/campaign"
 	"readduo/internal/cell"
 	"readduo/internal/drift"
 	"readduo/internal/ecp"
@@ -371,6 +374,30 @@ func BenchmarkBCHDecodeEightErrors(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCampaignEngine runs a reduced evaluation matrix through the
+// parallel campaign engine at GOMAXPROCS workers — the configuration
+// readduo-sim uses for the full 7x14 matrix.
+func BenchmarkCampaignEngine(b *testing.B) {
+	spec := campaign.Spec{
+		Benchmarks: benchSuite(b),
+		Schemes:    []sim.Scheme{sim.Ideal(), sim.Hybrid(), sim.LWT(4, true)},
+		Budget:     benchBudget,
+	}
+	var done int
+	for i := 0; i < b.N; i++ {
+		out, err := campaign.Run(context.Background(), spec, campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Failed > 0 {
+			b.Fatalf("%d jobs failed", out.Failed)
+		}
+		done = out.Done
+	}
+	b.ReportMetric(float64(done), "jobs/op")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // BenchmarkSimulatorThroughput measures end-to-end simulated instructions

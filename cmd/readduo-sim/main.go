@@ -3,36 +3,71 @@
 // time (Figure 9), dynamic energy (Figure 10), system energy, and relative
 // lifetime (Figure 15).
 //
+// The matrix runs on the campaign engine (internal/campaign): jobs execute
+// on a bounded worker pool, every completed job is journaled when -journal
+// is given, and an interrupted campaign (Ctrl-C drains gracefully) resumes
+// with -resume, skipping finished jobs. Results are bit-identical for any
+// -parallel value.
+//
 // Usage:
 //
 //	readduo-sim [-benchmarks=mcf,sphinx3] [-schemes=prior|readduo|all]
 //	            [-budget=2000000] [-seed=1] [-report=time|energy|lifetime|all]
+//	            [-parallel=N] [-journal=run.jsonl] [-resume] [-json]
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"readduo/internal/campaign"
 	"readduo/internal/report"
 	"readduo/internal/sim"
 	"readduo/internal/trace"
 )
 
-func main() {
-	benchList := flag.String("benchmarks", "", "comma-separated workload names (default: full suite)")
-	schemeSet := flag.String("schemes", "all", "prior (Scrubbing/M-metric/TLC), readduo, or all")
-	budget := flag.Uint64("budget", 2_000_000, "instructions per core")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	what := flag.String("report", "all", "time, energy, lifetime, or all")
-	traceFile := flag.String("trace", "", "replay this capture (from tracegen) instead of generating accesses; requires -benchmarks naming the matching profile")
-	jsonOut := flag.Bool("json", false, "emit the full result matrix as JSON instead of tables")
-	flag.Parse()
+// options collects the command-line configuration.
+type options struct {
+	benchList   string
+	schemeSet   string
+	budget      uint64
+	seed        int64
+	what        string
+	traceFile   string
+	jsonOut     bool
+	parallel    int
+	journalPath string
+	resume      bool
+	progress    io.Writer // nil silences progress lines
+}
 
-	if err := run(*benchList, *schemeSet, *budget, *seed, *what, *traceFile, *jsonOut); err != nil {
+func main() {
+	var opts options
+	flag.StringVar(&opts.benchList, "benchmarks", "", "comma-separated workload names (default: full suite)")
+	flag.StringVar(&opts.schemeSet, "schemes", "all", "prior (Scrubbing/M-metric/TLC), readduo, or all")
+	flag.Uint64Var(&opts.budget, "budget", 2_000_000, "instructions per core")
+	flag.Int64Var(&opts.seed, "seed", 1, "campaign seed (per-job seeds are derived from it)")
+	flag.StringVar(&opts.what, "report", "all", "time, energy, lifetime, or all")
+	flag.StringVar(&opts.traceFile, "trace", "", "replay this capture (from tracegen) instead of generating accesses; requires -benchmarks naming the matching profile")
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit the full result matrix as JSON instead of tables")
+	flag.IntVar(&opts.parallel, "parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&opts.journalPath, "journal", "", "append completed jobs to this JSONL journal")
+	flag.BoolVar(&opts.resume, "resume", false, "skip jobs already completed in -journal")
+	flag.Parse()
+	opts.progress = os.Stderr
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "readduo-sim:", err)
 		os.Exit(1)
 	}
@@ -69,45 +104,114 @@ func selectSchemes(set string) ([]sim.Scheme, error) {
 	}
 }
 
-func run(benchList, schemeSet string, budget uint64, seed int64, what, traceFile string, jsonOut bool) error {
-	benches, err := selectBenches(benchList)
+// buildSpec assembles the campaign spec, including the per-job trace
+// replay hook when -trace is given.
+func buildSpec(opts options) (campaign.Spec, error) {
+	benches, err := selectBenches(opts.benchList)
 	if err != nil {
-		return err
+		return campaign.Spec{}, err
 	}
-	schemes, err := selectSchemes(schemeSet)
+	schemes, err := selectSchemes(opts.schemeSet)
 	if err != nil {
-		return err
+		return campaign.Spec{}, err
 	}
-	runner := report.Runner{Budget: budget, Seed: seed}
-	if traceFile != "" {
+	spec := campaign.Spec{
+		Benchmarks: benches,
+		Schemes:    schemes,
+		Seeds:      []int64{opts.seed},
+		Budget:     opts.budget,
+	}
+	if opts.traceFile != "" {
 		if len(benches) != 1 {
-			return fmt.Errorf("-trace needs exactly one -benchmarks entry for the age profile")
+			return campaign.Spec{}, fmt.Errorf("-trace needs exactly one -benchmarks entry for the age profile")
 		}
-		f, err := os.Open(traceFile)
+		// Load the capture once; each job replays its own in-memory
+		// reader so concurrent jobs never fight over a file offset.
+		data, err := os.ReadFile(opts.traceFile)
 		if err != nil {
-			return err
+			return campaign.Spec{}, err
 		}
-		defer f.Close()
-		// Each scheme run replays from the start for fairness.
-		runner.Configure = func(cfg *sim.Config) {
-			if _, err := f.Seek(0, 0); err != nil {
-				return
-			}
-			rp, err := trace.NewReplayer(f)
+		if _, err := trace.NewReplayer(bytes.NewReader(data)); err != nil {
+			return campaign.Spec{}, fmt.Errorf("trace %s: %w", opts.traceFile, err)
+		}
+		spec.Configure = func(_ campaign.Job, cfg *sim.Config) {
+			rp, err := trace.NewReplayer(bytes.NewReader(data))
 			if err != nil {
-				return
+				return // validated above; unreachable in practice
 			}
 			cfg.Source = rp
 		}
 	}
-	m, err := runner.RunMatrix(benches, schemes)
+	return spec, nil
+}
+
+func run(ctx context.Context, opts options) error {
+	spec, err := buildSpec(opts)
 	if err != nil {
 		return err
 	}
-	if jsonOut {
-		return writeJSON(os.Stdout, m)
+
+	campaignOpts := campaign.Options{Parallel: opts.parallel}
+	if opts.progress != nil {
+		campaignOpts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(opts.progress, format+"\n", args...)
+		}
+	}
+	if opts.resume && opts.journalPath == "" {
+		return fmt.Errorf("-resume needs -journal")
+	}
+	if opts.journalPath != "" {
+		header := spec.Header(time.Now().Unix())
+		var journal *campaign.Journal
+		if opts.resume {
+			j, done, err := campaign.Open(opts.journalPath, header)
+			if err != nil {
+				return err
+			}
+			journal = j
+			campaignOpts.Completed = done
+		} else {
+			j, err := campaign.Create(opts.journalPath, header)
+			if err != nil {
+				return err
+			}
+			journal = j
+		}
+		defer journal.Close()
+		campaignOpts.Journal = journal
 	}
 
+	outcome, err := campaign.Run(ctx, spec, campaignOpts)
+	if err != nil {
+		return err
+	}
+	if outcome.Interrupted || outcome.Failed > 0 {
+		if opts.progress != nil {
+			outcome.WriteSummary(opts.progress)
+		}
+		if outcome.Interrupted {
+			hint := ""
+			if opts.journalPath != "" {
+				hint = fmt.Sprintf("; resume with -journal=%s -resume", opts.journalPath)
+			}
+			return fmt.Errorf("interrupted with %d/%d jobs done%s",
+				outcome.Done, len(outcome.Records), hint)
+		}
+		return fmt.Errorf("%d job(s) failed; matrix incomplete", outcome.Failed)
+	}
+	matrices, err := outcome.Matrices(spec)
+	if err != nil {
+		return err
+	}
+	m := matrices[0].Matrix
+
+	if opts.jsonOut {
+		return writeJSON(os.Stdout, m, outcome, opts)
+	}
+	return writeTables(os.Stdout, m, opts.what)
+}
+
+func writeTables(w io.Writer, m *report.Matrix, what string) error {
 	all := what == "all"
 	printed := false
 	if all || what == "time" {
@@ -116,11 +220,11 @@ func run(benchList, schemeSet string, budget uint64, seed int64, what, traceFile
 		if err != nil {
 			return err
 		}
-		if err := report.WriteNormalizedTable(os.Stdout,
+		if err := report.WriteNormalizedTable(w,
 			"Figure 9: execution time normalized to Ideal", m, rows, means); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	if all || what == "energy" {
 		printed = true
@@ -128,11 +232,11 @@ func run(benchList, schemeSet string, budget uint64, seed int64, what, traceFile
 		if err != nil {
 			return err
 		}
-		if err := report.WriteNormalizedTable(os.Stdout,
+		if err := report.WriteNormalizedTable(w,
 			"Figure 10: dynamic energy normalized to Ideal", m, rows, means); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	if all || what == "lifetime" {
 		printed = true
@@ -140,11 +244,11 @@ func run(benchList, schemeSet string, budget uint64, seed int64, what, traceFile
 		if err != nil {
 			return err
 		}
-		if err := report.WriteKeyValueTable(os.Stdout,
+		if err := report.WriteKeyValueTable(w,
 			"Figure 15: lifetime relative to Ideal", m.Schemes, life); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	if !printed {
 		return fmt.Errorf("unknown report %q", what)
@@ -152,10 +256,23 @@ func run(benchList, schemeSet string, budget uint64, seed int64, what, traceFile
 	return nil
 }
 
+// jsonCampaign is the self-describing metadata block of -json output.
+type jsonCampaign struct {
+	Seed     int64   `json:"seed"`
+	Budget   uint64  `json:"budget"`
+	Parallel int     `json:"parallel"`
+	Journal  string  `json:"journal,omitempty"`
+	Resumed  int     `json:"resumed_jobs,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
 // jsonRun is the machine-readable form of one (benchmark, scheme) result.
 type jsonRun struct {
 	Benchmark      string  `json:"benchmark"`
 	Scheme         string  `json:"scheme"`
+	Seed           int64   `json:"seed"`
+	WallMS         float64 `json:"wall_ms"`
+	Worker         int     `json:"worker"`
 	ExecTimeNS     int64   `json:"exec_time_ns"`
 	Instructions   uint64  `json:"instructions"`
 	RReads         uint64  `json:"r_reads"`
@@ -175,14 +292,34 @@ type jsonRun struct {
 	AvgReadLatency string  `json:"avg_read_latency"`
 }
 
-func writeJSON(w io.Writer, m *report.Matrix) error {
-	out := make([]jsonRun, 0, len(m.Benchmarks)*len(m.Schemes))
+// jsonOutput is the top-level -json document.
+type jsonOutput struct {
+	Campaign jsonCampaign `json:"campaign"`
+	Runs     []jsonRun    `json:"runs"`
+}
+
+func writeJSON(w io.Writer, m *report.Matrix, outcome *campaign.Outcome, opts options) error {
+	out := jsonOutput{
+		Campaign: jsonCampaign{
+			Seed:     opts.seed,
+			Budget:   opts.budget,
+			Parallel: outcome.Parallel,
+			Journal:  opts.journalPath,
+			Resumed:  outcome.Resumed,
+			WallMS:   float64(outcome.Elapsed) / float64(time.Millisecond),
+		},
+		Runs: make([]jsonRun, 0, len(m.Benchmarks)*len(m.Schemes)),
+	}
 	for i := range m.Benchmarks {
 		for j := range m.Schemes {
 			r := m.Results[i][j]
-			out = append(out, jsonRun{
+			rec := outcome.Records[i*len(m.Schemes)+j]
+			out.Runs = append(out.Runs, jsonRun{
 				Benchmark:      r.Benchmark,
 				Scheme:         r.Scheme,
+				Seed:           rec.Seed,
+				WallMS:         rec.WallMS,
+				Worker:         rec.Worker,
 				ExecTimeNS:     r.ExecTime.Nanoseconds(),
 				Instructions:   r.Instructions,
 				RReads:         r.RReads,

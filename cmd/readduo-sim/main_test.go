@@ -2,12 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
 
-	"readduo/internal/report"
-	"readduo/internal/sim"
+	"readduo/internal/campaign"
 	"readduo/internal/trace"
 )
 
@@ -37,32 +37,66 @@ func TestSelectSchemes(t *testing.T) {
 	}
 }
 
-func TestWriteJSON(t *testing.T) {
+// TestWriteJSONRoundTrip checks that -json output is self-describing: the
+// campaign metadata block and per-job seed/wall-time/worker survive a
+// marshal/unmarshal round trip.
+func TestWriteJSONRoundTrip(t *testing.T) {
 	gcc, _ := trace.ByName("gcc")
-	m, err := report.Runner{Budget: 20_000, Seed: 1}.RunMatrix(
-		[]trace.Benchmark{gcc}, []sim.Scheme{sim.Ideal()})
+	opts := options{
+		benchList: "gcc", schemeSet: "readduo", budget: 20_000, seed: 7,
+		parallel: 2, journalPath: "run.jsonl",
+	}
+	spec, err := buildSpec(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Schemes = spec.Schemes[:1] // Ideal only: keep the test fast
+	outcome, err := campaign.Run(context.Background(), spec, campaign.Options{Parallel: opts.parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrices, err := outcome.Matrices(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := writeJSON(&buf, m); err != nil {
+	if err := writeJSON(&buf, matrices[0].Matrix, outcome, opts); err != nil {
 		t.Fatal(err)
 	}
-	var runs []jsonRun
-	if err := json.Unmarshal(buf.Bytes(), &runs); err != nil {
+	var got jsonOutput
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(runs) != 1 || runs[0].Scheme != "Ideal" || runs[0].ExecTimeNS <= 0 {
-		t.Errorf("runs = %+v", runs)
+	if got.Campaign.Seed != 7 || got.Campaign.Budget != 20_000 ||
+		got.Campaign.Parallel != 2 || got.Campaign.Journal != "run.jsonl" {
+		t.Errorf("campaign metadata = %+v", got.Campaign)
+	}
+	if len(got.Runs) != 1 {
+		t.Fatalf("runs = %d", len(got.Runs))
+	}
+	r := got.Runs[0]
+	if r.Scheme != "Ideal" || r.ExecTimeNS <= 0 {
+		t.Errorf("run = %+v", r)
+	}
+	if r.Seed != campaign.JobSeed(7, gcc.Name) {
+		t.Errorf("run seed %d, want derived %d", r.Seed, campaign.JobSeed(7, gcc.Name))
+	}
+	if r.WallMS <= 0 {
+		t.Errorf("run wall time %v not captured", r.WallMS)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("gcc", "all", 10_000, 1, "nonesuch", "", false); err == nil ||
+	ctx := context.Background()
+	if err := run(ctx, options{benchList: "gcc", schemeSet: "all", budget: 10_000, seed: 1, what: "nonesuch"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown report") {
 		t.Errorf("bad report error = %v", err)
 	}
-	if err := run("", "all", 10_000, 1, "time", "/nonexistent/file", false); err == nil {
+	if err := run(ctx, options{schemeSet: "all", budget: 10_000, seed: 1, what: "time", traceFile: "/nonexistent/file"}); err == nil {
 		t.Error("trace with full suite accepted")
+	}
+	if err := run(ctx, options{benchList: "gcc", schemeSet: "all", resume: true}); err == nil ||
+		!strings.Contains(err.Error(), "-resume needs -journal") {
+		t.Errorf("resume without journal = %v", err)
 	}
 }

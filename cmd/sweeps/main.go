@@ -3,18 +3,27 @@
 // rewrite spacing s (Figure 13, Select-4:1 vs Select-4:2), and the R-M-read
 // conversion on/off comparison (Figure 14).
 //
+// Each sweep runs as a campaign on the shared worker pool; when a sweep is
+// interrupted or a point fails, the completed points are reported instead
+// of being discarded.
+//
 // Usage:
 //
 //	sweeps [-sweep=k|s|conversion|all] [-budget=2000000] [-seed=1]
-//	       [-benchmarks=mcf,sphinx3,...]
+//	       [-benchmarks=mcf,sphinx3,...] [-parallel=N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"readduo/internal/campaign"
 	"readduo/internal/report"
 	"readduo/internal/sim"
 	"readduo/internal/trace"
@@ -23,17 +32,44 @@ import (
 func main() {
 	sweep := flag.String("sweep", "all", "k, s, conversion, or all")
 	budget := flag.Uint64("budget", 2_000_000, "instructions per core")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "campaign seed (per-job seeds are derived from it)")
 	benchList := flag.String("benchmarks", "", "comma-separated workloads (default: full suite)")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*sweep, *budget, *seed, *benchList); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *sweep, *budget, *seed, *benchList, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "sweeps:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sweep string, budget uint64, seed int64, benchList string) error {
+// campaignMatrix runs one sweep's matrix on the campaign engine. On
+// interruption or point failure it writes the completed points to partialTo
+// before returning the error, so finished work is never silently discarded.
+func campaignMatrix(ctx context.Context, spec campaign.Spec, parallel int, partialTo io.Writer) (*report.Matrix, error) {
+	outcome, err := campaign.Run(ctx, spec, campaign.Options{Parallel: parallel})
+	if err != nil {
+		return nil, err
+	}
+	if outcome.Interrupted || outcome.Failed > 0 {
+		fmt.Fprintf(partialTo, "sweep incomplete: %d/%d points done (%d failed); completed points:\n",
+			outcome.Done, len(outcome.Records), outcome.Failed)
+		outcome.WriteSummary(partialTo)
+		if outcome.Interrupted {
+			return nil, fmt.Errorf("interrupted with %d/%d points done", outcome.Done, len(outcome.Records))
+		}
+		return nil, fmt.Errorf("%d sweep point(s) failed", outcome.Failed)
+	}
+	matrices, err := outcome.Matrices(spec)
+	if err != nil {
+		return nil, err
+	}
+	return matrices[0].Matrix, nil
+}
+
+func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList string, parallel int) error {
 	benches := trace.Benchmarks()
 	if benchList != "" {
 		benches = benches[:0]
@@ -45,13 +81,20 @@ func run(sweep string, budget uint64, seed int64, benchList string) error {
 			benches = append(benches, b)
 		}
 	}
-	runner := report.Runner{Budget: budget, Seed: seed}
+	spec := func(schemes ...sim.Scheme) campaign.Spec {
+		return campaign.Spec{
+			Benchmarks: benches,
+			Schemes:    schemes,
+			Seeds:      []int64{seed},
+			Budget:     budget,
+		}
+	}
 	all := sweep == "all"
 	ran := false
 
 	if all || sweep == "k" {
 		ran = true
-		m, err := runner.RunMatrix(benches, []sim.Scheme{sim.Ideal(), sim.LWT(2, true), sim.LWT(4, true)})
+		m, err := campaignMatrix(ctx, spec(sim.Ideal(), sim.LWT(2, true), sim.LWT(4, true)), parallel, os.Stdout)
 		if err != nil {
 			return err
 		}
@@ -68,7 +111,7 @@ func run(sweep string, budget uint64, seed int64, benchList string) error {
 
 	if all || sweep == "s" {
 		ran = true
-		m, err := runner.RunMatrix(benches, []sim.Scheme{sim.Ideal(), sim.Select(4, 1), sim.Select(4, 2)})
+		m, err := campaignMatrix(ctx, spec(sim.Ideal(), sim.Select(4, 1), sim.Select(4, 2)), parallel, os.Stdout)
 		if err != nil {
 			return err
 		}
@@ -85,7 +128,7 @@ func run(sweep string, budget uint64, seed int64, benchList string) error {
 
 	if all || sweep == "conversion" {
 		ran = true
-		m, err := runner.RunMatrix(benches, []sim.Scheme{sim.Ideal(), sim.LWT(4, false), sim.LWT(4, true)})
+		m, err := campaignMatrix(ctx, spec(sim.Ideal(), sim.LWT(4, false), sim.LWT(4, true)), parallel, os.Stdout)
 		if err != nil {
 			return err
 		}

@@ -1,12 +1,22 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"readduo/internal/campaign"
+	"readduo/internal/sim"
+	"readduo/internal/trace"
+)
 
 func TestRunSweepValidation(t *testing.T) {
-	if err := run("nonesuch", 10_000, 1, "gcc"); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, "nonesuch", 10_000, 1, "gcc", 1); err == nil {
 		t.Error("unknown sweep accepted")
 	}
-	if err := run("k", 10_000, 1, "nonesuch"); err == nil {
+	if err := run(ctx, "k", 10_000, 1, "nonesuch", 1); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -16,8 +26,61 @@ func TestRunSweepSmoke(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	for _, sweep := range []string{"k", "s", "conversion"} {
-		if err := run(sweep, 30_000, 1, "gcc"); err != nil {
+		if err := run(context.Background(), sweep, 30_000, 1, "gcc", 2); err != nil {
 			t.Errorf("run(%s): %v", sweep, err)
 		}
+	}
+}
+
+// TestCampaignMatrixReportsPartialProgress is the regression test for the
+// old behavior of discarding every completed point when one run failed: a
+// sweep with one poisoned point must still report the points that finished.
+func TestCampaignMatrixReportsPartialProgress(t *testing.T) {
+	gcc, _ := trace.ByName("gcc")
+	hmmer, _ := trace.ByName("hmmer")
+	spec := campaign.Spec{
+		Benchmarks: []trace.Benchmark{gcc, hmmer},
+		Schemes:    []sim.Scheme{sim.Ideal(), sim.LWT(4, true)},
+		Budget:     15_000,
+		Configure: func(job campaign.Job, cfg *sim.Config) {
+			if job.Benchmark.Name == "hmmer" && job.Scheme.Kind == sim.KindLWT {
+				cfg.EpochReads = -1 // invalid: this point fails validation
+			}
+		},
+	}
+	var partial bytes.Buffer
+	_, err := campaignMatrix(context.Background(), spec, 2, &partial)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("poisoned sweep error = %v", err)
+	}
+	out := partial.String()
+	if !strings.Contains(out, "3/4 points done") {
+		t.Errorf("partial report missing completion count:\n%s", out)
+	}
+	for _, want := range []string{"s0/gcc/Ideal", "s0/gcc/LWT-4", "s0/hmmer/Ideal", "FAILED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partial report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCampaignMatrixInterrupted verifies a cancelled sweep reports what it
+// finished instead of discarding it.
+func TestCampaignMatrixInterrupted(t *testing.T) {
+	gcc, _ := trace.ByName("gcc")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any job starts
+	spec := campaign.Spec{
+		Benchmarks: []trace.Benchmark{gcc},
+		Schemes:    []sim.Scheme{sim.Ideal()},
+		Budget:     10_000,
+	}
+	var partial bytes.Buffer
+	_, err := campaignMatrix(ctx, spec, 1, &partial)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("cancelled sweep error = %v", err)
+	}
+	if !strings.Contains(partial.String(), "not started") {
+		t.Errorf("partial report missing pending count:\n%s", partial.String())
 	}
 }

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"readduo/internal/report"
+	"readduo/internal/sim"
+)
+
+// SeedMatrix pairs one replicate seed with its aggregated result matrix.
+type SeedMatrix struct {
+	Seed   int64
+	Matrix *report.Matrix
+}
+
+// Matrices folds completed job records back into report matrices, one per
+// replicate seed. Placement is by job index — never completion order — so
+// the result is identical for any worker count. Every job must have a
+// StatusOK record (validity gating: failed or missing jobs make the matrix
+// unpublishable and are reported as an error naming the first gap).
+func (s Spec) Matrices(records []Record) ([]SeedMatrix, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := s.Jobs()
+	if len(records) < len(jobs) {
+		return nil, fmt.Errorf("campaign: %d records for %d jobs", len(records), len(jobs))
+	}
+	seeds := s.seeds()
+	benchNames := make([]string, len(s.Benchmarks))
+	for i, b := range s.Benchmarks {
+		benchNames[i] = b.Name
+	}
+	schemeNames := make([]string, len(s.Schemes))
+	for j, sc := range s.Schemes {
+		schemeNames[j] = sc.Name()
+	}
+	out := make([]SeedMatrix, len(seeds))
+	for si, seed := range seeds {
+		m := &report.Matrix{
+			Benchmarks: append([]string(nil), benchNames...),
+			Schemes:    append([]string(nil), schemeNames...),
+			Results:    make([][]*sim.Result, len(benchNames)),
+		}
+		for i := range m.Results {
+			m.Results[i] = make([]*sim.Result, len(schemeNames))
+		}
+		out[si] = SeedMatrix{Seed: seed, Matrix: m}
+	}
+	nb, ns := len(benchNames), len(schemeNames)
+	for _, job := range jobs {
+		rec := records[job.Index]
+		if rec.Status != StatusOK || rec.Result == nil {
+			reason := "never ran"
+			if rec.Status == StatusFailed {
+				reason = "failed: " + rec.Error
+			}
+			return nil, fmt.Errorf("campaign: job %s %s; matrix incomplete", job.Key(), reason)
+		}
+		bi := (job.Index / ns) % nb
+		si := job.Index / (nb * ns)
+		out[si].Matrix.Results[bi][job.Index%ns] = rec.Result
+	}
+	return out, nil
+}
+
+// Missing returns the keys of jobs without a StatusOK record, in index
+// order — the work a resumed campaign still has to do.
+func (s Spec) Missing(records []Record) []string {
+	var missing []string
+	for _, job := range s.Jobs() {
+		if job.Index >= len(records) || records[job.Index].Status != StatusOK {
+			missing = append(missing, job.Key())
+		}
+	}
+	return missing
+}
+
+// WriteSummary renders the per-job completion table: what finished, what
+// failed, and what never ran — the partial-progress report an interrupted
+// or failed campaign prints instead of discarding completed points.
+func (o *Outcome) WriteSummary(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "job\tstatus\tsim time\twall\tworker\n")
+	byIndex := append([]Record(nil), o.Records...)
+	sort.SliceStable(byIndex, func(i, j int) bool { return byIndex[i].Index < byIndex[j].Index })
+	for _, rec := range byIndex {
+		switch rec.Status {
+		case StatusOK:
+			simTime := ""
+			if rec.Result != nil {
+				simTime = rec.Result.ExecTime.Round(time.Microsecond).String()
+			}
+			fmt.Fprintf(tw, "%s\tok\t%s\t%.0fms\t%d\n", rec.Key, simTime, rec.WallMS, rec.Worker)
+		case StatusFailed:
+			fmt.Fprintf(tw, "%s\tFAILED: %s\t\t%.0fms\t%d\n",
+				rec.Key, strings.ReplaceAll(rec.Error, "\n", " "), rec.WallMS, rec.Worker)
+		}
+	}
+	if o.Remaining > 0 {
+		fmt.Fprintf(tw, "(%d jobs not started)\t\t\t\t\n", o.Remaining)
+	}
+	return tw.Flush()
+}
+
+// Matrices is the Outcome-level convenience over Spec.Matrices.
+func (o *Outcome) Matrices(spec Spec) ([]SeedMatrix, error) {
+	return spec.Matrices(o.Records)
+}

@@ -1,0 +1,250 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"readduo/internal/sim"
+)
+
+// journalVersion is bumped when the journal schema changes incompatibly.
+const journalVersion = 1
+
+// Header is the first line of a campaign journal: enough metadata to
+// validate a resume and to make result files self-describing.
+type Header struct {
+	Version     int      `json:"version"`
+	Fingerprint string   `json:"fingerprint"`
+	CreatedUnix int64    `json:"created_unix"`
+	Budget      uint64   `json:"budget"`
+	Seeds       []int64  `json:"seeds"`
+	Benchmarks  []string `json:"benchmarks"`
+	Schemes     []string `json:"schemes"`
+	Jobs        int      `json:"jobs"`
+}
+
+// Status classifies a finished job.
+type Status string
+
+// Job outcomes. Only StatusOK records count toward an aggregated matrix
+// (validity gating: a crashed job never pollutes a published table).
+const (
+	StatusOK     Status = "ok"
+	StatusFailed Status = "failed"
+)
+
+// Record is one journaled job completion.
+type Record struct {
+	Key       string      `json:"key"`
+	Index     int         `json:"index"`
+	Benchmark string      `json:"benchmark"`
+	Scheme    string      `json:"scheme"`
+	SeedIndex int         `json:"seed_index"`
+	Seed      int64       `json:"seed"`
+	Status    Status      `json:"status"`
+	Error     string      `json:"error,omitempty"`
+	WallMS    float64     `json:"wall_ms"`
+	Worker    int         `json:"worker"`
+	Result    *sim.Result `json:"result,omitempty"`
+}
+
+// journalLine is the JSONL envelope: exactly one of the fields is set.
+type journalLine struct {
+	Header *Header `json:"header,omitempty"`
+	Job    *Record `json:"job,omitempty"`
+}
+
+// Journal is an append-only JSONL campaign log. Append is safe for
+// concurrent use; every record is written and flushed atomically so a
+// killed process loses at most the line being written.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Path returns the journal's file path ("" for a nil journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Create starts a fresh journal at path (truncating any previous file) and
+// writes the header line.
+func Create(path string, h Header) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: create journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	if err := j.appendLine(journalLine{Header: &h}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Open resumes the journal at path: it validates the existing header
+// against h, returns the already-completed records keyed by job key, and
+// reopens the file for appending. A torn final line — left by a killed
+// campaign — is truncated away so subsequent appends start on a clean line
+// boundary. A missing file degrades to Create.
+func Open(path string, h Header) (*Journal, map[string]Record, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		j, cerr := Create(path, h)
+		return j, map[string]Record{}, cerr
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
+	gotHeader, records, valid, derr := decodeAll(data)
+	if derr != nil {
+		return nil, nil, fmt.Errorf("campaign: journal %s: %w", path, derr)
+	}
+	if gotHeader.Version != h.Version {
+		return nil, nil, fmt.Errorf("campaign: journal %s is version %d, want %d",
+			path, gotHeader.Version, h.Version)
+	}
+	if gotHeader.Fingerprint != h.Fingerprint {
+		return nil, nil, fmt.Errorf("campaign: journal %s belongs to a different campaign (fingerprint %s, want %s)",
+			path, gotHeader.Fingerprint, h.Fingerprint)
+	}
+	done := make(map[string]Record, len(records))
+	for _, rec := range records {
+		if rec.Status == StatusOK && rec.Result != nil {
+			done[rec.Key] = rec
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: reopen journal: %w", err)
+	}
+	if valid < int64(len(data)) {
+		// Drop the torn tail so the next append starts a fresh line.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("campaign: repair journal: %w", err)
+		}
+	}
+	return &Journal{f: f, path: path}, done, nil
+}
+
+// Append journals one job completion.
+func (j *Journal) Append(rec Record) error {
+	return j.appendLine(journalLine{Job: &rec})
+}
+
+func (j *Journal) appendLine(line journalLine) error {
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal journal line: %w", err)
+	}
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// One Write call per record keeps lines whole even under SIGKILL;
+	// only the final, in-flight line can ever be truncated.
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("campaign: append journal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// Decode reads a journal stream. A truncated final line — the signature of
+// a killed campaign — is tolerated and simply dropped; corruption anywhere
+// else is an error.
+func Decode(r io.Reader) (Header, []Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("read: %w", err)
+	}
+	h, records, _, derr := decodeAll(data)
+	return h, records, derr
+}
+
+// decodeAll parses the journal bytes and additionally returns the length of
+// the valid prefix: everything up to and including the last well-formed
+// line. Open truncates the file to that length before resuming appends.
+func decodeAll(data []byte) (Header, []Record, int64, error) {
+	var (
+		header  *Header
+		records []Record
+		valid   int64
+		lineNo  int
+	)
+	for offset := 0; offset < len(data); {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		complete := nl >= 0
+		var line []byte
+		next := len(data)
+		if complete {
+			line = data[offset : offset+nl]
+			next = offset + nl + 1
+		} else {
+			line = data[offset:]
+		}
+		lineNo++
+		if len(bytes.TrimSpace(line)) == 0 {
+			if complete {
+				valid = int64(next)
+			}
+			offset = next
+			continue
+		}
+		var jl journalLine
+		parseErr := json.Unmarshal(line, &jl)
+		if header == nil {
+			if parseErr != nil || jl.Header == nil || !complete {
+				return Header{}, nil, 0, fmt.Errorf("missing journal header")
+			}
+			header = jl.Header
+			valid = int64(next)
+			offset = next
+			continue
+		}
+		if parseErr != nil || jl.Job == nil || !complete {
+			if next >= len(data) {
+				break // torn final line from an interrupted write
+			}
+			return Header{}, nil, 0, fmt.Errorf("corrupt journal line %d", lineNo)
+		}
+		records = append(records, *jl.Job)
+		valid = int64(next)
+		offset = next
+	}
+	if header == nil {
+		return Header{}, nil, 0, fmt.Errorf("empty journal")
+	}
+	return *header, records, valid, nil
+}
+
+// DecodeFile reads the journal at path.
+func DecodeFile(path string) (Header, []Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

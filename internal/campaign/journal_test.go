@@ -1,0 +1,138 @@
+package campaign
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"readduo/internal/sim"
+	"readduo/internal/trace"
+)
+
+func journalSpec(t *testing.T) Spec {
+	t.Helper()
+	gcc, ok := trace.ByName("gcc")
+	if !ok {
+		t.Fatal("gcc missing")
+	}
+	return Spec{
+		Benchmarks: []trace.Benchmark{gcc},
+		Schemes:    []sim.Scheme{sim.Ideal(), sim.Hybrid()},
+		Budget:     10_000,
+	}
+}
+
+func TestJournalCreateDecode(t *testing.T) {
+	spec := journalSpec(t)
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Create(path, spec.Header(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{
+		Key: "s0/gcc/Ideal", Index: 0, Benchmark: "gcc", Scheme: "Ideal",
+		Seed: 7, Status: StatusOK, WallMS: 1.5,
+		Result: &sim.Result{Scheme: "Ideal", Benchmark: "gcc", Instructions: 123},
+	}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "s0/gcc/Hybrid", Index: 1, Status: StatusFailed, Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h, records, err := DecodeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Fingerprint != spec.Fingerprint() || h.CreatedUnix != 99 || h.Jobs != 2 {
+		t.Errorf("header = %+v", h)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0].Result == nil || records[0].Result.Instructions != 123 {
+		t.Errorf("result did not round-trip: %+v", records[0].Result)
+	}
+	if records[1].Status != StatusFailed || records[1].Error != "boom" {
+		t.Errorf("failed record = %+v", records[1])
+	}
+}
+
+// TestOpenRejectsForeignJournal: resuming against a journal from a
+// different campaign (other schemes, budget, or seeds) must fail loudly.
+func TestOpenRejectsForeignJournal(t *testing.T) {
+	spec := journalSpec(t)
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Create(path, spec.Header(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	other := spec
+	other.Budget = spec.Budget + 1
+	if _, _, err := Open(path, other.Header(1)); err == nil ||
+		!strings.Contains(err.Error(), "different campaign") {
+		t.Errorf("foreign journal error = %v", err)
+	}
+	// Same spec resumes fine.
+	j2, done, err := Open(path, spec.Header(2))
+	if err != nil {
+		t.Fatalf("Open same spec: %v", err)
+	}
+	defer j2.Close()
+	if len(done) != 0 {
+		t.Errorf("done = %d", len(done))
+	}
+}
+
+// TestOpenMissingFileCreates: -resume against a not-yet-existing journal
+// starts a fresh one instead of failing.
+func TestOpenMissingFileCreates(t *testing.T) {
+	spec := journalSpec(t)
+	path := filepath.Join(t.TempDir(), "new.jsonl")
+	j, done, err := Open(path, spec.Header(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(done) != 0 {
+		t.Errorf("done = %d", len(done))
+	}
+	if _, _, err := DecodeFile(path); err != nil {
+		t.Errorf("fresh journal unreadable: %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := Decode(strings.NewReader("")); err == nil {
+		t.Error("empty journal accepted")
+	}
+	if _, _, err := Decode(strings.NewReader("not json\n")); err == nil {
+		t.Error("missing header accepted")
+	}
+	// Corruption before the final line is an error, not silently dropped.
+	corrupt := `{"header":{"version":1,"fingerprint":"x","jobs":2}}
+garbage-line
+{"job":{"key":"a","status":"ok"}}
+`
+	if _, _, err := Decode(strings.NewReader(corrupt)); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("mid-journal corruption error = %v", err)
+	}
+	// A torn final line is the kill signature and is tolerated.
+	torn := `{"header":{"version":1,"fingerprint":"x","jobs":2}}
+{"job":{"key":"a","status":"ok"}}
+{"job":{"key":"b","sta`
+	h, records, err := Decode(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if h.Fingerprint != "x" || len(records) != 1 || records[0].Key != "a" {
+		t.Errorf("torn decode = %+v, %+v", h, records)
+	}
+}

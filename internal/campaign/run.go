@@ -1,0 +1,200 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"readduo/internal/sim"
+)
+
+// Options tunes a campaign run.
+type Options struct {
+	// Parallel is the worker-pool size; <= 0 selects GOMAXPROCS.
+	Parallel int
+	// Journal, when non-nil, receives every completed job record.
+	Journal *Journal
+	// Completed holds journal records from a previous run, keyed by job
+	// key; matching jobs are reused instead of re-executed.
+	Completed map[string]Record
+	// Progress, when non-nil, receives periodic one-line status updates.
+	Progress func(format string, args ...any)
+	// ProgressEvery is the status cadence; zero selects 5 s.
+	ProgressEvery time.Duration
+}
+
+// Outcome is the result of a campaign run.
+type Outcome struct {
+	// Records is dense in job-index order. Jobs never started (an
+	// interrupted campaign) have zero-value records (Status "").
+	Records []Record
+	// Done counts StatusOK records, including Resumed ones; Failed counts
+	// StatusFailed; Remaining counts jobs never started.
+	Done, Failed, Remaining int
+	// Resumed counts jobs satisfied from a previous journal.
+	Resumed int
+	// Parallel is the resolved worker count.
+	Parallel int
+	// Interrupted reports a context cancellation before all jobs ran.
+	Interrupted bool
+	// Elapsed is the campaign wall time.
+	Elapsed time.Duration
+}
+
+// Run executes the campaign. Cancelling ctx triggers a graceful drain:
+// in-flight jobs finish and are journaled, queued jobs are abandoned, and
+// the Outcome reports Interrupted. The returned error covers setup problems
+// only; per-job failures are Records with StatusFailed.
+func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := spec.Jobs()
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	progress := opts.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+
+	out := &Outcome{Records: make([]Record, len(jobs)), Parallel: parallel}
+	start := time.Now()
+
+	// Satisfy jobs from the previous journal first. A record only counts
+	// if its derived seed still matches — a stale journal entry (e.g. from
+	// a spec whose fingerprint collided) must re-run, not corrupt results.
+	var pending []Job
+	for _, job := range jobs {
+		if rec, ok := opts.Completed[job.Key()]; ok &&
+			rec.Status == StatusOK && rec.Result != nil && rec.Seed == job.Seed {
+			rec.Index = job.Index
+			out.Records[job.Index] = rec
+			out.Done++
+			out.Resumed++
+			continue
+		}
+		pending = append(pending, job)
+	}
+	if out.Resumed > 0 {
+		progress("campaign: resumed %d/%d jobs from journal", out.Resumed, len(jobs))
+	}
+
+	jobCh := make(chan Job)
+	recCh := make(chan Record)
+	go func() {
+		defer close(jobCh)
+		for _, job := range pending {
+			select {
+			case jobCh <- job:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for job := range jobCh {
+				recCh <- runJob(spec, job, worker)
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(recCh)
+	}()
+
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	started := out.Done
+	var journalErr error
+	for recCh != nil {
+		select {
+		case rec, ok := <-recCh:
+			if !ok {
+				recCh = nil
+				continue
+			}
+			out.Records[rec.Index] = rec
+			started++
+			if rec.Status == StatusOK {
+				out.Done++
+			} else {
+				out.Failed++
+				progress("campaign: job %s failed: %s", rec.Key, rec.Error)
+			}
+			if opts.Journal != nil && journalErr == nil {
+				journalErr = opts.Journal.Append(rec)
+			}
+		case <-ticker.C:
+			progress("campaign: %d/%d jobs done (%d failed), %d workers, %s elapsed",
+				out.Done, len(jobs), out.Failed, parallel,
+				time.Since(start).Round(time.Millisecond))
+		}
+	}
+	out.Remaining = len(jobs) - out.Done - out.Failed
+	out.Interrupted = ctx.Err() != nil && out.Remaining > 0
+	out.Elapsed = time.Since(start)
+	switch {
+	case out.Interrupted:
+		progress("campaign: interrupted with %d/%d jobs done (%d failed, %d remaining) after %s",
+			out.Done, len(jobs), out.Failed, out.Remaining, out.Elapsed.Round(time.Millisecond))
+	default:
+		progress("campaign: finished %d/%d jobs (%d failed) in %s",
+			out.Done, len(jobs), out.Failed, out.Elapsed.Round(time.Millisecond))
+	}
+	if journalErr != nil {
+		return out, journalErr
+	}
+	return out, nil
+}
+
+// runJob executes one simulation, converting a panic anywhere inside the
+// simulator into a failed-job record rather than a dead process.
+func runJob(spec Spec, job Job, worker int) (rec Record) {
+	rec = Record{
+		Key:       job.Key(),
+		Index:     job.Index,
+		Benchmark: job.Benchmark.Name,
+		Scheme:    job.Scheme.Name(),
+		SeedIndex: job.SeedIndex,
+		Seed:      job.Seed,
+		Worker:    worker,
+	}
+	start := time.Now()
+	defer func() {
+		rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		if p := recover(); p != nil {
+			rec.Status = StatusFailed
+			rec.Error = fmt.Sprintf("panic: %v", p)
+			rec.Result = nil
+		}
+	}()
+	cfg := sim.DefaultConfig(job.Benchmark)
+	if spec.Budget > 0 {
+		cfg.CPU.InstrBudget = spec.Budget
+	}
+	cfg.Seed = job.Seed
+	if spec.Configure != nil {
+		spec.Configure(job, &cfg)
+	}
+	res, err := sim.Run(cfg, job.Scheme)
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		return rec
+	}
+	rec.Status = StatusOK
+	rec.Result = res
+	return rec
+}

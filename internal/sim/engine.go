@@ -10,7 +10,6 @@ import (
 	"readduo/internal/energy"
 	"readduo/internal/lwt"
 	"readduo/internal/memctrl"
-	"readduo/internal/reliability"
 	"readduo/internal/sense"
 	"readduo/internal/trace"
 )
@@ -221,20 +220,22 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 	}
 	e.ctrl = ctrl
 
-	// Reliability machinery for the scan and read paths.
+	// Reliability machinery for the scan and read paths. The tables are
+	// memoized process-wide: every job of a campaign shares the same
+	// immutable quadrature results instead of rebuilding them.
 	rCfg, mCfg := drift.RMetricConfig(), drift.MMetricConfig()
-	e.rProbs = newProbCache(rCfg, 8)
-	e.mProbs = newProbCache(mCfg, 8)
+	e.rProbs = sharedProbCache(rCfg, 8)
+	e.mProbs = sharedProbCache(mCfg, 8)
 	if interval > 0 && w == 1 {
 		scanCfg := rCfg
 		if metric == drift.MetricM {
 			scanCfg = mCfg
 		}
-		an, err := reliability.NewAnalyzer(scanCfg)
+		frac, err := sharedSteadyRewrite(scanCfg, interval)
 		if err != nil {
 			return nil, err
 		}
-		e.steadyRewrite = an.SteadyStateRewriteFraction(interval.Seconds())
+		e.steadyRewrite = frac
 	}
 
 	if scheme.usesTracking() && scheme.Convert {

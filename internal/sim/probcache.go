@@ -2,6 +2,8 @@ package sim
 
 import (
 	"math"
+	"sync"
+	"time"
 
 	"readduo/internal/dist"
 	"readduo/internal/drift"
@@ -48,6 +50,54 @@ func newProbCache(cfg drift.Config, correctT int) *probCache {
 		pc.pSilent[i] = tailDetect
 	}
 	return pc
+}
+
+// probCacheKey identifies one memoized probability table. drift.Config is
+// a plain value type, so the key is comparable.
+type probCacheKey struct {
+	cfg      drift.Config
+	correctT int
+}
+
+// probCaches memoizes probability tables across runs: every job of a
+// campaign uses the same two (drift config, correctT) tables, and a
+// probCache is immutable after construction, so concurrent runs share them
+// race-free. A lost LoadOrStore race rebuilds an identical table once.
+var probCaches sync.Map // probCacheKey -> *probCache
+
+// sharedProbCache returns the process-wide memoized cache for the key,
+// building it on first use.
+func sharedProbCache(cfg drift.Config, correctT int) *probCache {
+	key := probCacheKey{cfg: cfg, correctT: correctT}
+	if v, ok := probCaches.Load(key); ok {
+		return v.(*probCache)
+	}
+	v, _ := probCaches.LoadOrStore(key, newProbCache(cfg, correctT))
+	return v.(*probCache)
+}
+
+// steadyKey identifies one memoized steady-state rewrite fraction.
+type steadyKey struct {
+	cfg      drift.Config
+	interval time.Duration
+}
+
+var steadyFracs sync.Map // steadyKey -> float64
+
+// sharedSteadyRewrite memoizes the W=1 steady-state rewrite fraction, the
+// other quadrature-heavy per-run constant.
+func sharedSteadyRewrite(cfg drift.Config, interval time.Duration) (float64, error) {
+	key := steadyKey{cfg: cfg, interval: interval}
+	if v, ok := steadyFracs.Load(key); ok {
+		return v.(float64), nil
+	}
+	an, err := reliability.NewAnalyzer(cfg)
+	if err != nil {
+		return 0, err
+	}
+	f := an.SteadyStateRewriteFraction(interval.Seconds())
+	v, _ := steadyFracs.LoadOrStore(key, f)
+	return v.(float64), nil
 }
 
 // index maps an age in seconds to the nearest grid point.

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"readduo/internal/drift"
+	"readduo/internal/reliability"
 )
 
 func TestProbCacheMonotoneAndBounded(t *testing.T) {
@@ -63,6 +66,80 @@ func TestProbCacheOrdering(t *testing.T) {
 	}
 	if r := pc.Retry(640); r < 1e-5 || r > 1e-3 {
 		t.Errorf("retry probability at 640s = %v, want ~2e-4", r)
+	}
+}
+
+// TestSharedProbCacheMemoizes: identical (config, correctT) keys must
+// return the same table instance, distinct keys distinct instances.
+func TestSharedProbCacheMemoizes(t *testing.T) {
+	r8a := sharedProbCache(drift.RMetricConfig(), 8)
+	r8b := sharedProbCache(drift.RMetricConfig(), 8)
+	if r8a != r8b {
+		t.Error("same key rebuilt the table")
+	}
+	if sharedProbCache(drift.MMetricConfig(), 8) == r8a {
+		t.Error("distinct configs share a table")
+	}
+	if sharedProbCache(drift.RMetricConfig(), 4) == r8a {
+		t.Error("distinct correctT share a table")
+	}
+	// The memoized table must be the one newProbCache would build.
+	fresh := newProbCache(drift.RMetricConfig(), 8)
+	for _, age := range []float64{1, 8, 640, 1e5} {
+		if r8a.AnyError(age) != fresh.AnyError(age) ||
+			r8a.Retry(age) != fresh.Retry(age) ||
+			r8a.Silent(age) != fresh.Silent(age) {
+			t.Fatalf("memoized table diverges from fresh build at age %g", age)
+		}
+	}
+}
+
+// TestSharedProbCacheConcurrent hammers the memoization from many
+// goroutines; run with -race to certify campaign workers can share it.
+func TestSharedProbCacheConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	ptrs := make([]*probCache, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pc := sharedProbCache(drift.RMetricConfig(), 8)
+			for _, age := range []float64{1, 64, 640, 1e4} {
+				_ = pc.AnyError(age)
+				_ = pc.Retry(age)
+			}
+			ptrs[g] = pc
+		}(g)
+	}
+	wg.Wait()
+	for _, pc := range ptrs[1:] {
+		if pc != ptrs[0] {
+			t.Fatal("concurrent callers saw different tables")
+		}
+	}
+}
+
+// TestSharedSteadyRewrite checks the memoized fraction matches the direct
+// analyzer computation and is stable across calls.
+func TestSharedSteadyRewrite(t *testing.T) {
+	cfg := drift.RMetricConfig()
+	got, err := sharedSteadyRewrite(cfg, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := sharedSteadyRewrite(cfg, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != again {
+		t.Error("memoized fraction unstable")
+	}
+	an, err := reliability.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := an.SteadyStateRewriteFraction(8); got != want {
+		t.Errorf("memoized fraction %v, direct %v", got, want)
 	}
 }
 
