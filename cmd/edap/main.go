@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	edap [-area] [-budget=1000000] [-seed=1]
+//	edap [-area] [-budget=1000000] [-seed=1] [-schemes=<list>]
+//
+// -schemes accepts any registry scheme list ("TLC,LWT-8,Select-8:4");
+// the first scheme in the list is the EDAP normalization baseline.
 package main
 
 import (
@@ -25,15 +28,17 @@ func main() {
 	areaOnly := flag.Bool("area", false, "print only the Table VII subarray area decomposition")
 	budget := flag.Uint64("budget", 1_000_000, "instructions per core")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	schemeList := flag.String("schemes", "",
+		"comma-separated scheme list; the first entry is the EDAP baseline (default: the Figure 11 set)")
 	flag.Parse()
 
-	if err := run(*areaOnly, *budget, *seed); err != nil {
+	if err := run(*areaOnly, *budget, *seed, *schemeList); err != nil {
 		fmt.Fprintln(os.Stderr, "edap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(areaOnly bool, budget uint64, seed int64) error {
+func run(areaOnly bool, budget uint64, seed int64, schemeList string) error {
 	if err := printTableVII(); err != nil {
 		return err
 	}
@@ -42,30 +47,36 @@ func run(areaOnly bool, budget uint64, seed int64) error {
 	}
 	printFootprints()
 
-	schemes := []sim.Scheme{
-		sim.TLC(), sim.Scrubbing(), sim.MMetric(),
-		sim.Hybrid(), sim.LWT(4, true), sim.Select(4, 2),
+	schemes := sim.EDAPSchemes()
+	if schemeList != "" {
+		var err error
+		if schemes, err = sim.ParseList(schemeList); err != nil {
+			return err
+		}
 	}
+	baseline := schemes[0].Name()
 	runner := report.Runner{Budget: budget, Seed: seed}
 	m, err := runner.RunMatrix(trace.Benchmarks(), schemes)
 	if err != nil {
 		return err
 	}
-	productD, err := m.EDAPMatrix("TLC", false)
+	productD, err := m.EDAPMatrix(baseline, false)
 	if err != nil {
 		return err
 	}
 	if err := report.WriteKeyValueTable(os.Stdout,
-		"Figure 11 Product-D: EDAP (dynamic energy) normalized to TLC", m.Schemes, productD); err != nil {
+		fmt.Sprintf("Figure 11 Product-D: EDAP (dynamic energy) normalized to %s", baseline),
+		m.Schemes, productD); err != nil {
 		return err
 	}
 	fmt.Println()
-	productS, err := m.EDAPMatrix("TLC", true)
+	productS, err := m.EDAPMatrix(baseline, true)
 	if err != nil {
 		return err
 	}
 	if err := report.WriteKeyValueTable(os.Stdout,
-		"Figure 11 Product-S: EDAP (system energy) normalized to TLC", m.Schemes, productS); err != nil {
+		fmt.Sprintf("Figure 11 Product-S: EDAP (system energy) normalized to %s", baseline),
+		m.Schemes, productS); err != nil {
 		return err
 	}
 	fmt.Println()

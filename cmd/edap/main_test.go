@@ -9,7 +9,7 @@ func TestPrintTableVII(t *testing.T) {
 }
 
 func TestRunAreaOnly(t *testing.T) {
-	if err := run(true, 0, 0); err != nil {
+	if err := run(true, 0, 0, ""); err != nil {
 		t.Errorf("area-only run: %v", err)
 	}
 }
@@ -18,7 +18,20 @@ func TestRunFull(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full matrix")
 	}
-	if err := run(false, 20_000, 1); err != nil {
+	if err := run(false, 20_000, 1, ""); err != nil {
 		t.Errorf("full run: %v", err)
+	}
+}
+
+func TestRunCustomSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a matrix")
+	}
+	// Arbitrary baseline + design point straight from the spec grammar.
+	if err := run(false, 20_000, 1, "TLC,lwt:k=8"); err != nil {
+		t.Errorf("custom scheme run: %v", err)
+	}
+	if err := run(false, 20_000, 1, "TLC,bogus"); err == nil {
+		t.Error("bogus scheme list accepted")
 	}
 }

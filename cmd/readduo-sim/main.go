@@ -11,9 +11,13 @@
 //
 // Usage:
 //
-//	readduo-sim [-benchmarks=mcf,sphinx3] [-schemes=prior|readduo|all]
+//	readduo-sim [-benchmarks=mcf,sphinx3] [-schemes=prior|readduo|all|<list>]
 //	            [-budget=2000000] [-seed=1] [-report=time|energy|lifetime|all]
 //	            [-parallel=N] [-journal=run.jsonl] [-resume] [-json]
+//
+// -schemes also accepts an arbitrary design-point list drawn from the
+// scheme registry's spec grammar, e.g. "Ideal,LWT-8,Select-4:2" or
+// "ideal,lwt:k=16,convert=false" — design points the paper never ran.
 package main
 
 import (
@@ -53,7 +57,8 @@ type options struct {
 func main() {
 	var opts options
 	flag.StringVar(&opts.benchList, "benchmarks", "", "comma-separated workload names (default: full suite)")
-	flag.StringVar(&opts.schemeSet, "schemes", "all", "prior (Scrubbing/M-metric/TLC), readduo, or all")
+	flag.StringVar(&opts.schemeSet, "schemes", "all",
+		"prior, readduo, all, or a comma-separated scheme list (e.g. \"Ideal,LWT-8,Select-4:2\", \"lwt:k=16\")")
 	flag.Uint64Var(&opts.budget, "budget", 2_000_000, "instructions per core")
 	flag.Int64Var(&opts.seed, "seed", 1, "campaign seed (per-job seeds are derived from it)")
 	flag.StringVar(&opts.what, "report", "all", "time, energy, lifetime, or all")
@@ -88,19 +93,18 @@ func selectBenches(list string) ([]trace.Benchmark, error) {
 	return out, nil
 }
 
+// selectSchemes resolves -schemes: a named registry set or an arbitrary
+// comma-separated design-point list ("Ideal,LWT-8,Select-4:2").
 func selectSchemes(set string) ([]sim.Scheme, error) {
 	switch set {
+	case "", "all":
+		return sim.AllSchemes(), nil
 	case "prior":
-		return []sim.Scheme{sim.Ideal(), sim.Scrubbing(), sim.MMetric(), sim.TLC()}, nil
+		return sim.PriorSchemes(), nil
 	case "readduo":
-		return []sim.Scheme{sim.Ideal(), sim.Hybrid(), sim.LWT(4, true), sim.Select(4, 2)}, nil
-	case "all":
-		return []sim.Scheme{
-			sim.Ideal(), sim.Scrubbing(), sim.MMetric(), sim.TLC(),
-			sim.Hybrid(), sim.LWT(4, true), sim.Select(4, 2),
-		}, nil
+		return sim.ReadDuoSchemes(), nil
 	default:
-		return nil, fmt.Errorf("unknown scheme set %q", set)
+		return sim.ParseList(set)
 	}
 }
 

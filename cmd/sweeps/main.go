@@ -9,8 +9,13 @@
 //
 // Usage:
 //
-//	sweeps [-sweep=k|s|conversion|all] [-budget=2000000] [-seed=1]
+//	sweeps [-sweep=k|s|conversion|all|custom] [-budget=2000000] [-seed=1]
 //	       [-benchmarks=mcf,sphinx3,...] [-parallel=N]
+//	       [-schemes=Ideal,LWT-8,Select-4:2]
+//
+// -sweep=custom compares an arbitrary scheme list from the registry
+// grammar, normalized to the first entry. Passing -schemes implies
+// -sweep=custom.
 package main
 
 import (
@@ -30,16 +35,22 @@ import (
 )
 
 func main() {
-	sweep := flag.String("sweep", "all", "k, s, conversion, or all")
+	sweep := flag.String("sweep", "all", "k, s, conversion, all, or custom")
 	budget := flag.Uint64("budget", 2_000_000, "instructions per core")
 	seed := flag.Int64("seed", 1, "campaign seed (per-job seeds are derived from it)")
 	benchList := flag.String("benchmarks", "", "comma-separated workloads (default: full suite)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	schemeList := flag.String("schemes", "",
+		"scheme list for the custom sweep, normalized to the first entry (implies -sweep=custom)")
 	flag.Parse()
+
+	if *schemeList != "" && *sweep == "all" {
+		*sweep = "custom"
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *sweep, *budget, *seed, *benchList, *parallel); err != nil {
+	if err := run(ctx, *sweep, *budget, *seed, *benchList, *parallel, *schemeList); err != nil {
 		fmt.Fprintln(os.Stderr, "sweeps:", err)
 		os.Exit(1)
 	}
@@ -69,7 +80,7 @@ func campaignMatrix(ctx context.Context, spec campaign.Spec, parallel int, parti
 	return matrices[0].Matrix, nil
 }
 
-func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList string, parallel int) error {
+func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList string, parallel int, schemeList string) error {
 	benches := trace.Benchmarks()
 	if benchList != "" {
 		benches = benches[:0]
@@ -141,6 +152,34 @@ func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList
 			return err
 		}
 		fmt.Printf("\nconversion improvement (mean): %.2f%%\n\n", 100*(means[1]-means[2])/means[1])
+	}
+
+	if sweep == "custom" {
+		ran = true
+		if schemeList == "" {
+			return fmt.Errorf("-sweep=custom needs -schemes (e.g. -schemes=Ideal,LWT-8,Select-4:2)")
+		}
+		schemes, err := sim.ParseList(schemeList)
+		if err != nil {
+			return err
+		}
+		if len(schemes) < 2 {
+			return fmt.Errorf("custom sweep needs at least two schemes, got %d", len(schemes))
+		}
+		m, err := campaignMatrix(ctx, spec(schemes...), parallel, os.Stdout)
+		if err != nil {
+			return err
+		}
+		baseline := schemes[0].Name()
+		rows, means, err := m.Normalized(baseline, report.ExecTime)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteNormalizedTable(os.Stdout,
+			fmt.Sprintf("Custom sweep: execution time vs %s", baseline), m, rows, means); err != nil {
+			return err
+		}
+		fmt.Println()
 	}
 
 	if !ran {

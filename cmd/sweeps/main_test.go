@@ -13,11 +13,20 @@ import (
 
 func TestRunSweepValidation(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, "nonesuch", 10_000, 1, "gcc", 1); err == nil {
+	if err := run(ctx, "nonesuch", 10_000, 1, "gcc", 1, ""); err == nil {
 		t.Error("unknown sweep accepted")
 	}
-	if err := run(ctx, "k", 10_000, 1, "nonesuch", 1); err == nil {
+	if err := run(ctx, "k", 10_000, 1, "nonesuch", 1, ""); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+	if err := run(ctx, "custom", 10_000, 1, "gcc", 1, ""); err == nil {
+		t.Error("custom sweep without -schemes accepted")
+	}
+	if err := run(ctx, "custom", 10_000, 1, "gcc", 1, "Ideal"); err == nil {
+		t.Error("single-scheme custom sweep accepted")
+	}
+	if err := run(ctx, "custom", 10_000, 1, "gcc", 1, "Ideal,bogus"); err == nil {
+		t.Error("bogus custom scheme list accepted")
 	}
 }
 
@@ -26,9 +35,20 @@ func TestRunSweepSmoke(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	for _, sweep := range []string{"k", "s", "conversion"} {
-		if err := run(context.Background(), sweep, 30_000, 1, "gcc", 2); err != nil {
+		if err := run(context.Background(), sweep, 30_000, 1, "gcc", 2, ""); err != nil {
 			t.Errorf("run(%s): %v", sweep, err)
 		}
+	}
+}
+
+// TestRunCustomSweep exercises a design point the fixed sweeps never
+// built: an LWT-8 line with selective rewrites layered next to it.
+func TestRunCustomSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	if err := run(context.Background(), "custom", 30_000, 1, "gcc", 2, "Ideal,lwt:k=8,Select-8:4"); err != nil {
+		t.Errorf("custom sweep: %v", err)
 	}
 }
 
@@ -43,7 +63,7 @@ func TestCampaignMatrixReportsPartialProgress(t *testing.T) {
 		Schemes:    []sim.Scheme{sim.Ideal(), sim.LWT(4, true)},
 		Budget:     15_000,
 		Configure: func(job campaign.Job, cfg *sim.Config) {
-			if job.Benchmark.Name == "hmmer" && job.Scheme.Kind == sim.KindLWT {
+			if job.Benchmark.Name == "hmmer" && job.Scheme.Name() == "LWT-4" {
 				cfg.EpochReads = -1 // invalid: this point fails validation
 			}
 		},

@@ -219,8 +219,12 @@ func DefaultSenseTiming() SenseTiming { return sense.DefaultTiming() }
 // ---------------------------------------------------------------------------
 // Full-system simulation
 
-// Scheme is one of the evaluated design points.
+// Scheme is one of the evaluated design points: a named composition of a
+// sense, scrub, and write policy.
 type Scheme = sim.Scheme
+
+// SchemeDesign is the three-axis policy composition behind a Scheme.
+type SchemeDesign = sim.Design
 
 // The paper's schemes.
 var (
@@ -231,6 +235,41 @@ var (
 	SchemeHybrid    = sim.Hybrid
 	SchemeLWT       = sim.LWT
 	SchemeSelect    = sim.Select
+)
+
+// Policy constructors for composing schemes beyond the paper's seven.
+var (
+	RSensePolicy        = sim.RSense
+	MSensePolicy        = sim.MSense
+	HybridSensePolicy   = sim.HybridSense
+	TrackedSensePolicy  = sim.TrackedSense
+	NoScrubPolicy       = sim.NoScrub
+	IntervalScrubPolicy = sim.IntervalScrub
+	PlainWritePolicy    = sim.PlainWrite
+	TLCWritePolicy      = sim.TLCWrite
+	TrackedWritePolicy  = sim.TrackedWrite
+	SelectWritePolicy   = sim.SelectWrite
+)
+
+// ComposeScheme names an arbitrary policy composition so it can run
+// anywhere a paper scheme can.
+func ComposeScheme(label string, d SchemeDesign) Scheme { return sim.Compose(label, d) }
+
+// ParseScheme resolves one scheme spec string: a paper name ("LWT-8"), a
+// registry alias ("mmetric"), or a parameterized family ("select:k=4,s=2").
+func ParseScheme(spec string) (Scheme, error) { return sim.Parse(spec) }
+
+// ParseSchemes resolves a comma-separated scheme list.
+func ParseSchemes(list string) ([]Scheme, error) { return sim.ParseList(list) }
+
+// SchemeGrammars lists every registered scheme family's spec grammar.
+func SchemeGrammars() []string { return sim.SchemeGrammars() }
+
+// Scheme sets used throughout the evaluation.
+var (
+	PriorSchemes   = sim.PriorSchemes   // Ideal, Scrubbing, M-metric, TLC
+	ReadDuoSchemes = sim.ReadDuoSchemes // Ideal, Hybrid, LWT-4, Select-4:2
+	AllSchemes     = sim.AllSchemes     // the full seven-scheme comparison
 )
 
 // SimConfig assembles a full-system run.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"readduo"
 )
@@ -132,6 +133,49 @@ func TestPublicSimulation(t *testing.T) {
 	}
 	if _, err := readduo.SimConfigFor("nonesuch"); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestPublicSchemeComposition(t *testing.T) {
+	s, err := readduo.ParseScheme("lwt:k=8")
+	if err != nil || s.Name() != "LWT-8" {
+		t.Fatalf("ParseScheme = %v, %v", s.Name(), err)
+	}
+	list, err := readduo.ParseSchemes("Ideal,LWT-8,Select-4:2")
+	if err != nil || len(list) != 3 {
+		t.Fatalf("ParseSchemes = %d schemes, %v", len(list), err)
+	}
+	if len(readduo.SchemeGrammars()) == 0 {
+		t.Error("no scheme grammars registered")
+	}
+	if got := len(readduo.AllSchemes()); got != 7 {
+		t.Errorf("AllSchemes = %d", got)
+	}
+	if got := len(readduo.PriorSchemes()) + len(readduo.ReadDuoSchemes()); got != 8 {
+		t.Errorf("prior+readduo = %d schemes", got)
+	}
+
+	// A design point the paper never built: tracked sensing over plain
+	// full writes, scrubbed on the M metric.
+	custom := readduo.ComposeScheme("lwt8-over-select", readduo.SchemeDesign{
+		Sense: readduo.TrackedSensePolicy(8, true),
+		Scrub: readduo.IntervalScrubPolicy(640*time.Second, readduo.MetricM, 0),
+		Write: readduo.SelectWritePolicy(8, 4),
+	})
+	if err := custom.Validate(); err != nil {
+		t.Fatalf("custom scheme invalid: %v", err)
+	}
+	cfg, err := readduo.SimConfigFor("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CPU.InstrBudget = 30_000
+	res, err := readduo.Simulate(cfg, custom)
+	if err != nil {
+		t.Fatalf("Simulate(custom): %v", err)
+	}
+	if res.Scheme != "lwt8-over-select" || res.ExecTime <= 0 {
+		t.Errorf("custom result %+v", res)
 	}
 }
 

@@ -153,7 +153,7 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 func TestPanicBecomesFailedJob(t *testing.T) {
 	spec := testSpec(t, 15_000)
 	spec.Configure = func(job Job, cfg *sim.Config) {
-		if job.Benchmark.Name == "hmmer" && job.Scheme.Kind == sim.KindMMetric {
+		if job.Benchmark.Name == "hmmer" && job.Scheme.Name() == "M-metric" {
 			panic("injected test panic")
 		}
 	}
@@ -253,6 +253,105 @@ func TestResumeFromTruncatedJournal(t *testing.T) {
 	}
 	if len(byKey) != 6 {
 		t.Errorf("journal covers %d unique jobs, want 6", len(byKey))
+	}
+}
+
+// TestRestoreSpecRoundTrip: Spec -> Header -> RestoreSpec reproduces the
+// same campaign, job for job.
+func TestRestoreSpecRoundTrip(t *testing.T) {
+	spec := testSpec(t, 15_000)
+	h := spec.Header(7)
+	restored, err := RestoreSpec(h)
+	if err != nil {
+		t.Fatalf("RestoreSpec: %v", err)
+	}
+	if restored.Fingerprint() != spec.Fingerprint() {
+		t.Errorf("fingerprint %s, want %s", restored.Fingerprint(), spec.Fingerprint())
+	}
+	if !reflect.DeepEqual(restored.Jobs(), spec.Jobs()) {
+		t.Error("restored job list differs")
+	}
+
+	bad := h
+	bad.Benchmarks = append([]string{"nonesuch"}, h.Benchmarks[1:]...)
+	if _, err := RestoreSpec(bad); err == nil {
+		t.Error("unknown benchmark restored")
+	}
+	bad = h
+	bad.Schemes = append([]string{"bogus"}, h.Schemes[1:]...)
+	if _, err := RestoreSpec(bad); err == nil {
+		t.Error("unknown scheme restored")
+	}
+	bad = h
+	bad.Budget++ // header no longer describes the fingerprinted campaign
+	if _, err := RestoreSpec(bad); err == nil {
+		t.Error("fingerprint mismatch restored")
+	}
+}
+
+// TestPreRefactorJournalResumes pins journal compatibility across the
+// policy refactor: headers serialize schemes as name strings ("LWT-4"),
+// and the fingerprint below was computed from those names before schemes
+// became composed policy values. A journal written back then must still
+// restore to a runnable spec and resume.
+func TestPreRefactorJournalResumes(t *testing.T) {
+	h := Header{
+		Version:     journalVersion,
+		Fingerprint: "645673b2f343de80", // FNV-64a of the name-based identity
+		CreatedUnix: 99,
+		Budget:      15_000,
+		Seeds:       []int64{1},
+		Benchmarks:  []string{"gcc"},
+		Schemes:     []string{"Ideal", "LWT-4", "Select-4:2"},
+		Jobs:        3,
+	}
+	spec, err := RestoreSpec(h)
+	if err != nil {
+		t.Fatalf("RestoreSpec(pre-refactor header): %v", err)
+	}
+	if got := spec.Header(99); !reflect.DeepEqual(got, h) {
+		t.Fatalf("restored header %+v, want %+v", got, h)
+	}
+
+	// Journal the campaign, then cut it back to one completed record —
+	// the state an interrupted pre-refactor campaign left on disk.
+	path := filepath.Join(t.TempDir(), "old.jsonl")
+	j, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, spec, Options{Parallel: 1, Journal: j})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if err := os.WriteFile(path, bytes.Join(lines[:2], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, done, err := Open(path, spec.Header(99))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(done))
+	}
+	resumed, err := Run(context.Background(), spec, Options{Parallel: 1, Journal: j2, Completed: done})
+	if err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed != 1 || resumed.Done != 3 {
+		t.Fatalf("resumed outcome = %+v", resumed)
+	}
+	if _, err := resumed.Matrices(spec); err != nil {
+		t.Fatalf("resumed matrix: %v", err)
 	}
 }
 

@@ -152,6 +152,42 @@ func (s Spec) Fingerprint() string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// RestoreSpec rebuilds a runnable Spec from a journal header: benchmarks
+// come back through the trace registry and schemes through the sim spec
+// parser (every scheme Name is itself a parseable spec string). The
+// restored spec is fingerprint-checked against the header, so a journal
+// written before a code change can only be resumed if the campaign it
+// describes is still expressible bit-for-bit. Configure hooks are not
+// journaled and come back nil.
+func RestoreSpec(h Header) (Spec, error) {
+	s := Spec{
+		Seeds:  append([]int64(nil), h.Seeds...),
+		Budget: h.Budget,
+	}
+	for _, name := range h.Benchmarks {
+		b, ok := trace.ByName(name)
+		if !ok {
+			return Spec{}, fmt.Errorf("campaign: restore: unknown benchmark %q", name)
+		}
+		s.Benchmarks = append(s.Benchmarks, b)
+	}
+	for _, spec := range h.Schemes {
+		sc, err := sim.Parse(spec)
+		if err != nil {
+			return Spec{}, fmt.Errorf("campaign: restore scheme %q: %w", spec, err)
+		}
+		s.Schemes = append(s.Schemes, sc)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	if got := s.Fingerprint(); got != h.Fingerprint {
+		return Spec{}, fmt.Errorf("campaign: restore: fingerprint %s does not match journal %s",
+			got, h.Fingerprint)
+	}
+	return s, nil
+}
+
 // Header builds the journal header describing this spec.
 func (s Spec) Header(createdUnix int64) Header {
 	benches := make([]string, len(s.Benchmarks))

@@ -10,7 +10,6 @@ import (
 	"readduo/internal/energy"
 	"readduo/internal/lwt"
 	"readduo/internal/memctrl"
-	"readduo/internal/sense"
 	"readduo/internal/trace"
 )
 
@@ -99,8 +98,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// engine is one running simulation.
-type engine struct {
+// Engine is one running simulation. Policies receive it on every
+// dispatch: the exported type is the extension surface that lets new
+// SensePolicy/WritePolicy implementations reach engine state without
+// engine edits.
+type Engine struct {
 	cfg    Config
 	scheme Scheme
 
@@ -108,6 +110,13 @@ type engine struct {
 	cluster *cpu.Cluster
 	acct    *energy.Accounting
 	rng     *rand.Rand
+
+	// Scrub plan, cached from the scheme's ScrubPolicy at startup.
+	scrubMetric drift.Metric
+	scrubW      int
+	// recordScrubRewrites notes scrub rewrites in lastWrite even for
+	// untouched lines (tracking designs and Hybrid's age math need it).
+	recordScrubRewrites bool
 
 	// Line state: physical line -> last full write time (ps, possibly
 	// far negative for pre-window writes).
@@ -172,8 +181,8 @@ type runStats struct {
 	hybridRetries  uint64
 }
 
-var _ cpu.MemPort = (*engine)(nil)
-var _ memctrl.ScrubHook = (*engine)(nil)
+var _ cpu.MemPort = (*Engine)(nil)
+var _ memctrl.ScrubHook = (*Engine)(nil)
 
 // Run executes one (scheme, workload) simulation and returns its Result.
 func Run(cfg Config, scheme Scheme) (*Result, error) {
@@ -184,19 +193,24 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 		return nil, err
 	}
 
-	e := &engine{
+	e := &Engine{
 		cfg:       cfg,
 		scheme:    scheme,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		lastWrite: make(map[uint64]int64, 1<<16),
 	}
 
-	// Scheme-specific memory configuration.
+	// Scheme-specific memory configuration, derived from the policy axes.
 	memCfg := cfg.Mem
-	interval, metric, w := scheme.ScrubPolicy()
+	interval, metric, w := scheme.Scrub.Plan()
 	memCfg.ScrubInterval = interval
-	if scheme.Kind == KindTLC {
-		memCfg.CellsPerLine = cfg.TLCCellsPerLine
+	if lg, ok := scheme.Write.(LineGeometry); ok {
+		memCfg.CellsPerLine = lg.LineCells(cfg)
+	}
+	e.scrubMetric, e.scrubW = metric, w
+	e.recordScrubRewrites = scheme.Write.Tracking()
+	if sr, ok := scheme.Sense.(ScrubRewriteRecorder); ok && sr.RecordsScrubRewrites() {
+		e.recordScrubRewrites = true
 	}
 	e.scrubIntervalPS = memctrl.PS(interval)
 	e.linesPerBank = memCfg.TotalLines / uint64(memCfg.Banks)
@@ -238,7 +252,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 		e.steadyRewrite = frac
 	}
 
-	if scheme.usesTracking() && scheme.Convert {
+	if cu, ok := scheme.Sense.(ConverterUser); ok && cu.UsesConverter() {
 		conv, err := lwt.NewConverter()
 		if err != nil {
 			return nil, err
@@ -274,7 +288,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 // loop is the two-clock event loop: the CPU cluster proposes its next issue
 // time, the memory controller its next internal event; the earlier one
 // advances global time.
-func (e *engine) loop() error {
+func (e *Engine) loop() error {
 	const maxIters = 1 << 62
 	var now int64
 	for iter := 0; ; iter++ {
@@ -326,7 +340,7 @@ func (e *engine) loop() error {
 
 // mark snapshots every counter at the warmup boundary; Result reports the
 // deltas from here.
-func (e *engine) mark(now int64) {
+func (e *Engine) mark(now int64) {
 	e.warmupDone = true
 	e.markTimePS = now
 	e.markInstr = e.cluster.TotalRetired()
@@ -344,13 +358,13 @@ func min64(a, b int64) int64 {
 }
 
 // physLine maps a trace line address onto the physical line space.
-func (e *engine) physLine(traceLine uint64) uint64 {
+func (e *Engine) physLine(traceLine uint64) uint64 {
 	return splitmix64(traceLine^uint64(e.cfg.Seed)) % e.cfg.Mem.TotalLines
 }
 
 // scrubPhase returns when the walker visits this line within each interval
 // (ps offset in [0, S)), matching the controller's deterministic walk.
-func (e *engine) scrubPhase(phys uint64) int64 {
+func (e *Engine) scrubPhase(phys uint64) int64 {
 	if e.scrubIntervalPS == 0 {
 		return 0
 	}
@@ -362,7 +376,7 @@ func (e *engine) scrubPhase(phys uint64) int64 {
 
 // lastScrubAt returns the most recent walker visit to the line at or before
 // now (can be negative when now is inside the first interval).
-func (e *engine) lastScrubAt(phys uint64, now int64) int64 {
+func (e *Engine) lastScrubAt(phys uint64, now int64) int64 {
 	if e.scrubIntervalPS == 0 {
 		return -1 << 62
 	}
@@ -378,7 +392,7 @@ func (e *engine) lastScrubAt(phys uint64, now int64) int64 {
 // lineLastWrite fetches (lazily creating) the line's last full write. For a
 // first-touch read the virtual age comes from the workload profile; a
 // first-touch write is simply recorded at its own time by the caller.
-func (e *engine) lineLastWrite(phys uint64, now int64) int64 {
+func (e *Engine) lineLastWrite(phys uint64, now int64) int64 {
 	if t, ok := e.lastWrite[phys]; ok {
 		return t
 	}
@@ -393,17 +407,18 @@ func (e *engine) lineLastWrite(phys uint64, now int64) int64 {
 }
 
 // ageSeconds converts a last-write timestamp to seconds of drift age.
-func (e *engine) ageSeconds(now, lastWrite int64) float64 {
+func (e *Engine) ageSeconds(now, lastWrite int64) float64 {
 	if lastWrite >= now {
 		return 0
 	}
 	return float64(now-lastWrite) / 1e12
 }
 
-// Read implements cpu.MemPort: the scheme's readout decision.
-func (e *engine) Read(now int64, core int, line uint64) (uint64, error) {
+// Read implements cpu.MemPort: the scheme's sense policy decides which
+// readout services the access.
+func (e *Engine) Read(now int64, core int, line uint64) (uint64, error) {
 	phys := e.physLine(line)
-	mode := e.readMode(now, phys)
+	mode := e.scheme.Sense.ReadMode(e, now, phys)
 	e.nextID++
 	id := e.nextID
 	if err := e.ctrl.EnqueueRead(now, id, phys, mode); err != nil {
@@ -414,75 +429,8 @@ func (e *engine) Read(now int64, core int, line uint64) (uint64, error) {
 	return id, nil
 }
 
-// readMode is the heart of ReadDuo: which sensing services this read.
-func (e *engine) readMode(now int64, phys uint64) sense.Mode {
-	switch e.scheme.Kind {
-	case KindIdeal, KindScrubbing, KindTLC:
-		return sense.ModeR
-
-	case KindMMetric:
-		return sense.ModeM
-
-	case KindHybrid:
-		// W=0 scrubbing guarantees the line was rewritten at its last
-		// scrub visit; drift age is measured from the later of that and
-		// any demand write.
-		last := e.lineLastWrite(phys, now)
-		if s := e.lastScrubAt(phys, now); s > last {
-			last = s
-		}
-		age := e.ageSeconds(now, last)
-		u := e.rng.Float64()
-		if u < e.rProbs.Silent(age) {
-			e.stats.silentErrors++
-			return sense.ModeR // wrong data returned; counted, not felt
-		}
-		if u < e.rProbs.Silent(age)+e.rProbs.Retry(age) {
-			e.stats.hybridRetries++
-			return sense.ModeRM
-		}
-		return sense.ModeR
-
-	case KindLWT, KindSelect:
-		last := e.lineLastWrite(phys, now)
-		phase := e.scrubPhase(phys)
-		subNow := lwt.SubIndex(now, phase, e.scrubIntervalPS, e.scheme.K)
-		subW := lwt.SubIndex(last, phase, e.scrubIntervalPS, e.scheme.K)
-		e.acct.AddFlagAccess(e.scheme.FlagBits())
-		if lwt.AllowRSenseAt(e.scheme.K, subNow, subW) {
-			if e.convertedLines != nil {
-				if _, ok := e.convertedLines[phys]; ok {
-					e.epochRehits++
-				}
-			}
-			return sense.ModeR
-		}
-		// Untracked: the flags abort R-sensing into the M retry.
-		e.stats.untrackedReads++
-		e.epochUntracked++
-		if e.converter != nil && e.converter.ShouldConvert() {
-			// Redundant write-back re-normalizes the line and enables
-			// fast R-reads for the next interval. Opportunistic: skip
-			// when the bank's write queue is saturated.
-			if e.ctrl.WriteQueueSpace(phys) > 1 && e.ctrl.EnqueueWrite(now, phys, e.cfg.Mem.CellsPerLine) {
-				e.lastWrite[phys] = now
-				e.acct.AddFlagAccess(e.scheme.FlagBits())
-				e.stats.conversions++
-				e.epochConversions++
-				e.convertedLines[phys] = struct{}{}
-			} else {
-				e.stats.convSkipped++
-			}
-		}
-		return sense.ModeRM
-
-	default:
-		return sense.ModeR
-	}
-}
-
 // epochTick runs the converter's feedback loop once per epoch of reads.
-func (e *engine) epochTick() {
+func (e *Engine) epochTick() {
 	e.epochReads++
 	if e.converter == nil || e.epochReads < uint64(e.cfg.EpochReads) {
 		return
@@ -495,38 +443,22 @@ func (e *engine) epochTick() {
 	e.epochReads, e.epochUntracked, e.epochConversions, e.epochRehits = 0, 0, 0, 0
 }
 
-// Write implements cpu.MemPort: the scheme's write path.
-func (e *engine) Write(now int64, core int, line uint64) (bool, error) {
+// Write implements cpu.MemPort: the scheme's write policy decides the
+// programming mode, the engine handles queueing and bookkeeping.
+func (e *Engine) Write(now int64, core int, line uint64) (bool, error) {
 	phys := e.physLine(line)
-	cells := e.cfg.Mem.CellsPerLine
-	if e.scheme.Kind == KindTLC {
-		cells = e.cfg.TLCCellsPerLine
-	}
-	full := true
-	if e.scheme.Kind == KindSelect {
-		if last, ok := e.lastWrite[phys]; ok {
-			phase := e.scrubPhase(phys)
-			subNow := lwt.SubIndex(now, phase, e.scrubIntervalPS, e.scheme.K)
-			subW := lwt.SubIndex(last, phase, e.scrubIntervalPS, e.scheme.K)
-			if lwt.DistanceAt(e.scheme.K, subNow, subW) < e.scheme.RewriteS {
-				full = false
-				dataCells := e.cfg.Mem.CellsPerLine - e.cfg.ParityCells
-				cells = int(float64(dataCells)*e.cfg.DiffDataCellFraction) + e.cfg.ParityCells
-			}
-		}
-		e.acct.AddFlagAccess(e.scheme.FlagBits())
-	}
+	cells, full := e.scheme.Write.PlanWrite(e, now, phys)
 	if !e.ctrl.EnqueueWrite(now, phys, cells) {
 		return false, nil
 	}
 	if full {
 		e.stats.fullWrites++
-		// Every scheme records demand writes: LWT/Select for the flag
-		// semantics, the rest so scrub-rewrite sampling and Hybrid's age
-		// math see correct drift clocks.
+		// Every scheme records demand writes: tracking designs for the
+		// flag semantics, the rest so scrub-rewrite sampling and Hybrid's
+		// age math see correct drift clocks.
 		e.lastWrite[phys] = now
-		if e.scheme.usesTracking() {
-			e.acct.AddFlagAccess(e.scheme.FlagBits())
+		if e.scheme.Write.Tracking() {
+			e.acct.AddFlagAccess(e.scheme.Write.FlagBits())
 		}
 	} else {
 		e.stats.diffWrites++
@@ -537,28 +469,27 @@ func (e *engine) Write(now int64, core int, line uint64) (bool, error) {
 }
 
 // OnScrub implements memctrl.ScrubHook: the per-visit scan and W-policy
-// decision.
-func (e *engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
-	interval, metric, w := e.scheme.ScrubPolicy()
-	if interval == 0 {
+// decision, driven by the scrub plan cached at startup.
+func (e *Engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
+	if e.scrubIntervalPS == 0 {
 		return memctrl.ScrubAction{}
 	}
 	act := memctrl.ScrubAction{CellsWritten: e.cfg.Mem.CellsPerLine}
-	if metric == drift.MetricM {
+	if e.scrubMetric == drift.MetricM {
 		act.ReadLatency = e.cfg.Mem.Timing.MRead
 		act.Voltage = true
 	} else {
 		act.ReadLatency = e.cfg.Mem.Timing.RRead
 	}
 	switch {
-	case w == 0:
+	case e.scrubW == 0:
 		act.Rewrite = true
 	default:
 		// W=1: rewrite iff the scan finds >= 1 drifted cell.
 		var p float64
 		if last, ok := e.lastWrite[phys]; ok {
 			age := e.ageSeconds(now, last)
-			if metric == drift.MetricM {
+			if e.scrubMetric == drift.MetricM {
 				p = e.mProbs.AnyError(age)
 			} else {
 				p = e.rProbs.AnyError(age)
@@ -570,7 +501,7 @@ func (e *engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
 		act.Rewrite = e.rng.Float64() < p
 	}
 	if act.Rewrite {
-		if _, ok := e.lastWrite[phys]; ok || e.scheme.usesTracking() || e.scheme.Kind == KindHybrid {
+		if _, ok := e.lastWrite[phys]; ok || e.recordScrubRewrites {
 			e.lastWrite[phys] = now
 		}
 	}

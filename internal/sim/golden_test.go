@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"readduo/internal/trace"
+)
+
+// The golden file pins fixed-seed Result structs for every paper scheme,
+// captured from the pre-policy-refactor engine. TestGoldenSchemes proves
+// engine refactors behavior-preserving down to the last counter and
+// float bit; it is the oracle CI compares against so numbers can never
+// drift silently.
+//
+// Regenerate (only for a DELIBERATE behavior change, with the diff
+// explained in the commit):
+//
+//	go test ./internal/sim -run TestGoldenSchemes -update-golden
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite results/golden_schemes.json from the current engine")
+
+const goldenPath = "../../results/golden_schemes.json"
+
+type goldenFile struct {
+	Seed       int64     `json:"seed"`
+	Budget     uint64    `json:"budget"`
+	Benchmarks []string  `json:"benchmarks"`
+	Schemes    []string  `json:"schemes"`
+	Results    []*Result `json:"results"`
+}
+
+// goldenRun replays the golden campaign: every scheme named in the file on
+// every benchmark, at the file's seed and budget.
+func goldenRun(t *testing.T, g *goldenFile) []*Result {
+	t.Helper()
+	var out []*Result
+	for _, bn := range g.Benchmarks {
+		b, ok := trace.ByName(bn)
+		if !ok {
+			t.Fatalf("golden benchmark %q unknown", bn)
+		}
+		cfg := DefaultConfig(b)
+		cfg.CPU.InstrBudget = g.Budget
+		cfg.Seed = g.Seed
+		for _, spec := range g.Schemes {
+			s, err := Parse(spec)
+			if err != nil {
+				t.Fatalf("golden scheme %q: %v", spec, err)
+			}
+			r, err := Run(cfg, s)
+			if err != nil {
+				t.Fatalf("Run(%s/%s): %v", bn, s.Name(), err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestGoldenSchemes(t *testing.T) {
+	data, err := os.ReadFile(filepath.FromSlash(goldenPath))
+	if err != nil {
+		t.Fatalf("read golden file: %v (regenerate with -update-golden)", err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("decode golden file: %v", err)
+	}
+	if len(g.Schemes) == 0 || len(g.Benchmarks) == 0 {
+		t.Fatal("golden file names no schemes/benchmarks")
+	}
+
+	got := goldenRun(t, &g)
+
+	if *updateGolden {
+		g.Results = got
+		buf, err := json.MarshalIndent(&g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(filepath.FromSlash(goldenPath), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d results", goldenPath, len(got))
+		return
+	}
+
+	if len(g.Results) != len(got) {
+		t.Fatalf("golden file has %d results, run produced %d", len(g.Results), len(got))
+	}
+	for i, want := range g.Results {
+		if !reflect.DeepEqual(want, got[i]) {
+			t.Errorf("%s/%s diverged from golden:\n got: %+v\nwant: %+v",
+				want.Benchmark, want.Scheme, got[i], want)
+		}
+	}
+}

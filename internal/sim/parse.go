@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse resolves a scheme spec string to a Scheme. It accepts, case-
+// insensitively:
+//
+//   - bare family names and aliases: "ideal", "Scrubbing", "m-metric",
+//     "mmetric", "tlc", "hybrid"
+//   - parameterized specs: "lwt:k=8", "lwt:k=8,convert=false",
+//     "select:k=4,s=2"
+//   - the paper's labels, as printed by Scheme.Name(): "LWT-8",
+//     "LWT-8-noconv", "Select-4:2"
+//
+// Round trip: Parse(s.Name()) == s and Parse(s.Spec()) == s for every
+// scheme built by a registered family. Malformed specs return errors that
+// name the offending fragment and the accepted grammar.
+func Parse(spec string) (Scheme, error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return Scheme{}, fmt.Errorf("sim: empty scheme spec (known schemes: %s)",
+			strings.Join(SchemeGrammars(), "; "))
+	}
+	lower := strings.ToLower(s)
+
+	build := func(f *SchemeFamily, params map[string]string) (Scheme, error) {
+		sch, err := f.Build(params)
+		if err != nil {
+			return Scheme{}, err
+		}
+		if err := sch.Validate(); err != nil {
+			return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, err)
+		}
+		return sch, nil
+	}
+
+	if f, ok := familyByName[lower]; ok {
+		return build(f, nil)
+	}
+	if head, rest, found := strings.Cut(lower, ":"); found {
+		if f, ok := familyByName[strings.TrimSpace(head)]; ok {
+			params, err := parseParams(rest)
+			if err != nil {
+				return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, err)
+			}
+			return build(f, params)
+		}
+	}
+	for _, f := range families {
+		if f.BuildLabel == nil {
+			continue
+		}
+		sch, ok, err := f.BuildLabel(lower)
+		if err != nil {
+			return Scheme{}, err
+		}
+		if ok {
+			if verr := sch.Validate(); verr != nil {
+				return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, verr)
+			}
+			return sch, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("sim: unknown scheme %q (known schemes: %s)",
+		spec, strings.Join(SchemeGrammars(), "; "))
+}
+
+// ParseList parses a comma-separated scheme list ("Ideal,LWT-8,
+// Select-4:2"). Commas inside a parameterized spec are handled: a
+// key=value fragment continues the preceding spec, so
+// "Ideal,lwt:k=8,convert=false" is two schemes, not three.
+func ParseList(list string) ([]Scheme, error) {
+	var specs []string
+	for _, frag := range strings.Split(list, ",") {
+		frag = strings.TrimSpace(frag)
+		if frag == "" {
+			continue
+		}
+		// A bare key=value fragment belongs to the previous spec's
+		// parameter list.
+		if len(specs) > 0 && strings.Contains(frag, "=") && !strings.Contains(frag, ":") &&
+			strings.Contains(specs[len(specs)-1], ":") {
+			specs[len(specs)-1] += "," + frag
+			continue
+		}
+		specs = append(specs, frag)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: empty scheme list")
+	}
+	out := make([]Scheme, 0, len(specs))
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		sch, err := Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		if seen[sch.Name()] {
+			return nil, fmt.Errorf("sim: scheme %q listed twice", sch.Name())
+		}
+		seen[sch.Name()] = true
+		out = append(out, sch)
+	}
+	return out, nil
+}
+
+// parseParams splits "k=8,convert=false" into a map, rejecting malformed
+// or duplicate fragments.
+func parseParams(s string) (map[string]string, error) {
+	params := map[string]string{}
+	for _, frag := range strings.Split(s, ",") {
+		frag = strings.TrimSpace(frag)
+		if frag == "" {
+			return nil, fmt.Errorf("empty parameter (want key=value)")
+		}
+		key, val, found := strings.Cut(frag, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !found || key == "" || val == "" {
+			return nil, fmt.Errorf("malformed parameter %q (want key=value)", frag)
+		}
+		if _, dup := params[key]; dup {
+			return nil, fmt.Errorf("parameter %q given twice", key)
+		}
+		params[key] = val
+	}
+	return params, nil
+}
+
+// intParam extracts an integer parameter; required controls whether
+// absence is an error or yields def.
+func intParam(params map[string]string, key string, required bool, def int) (int, error) {
+	val, ok := params[key]
+	if !ok {
+		if required {
+			return 0, fmt.Errorf("sim: missing required parameter %q", key)
+		}
+		return def, nil
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("sim: parameter %s=%q is not an integer", key, val)
+	}
+	return n, nil
+}
+
+// boolParam extracts a boolean parameter, defaulting to def when absent.
+func boolParam(params map[string]string, key string, def bool) (bool, error) {
+	val, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(val)
+	if err != nil {
+		return false, fmt.Errorf("sim: parameter %s=%q is not a boolean", key, val)
+	}
+	return b, nil
+}
+
+// rejectUnknown errors on any parameter outside the allowed set, so typos
+// fail loudly instead of silently using defaults.
+func rejectUnknown(params map[string]string, allowed ...string) error {
+	for key := range params {
+		known := false
+		for _, a := range allowed {
+			if key == a {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("sim: unknown parameter %q (allowed: %s)", key, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// registeredDesigns enumerates every design point reachable through the
+// registry: the fixed families plus the full LWT/Select parameter space.
+func registeredDesigns() []Scheme {
+	out := []Scheme{Ideal(), Scrubbing(), MMetric(), TLC(), Hybrid()}
+	for k := 2; k <= 32; k++ {
+		out = append(out, LWT(k, true), LWT(k, false))
+		for s := 1; s <= k; s++ {
+			out = append(out, Select(k, s))
+		}
+	}
+	return out
+}
+
+func TestParseRoundTripAllRegisteredDesigns(t *testing.T) {
+	for _, want := range registeredDesigns() {
+		if err := want.Validate(); err != nil {
+			t.Fatalf("%s: invalid registered design: %v", want.Name(), err)
+		}
+		byName, err := Parse(want.Name())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", want.Name(), err)
+		} else if byName != want {
+			t.Errorf("Parse(%q) = %+v, want %+v", want.Name(), byName, want)
+		}
+		bySpec, err := Parse(want.Spec())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", want.Spec(), err)
+		} else if bySpec != want {
+			t.Errorf("Parse(%q) = %+v, want %+v", want.Spec(), bySpec, want)
+		}
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string // expected Name()
+	}{
+		{"ideal", "Ideal"},
+		{"Ideal", "Ideal"},
+		{" IDEAL ", "Ideal"},
+		{"scrubbing", "Scrubbing"},
+		{"m-metric", "M-metric"},
+		{"mmetric", "M-metric"},
+		{"tlc", "TLC"},
+		{"hybrid", "Hybrid"},
+		{"lwt:k=8", "LWT-8"},
+		{"LWT-8", "LWT-8"},
+		{"lwt:k=8,convert=false", "LWT-8-noconv"},
+		{"LWT-8-noconv", "LWT-8-noconv"},
+		{"lwt:k=8,convert=true", "LWT-8"},
+		{"select:k=4,s=2", "Select-4:2"},
+		{"Select-4:2", "Select-4:2"},
+		{"SELECT-32:16", "Select-32:16"},
+	}
+	for _, tt := range tests {
+		s, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if s.Name() != tt.want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", tt.in, s.Name(), tt.want)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		in      string
+		wantErr string // substring the error must carry
+	}{
+		{"", "known schemes"},
+		{"   ", "known schemes"},
+		{"foo", "unknown scheme"},
+		{"ideal:k=4", "takes no parameters"},
+		{"lwt", "missing required parameter"},
+		{"lwt:", "key=value"},
+		{"lwt:k", "key=value"},
+		{"lwt:k=", "key=value"},
+		{"lwt:k=abc", "not an integer"},
+		{"lwt:k=4,k=5", "given twice"},
+		{"lwt:k=4,frobnicate=1", "unknown parameter"},
+		{"lwt:k=1", "out of range"},
+		{"lwt:k=33", "out of range"},
+		{"lwt:k=4,convert=maybe", "not a boolean"},
+		{"LWT-x", "want LWT-<k>"},
+		{"select:k=4", "missing required parameter"},
+		{"select:s=2", "missing required parameter"},
+		{"select:k=4,s=0", "out of range"},
+		{"select:k=4,s=5", "out of range"},
+		{"Select-4", "want Select-<k>:<s>"},
+		{"Select-4:x", "want Select-<k>:<s>"},
+	}
+	for _, tt := range tests {
+		_, err := Parse(tt.in)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tt.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("Parse(%q) error %q does not mention %q", tt.in, err, tt.wantErr)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got, err := ParseList("Ideal,LWT-8,Select-4:2")
+	if err != nil {
+		t.Fatalf("ParseList: %v", err)
+	}
+	if len(got) != 3 || got[0] != Ideal() || got[1] != LWT(8, true) || got[2] != Select(4, 2) {
+		t.Errorf("ParseList = %+v", got)
+	}
+
+	// A parameter fragment after a comma continues the preceding spec.
+	got, err = ParseList("Ideal, lwt:k=8,convert=false ,Select-4:2")
+	if err != nil {
+		t.Fatalf("ParseList with spec params: %v", err)
+	}
+	if len(got) != 3 || got[1] != LWT(8, false) {
+		t.Errorf("ParseList split spec params wrong: %+v", got)
+	}
+
+	if _, err := ParseList("Ideal,ideal"); err == nil {
+		t.Error("duplicate scheme accepted")
+	}
+	if _, err := ParseList(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := ParseList("Ideal,bogus"); err == nil {
+		t.Error("bogus entry accepted")
+	}
+}
+
+// TestFlagBitsExact pins the per-line tracking cost to exactly
+// k + ceil(log2 k) for the whole supported range, power of two or not.
+func TestFlagBitsExact(t *testing.T) {
+	ceilLog2 := func(k int) int {
+		b := 0
+		for (1 << b) < k {
+			b++
+		}
+		return b
+	}
+	for k := 2; k <= 32; k++ {
+		want := k + ceilLog2(k)
+		if got := LWT(k, true).FlagBits(); got != want {
+			t.Errorf("LWT-%d flag bits = %d, want %d", k, got, want)
+		}
+		if got := Select(k, 1).FlagBits(); got != want {
+			t.Errorf("Select-%d:1 flag bits = %d, want %d", k, got, want)
+		}
+	}
+	for _, s := range []Scheme{Ideal(), Scrubbing(), MMetric(), TLC(), Hybrid()} {
+		if got := s.FlagBits(); got != 0 {
+			t.Errorf("%s flag bits = %d, want 0", s.Name(), got)
+		}
+	}
+}
+
+func TestSchemeSetsMatchRegistry(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		set  []Scheme
+		want []string
+	}{
+		{"prior", PriorSchemes(), []string{"Ideal", "Scrubbing", "M-metric", "TLC"}},
+		{"readduo", ReadDuoSchemes(), []string{"Ideal", "Hybrid", "LWT-4", "Select-4:2"}},
+		{"all", AllSchemes(), []string{"Ideal", "Scrubbing", "M-metric", "TLC", "Hybrid", "LWT-4", "Select-4:2"}},
+		{"edap", EDAPSchemes(), []string{"TLC", "Scrubbing", "M-metric", "Hybrid", "LWT-4", "Select-4:2"}},
+	} {
+		if len(tt.set) != len(tt.want) {
+			t.Errorf("%s: %d schemes, want %d", tt.name, len(tt.set), len(tt.want))
+			continue
+		}
+		for i, s := range tt.set {
+			if s.Name() != tt.want[i] {
+				t.Errorf("%s[%d] = %s, want %s", tt.name, i, s.Name(), tt.want[i])
+			}
+			// Every set member must be reconstructible from its name —
+			// that's what keeps journals resumable.
+			if back, err := Parse(s.Name()); err != nil || back != s {
+				t.Errorf("%s[%d] %s does not round-trip: %v", tt.name, i, s.Name(), err)
+			}
+		}
+	}
+}
+
+// FuzzParseScheme drives the parser with arbitrary specs: it must never
+// panic, must reject garbage with a non-empty diagnostic, and every
+// accepted spec must survive the Name/Spec round trip.
+func FuzzParseScheme(f *testing.F) {
+	seeds := []string{
+		"ideal", "Scrubbing", "m-metric", "mmetric", "tlc", "hybrid",
+		"lwt:k=8", "lwt:k=8,convert=false", "LWT-8", "LWT-8-noconv",
+		"select:k=4,s=2", "Select-4:2", "SELECT-32:16",
+		"", "lwt", "lwt:", "lwt:k=", "lwt:k=0", "lwt:k=99", "lwt:k=4,k=4",
+		"select:k=4,s=9", "Select-4", "ideal:k=1", "bogus", "LWT--3",
+		"lwt:K=8", " Ideal ", "select:s=2,k=4",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatalf("Parse(%q): empty error", spec)
+			}
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) returned invalid scheme: %v", spec, verr)
+		}
+		byName, err := Parse(s.Name())
+		if err != nil {
+			t.Fatalf("Parse(%q).Name()=%q does not re-parse: %v", spec, s.Name(), err)
+		}
+		if byName != s {
+			t.Fatalf("Parse(Parse(%q).Name()) = %+v, want %+v", spec, byName, s)
+		}
+		bySpec, err := Parse(s.Spec())
+		if err != nil {
+			t.Fatalf("Parse(%q).Spec()=%q does not re-parse: %v", spec, s.Spec(), err)
+		}
+		if bySpec != s {
+			t.Fatalf("Parse(Parse(%q).Spec()) = %+v, want %+v", spec, bySpec, s)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"time"
+
+	"readduo/internal/area"
+	"readduo/internal/drift"
+	"readduo/internal/sense"
+)
+
+// The scheme layer decomposes the paper's seven designs into three
+// orthogonal policy axes. Every design point is a Design — one policy per
+// axis — and the engine dispatches through the interfaces below instead of
+// switching on an enum, so new design points compose without engine edits.
+//
+// Policies run on the engine's goroutine and may freely read and mutate
+// engine state through the *Engine they receive (line drift clocks, RNG,
+// converter, energy accounting, statistics). They must be value types:
+// one Scheme is shared by every run that uses it, and campaign workers run
+// concurrently, so per-run state belongs on the Engine, never on a policy.
+
+// SensePolicy decides, per demand read, which sensing mode services it —
+// the heart of ReadDuo's readout choice (R-read, M-read, or R-M-read).
+type SensePolicy interface {
+	// ReadMode services one demand read of physical line phys at time now.
+	ReadMode(e *Engine, now int64, phys uint64) sense.Mode
+}
+
+// ScrubPolicy fixes the background scrub configuration.
+type ScrubPolicy interface {
+	// Plan returns the walker interval (0 disables scrubbing), the scan
+	// metric, and the rewrite threshold W (0 = rewrite every visit,
+	// 1 = rewrite when the scan finds a drifted cell).
+	Plan() (interval time.Duration, metric drift.Metric, w int)
+}
+
+// WritePolicy decides how demand writes program the line and what per-line
+// tracking state the design maintains.
+type WritePolicy interface {
+	// PlanWrite returns the cells programmed by one demand write and
+	// whether it is a full write (advancing the line's drift clock).
+	PlanWrite(e *Engine, now int64, phys uint64) (cells int, full bool)
+	// Tracking reports whether the policy maintains per-line LWT flags.
+	Tracking() bool
+	// FlagBits is the per-line SLC tracking cost in bits (0 untracked).
+	FlagBits() int
+}
+
+// Design composes the three policy axes into one runnable design point.
+type Design struct {
+	Sense SensePolicy
+	Scrub ScrubPolicy
+	Write WritePolicy
+}
+
+// Optional capabilities. The engine probes for these with type assertions;
+// a policy that doesn't implement one gets the default behavior.
+
+// ConverterUser is implemented by sense policies that drive the adaptive
+// R-M-read conversion controller; the engine instantiates a converter only
+// when UsesConverter reports true.
+type ConverterUser interface {
+	UsesConverter() bool
+}
+
+// LineGeometry is implemented by write policies that change the physical
+// line organization (e.g. the tri-level-cell baseline's wider lines).
+type LineGeometry interface {
+	LineCells(cfg Config) int
+}
+
+// FootprintPolicy overrides the default MLC+BCH per-line area accounting.
+type FootprintPolicy interface {
+	Footprint(cfg Config, flagBits int) area.LineFootprint
+}
+
+// ScrubRewriteRecorder is implemented by sense policies that need scrub
+// rewrites to advance even untouched lines' drift clocks (Hybrid's age
+// math relies on the W=0 rewrite guarantee). Tracking write policies get
+// this behavior implicitly.
+type ScrubRewriteRecorder interface {
+	RecordsScrubRewrites() bool
+}
+
+// validator lets a policy check its own parameters; Scheme.Validate probes
+// for it on every axis.
+type validator interface {
+	Validate() error
+}
+
+// subIntervaled is implemented by policies parameterized on the LWT
+// sub-interval count k; Scheme.Validate uses it to reject designs whose
+// sense and write axes disagree on k.
+type subIntervaled interface {
+	SubIntervals() int
+}

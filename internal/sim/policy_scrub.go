@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"readduo/internal/drift"
+)
+
+// noScrub disables the background walker (Ideal, TLC).
+type noScrub struct{}
+
+// NoScrub returns the scrub policy that never scans.
+func NoScrub() ScrubPolicy { return noScrub{} }
+
+func (noScrub) Plan() (time.Duration, drift.Metric, int) { return 0, 0, 0 }
+
+// intervalScrub visits every line once per interval, scanning with the
+// given metric and rewriting per the W threshold.
+type intervalScrub struct {
+	interval time.Duration
+	metric   drift.Metric
+	w        int
+}
+
+// IntervalScrub returns the efficient-scrubbing policy: scan every line
+// once per interval with metric, rewriting always (w=0) or only when the
+// scan finds a drifted cell (w=1).
+func IntervalScrub(interval time.Duration, metric drift.Metric, w int) ScrubPolicy {
+	return intervalScrub{interval: interval, metric: metric, w: w}
+}
+
+func (p intervalScrub) Plan() (time.Duration, drift.Metric, int) {
+	return p.interval, p.metric, p.w
+}
+
+func (p intervalScrub) Validate() error {
+	if p.interval <= 0 {
+		return fmt.Errorf("sim: scrub interval %v must be positive", p.interval)
+	}
+	if p.metric != drift.MetricR && p.metric != drift.MetricM {
+		return fmt.Errorf("sim: unknown scrub metric %d", p.metric)
+	}
+	if p.w < 0 || p.w > 1 {
+		return fmt.Errorf("sim: scrub threshold W=%d outside {0,1}", p.w)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+
+	"readduo/internal/lwt"
+	"readduo/internal/sense"
+)
+
+// rSense services every read with fast current sensing (Ideal, Scrubbing,
+// TLC).
+type rSense struct{}
+
+// RSense returns the always-R sense policy.
+func RSense() SensePolicy { return rSense{} }
+
+func (rSense) ReadMode(*Engine, int64, uint64) sense.Mode { return sense.ModeR }
+
+// mSense services every read with slow voltage sensing (M-metric baseline).
+type mSense struct{}
+
+// MSense returns the always-M sense policy.
+func MSense() SensePolicy { return mSense{} }
+
+func (mSense) ReadMode(*Engine, int64, uint64) sense.Mode { return sense.ModeM }
+
+// hybridSense is ReadDuo-Hybrid's readout: R-first with a probabilistic
+// M retry once drift reaches the detection region, relying on W=0
+// scrubbing to bound every line's age.
+type hybridSense struct{}
+
+// HybridSense returns the R-first-with-M-retry sense policy.
+func HybridSense() SensePolicy { return hybridSense{} }
+
+func (hybridSense) ReadMode(e *Engine, now int64, phys uint64) sense.Mode {
+	// W=0 scrubbing guarantees the line was rewritten at its last scrub
+	// visit; drift age is measured from the later of that and any demand
+	// write.
+	last := e.lineLastWrite(phys, now)
+	if s := e.lastScrubAt(phys, now); s > last {
+		last = s
+	}
+	age := e.ageSeconds(now, last)
+	u := e.rng.Float64()
+	if u < e.rProbs.Silent(age) {
+		e.stats.silentErrors++
+		return sense.ModeR // wrong data returned; counted, not felt
+	}
+	if u < e.rProbs.Silent(age)+e.rProbs.Retry(age) {
+		e.stats.hybridRetries++
+		return sense.ModeRM
+	}
+	return sense.ModeR
+}
+
+// RecordsScrubRewrites implements ScrubRewriteRecorder: Hybrid's age math
+// needs the drift clock of every scrub-rewritten line, touched or not.
+func (hybridSense) RecordsScrubRewrites() bool { return true }
+
+// trackedSense consults the per-line LWT flags: R-sense within the tracked
+// window, R-M-read beyond it, with optional adaptive conversion turning hot
+// untracked lines back into tracked ones (LWT-k and Select-(k:s)).
+type trackedSense struct {
+	k       int
+	convert bool
+}
+
+// TrackedSense returns the LWT-flag sense policy over k sub-intervals;
+// convert enables adaptive R-M-read conversion.
+func TrackedSense(k int, convert bool) SensePolicy { return trackedSense{k: k, convert: convert} }
+
+func (p trackedSense) ReadMode(e *Engine, now int64, phys uint64) sense.Mode {
+	last := e.lineLastWrite(phys, now)
+	phase := e.scrubPhase(phys)
+	subNow := lwt.SubIndex(now, phase, e.scrubIntervalPS, p.k)
+	subW := lwt.SubIndex(last, phase, e.scrubIntervalPS, p.k)
+	e.acct.AddFlagAccess(trackingFlagBits(p.k))
+	if lwt.AllowRSenseAt(p.k, subNow, subW) {
+		if e.convertedLines != nil {
+			if _, ok := e.convertedLines[phys]; ok {
+				e.epochRehits++
+			}
+		}
+		return sense.ModeR
+	}
+	// Untracked: the flags abort R-sensing into the M retry.
+	e.stats.untrackedReads++
+	e.epochUntracked++
+	if e.converter != nil && e.converter.ShouldConvert() {
+		// Redundant write-back re-normalizes the line and enables fast
+		// R-reads for the next interval. Opportunistic: skip when the
+		// bank's write queue is saturated.
+		if e.ctrl.WriteQueueSpace(phys) > 1 && e.ctrl.EnqueueWrite(now, phys, e.cfg.Mem.CellsPerLine) {
+			e.lastWrite[phys] = now
+			e.acct.AddFlagAccess(trackingFlagBits(p.k))
+			e.stats.conversions++
+			e.epochConversions++
+			e.convertedLines[phys] = struct{}{}
+		} else {
+			e.stats.convSkipped++
+		}
+	}
+	return sense.ModeRM
+}
+
+// UsesConverter implements ConverterUser.
+func (p trackedSense) UsesConverter() bool { return p.convert }
+
+// SubIntervals implements subIntervaled.
+func (p trackedSense) SubIntervals() int { return p.k }
+
+func (p trackedSense) Validate() error {
+	if p.k < 2 || p.k > lwt.MaxK {
+		return fmt.Errorf("sim: LWT k=%d out of range 2..%d", p.k, lwt.MaxK)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"readduo/internal/area"
+	"readduo/internal/lwt"
+)
+
+// trackingFlagBits is the per-line SLC tracking cost of an LWT-k design:
+// k vector-flag bits plus exactly ceil(log2 k) index-flag bits (the index
+// names one of k sub-intervals). bits.Len(k-1) equals ceil(log2 k) for
+// every k >= 2, including the powers of two.
+func trackingFlagBits(k int) int {
+	return k + bits.Len(uint(k-1))
+}
+
+// plainWrite programs the whole MLC line on every demand write and keeps
+// no tracking state (Ideal, Scrubbing, M-metric, Hybrid).
+type plainWrite struct{}
+
+// PlainWrite returns the untracked full-line write policy.
+func PlainWrite() WritePolicy { return plainWrite{} }
+
+func (plainWrite) PlanWrite(e *Engine, now int64, phys uint64) (int, bool) {
+	return e.cfg.Mem.CellsPerLine, true
+}
+
+func (plainWrite) Tracking() bool { return false }
+func (plainWrite) FlagBits() int  { return 0 }
+
+// tlcWrite is the tri-level-cell baseline: full writes over the wider TLC
+// line, with the TLC footprint on the density axis.
+type tlcWrite struct{}
+
+// TLCWrite returns the tri-level-cell write policy.
+func TLCWrite() WritePolicy { return tlcWrite{} }
+
+func (tlcWrite) PlanWrite(e *Engine, now int64, phys uint64) (int, bool) {
+	return e.cfg.TLCCellsPerLine, true
+}
+
+func (tlcWrite) Tracking() bool { return false }
+func (tlcWrite) FlagBits() int  { return 0 }
+
+// LineCells implements LineGeometry: TLC lines hold more, lower-density
+// cells.
+func (tlcWrite) LineCells(cfg Config) int { return cfg.TLCCellsPerLine }
+
+// Footprint implements FootprintPolicy.
+func (tlcWrite) Footprint(Config, int) area.LineFootprint { return area.TLCFootprint() }
+
+// trackedWrite is LWT-k's write path: full writes, with the per-line flag
+// automaton updated on each one.
+type trackedWrite struct {
+	k int
+}
+
+// TrackedWrite returns the LWT-k write policy.
+func TrackedWrite(k int) WritePolicy { return trackedWrite{k: k} }
+
+func (p trackedWrite) PlanWrite(e *Engine, now int64, phys uint64) (int, bool) {
+	return e.cfg.Mem.CellsPerLine, true
+}
+
+func (p trackedWrite) Tracking() bool { return true }
+func (p trackedWrite) FlagBits() int  { return trackingFlagBits(p.k) }
+
+// SubIntervals implements subIntervaled.
+func (p trackedWrite) SubIntervals() int { return p.k }
+
+func (p trackedWrite) Validate() error {
+	if p.k < 2 || p.k > lwt.MaxK {
+		return fmt.Errorf("sim: LWT k=%d out of range 2..%d", p.k, lwt.MaxK)
+	}
+	return nil
+}
+
+// selectWrite is Select-(k:s)'s selective differential write: a demand
+// write within s sub-intervals of the line's last full write programs only
+// the changed data cells (plus the parity avalanche) and leaves the drift
+// clock untouched.
+type selectWrite struct {
+	k, s int
+}
+
+// SelectWrite returns the Select-(k:s) write policy.
+func SelectWrite(k, s int) WritePolicy { return selectWrite{k: k, s: s} }
+
+func (p selectWrite) PlanWrite(e *Engine, now int64, phys uint64) (int, bool) {
+	cells := e.cfg.Mem.CellsPerLine
+	full := true
+	if last, ok := e.lastWrite[phys]; ok {
+		phase := e.scrubPhase(phys)
+		subNow := lwt.SubIndex(now, phase, e.scrubIntervalPS, p.k)
+		subW := lwt.SubIndex(last, phase, e.scrubIntervalPS, p.k)
+		if lwt.DistanceAt(p.k, subNow, subW) < p.s {
+			full = false
+			dataCells := e.cfg.Mem.CellsPerLine - e.cfg.ParityCells
+			cells = int(float64(dataCells)*e.cfg.DiffDataCellFraction) + e.cfg.ParityCells
+		}
+	}
+	e.acct.AddFlagAccess(trackingFlagBits(p.k))
+	return cells, full
+}
+
+func (p selectWrite) Tracking() bool { return true }
+func (p selectWrite) FlagBits() int  { return trackingFlagBits(p.k) }
+
+// SubIntervals implements subIntervaled.
+func (p selectWrite) SubIntervals() int { return p.k }
+
+func (p selectWrite) Validate() error {
+	if p.k < 2 || p.k > lwt.MaxK {
+		return fmt.Errorf("sim: Select k=%d out of range 2..%d", p.k, lwt.MaxK)
+	}
+	if p.s < 1 || p.s > p.k {
+		return fmt.Errorf("sim: Select s=%d out of range 1..%d", p.s, p.k)
+	}
+	return nil
+}

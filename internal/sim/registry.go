@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemeFamily is one registrable scheme family: a factory plus the names
+// and grammar Parse resolves to it. Families registered here are nameable
+// from every CLI -schemes flag, campaign journal, and the facade without
+// engine changes.
+type SchemeFamily struct {
+	// Key is the canonical lowercase family key ("lwt").
+	Key string
+	// Aliases are extra lowercase names resolving to this family
+	// ("m-metric" also answers to "mmetric").
+	Aliases []string
+	// Grammar is the one-line usage quoted by parse errors.
+	Grammar string
+	// Build constructs the scheme from spec parameters; params is nil for
+	// the bare-name form ("ideal").
+	Build func(params map[string]string) (Scheme, error)
+	// BuildLabel, when non-nil, parses the family's paper-style label
+	// ("lwt-8-noconv", lowercased). ok=false means the label belongs to
+	// another family.
+	BuildLabel func(label string) (s Scheme, ok bool, err error)
+}
+
+var (
+	families     []*SchemeFamily
+	familyByName = map[string]*SchemeFamily{}
+)
+
+// RegisterScheme adds a family to the registry. It panics on a duplicate
+// key or alias — registration is an init-time, programmer-error surface.
+func RegisterScheme(f SchemeFamily) {
+	if f.Key == "" || f.Build == nil {
+		panic("sim: RegisterScheme needs a key and a build function")
+	}
+	fam := &f
+	for _, name := range append([]string{f.Key}, f.Aliases...) {
+		name = strings.ToLower(name)
+		if _, dup := familyByName[name]; dup {
+			panic(fmt.Sprintf("sim: scheme family name %q registered twice", name))
+		}
+		familyByName[name] = fam
+	}
+	families = append(families, fam)
+}
+
+// SchemeGrammars returns every registered family's grammar line, sorted,
+// for help and error text.
+func SchemeGrammars() []string {
+	out := make([]string, 0, len(families))
+	for _, f := range families {
+		if f.Grammar != "" {
+			out = append(out, f.Grammar)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fixedFamily registers a parameterless design under its paper name.
+func fixedFamily(key string, build func() Scheme, aliases ...string) SchemeFamily {
+	return SchemeFamily{
+		Key:     key,
+		Aliases: aliases,
+		Grammar: key,
+		Build: func(params map[string]string) (Scheme, error) {
+			if len(params) > 0 {
+				return Scheme{}, fmt.Errorf("sim: scheme %q takes no parameters", key)
+			}
+			return build(), nil
+		},
+	}
+}
+
+func init() {
+	RegisterScheme(fixedFamily("ideal", Ideal))
+	RegisterScheme(fixedFamily("scrubbing", Scrubbing))
+	RegisterScheme(fixedFamily("m-metric", MMetric, "mmetric"))
+	RegisterScheme(fixedFamily("tlc", TLC))
+	RegisterScheme(fixedFamily("hybrid", Hybrid))
+
+	RegisterScheme(SchemeFamily{
+		Key:     "lwt",
+		Grammar: "lwt:k=<2..32>[,convert=<bool>]  (label: LWT-<k>[-noconv])",
+		Build: func(params map[string]string) (Scheme, error) {
+			k, err := intParam(params, "k", true, 0)
+			if err != nil {
+				return Scheme{}, err
+			}
+			convert, err := boolParam(params, "convert", true)
+			if err != nil {
+				return Scheme{}, err
+			}
+			if err := rejectUnknown(params, "k", "convert"); err != nil {
+				return Scheme{}, err
+			}
+			return LWT(k, convert), nil
+		},
+		BuildLabel: func(label string) (Scheme, bool, error) {
+			rest, ok := strings.CutPrefix(label, "lwt-")
+			if !ok {
+				return Scheme{}, false, nil
+			}
+			convert := true
+			if trimmed, noconv := strings.CutSuffix(rest, "-noconv"); noconv {
+				convert, rest = false, trimmed
+			}
+			k, err := strconv.Atoi(rest)
+			if err != nil {
+				return Scheme{}, false, fmt.Errorf("sim: bad LWT label %q (want LWT-<k> or LWT-<k>-noconv)", label)
+			}
+			return LWT(k, convert), true, nil
+		},
+	})
+
+	RegisterScheme(SchemeFamily{
+		Key:     "select",
+		Grammar: "select:k=<2..32>,s=<1..k>  (label: Select-<k>:<s>)",
+		Build: func(params map[string]string) (Scheme, error) {
+			k, err := intParam(params, "k", true, 0)
+			if err != nil {
+				return Scheme{}, err
+			}
+			s, err := intParam(params, "s", true, 0)
+			if err != nil {
+				return Scheme{}, err
+			}
+			if err := rejectUnknown(params, "k", "s"); err != nil {
+				return Scheme{}, err
+			}
+			return Select(k, s), nil
+		},
+		BuildLabel: func(label string) (Scheme, bool, error) {
+			rest, ok := strings.CutPrefix(label, "select-")
+			if !ok {
+				return Scheme{}, false, nil
+			}
+			kStr, sStr, found := strings.Cut(rest, ":")
+			if !found {
+				return Scheme{}, false, fmt.Errorf("sim: bad Select label %q (want Select-<k>:<s>)", label)
+			}
+			k, errK := strconv.Atoi(kStr)
+			s, errS := strconv.Atoi(sStr)
+			if errK != nil || errS != nil {
+				return Scheme{}, false, fmt.Errorf("sim: bad Select label %q (want Select-<k>:<s>)", label)
+			}
+			return Select(k, s), true, nil
+		},
+	})
+}
+
+// The evaluation's scheme sets, shared by the cmd tools instead of
+// copy-pasted constructor lists.
+
+// PriorSchemes returns the pre-ReadDuo comparison set of §IV.
+func PriorSchemes() []Scheme {
+	return []Scheme{Ideal(), Scrubbing(), MMetric(), TLC()}
+}
+
+// ReadDuoSchemes returns the paper's proposed designs next to Ideal.
+func ReadDuoSchemes() []Scheme {
+	return []Scheme{Ideal(), Hybrid(), LWT(4, true), Select(4, 2)}
+}
+
+// AllSchemes returns all seven evaluated schemes in figure order.
+func AllSchemes() []Scheme {
+	return append(PriorSchemes(), Hybrid(), LWT(4, true), Select(4, 2))
+}
+
+// EDAPSchemes returns the Figure 11 set: every real design, with the TLC
+// normalization baseline first and Ideal (not a buildable design) absent.
+func EDAPSchemes() []Scheme {
+	return []Scheme{TLC(), Scrubbing(), MMetric(), Hybrid(), LWT(4, true), Select(4, 2)}
+}

@@ -55,7 +55,7 @@ type Result struct {
 
 // result finalizes the run statistics over the measurement window (from
 // the warmup mark to the last core's retirement).
-func (e *engine) result() *Result {
+func (e *Engine) result() *Result {
 	execPS := e.cluster.FinishTime() - e.markTimePS
 	if execPS < 0 {
 		execPS = 0
@@ -66,8 +66,8 @@ func (e *engine) result() *Result {
 	instr := e.cluster.TotalRetired() - e.markInstr
 
 	var footprint area.LineFootprint
-	if e.scheme.Kind == KindTLC {
-		footprint = area.TLCFootprint()
+	if fpol, ok := e.scheme.Write.(FootprintPolicy); ok {
+		footprint = fpol.Footprint(e.cfg, e.scheme.FlagBits())
 	} else {
 		fp, err := area.MLCFootprint(2*e.cfg.ParityCells, e.scheme.FlagBits())
 		if err == nil {

@@ -11,6 +11,12 @@
 // from the workload profile and through each line's scrub phase, exploiting
 // the proven equivalence between the LWT flag automaton and sub-interval
 // index arithmetic (package lwt).
+//
+// Design points are composed, not enumerated: a Scheme is a named Design —
+// one SensePolicy, one ScrubPolicy, one WritePolicy — and the engine
+// dispatches through those interfaces. The paper's seven schemes are
+// registry-backed constructors below; arbitrary design points come from
+// Parse ("lwt:k=8", "Select-4:2") or Compose.
 package sim
 
 import (
@@ -21,160 +27,149 @@ import (
 	"readduo/internal/reliability"
 )
 
-// SchemeKind enumerates the drift-mitigation designs under comparison.
-type SchemeKind int
-
-// The schemes of the evaluation (§IV).
-const (
-	// KindIdeal assumes drift-free MLC PCM: R-reads, no scrubbing.
-	KindIdeal SchemeKind = iota + 1
-	// KindScrubbing is efficient scrubbing with R-sensing,
-	// (BCH=8, S=8s, W=1).
-	KindScrubbing
-	// KindMMetric senses everything with the M-metric,
-	// (BCH=8, S=640s, W=1).
-	KindMMetric
-	// KindTLC is the tri-level-cell design: drift-immune, no scrubbing,
-	// lower density.
-	KindTLC
-	// KindHybrid is ReadDuo-Hybrid: R-first reads with M retry,
-	// (BCH=8, S=640s, W=0).
-	KindHybrid
-	// KindLWT is ReadDuo-LWT-k: last-write tracking enables
-	// (BCH=8, S=640s, W=1) plus R-M-read conversion.
-	KindLWT
-	// KindSelect is ReadDuo-Select-(k:s): LWT plus selective differential
-	// writes.
-	KindSelect
-)
-
-// Scheme is one configured design point.
+// Scheme is one named design point: a Design plus its canonical paper
+// label and spec string. Schemes are comparable values; two schemes built
+// from the same constructor or spec are ==.
 type Scheme struct {
-	Kind SchemeKind
-	// K is the LWT sub-interval count (LWT/Select).
-	K int
-	// RewriteS is Select's full-write spacing s.
-	RewriteS int
-	// Convert enables R-M-read conversion (LWT/Select; Figure 14 turns
-	// it off).
-	Convert bool
+	// name is the paper's label ("LWT-4"); spec is the canonical
+	// parameterized form ("lwt:k=4"). Parse accepts both.
+	name string
+	spec string
+	Design
 }
 
-// The paper's named design points.
+// The paper's named design points, all registry-backed: Parse(s.Name())
+// and Parse(s.Spec()) reproduce every scheme these constructors return.
 
-// Ideal returns the drift-free reference.
-func Ideal() Scheme { return Scheme{Kind: KindIdeal} }
+// Ideal returns the drift-free reference: R-reads, no scrubbing.
+func Ideal() Scheme {
+	return Scheme{name: "Ideal", spec: "ideal",
+		Design: Design{Sense: RSense(), Scrub: NoScrub(), Write: PlainWrite()}}
+}
 
-// Scrubbing returns the R-sensing efficient-scrubbing baseline.
-func Scrubbing() Scheme { return Scheme{Kind: KindScrubbing} }
+// Scrubbing returns the R-sensing efficient-scrubbing baseline,
+// (BCH=8, S=8s, W=1).
+func Scrubbing() Scheme {
+	return Scheme{name: "Scrubbing", spec: "scrubbing",
+		Design: Design{
+			Sense: RSense(),
+			Scrub: IntervalScrub(8*time.Second, drift.MetricR, 1),
+			Write: PlainWrite(),
+		}}
+}
 
-// MMetric returns the all-voltage-sensing baseline.
-func MMetric() Scheme { return Scheme{Kind: KindMMetric} }
+// MMetric returns the all-voltage-sensing baseline, (BCH=8, S=640s, W=1).
+func MMetric() Scheme {
+	return Scheme{name: "M-metric", spec: "m-metric",
+		Design: Design{
+			Sense: MSense(),
+			Scrub: IntervalScrub(640*time.Second, drift.MetricM, 1),
+			Write: PlainWrite(),
+		}}
+}
 
-// TLC returns the tri-level-cell baseline.
-func TLC() Scheme { return Scheme{Kind: KindTLC} }
+// TLC returns the tri-level-cell baseline: drift-immune, no scrubbing,
+// lower density.
+func TLC() Scheme {
+	return Scheme{name: "TLC", spec: "tlc",
+		Design: Design{Sense: RSense(), Scrub: NoScrub(), Write: TLCWrite()}}
+}
 
-// Hybrid returns ReadDuo-Hybrid.
-func Hybrid() Scheme { return Scheme{Kind: KindHybrid} }
+// Hybrid returns ReadDuo-Hybrid: R-first reads with M retry,
+// (BCH=8, S=640s, W=0).
+func Hybrid() Scheme {
+	return Scheme{name: "Hybrid", spec: "hybrid",
+		Design: Design{
+			Sense: HybridSense(),
+			Scrub: IntervalScrub(640*time.Second, drift.MetricM, 0),
+			Write: PlainWrite(),
+		}}
+}
 
-// LWT returns ReadDuo-LWT-k.
+// LWT returns ReadDuo-LWT-k: last-write tracking enables
+// (BCH=8, S=640s, W=1) plus optional R-M-read conversion (Figure 14 turns
+// it off).
 func LWT(k int, convert bool) Scheme {
-	return Scheme{Kind: KindLWT, K: k, Convert: convert}
+	name, spec := fmt.Sprintf("LWT-%d", k), fmt.Sprintf("lwt:k=%d", k)
+	if !convert {
+		name += "-noconv"
+		spec += ",convert=false"
+	}
+	return Scheme{name: name, spec: spec,
+		Design: Design{
+			Sense: TrackedSense(k, convert),
+			Scrub: IntervalScrub(640*time.Second, drift.MetricM, 1),
+			Write: TrackedWrite(k),
+		}}
 }
 
-// Select returns ReadDuo-Select-(k:s).
+// Select returns ReadDuo-Select-(k:s): LWT plus selective differential
+// writes.
 func Select(k, s int) Scheme {
-	return Scheme{Kind: KindSelect, K: k, RewriteS: s, Convert: true}
+	return Scheme{
+		name: fmt.Sprintf("Select-%d:%d", k, s),
+		spec: fmt.Sprintf("select:k=%d,s=%d", k, s),
+		Design: Design{
+			Sense: TrackedSense(k, true),
+			Scrub: IntervalScrub(640*time.Second, drift.MetricM, 1),
+			Write: SelectWrite(k, s),
+		}}
+}
+
+// Compose builds a scheme from explicit policies under the given label.
+// The label serves as both Name and Spec; unless it matches a registered
+// family's grammar, Parse will not reconstruct the scheme from it.
+func Compose(label string, d Design) Scheme {
+	return Scheme{name: label, spec: label, Design: d}
 }
 
 // Name renders the paper's label for the scheme.
-func (s Scheme) Name() string {
-	switch s.Kind {
-	case KindIdeal:
-		return "Ideal"
-	case KindScrubbing:
-		return "Scrubbing"
-	case KindMMetric:
-		return "M-metric"
-	case KindTLC:
-		return "TLC"
-	case KindHybrid:
-		return "Hybrid"
-	case KindLWT:
-		if !s.Convert {
-			return fmt.Sprintf("LWT-%d-noconv", s.K)
-		}
-		return fmt.Sprintf("LWT-%d", s.K)
-	case KindSelect:
-		return fmt.Sprintf("Select-%d:%d", s.K, s.RewriteS)
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s.Kind))
-	}
-}
+func (s Scheme) Name() string { return s.name }
 
-// Validate checks the scheme parameters.
+// Spec renders the canonical spec string; Parse(s.Spec()) reproduces the
+// scheme for every registered design.
+func (s Scheme) Spec() string { return s.spec }
+
+// Validate checks the scheme's policies and their cross-axis consistency.
 func (s Scheme) Validate() error {
-	switch s.Kind {
-	case KindIdeal, KindScrubbing, KindMMetric, KindTLC, KindHybrid:
-		return nil
-	case KindLWT:
-		if s.K < 2 || s.K > 32 {
-			return fmt.Errorf("sim: LWT k=%d out of range 2..32", s.K)
-		}
-		return nil
-	case KindSelect:
-		if s.K < 2 || s.K > 32 {
-			return fmt.Errorf("sim: Select k=%d out of range 2..32", s.K)
-		}
-		if s.RewriteS < 1 || s.RewriteS > s.K {
-			return fmt.Errorf("sim: Select s=%d out of range 1..%d", s.RewriteS, s.K)
-		}
-		return nil
-	default:
-		return fmt.Errorf("sim: unknown scheme kind %d", int(s.Kind))
+	if s.Sense == nil || s.Scrub == nil || s.Write == nil {
+		return fmt.Errorf("sim: scheme %q missing a policy axis (use the sim constructors, Parse, or Compose)", s.name)
 	}
+	for _, p := range []any{s.Sense, s.Scrub, s.Write} {
+		if v, ok := p.(validator); ok {
+			if err := v.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	// A design whose sense and write axes disagree on the sub-interval
+	// count would read flags the writes never maintain.
+	sk, senseTracked := s.Sense.(subIntervaled)
+	wk, writeTracked := s.Write.(subIntervaled)
+	if senseTracked && writeTracked && sk.SubIntervals() != wk.SubIntervals() {
+		return fmt.Errorf("sim: scheme %q tracks k=%d on the read path but k=%d on the write path",
+			s.name, sk.SubIntervals(), wk.SubIntervals())
+	}
+	return nil
 }
 
-// usesTracking reports whether the scheme keeps LWT flags.
-func (s Scheme) usesTracking() bool {
-	return s.Kind == KindLWT || s.Kind == KindSelect
-}
-
-// ScrubPolicy returns the scheme's scrub configuration: interval (0 = no
-// scrubbing), scan metric, and rewrite threshold W.
-func (s Scheme) ScrubPolicy() (interval time.Duration, metric drift.Metric, w int) {
-	switch s.Kind {
-	case KindScrubbing:
-		return 8 * time.Second, drift.MetricR, 1
-	case KindMMetric:
-		return 640 * time.Second, drift.MetricM, 1
-	case KindHybrid:
-		return 640 * time.Second, drift.MetricM, 0
-	case KindLWT, KindSelect:
-		return 640 * time.Second, drift.MetricM, 1
-	default:
-		return 0, 0, 0
+// FlagBits returns the per-line SLC tracking cost.
+func (s Scheme) FlagBits() int {
+	if s.Write == nil {
+		return 0
 	}
+	return s.Write.FlagBits()
 }
 
 // ReliabilityPolicy returns the scheme's (E,S,W) policy for the analytical
 // tables; ok=false for schemes without scrubbing.
 func (s Scheme) ReliabilityPolicy() (reliability.Policy, bool) {
-	interval, _, w := s.ScrubPolicy()
+	if s.Scrub == nil {
+		return reliability.Policy{}, false
+	}
+	interval, _, w := s.Scrub.Plan()
 	if interval == 0 {
 		return reliability.Policy{}, false
 	}
 	return reliability.Policy{E: 8, S: interval.Seconds(), W: w}, true
-}
-
-// FlagBits returns the per-line SLC tracking cost.
-func (s Scheme) FlagBits() int {
-	if !s.usesTracking() {
-		return 0
-	}
-	bits := s.K
-	for v := s.K - 1; v > 0; v >>= 1 {
-		bits++
-	}
-	return bits
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -37,10 +38,11 @@ func TestSchemeValidation(t *testing.T) {
 		}
 	}
 	invalid := []Scheme{
-		{Kind: KindLWT, K: 1},
-		{Kind: KindSelect, K: 4, RewriteS: 0},
-		{Kind: KindSelect, K: 4, RewriteS: 5},
-		{Kind: SchemeKind(99)},
+		LWT(1, true),
+		Select(4, 0),
+		Select(4, 5),
+		{}, // zero value: no policies
+		Compose("mismatched-k", Design{Sense: TrackedSense(4, true), Scrub: NoScrub(), Write: TrackedWrite(8)}),
 	}
 	for _, s := range invalid {
 		if err := s.Validate(); err == nil {
@@ -268,7 +270,7 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Run(bad, Ideal()); err == nil {
 		t.Error("parity >= cells accepted")
 	}
-	if _, err := Run(DefaultConfig(b), Scheme{Kind: KindLWT, K: 0}); err == nil {
+	if _, err := Run(DefaultConfig(b), LWT(0, true)); err == nil {
 		t.Error("invalid scheme accepted")
 	}
 }
@@ -352,7 +354,7 @@ func TestSoakAllSchemesAllBenchmarks(t *testing.T) {
 			if r.CellWrites == 0 {
 				t.Errorf("%s/%s: no cell writes", b.Name, s.Name())
 			}
-			if s.Kind != KindSelect && r.DiffWrites != 0 {
+			if !strings.HasPrefix(s.Spec(), "select") && r.DiffWrites != 0 {
 				t.Errorf("%s/%s: differential writes outside Select", b.Name, s.Name())
 			}
 		}
