@@ -25,6 +25,7 @@ import (
 	"readduo/internal/reliability"
 	"readduo/internal/report"
 	"readduo/internal/sim"
+	"readduo/internal/telemetry"
 	"readduo/internal/trace"
 	"readduo/internal/wearlevel"
 )
@@ -605,4 +606,124 @@ func mustLineCode(b *testing.B) *bch.Code {
 		b.Fatal(err)
 	}
 	return code
+}
+
+// --- Engine and observability micro-benchmarks ---
+
+// engineSchemes is the per-family benchmark set: one representative of
+// every read/scrub/write policy combination the registry exposes.
+func engineSchemes() []sim.Scheme {
+	return []sim.Scheme{
+		sim.Ideal(), sim.Scrubbing(), sim.MMetric(), sim.TLC(),
+		sim.Hybrid(), sim.LWT(4, true), sim.Select(4, 2),
+	}
+}
+
+// BenchmarkEngineScheme measures engine read/write dispatch throughput
+// per scheme family with telemetry disabled — the baseline the
+// Telemetry variant below is compared against.
+func BenchmarkEngineScheme(b *testing.B) {
+	bench, ok := trace.ByName("gcc")
+	if !ok {
+		b.Fatal("gcc missing")
+	}
+	for _, s := range engineSchemes() {
+		b.Run(s.Name(), func(b *testing.B) {
+			cfg := sim.DefaultConfig(bench)
+			cfg.CPU.InstrBudget = benchBudget
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSchemeTelemetry reruns the same engines with a live
+// registry attached: the delta against BenchmarkEngineScheme is the
+// instrumented-path cost (the disabled path is covered by the nil
+// variants of the Telemetry* benchmarks below).
+func BenchmarkEngineSchemeTelemetry(b *testing.B) {
+	bench, ok := trace.ByName("gcc")
+	if !ok {
+		b.Fatal("gcc missing")
+	}
+	reg := telemetry.NewRegistry("bench")
+	for _, s := range engineSchemes() {
+		b.Run(s.Name(), func(b *testing.B) {
+			cfg := sim.DefaultConfig(bench)
+			cfg.CPU.InstrBudget = benchBudget
+			cfg.Telemetry = reg
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProbCacheColdBuild measures the quadrature-heavy probability
+// table construction the memo table normally amortizes away.
+func BenchmarkProbCacheColdBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim.PurgeSharedCaches()
+		sim.SharedProbTable(drift.MetricR, 8)
+	}
+}
+
+// BenchmarkProbCacheHotLookup measures the age-indexed lookup on the
+// scrub-scan and hybrid-read hot paths.
+func BenchmarkProbCacheHotLookup(b *testing.B) {
+	tab := sim.SharedProbTable(drift.MetricR, 8)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += tab.Retry(1 + float64(i&1023))
+	}
+	_ = sink
+}
+
+// BenchmarkTelemetryCounter compares the disabled (nil) and live probe
+// paths of the counter, the metric on every engine dispatch.
+func BenchmarkTelemetryCounter(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var c *telemetry.Counter
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		c := telemetry.NewRegistry("bench").Counter("c")
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkTelemetryHistogram compares the disabled and live paths of
+// the lock-striped histogram.
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var h *telemetry.Histogram
+		for i := 0; i < b.N; i++ {
+			h.Observe(uint64(i))
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		h := telemetry.NewRegistry("bench").Histogram("h")
+		for i := 0; i < b.N; i++ {
+			h.Observe(uint64(i))
+		}
+	})
+	b.Run("live-parallel", func(b *testing.B) {
+		h := telemetry.NewRegistry("bench").Histogram("h")
+		b.RunParallel(func(pb *testing.PB) {
+			var i uint64
+			for pb.Next() {
+				h.Observe(i)
+				i++
+			}
+		})
+	})
 }

@@ -1,0 +1,150 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, the format of the committed benchmark
+// baselines (BENCH_<date>.json). Feed it the benchmark output on
+// stdin:
+//
+//	go test -bench . -benchmem -count 5 | benchjson -note "..." > BENCH_2026-08-06.json
+//
+// Every run of a benchmark is kept (not aggregated), so a baseline
+// generated with -count 5 preserves the run-to-run spread and a later
+// comparison can use whatever statistic it wants.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Run is one benchmark execution: the iteration count and every
+// reported metric (ns/op, B/op, allocs/op, and custom b.ReportMetric
+// values) keyed by unit.
+type Run struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Benchmark groups the runs of one benchmark name.
+type Benchmark struct {
+	Name string `json:"name"`
+	Runs []Run  `json:"runs"`
+}
+
+// Document is the top-level baseline file.
+type Document struct {
+	GeneratedUnix int64       `json:"generated_unix"`
+	Note          string      `json:"note,omitempty"`
+	GOOS          string      `json:"goos,omitempty"`
+	GOARCH        string      `json:"goarch,omitempty"`
+	Pkg           string      `json:"pkg,omitempty"`
+	CPU           string      `json:"cpu,omitempty"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	note := flag.String("note", "", "free-form provenance note stored in the document")
+	flag.Parse()
+
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc.Note = *note
+	doc.GeneratedUnix = time.Now().Unix()
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output and collects every benchmark
+// line plus the header metadata. Non-benchmark lines (test output,
+// PASS/ok trailers) are ignored.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	byName := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, run, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		i, seen := byName[name]
+		if !seen {
+			i = len(doc.Benchmarks)
+			byName[name] = i
+			doc.Benchmarks = append(doc.Benchmarks, Benchmark{Name: name})
+		}
+		doc.Benchmarks[i].Runs = append(doc.Benchmarks[i].Runs, run)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return doc, nil
+}
+
+// parseBenchLine splits one result line. The format is
+//
+//	BenchmarkName-8  <iterations>  <value> <unit>  [<value> <unit>]...
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name so runs
+// on different machines keep comparable keys.
+func parseBenchLine(line string) (string, Run, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Run{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Run{}, false
+	}
+	run := Run{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Run{}, false
+		}
+		run.Metrics[fields[i+1]] = v
+	}
+	if len(run.Metrics) == 0 {
+		return "", Run{}, false
+	}
+	return name, run, true
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: readduo
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBCHEncode-8    	   10000	    112345 ns/op	     512 B/op	       2 allocs/op
+BenchmarkBCHEncode-8    	   10000	    113456 ns/op	     512 B/op	       2 allocs/op
+BenchmarkTableIII_LER_R-8 	       5	  30123456 ns/op	         1.85e-14 LER(E8,S8)
+some test chatter
+PASS
+ok  	readduo	12.3s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "readduo" {
+		t.Errorf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(doc.Benchmarks))
+	}
+	enc := doc.Benchmarks[0]
+	if enc.Name != "BenchmarkBCHEncode" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", enc.Name)
+	}
+	if len(enc.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 (count preserved, not aggregated)", len(enc.Runs))
+	}
+	if enc.Runs[0].Iterations != 10000 || enc.Runs[0].Metrics["ns/op"] != 112345 {
+		t.Errorf("run 0 = %+v", enc.Runs[0])
+	}
+	if enc.Runs[0].Metrics["allocs/op"] != 2 {
+		t.Errorf("benchmem metrics missing: %+v", enc.Runs[0].Metrics)
+	}
+	ler := doc.Benchmarks[1]
+	if ler.Runs[0].Metrics["LER(E8,S8)"] != 1.85e-14 {
+		t.Errorf("custom metric = %+v", ler.Runs[0].Metrics)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\n")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",
+		"BenchmarkX-8 notanint 5 ns/op",
+		"BenchmarkX-8 100 bogus ns/op",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"text/tabwriter"
 
 	"readduo/internal/area"
+	"readduo/internal/obs"
 	"readduo/internal/report"
 	"readduo/internal/sim"
 	"readduo/internal/trace"
@@ -30,15 +31,36 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	schemeList := flag.String("schemes", "",
 		"comma-separated scheme list; the first entry is the EDAP baseline (default: the Figure 11 set)")
+	telemetry := flag.Bool("telemetry", false, "collect hot-path counters; print a snapshot table and write telemetry.json at exit")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*areaOnly, *budget, *seed, *schemeList); err != nil {
+	session, err := obs.Start(obs.Options{
+		Name:      "edap",
+		Telemetry: *telemetry,
+		DebugAddr: *debugAddr,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "edap:", err)
+		os.Exit(1)
+	}
+	defer session.Close()
+
+	runErr := run(*areaOnly, *budget, *seed, *schemeList, session)
+	if err := session.Report(os.Stderr); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "edap:", runErr)
+		session.Close()
 		os.Exit(1)
 	}
 }
 
-func run(areaOnly bool, budget uint64, seed int64, schemeList string) error {
+func run(areaOnly bool, budget uint64, seed int64, schemeList string, session *obs.Session) error {
 	if err := printTableVII(); err != nil {
 		return err
 	}
@@ -55,7 +77,7 @@ func run(areaOnly bool, budget uint64, seed int64, schemeList string) error {
 		}
 	}
 	baseline := schemes[0].Name()
-	runner := report.Runner{Budget: budget, Seed: seed}
+	runner := report.Runner{Budget: budget, Seed: seed, Telemetry: session.Registry}
 	m, err := runner.RunMatrix(trace.Benchmarks(), schemes)
 	if err != nil {
 		return err

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"readduo/internal/obs"
+)
 
 func TestPrintTableVII(t *testing.T) {
 	if err := printTableVII(); err != nil {
@@ -9,7 +13,7 @@ func TestPrintTableVII(t *testing.T) {
 }
 
 func TestRunAreaOnly(t *testing.T) {
-	if err := run(true, 0, 0, ""); err != nil {
+	if err := run(true, 0, 0, "", new(obs.Session)); err != nil {
 		t.Errorf("area-only run: %v", err)
 	}
 }
@@ -18,7 +22,7 @@ func TestRunFull(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full matrix")
 	}
-	if err := run(false, 20_000, 1, ""); err != nil {
+	if err := run(false, 20_000, 1, "", new(obs.Session)); err != nil {
 		t.Errorf("full run: %v", err)
 	}
 }
@@ -28,10 +32,10 @@ func TestRunCustomSchemes(t *testing.T) {
 		t.Skip("runs a matrix")
 	}
 	// Arbitrary baseline + design point straight from the spec grammar.
-	if err := run(false, 20_000, 1, "TLC,lwt:k=8"); err != nil {
+	if err := run(false, 20_000, 1, "TLC,lwt:k=8", new(obs.Session)); err != nil {
 		t.Errorf("custom scheme run: %v", err)
 	}
-	if err := run(false, 20_000, 1, "TLC,bogus"); err == nil {
+	if err := run(false, 20_000, 1, "TLC,bogus", new(obs.Session)); err == nil {
 		t.Error("bogus scheme list accepted")
 	}
 }

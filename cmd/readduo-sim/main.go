@@ -29,11 +29,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"readduo/internal/campaign"
+	"readduo/internal/obs"
 	"readduo/internal/report"
 	"readduo/internal/sim"
 	"readduo/internal/trace"
@@ -51,6 +53,9 @@ type options struct {
 	parallel    int
 	journalPath string
 	resume      bool
+	telemetry   bool
+	debugAddr   string
+	traceSpans  string
 	progress    io.Writer // nil silences progress lines
 }
 
@@ -67,6 +72,9 @@ func main() {
 	flag.IntVar(&opts.parallel, "parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&opts.journalPath, "journal", "", "append completed jobs to this JSONL journal")
 	flag.BoolVar(&opts.resume, "resume", false, "skip jobs already completed in -journal")
+	flag.BoolVar(&opts.telemetry, "telemetry", false, "collect hot-path counters; print a snapshot table and write telemetry.json at exit")
+	flag.StringVar(&opts.debugAddr, "debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	flag.StringVar(&opts.traceSpans, "trace-spans", "", "stream per-job span events to this JSONL file")
 	flag.Parse()
 	opts.progress = os.Stderr
 
@@ -155,7 +163,27 @@ func run(ctx context.Context, opts options) error {
 		return err
 	}
 
-	campaignOpts := campaign.Options{Parallel: opts.parallel}
+	session, err := obs.Start(obs.Options{
+		Name:      "readduo-sim",
+		Telemetry: opts.telemetry,
+		DebugAddr: opts.debugAddr,
+		TracePath: opts.traceSpans,
+		Logf: func(format string, args ...any) {
+			if opts.progress != nil {
+				fmt.Fprintf(opts.progress, format+"\n", args...)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	campaignOpts := campaign.Options{
+		Parallel:  opts.parallel,
+		Telemetry: session.Registry,
+		Tracer:    session.Tracer,
+	}
 	if opts.progress != nil {
 		campaignOpts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(opts.progress, format+"\n", args...)
@@ -164,16 +192,18 @@ func run(ctx context.Context, opts options) error {
 	if opts.resume && opts.journalPath == "" {
 		return fmt.Errorf("-resume needs -journal")
 	}
+	var prior *campaign.TelemetrySummary
 	if opts.journalPath != "" {
 		header := spec.Header(time.Now().Unix())
 		var journal *campaign.Journal
 		if opts.resume {
-			j, done, err := campaign.Open(opts.journalPath, header)
+			j, done, p, err := campaign.Open(opts.journalPath, header)
 			if err != nil {
 				return err
 			}
 			journal = j
 			campaignOpts.Completed = done
+			prior = p
 		} else {
 			j, err := campaign.Create(opts.journalPath, header)
 			if err != nil {
@@ -186,6 +216,9 @@ func run(ctx context.Context, opts options) error {
 	}
 
 	outcome, err := campaign.Run(ctx, spec, campaignOpts)
+	if reportErr := reportTelemetry(session, prior, opts); reportErr != nil && err == nil {
+		err = reportErr
+	}
 	if err != nil {
 		return err
 	}
@@ -213,6 +246,41 @@ func run(ctx context.Context, opts options) error {
 		return writeJSON(os.Stdout, m, outcome, opts)
 	}
 	return writeTables(os.Stdout, m, opts.what)
+}
+
+// reportTelemetry prints the run's snapshot (and, on a resumed
+// campaign, the cumulative counters merged across every journaled run)
+// once the campaign drains. It runs even when the campaign was
+// interrupted, so partial runs still report what they measured.
+func reportTelemetry(session *obs.Session, prior *campaign.TelemetrySummary, opts options) error {
+	if !opts.telemetry {
+		return nil
+	}
+	w := opts.progress
+	if w == nil {
+		w = io.Discard
+	}
+	if err := session.Report(w); err != nil {
+		return err
+	}
+	if prior != nil && session.Registry != nil {
+		cum := campaign.SummaryFromSnapshot(session.Registry.Snapshot(), 0, 0)
+		cum.Merge(prior)
+		fmt.Fprintf(w, "cumulative counters across resumed runs (%d prior jobs):\n", prior.Jobs)
+		for _, k := range sortedCounterKeys(cum.Counters) {
+			fmt.Fprintf(w, "  %s\t%d\n", k, cum.Counters[k])
+		}
+	}
+	return nil
+}
+
+func sortedCounterKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func writeTables(w io.Writer, m *report.Matrix, what string) error {

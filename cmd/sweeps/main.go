@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"readduo/internal/campaign"
+	"readduo/internal/obs"
 	"readduo/internal/report"
 	"readduo/internal/sim"
 	"readduo/internal/trace"
@@ -42,16 +43,39 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	schemeList := flag.String("schemes", "",
 		"scheme list for the custom sweep, normalized to the first entry (implies -sweep=custom)")
+	telemetry := flag.Bool("telemetry", false, "collect hot-path counters; print a snapshot table and write telemetry.json at exit")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	traceSpans := flag.String("trace-spans", "", "stream per-job span events to this JSONL file")
 	flag.Parse()
 
 	if *schemeList != "" && *sweep == "all" {
 		*sweep = "custom"
 	}
 
+	session, err := obs.Start(obs.Options{
+		Name:      "sweeps",
+		Telemetry: *telemetry,
+		DebugAddr: *debugAddr,
+		TracePath: *traceSpans,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweeps:", err)
+		os.Exit(1)
+	}
+	defer session.Close()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *sweep, *budget, *seed, *benchList, *parallel, *schemeList); err != nil {
-		fmt.Fprintln(os.Stderr, "sweeps:", err)
+	runErr := run(ctx, *sweep, *budget, *seed, *benchList, *parallel, *schemeList, session)
+	if err := session.Report(os.Stderr); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "sweeps:", runErr)
+		session.Close()
 		os.Exit(1)
 	}
 }
@@ -59,8 +83,12 @@ func main() {
 // campaignMatrix runs one sweep's matrix on the campaign engine. On
 // interruption or point failure it writes the completed points to partialTo
 // before returning the error, so finished work is never silently discarded.
-func campaignMatrix(ctx context.Context, spec campaign.Spec, parallel int, partialTo io.Writer) (*report.Matrix, error) {
-	outcome, err := campaign.Run(ctx, spec, campaign.Options{Parallel: parallel})
+func campaignMatrix(ctx context.Context, spec campaign.Spec, parallel int, partialTo io.Writer, session *obs.Session) (*report.Matrix, error) {
+	outcome, err := campaign.Run(ctx, spec, campaign.Options{
+		Parallel:  parallel,
+		Telemetry: session.Registry,
+		Tracer:    session.Tracer,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +108,7 @@ func campaignMatrix(ctx context.Context, spec campaign.Spec, parallel int, parti
 	return matrices[0].Matrix, nil
 }
 
-func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList string, parallel int, schemeList string) error {
+func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList string, parallel int, schemeList string, session *obs.Session) error {
 	benches := trace.Benchmarks()
 	if benchList != "" {
 		benches = benches[:0]
@@ -105,7 +133,7 @@ func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList
 
 	if all || sweep == "k" {
 		ran = true
-		m, err := campaignMatrix(ctx, spec(sim.Ideal(), sim.LWT(2, true), sim.LWT(4, true)), parallel, os.Stdout)
+		m, err := campaignMatrix(ctx, spec(sim.Ideal(), sim.LWT(2, true), sim.LWT(4, true)), parallel, os.Stdout, session)
 		if err != nil {
 			return err
 		}
@@ -122,7 +150,7 @@ func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList
 
 	if all || sweep == "s" {
 		ran = true
-		m, err := campaignMatrix(ctx, spec(sim.Ideal(), sim.Select(4, 1), sim.Select(4, 2)), parallel, os.Stdout)
+		m, err := campaignMatrix(ctx, spec(sim.Ideal(), sim.Select(4, 1), sim.Select(4, 2)), parallel, os.Stdout, session)
 		if err != nil {
 			return err
 		}
@@ -139,7 +167,7 @@ func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList
 
 	if all || sweep == "conversion" {
 		ran = true
-		m, err := campaignMatrix(ctx, spec(sim.Ideal(), sim.LWT(4, false), sim.LWT(4, true)), parallel, os.Stdout)
+		m, err := campaignMatrix(ctx, spec(sim.Ideal(), sim.LWT(4, false), sim.LWT(4, true)), parallel, os.Stdout, session)
 		if err != nil {
 			return err
 		}
@@ -166,7 +194,7 @@ func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList
 		if len(schemes) < 2 {
 			return fmt.Errorf("custom sweep needs at least two schemes, got %d", len(schemes))
 		}
-		m, err := campaignMatrix(ctx, spec(schemes...), parallel, os.Stdout)
+		m, err := campaignMatrix(ctx, spec(schemes...), parallel, os.Stdout, session)
 		if err != nil {
 			return err
 		}

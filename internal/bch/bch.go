@@ -155,6 +155,7 @@ func (c *Code) Encode(data []byte) ([]byte, error) {
 	if len(data) != c.DataBytes() {
 		return nil, fmt.Errorf("%w: data %dB, want %dB", ErrBadLength, len(data), c.DataBytes())
 	}
+	activeProbes.Load().addEncode()
 	// Systematic encoding: remainder of x^parity * d(x) modulo g(x),
 	// computed with the standard LFSR: consume data bits from the highest
 	// codeword position downward.
@@ -189,6 +190,17 @@ func (c *Code) Decode(data, parity []byte) (Result, error) {
 		return Result{}, fmt.Errorf("%w: data %dB parity %dB, want %dB/%dB",
 			ErrBadLength, len(data), len(parity), c.DataBytes(), c.ParityBytes())
 	}
+	p := activeProbes.Load()
+	res, err := c.decode(data, parity, p)
+	if err == nil {
+		p.addOutcome(res)
+	}
+	return res, err
+}
+
+// decode is Decode's body, with the probe set resolved once up front.
+func (c *Code) decode(data, parity []byte, p *probes) (Result, error) {
+	p.addSyndrome()
 	synd := c.syndromes(data, parity)
 	allZero := true
 	for _, s := range synd {
@@ -200,7 +212,7 @@ func (c *Code) Decode(data, parity []byte) (Result, error) {
 	if allZero {
 		return Result{Status: StatusClean}, nil
 	}
-	sigma := c.berlekampMassey(synd)
+	sigma := c.berlekampMassey(synd, p)
 	deg := len(sigma) - 1
 	if deg < 1 || deg > c.t {
 		return Result{Status: StatusUncorrectable}, nil
@@ -244,7 +256,8 @@ func (c *Code) syndromes(data, parity []byte) []uint32 {
 
 // berlekampMassey returns the error-locator polynomial sigma (sigma[0]=1)
 // for the given syndrome sequence.
-func (c *Code) berlekampMassey(synd []uint32) []uint32 {
+func (c *Code) berlekampMassey(synd []uint32, p *probes) []uint32 {
+	p.addBMIterations(uint64(len(synd)))
 	f := c.field
 	sigma := []uint32{1}
 	prev := []uint32{1}

@@ -1,0 +1,83 @@
+package bch
+
+import (
+	"sync/atomic"
+
+	"readduo/internal/telemetry"
+)
+
+// Codes are constructed deep inside the device stack (readout lines,
+// ECP wrappers), so probes cannot be threaded through constructors the
+// way the simulator's are. Instead the package holds one probe set in
+// an atomic pointer: EnableTelemetry swaps it in, and the disabled
+// fast path — the default — is exactly one atomic load per Encode or
+// Decode.
+
+// probes is the decode/encode instrumentation of the package.
+type probes struct {
+	encodes       *telemetry.Counter
+	syndromes     *telemetry.Counter // syndrome-set computations (one per decode)
+	bmIterations  *telemetry.Counter // Berlekamp-Massey syndrome steps
+	clean         *telemetry.Counter // decode outcomes by class
+	corrected     *telemetry.Counter
+	uncorrectable *telemetry.Counter
+	correctedBits *telemetry.Histogram // errors repaired per corrected decode
+}
+
+var activeProbes atomic.Pointer[probes]
+
+// EnableTelemetry routes codec probes into reg under the "bch" scope.
+// A nil registry disables them again. Safe to call at any time, also
+// while other goroutines encode and decode.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		activeProbes.Store(nil)
+		return
+	}
+	s := reg.Sink("bch")
+	activeProbes.Store(&probes{
+		encodes:       s.Counter("encode"),
+		syndromes:     s.Counter("syndrome_computes"),
+		bmIterations:  s.Counter("bm_iterations"),
+		clean:         s.Sub("decode").Counter("clean"),
+		corrected:     s.Sub("decode").Counter("corrected"),
+		uncorrectable: s.Sub("decode").Counter("uncorrectable"),
+		correctedBits: s.Sub("decode").Histogram("corrected_bits"),
+	})
+}
+
+// Nil-safe accessors: a nil *probes (telemetry disabled) hands out nil
+// metrics, which ignore updates.
+
+func (p *probes) addEncode() {
+	if p != nil {
+		p.encodes.Inc()
+	}
+}
+
+func (p *probes) addSyndrome() {
+	if p != nil {
+		p.syndromes.Inc()
+	}
+}
+
+func (p *probes) addBMIterations(n uint64) {
+	if p != nil {
+		p.bmIterations.Add(n)
+	}
+}
+
+func (p *probes) addOutcome(r Result) {
+	if p == nil {
+		return
+	}
+	switch r.Status {
+	case StatusClean:
+		p.clean.Inc()
+	case StatusCorrected:
+		p.corrected.Inc()
+		p.correctedBits.Observe(uint64(len(r.CorrectedBits)))
+	case StatusUncorrectable:
+		p.uncorrectable.Inc()
+	}
+}

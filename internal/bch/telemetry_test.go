@@ -1,0 +1,103 @@
+package bch
+
+import (
+	"math/rand"
+	"testing"
+
+	"readduo/internal/telemetry"
+)
+
+// TestTelemetryCountsOutcomes runs the codec through its three decode
+// classes with probes enabled and checks the registry totals.
+func TestTelemetryCountsOutcomes(t *testing.T) {
+	reg := telemetry.NewRegistry("test")
+	EnableTelemetry(reg)
+	defer EnableTelemetry(nil)
+
+	code, err := New(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, code.DataBytes())
+	rng.Read(data)
+	parity, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean decode.
+	d := append([]byte(nil), data...)
+	p := append([]byte(nil), parity...)
+	if res, err := code.Decode(d, p); err != nil || res.Status != StatusClean {
+		t.Fatalf("clean decode: %v %v", res, err)
+	}
+	// Corrected decode: flip 3 data bits.
+	d = append([]byte(nil), data...)
+	p = append([]byte(nil), parity...)
+	for _, pos := range []int{1, 100, 400} {
+		d[pos/8] ^= 1 << (pos % 8)
+	}
+	if res, err := code.Decode(d, p); err != nil || res.Status != StatusCorrected {
+		t.Fatalf("corrected decode: %v %v", res, err)
+	}
+	// Uncorrectable decode: flip far more than 2t+1 scattered bits.
+	d = append([]byte(nil), data...)
+	p = append([]byte(nil), parity...)
+	for pos := 0; pos < 512; pos += 8 {
+		d[pos/8] ^= 1 << (pos % 8)
+	}
+	if res, err := code.Decode(d, p); err != nil || res.Status == StatusCorrected {
+		t.Fatalf("heavy decode: %v %v", res, err)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["bch.encode"] != 1 {
+		t.Fatalf("encode = %d, want 1", snap.Counters["bch.encode"])
+	}
+	if snap.Counters["bch.syndrome_computes"] != 3 {
+		t.Fatalf("syndrome_computes = %d, want 3", snap.Counters["bch.syndrome_computes"])
+	}
+	if snap.Counters["bch.decode.clean"] != 1 {
+		t.Fatalf("clean = %d, want 1", snap.Counters["bch.decode.clean"])
+	}
+	if snap.Counters["bch.decode.corrected"] != 1 {
+		t.Fatalf("corrected = %d, want 1", snap.Counters["bch.decode.corrected"])
+	}
+	if snap.Counters["bch.decode.uncorrectable"] != 1 {
+		t.Fatalf("uncorrectable = %d, want 1", snap.Counters["bch.decode.uncorrectable"])
+	}
+	// Two non-clean decodes ran Berlekamp-Massey over 2t = 16 syndromes.
+	if got := snap.Counters["bch.bm_iterations"]; got != 32 {
+		t.Fatalf("bm_iterations = %d, want 32", got)
+	}
+	h := snap.Histograms["bch.decode.corrected_bits"]
+	if h.Count != 1 || h.Sum != 3 {
+		t.Fatalf("corrected_bits histogram = %+v, want one observation of 3", h)
+	}
+}
+
+// TestTelemetryDisabledIsInert checks the default path: no registry,
+// one atomic load, no counting, no allocation.
+func TestTelemetryDisabledIsInert(t *testing.T) {
+	EnableTelemetry(nil)
+	code, err := New(6, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, code.DataBytes())
+	parity, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := code.Decode(data, parity); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A clean decode with probes disabled must not allocate beyond the
+	// syndrome slice the decoder always builds.
+	if allocs > 1 {
+		t.Fatalf("disabled-telemetry decode allocated %.1f objects/op", allocs)
+	}
+}

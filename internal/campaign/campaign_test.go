@@ -215,7 +215,7 @@ func TestResumeFromTruncatedJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	j2, done, err := Open(path, header)
+	j2, done, _, err := Open(path, header)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
@@ -333,7 +333,7 @@ func TestPreRefactorJournalResumes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	j2, done, err := Open(path, spec.Header(99))
+	j2, done, _, err := Open(path, spec.Header(99))
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"readduo/internal/sim"
+	"readduo/internal/telemetry"
 )
 
 // journalVersion is bumped when the journal schema changes incompatibly.
@@ -52,10 +54,53 @@ type Record struct {
 	Result    *sim.Result `json:"result,omitempty"`
 }
 
+// TelemetrySummary is the counter snapshot a telemetry-enabled campaign
+// stamps into its journal when it finishes. On resume the summaries of
+// earlier runs are merged and handed back, so an interrupted campaign
+// reports cumulative statistics across every run that contributed
+// records.
+type TelemetrySummary struct {
+	// AtUnix is when the contributing run finished.
+	AtUnix int64 `json:"at_unix"`
+	// Jobs is the number of jobs that run executed (excluding resumed).
+	Jobs int `json:"jobs"`
+	// Counters holds the registry's counter values by full name.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// Merge folds other into s (counter-wise addition; the latest finish
+// time wins).
+func (s *TelemetrySummary) Merge(other *TelemetrySummary) {
+	if s == nil || other == nil {
+		return
+	}
+	if other.AtUnix > s.AtUnix {
+		s.AtUnix = other.AtUnix
+	}
+	s.Jobs += other.Jobs
+	if s.Counters == nil {
+		s.Counters = make(map[string]uint64, len(other.Counters))
+	}
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+}
+
+// SummaryFromSnapshot extracts the journal-worthy part of a registry
+// snapshot (counters only; gauges and histograms are run-local).
+func SummaryFromSnapshot(snap telemetry.Snapshot, jobs int, atUnix int64) *TelemetrySummary {
+	counters := make(map[string]uint64, len(snap.Counters))
+	for k, v := range snap.Counters {
+		counters[k] = v
+	}
+	return &TelemetrySummary{AtUnix: atUnix, Jobs: jobs, Counters: counters}
+}
+
 // journalLine is the JSONL envelope: exactly one of the fields is set.
 type journalLine struct {
-	Header *Header `json:"header,omitempty"`
-	Job    *Record `json:"job,omitempty"`
+	Header    *Header           `json:"header,omitempty"`
+	Job       *Record           `json:"job,omitempty"`
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
 }
 
 // Journal is an append-only JSONL campaign log. Append is safe for
@@ -76,7 +121,9 @@ func (j *Journal) Path() string {
 }
 
 // Create starts a fresh journal at path (truncating any previous file) and
-// writes the header line.
+// writes the header line. The header and the directory entry are synced
+// immediately: a campaign that crashes right after starting still leaves
+// a well-formed, resumable journal behind.
 func Create(path string, h Header) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -87,33 +134,51 @@ func Create(path string, h Header) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: sync journal header: %w", err)
+	}
+	syncDir(path)
 	return j, nil
 }
 
+// syncDir fsyncs the directory containing path so a freshly created
+// journal's directory entry is durable. Best-effort: some filesystems
+// reject directory syncs, and the journal itself is already synced.
+func syncDir(path string) {
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	defer dir.Close()
+	_ = dir.Sync()
+}
+
 // Open resumes the journal at path: it validates the existing header
-// against h, returns the already-completed records keyed by job key, and
-// reopens the file for appending. A torn final line — left by a killed
-// campaign — is truncated away so subsequent appends start on a clean line
-// boundary. A missing file degrades to Create.
-func Open(path string, h Header) (*Journal, map[string]Record, error) {
+// against h, returns the already-completed records keyed by job key plus
+// the merged telemetry summary of previous runs (nil when none was
+// journaled), and reopens the file for appending. A torn final line —
+// left by a killed campaign — is truncated away so subsequent appends
+// start on a clean line boundary. A missing file degrades to Create.
+func Open(path string, h Header) (*Journal, map[string]Record, *TelemetrySummary, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		j, cerr := Create(path, h)
-		return j, map[string]Record{}, cerr
+		return j, map[string]Record{}, nil, cerr
 	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("campaign: open journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("campaign: open journal: %w", err)
 	}
-	gotHeader, records, valid, derr := decodeAll(data)
+	gotHeader, records, prior, valid, derr := decodeAll(data)
 	if derr != nil {
-		return nil, nil, fmt.Errorf("campaign: journal %s: %w", path, derr)
+		return nil, nil, nil, fmt.Errorf("campaign: journal %s: %w", path, derr)
 	}
 	if gotHeader.Version != h.Version {
-		return nil, nil, fmt.Errorf("campaign: journal %s is version %d, want %d",
+		return nil, nil, nil, fmt.Errorf("campaign: journal %s is version %d, want %d",
 			path, gotHeader.Version, h.Version)
 	}
 	if gotHeader.Fingerprint != h.Fingerprint {
-		return nil, nil, fmt.Errorf("campaign: journal %s belongs to a different campaign (fingerprint %s, want %s)",
+		return nil, nil, nil, fmt.Errorf("campaign: journal %s belongs to a different campaign (fingerprint %s, want %s)",
 			path, gotHeader.Fingerprint, h.Fingerprint)
 	}
 	done := make(map[string]Record, len(records))
@@ -124,21 +189,45 @@ func Open(path string, h Header) (*Journal, map[string]Record, error) {
 	}
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("campaign: reopen journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("campaign: reopen journal: %w", err)
 	}
 	if valid < int64(len(data)) {
 		// Drop the torn tail so the next append starts a fresh line.
 		if err := f.Truncate(valid); err != nil {
 			f.Close()
-			return nil, nil, fmt.Errorf("campaign: repair journal: %w", err)
+			return nil, nil, nil, fmt.Errorf("campaign: repair journal: %w", err)
 		}
 	}
-	return &Journal{f: f, path: path}, done, nil
+	return &Journal{f: f, path: path}, done, prior, nil
 }
 
 // Append journals one job completion.
 func (j *Journal) Append(rec Record) error {
 	return j.appendLine(journalLine{Job: &rec})
+}
+
+// AppendTelemetry journals a run's telemetry summary.
+func (j *Journal) AppendTelemetry(s *TelemetrySummary) error {
+	if s == nil {
+		return nil
+	}
+	return j.appendLine(journalLine{Telemetry: s})
+}
+
+// Sync flushes every appended record to stable storage. campaign.Run
+// calls it when the job stream drains, so a crash immediately after a
+// campaign completes cannot lose the final records (Close alone would
+// only cover an orderly shutdown).
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: sync journal: %w", err)
+	}
+	return nil
 }
 
 func (j *Journal) appendLine(line journalLine) error {
@@ -179,17 +268,20 @@ func Decode(r io.Reader) (Header, []Record, error) {
 	if err != nil {
 		return Header{}, nil, fmt.Errorf("read: %w", err)
 	}
-	h, records, _, derr := decodeAll(data)
+	h, records, _, _, derr := decodeAll(data)
 	return h, records, derr
 }
 
-// decodeAll parses the journal bytes and additionally returns the length of
-// the valid prefix: everything up to and including the last well-formed
-// line. Open truncates the file to that length before resuming appends.
-func decodeAll(data []byte) (Header, []Record, int64, error) {
+// decodeAll parses the journal bytes and additionally returns the merged
+// telemetry summary of every stamped run (nil when none) and the length
+// of the valid prefix: everything up to and including the last
+// well-formed line. Open truncates the file to that length before
+// resuming appends.
+func decodeAll(data []byte) (Header, []Record, *TelemetrySummary, int64, error) {
 	var (
 		header  *Header
 		records []Record
+		summary *TelemetrySummary
 		valid   int64
 		lineNo  int
 	)
@@ -216,27 +308,34 @@ func decodeAll(data []byte) (Header, []Record, int64, error) {
 		parseErr := json.Unmarshal(line, &jl)
 		if header == nil {
 			if parseErr != nil || jl.Header == nil || !complete {
-				return Header{}, nil, 0, fmt.Errorf("missing journal header")
+				return Header{}, nil, nil, 0, fmt.Errorf("missing journal header")
 			}
 			header = jl.Header
 			valid = int64(next)
 			offset = next
 			continue
 		}
-		if parseErr != nil || jl.Job == nil || !complete {
+		if parseErr != nil || (jl.Job == nil && jl.Telemetry == nil) || !complete {
 			if next >= len(data) {
 				break // torn final line from an interrupted write
 			}
-			return Header{}, nil, 0, fmt.Errorf("corrupt journal line %d", lineNo)
+			return Header{}, nil, nil, 0, fmt.Errorf("corrupt journal line %d", lineNo)
 		}
-		records = append(records, *jl.Job)
+		if jl.Telemetry != nil {
+			if summary == nil {
+				summary = &TelemetrySummary{}
+			}
+			summary.Merge(jl.Telemetry)
+		} else {
+			records = append(records, *jl.Job)
+		}
 		valid = int64(next)
 		offset = next
 	}
 	if header == nil {
-		return Header{}, nil, 0, fmt.Errorf("empty journal")
+		return Header{}, nil, nil, 0, fmt.Errorf("empty journal")
 	}
-	return *header, records, valid, nil
+	return *header, records, summary, valid, nil
 }
 
 // DecodeFile reads the journal at path.

@@ -75,12 +75,12 @@ func TestOpenRejectsForeignJournal(t *testing.T) {
 
 	other := spec
 	other.Budget = spec.Budget + 1
-	if _, _, err := Open(path, other.Header(1)); err == nil ||
+	if _, _, _, err := Open(path, other.Header(1)); err == nil ||
 		!strings.Contains(err.Error(), "different campaign") {
 		t.Errorf("foreign journal error = %v", err)
 	}
 	// Same spec resumes fine.
-	j2, done, err := Open(path, spec.Header(2))
+	j2, done, _, err := Open(path, spec.Header(2))
 	if err != nil {
 		t.Fatalf("Open same spec: %v", err)
 	}
@@ -95,7 +95,7 @@ func TestOpenRejectsForeignJournal(t *testing.T) {
 func TestOpenMissingFileCreates(t *testing.T) {
 	spec := journalSpec(t)
 	path := filepath.Join(t.TempDir(), "new.jsonl")
-	j, done, err := Open(path, spec.Header(1))
+	j, done, _, err := Open(path, spec.Header(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"readduo/internal/sim"
+	"readduo/internal/telemetry"
 )
 
 // Options tunes a campaign run.
@@ -23,6 +24,44 @@ type Options struct {
 	Progress func(format string, args ...any)
 	// ProgressEvery is the status cadence; zero selects 5 s.
 	ProgressEvery time.Duration
+	// Telemetry, when non-nil, receives campaign-level probes (job
+	// outcomes, queue wait, wall time) under the "campaign" scope and is
+	// threaded into every job's sim.Config. When a Journal is also set,
+	// the run stamps a counter summary into it at drain so resumed
+	// campaigns can report cumulative statistics.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records one span per executed job.
+	Tracer *telemetry.Tracer
+}
+
+// campaignProbes is the scheduler's own instrumentation. All fields are
+// nil when Options.Telemetry is nil; the metric types no-op on nil.
+type campaignProbes struct {
+	jobsOK      *telemetry.Counter
+	jobsFailed  *telemetry.Counter
+	jobsPanic   *telemetry.Counter
+	jobsResumed *telemetry.Counter
+	wallMS      *telemetry.Histogram // per-job execution wall time
+	queueWaitMS *telemetry.Histogram // enqueue -> worker pickup latency
+}
+
+func newCampaignProbes(reg *telemetry.Registry) campaignProbes {
+	s := reg.Sink("campaign")
+	return campaignProbes{
+		jobsOK:      s.Counter("jobs.ok"),
+		jobsFailed:  s.Counter("jobs.failed"),
+		jobsPanic:   s.Counter("jobs.panic"),
+		jobsResumed: s.Counter("jobs.resumed"),
+		wallMS:      s.Histogram("job.wall_ms"),
+		queueWaitMS: s.Histogram("job.queue_wait_ms"),
+	}
+}
+
+// queuedJob carries the enqueue timestamp so workers can report how long
+// the job sat in the channel behind slower work.
+type queuedJob struct {
+	job      Job
+	enqueued time.Time
 }
 
 // Outcome is the result of a campaign run.
@@ -66,6 +105,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	}
 
 	out := &Outcome{Records: make([]Record, len(jobs)), Parallel: parallel}
+	tel := newCampaignProbes(opts.Telemetry)
 	start := time.Now()
 
 	// Satisfy jobs from the previous journal first. A record only counts
@@ -85,15 +125,16 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	}
 	if out.Resumed > 0 {
 		progress("campaign: resumed %d/%d jobs from journal", out.Resumed, len(jobs))
+		tel.jobsResumed.Add(uint64(out.Resumed))
 	}
 
-	jobCh := make(chan Job)
+	jobCh := make(chan queuedJob)
 	recCh := make(chan Record)
 	go func() {
 		defer close(jobCh)
 		for _, job := range pending {
 			select {
-			case jobCh <- job:
+			case jobCh <- queuedJob{job: job, enqueued: time.Now()}:
 			case <-ctx.Done():
 				return
 			}
@@ -104,8 +145,9 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for job := range jobCh {
-				recCh <- runJob(spec, job, worker)
+			for qj := range jobCh {
+				tel.queueWaitMS.Observe(uint64(time.Since(qj.enqueued).Milliseconds()))
+				recCh <- runJob(spec, qj.job, worker, tel, opts)
 			}
 		}(w)
 	}
@@ -129,8 +171,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 			started++
 			if rec.Status == StatusOK {
 				out.Done++
+				tel.jobsOK.Inc()
 			} else {
 				out.Failed++
+				tel.jobsFailed.Inc()
 				progress("campaign: job %s failed: %s", rec.Key, rec.Error)
 			}
 			if opts.Journal != nil && journalErr == nil {
@@ -153,6 +197,19 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		progress("campaign: finished %d/%d jobs (%d failed) in %s",
 			out.Done, len(jobs), out.Failed, out.Elapsed.Round(time.Millisecond))
 	}
+	if opts.Journal != nil && journalErr == nil {
+		// Stamp this run's counter totals, then force everything to disk:
+		// a crash between campaign completion and process exit must not
+		// lose records Close would otherwise have flushed.
+		if opts.Telemetry != nil {
+			executed := started - out.Resumed
+			journalErr = opts.Journal.AppendTelemetry(
+				SummaryFromSnapshot(opts.Telemetry.Snapshot(), executed, time.Now().Unix()))
+		}
+		if journalErr == nil {
+			journalErr = opts.Journal.Sync()
+		}
+	}
 	if journalErr != nil {
 		return out, journalErr
 	}
@@ -161,7 +218,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 
 // runJob executes one simulation, converting a panic anywhere inside the
 // simulator into a failed-job record rather than a dead process.
-func runJob(spec Spec, job Job, worker int) (rec Record) {
+func runJob(spec Spec, job Job, worker int, tel campaignProbes, opts Options) (rec Record) {
 	rec = Record{
 		Key:       job.Key(),
 		Index:     job.Index,
@@ -171,6 +228,9 @@ func runJob(spec Spec, job Job, worker int) (rec Record) {
 		Seed:      job.Seed,
 		Worker:    worker,
 	}
+	span := opts.Tracer.Start("campaign.job")
+	span.SetAttr("key", rec.Key)
+	span.SetAttr("worker", worker)
 	start := time.Now()
 	defer func() {
 		rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
@@ -178,13 +238,18 @@ func runJob(spec Spec, job Job, worker int) (rec Record) {
 			rec.Status = StatusFailed
 			rec.Error = fmt.Sprintf("panic: %v", p)
 			rec.Result = nil
+			tel.jobsPanic.Inc()
 		}
+		tel.wallMS.Observe(uint64(rec.WallMS))
+		span.SetAttr("status", string(rec.Status))
+		span.End()
 	}()
 	cfg := sim.DefaultConfig(job.Benchmark)
 	if spec.Budget > 0 {
 		cfg.CPU.InstrBudget = spec.Budget
 	}
 	cfg.Seed = job.Seed
+	cfg.Telemetry = opts.Telemetry
 	if spec.Configure != nil {
 		spec.Configure(job, &cfg)
 	}

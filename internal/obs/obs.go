@@ -1,0 +1,160 @@
+// Package obs wires the telemetry layer into the command-line tools.
+// Every command shares the same three observability flags, the same
+// bootstrap order (registry, codec probes, cache probes, debug
+// listener, span tracer), and the same exit report (snapshot table
+// plus telemetry.json); obs centralizes that plumbing so the commands
+// stay focused on their evaluation logic.
+//
+// A Session started with every feature disabled is an inert value:
+// its Registry and Tracer are nil, which the telemetry package treats
+// as permanently disabled probes, so commands can thread the session
+// through unconditionally.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"readduo/internal/bch"
+	"readduo/internal/sim"
+	"readduo/internal/telemetry"
+	"readduo/internal/telemetry/debughttp"
+)
+
+// Options selects which observability features a command enables.
+type Options struct {
+	// Name is the registry name, conventionally the command name. It
+	// heads the snapshot table and names the expvar publication.
+	Name string
+	// Telemetry enables the metric registry and the exit report
+	// (snapshot table plus JSONPath). The -telemetry flag.
+	Telemetry bool
+	// DebugAddr, when non-empty, starts the pprof/expvar listener on
+	// that address. Implies a live registry so /debug/vars has data
+	// to show. The -debug-addr flag.
+	DebugAddr string
+	// TracePath, when non-empty, streams span events to that JSONL
+	// file. The -trace-spans flag.
+	TracePath string
+	// JSONPath is where Report writes the snapshot JSON; empty
+	// selects "telemetry.json".
+	JSONPath string
+	// Logf, when non-nil, receives one-line startup notices (the
+	// bound debug address). Defaults to silent.
+	Logf func(format string, args ...any)
+}
+
+// Session is a command's live observability state.
+type Session struct {
+	// Registry is the command's metric registry; nil when neither
+	// -telemetry nor -debug-addr was given.
+	Registry *telemetry.Registry
+	// Tracer streams span events; nil unless -trace-spans was given.
+	Tracer *telemetry.Tracer
+
+	report    bool
+	jsonPath  string
+	debug     *debughttp.Server
+	traceFile *os.File
+}
+
+// Start brings up the requested observability features. The returned
+// session is non-nil even when everything is disabled; Close it when
+// the command exits.
+func Start(o Options) (*Session, error) {
+	s := &Session{report: o.Telemetry, jsonPath: o.JSONPath}
+	if s.jsonPath == "" {
+		s.jsonPath = "telemetry.json"
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if !o.Telemetry && o.DebugAddr == "" && o.TracePath == "" {
+		return s, nil
+	}
+	if o.Telemetry || o.DebugAddr != "" {
+		s.Registry = telemetry.NewRegistry(o.Name)
+		bch.EnableTelemetry(s.Registry)
+		sim.RegisterCacheTelemetry(s.Registry)
+		// The statistical simulator models the line codec without
+		// executing it, so exercise the real codec once: the self-check
+		// validates the detect-vs-correct thresholds the model assumes
+		// and seeds the bch.* counters with a known workload.
+		if err := CodecSelfCheck(); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("obs: BCH codec self-check: %w", err)
+		}
+	}
+	if o.DebugAddr != "" {
+		d, err := debughttp.Serve(o.DebugAddr, s.Registry)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.debug = d
+		logf("debug listener on http://%s/debug/pprof/ (expvar at /debug/vars)", d.Addr())
+	}
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("obs: trace file: %w", err)
+		}
+		s.traceFile = f
+		s.Tracer = telemetry.NewTracer(f)
+	}
+	return s, nil
+}
+
+// Report prints the snapshot table to w and writes the snapshot JSON
+// next to the command's results. No-op unless -telemetry was given.
+func (s *Session) Report(w io.Writer) error {
+	if s == nil || !s.report || s.Registry == nil {
+		return nil
+	}
+	snap := s.Registry.Snapshot()
+	if err := snap.WriteTable(w); err != nil {
+		return err
+	}
+	f, err := os.Create(s.jsonPath)
+	if err != nil {
+		return fmt.Errorf("obs: telemetry json: %w", err)
+	}
+	werr := snap.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	fmt.Fprintf(w, "telemetry snapshot written to %s\n", s.jsonPath)
+	return nil
+}
+
+// Close tears the session down: the debug listener stops, the trace
+// file is flushed and closed, and the package-level codec probes are
+// detached so a later Session starts clean. Nil-safe.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.Registry != nil {
+		bch.EnableTelemetry(nil)
+	}
+	if err := s.debug.Close(); err != nil {
+		first = err
+	}
+	if s.traceFile != nil {
+		if err := s.Tracer.Err(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStartDisabledIsInert checks the all-flags-off session: nil
+// registry and tracer, no report output, clean close.
+func TestStartDisabledIsInert(t *testing.T) {
+	s, err := Start(Options{Name: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Registry != nil || s.Tracer != nil {
+		t.Errorf("disabled session has live components: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := s.Report(&buf); err != nil {
+		t.Errorf("Report: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("disabled session reported: %q", buf.String())
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestStartTelemetryReportsSelfCheck checks the full bootstrap: the
+// codec self-check seeds the bch counters, the table shows them, and
+// the JSON file round-trips.
+func TestStartTelemetryReportsSelfCheck(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "telemetry.json")
+	s, err := Start(Options{Name: "test", Telemetry: true, JSONPath: jsonPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Registry == nil {
+		t.Fatal("telemetry session has no registry")
+	}
+
+	var buf bytes.Buffer
+	if err := s.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"bch.encode", "bch.decode.corrected", "bch.decode.uncorrectable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report table missing %s:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Name     string            `json:"name"`
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("telemetry.json: %v", err)
+	}
+	if snap.Name != "test" {
+		t.Errorf("snapshot name = %q", snap.Name)
+	}
+	if snap.Counters["bch.encode"] == 0 {
+		t.Error("self-check left bch.encode at zero")
+	}
+}
+
+// TestStartTracer checks the span file plumbing.
+func TestStartTracer(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "spans.jsonl")
+	s, err := Start(Options{Name: "test", TracePath: tracePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := s.Tracer.Start("stage")
+	span.SetAttr("k", "v")
+	span.End()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"stage"`) {
+		t.Errorf("trace file missing span: %q", data)
+	}
+}
+
+// TestCodecSelfCheck runs the check standalone (it must hold with
+// telemetry disabled too).
+func TestCodecSelfCheck(t *testing.T) {
+	if err := CodecSelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartDebugAddr brings the debug listener up on a free port.
+func TestStartDebugAddr(t *testing.T) {
+	s, err := Start(Options{Name: "test-obs-debug", DebugAddr: "localhost:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Registry == nil {
+		t.Error("debug session should imply a registry for /debug/vars")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

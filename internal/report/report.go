@@ -13,6 +13,7 @@ import (
 
 	"readduo/internal/metrics"
 	"readduo/internal/sim"
+	"readduo/internal/telemetry"
 	"readduo/internal/trace"
 )
 
@@ -23,6 +24,8 @@ type Runner struct {
 	Budget uint64
 	// Seed drives all random streams.
 	Seed int64
+	// Telemetry, when non-nil, receives every run's engine probes.
+	Telemetry *telemetry.Registry
 	// Configure, when non-nil, post-processes each run's configuration.
 	Configure func(*sim.Config)
 }
@@ -59,6 +62,7 @@ func (r Runner) RunMatrix(benches []trace.Benchmark, schemes []sim.Scheme) (*Mat
 			if r.Seed != 0 {
 				cfg.Seed = r.Seed
 			}
+			cfg.Telemetry = r.Telemetry
 			if r.Configure != nil {
 				r.Configure(&cfg)
 			}

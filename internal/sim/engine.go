@@ -10,6 +10,8 @@ import (
 	"readduo/internal/energy"
 	"readduo/internal/lwt"
 	"readduo/internal/memctrl"
+	"readduo/internal/sense"
+	"readduo/internal/telemetry"
 	"readduo/internal/trace"
 )
 
@@ -47,6 +49,11 @@ type Config struct {
 	// access stream (e.g. a trace.Replayer over a recorded capture).
 	// Bench still supplies the age profile for first-touch reads.
 	Source cpu.Source
+	// Telemetry, when non-nil, receives hot-path counters and
+	// histograms under the "sim" scope. Nil (the default) disables
+	// every probe at one nil check per site; results are bit-identical
+	// either way.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the Table VIII-style full-system baseline.
@@ -146,6 +153,9 @@ type Engine struct {
 	epochRehits      uint64
 
 	stats runStats
+	// tel is never nil: disabled engines share the static all-nil
+	// probe set (see disabledProbes in probes.go).
+	tel *engineProbes
 
 	// Measurement-window snapshot, taken when warmup completes.
 	warmupInstr uint64
@@ -198,6 +208,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 		scheme:    scheme,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		lastWrite: make(map[uint64]int64, 1<<16),
+		tel:       newEngineProbes(cfg.Telemetry),
 	}
 
 	// Scheme-specific memory configuration, derived from the policy axes.
@@ -212,6 +223,8 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 	if sr, ok := scheme.Sense.(ScrubRewriteRecorder); ok && sr.RecordsScrubRewrites() {
 		e.recordScrubRewrites = true
 	}
+	e.tel.scrubIntervalMS.Set(interval.Milliseconds())
+	e.tel.scrubW.Set(int64(w))
 	e.scrubIntervalPS = memctrl.PS(interval)
 	e.linesPerBank = memCfg.TotalLines / uint64(memCfg.Banks)
 	if interval > 0 {
@@ -419,6 +432,14 @@ func (e *Engine) ageSeconds(now, lastWrite int64) float64 {
 func (e *Engine) Read(now int64, core int, line uint64) (uint64, error) {
 	phys := e.physLine(line)
 	mode := e.scheme.Sense.ReadMode(e, now, phys)
+	switch mode {
+	case sense.ModeM:
+		e.tel.readM.Inc()
+	case sense.ModeRM:
+		e.tel.readRM.Inc()
+	default:
+		e.tel.readR.Inc()
+	}
 	e.nextID++
 	id := e.nextID
 	if err := e.ctrl.EnqueueRead(now, id, phys, mode); err != nil {
@@ -449,10 +470,13 @@ func (e *Engine) Write(now int64, core int, line uint64) (bool, error) {
 	phys := e.physLine(line)
 	cells, full := e.scheme.Write.PlanWrite(e, now, phys)
 	if !e.ctrl.EnqueueWrite(now, phys, cells) {
+		e.tel.writeBlocked.Inc()
 		return false, nil
 	}
+	e.tel.writeCells.Observe(uint64(cells))
 	if full {
 		e.stats.fullWrites++
+		e.tel.writeFull.Inc()
 		// Every scheme records demand writes: tracking designs for the
 		// flag semantics, the rest so scrub-rewrite sampling and Hybrid's
 		// age math see correct drift clocks.
@@ -462,6 +486,7 @@ func (e *Engine) Write(now int64, core int, line uint64) (bool, error) {
 		}
 	} else {
 		e.stats.diffWrites++
+		e.tel.writeDiff.Inc()
 		// Differential writes leave the tracker (and so lastWrite, which
 		// models the last FULL write) untouched.
 	}
@@ -474,6 +499,7 @@ func (e *Engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
 	if e.scrubIntervalPS == 0 {
 		return memctrl.ScrubAction{}
 	}
+	e.tel.scrubScan.Inc()
 	act := memctrl.ScrubAction{CellsWritten: e.cfg.Mem.CellsPerLine}
 	if e.scrubMetric == drift.MetricM {
 		act.ReadLatency = e.cfg.Mem.Timing.MRead
@@ -501,6 +527,7 @@ func (e *Engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
 		act.Rewrite = e.rng.Float64() < p
 	}
 	if act.Rewrite {
+		e.tel.scrubRewrite.Inc()
 		if _, ok := e.lastWrite[phys]; ok || e.recordScrubRewrites {
 			e.lastWrite[phys] = now
 		}

@@ -7,6 +7,11 @@ import (
 	"readduo/internal/drift"
 )
 
+// Scrub policies are pure plans: Plan runs once at engine startup and
+// the walker executes it, so the per-visit telemetry (sim.scrub.scan /
+// sim.scrub.rewrite) lives on Engine.OnScrub, while the plan itself is
+// published as the sim.scrub.interval_ms and sim.scrub.w gauges.
+
 // noScrub disables the background walker (Ideal, TLC).
 type noScrub struct{}
 

@@ -44,10 +44,12 @@ func (hybridSense) ReadMode(e *Engine, now int64, phys uint64) sense.Mode {
 	u := e.rng.Float64()
 	if u < e.rProbs.Silent(age) {
 		e.stats.silentErrors++
+		e.tel.silentError.Inc()
 		return sense.ModeR // wrong data returned; counted, not felt
 	}
 	if u < e.rProbs.Silent(age)+e.rProbs.Retry(age) {
 		e.stats.hybridRetries++
+		e.tel.hybridRetry.Inc()
 		return sense.ModeRM
 	}
 	return sense.ModeR
@@ -79,6 +81,7 @@ func (p trackedSense) ReadMode(e *Engine, now int64, phys uint64) sense.Mode {
 		if e.convertedLines != nil {
 			if _, ok := e.convertedLines[phys]; ok {
 				e.epochRehits++
+				e.tel.convRehit.Inc()
 			}
 		}
 		return sense.ModeR
@@ -86,6 +89,7 @@ func (p trackedSense) ReadMode(e *Engine, now int64, phys uint64) sense.Mode {
 	// Untracked: the flags abort R-sensing into the M retry.
 	e.stats.untrackedReads++
 	e.epochUntracked++
+	e.tel.untracked.Inc()
 	if e.converter != nil && e.converter.ShouldConvert() {
 		// Redundant write-back re-normalizes the line and enables fast
 		// R-reads for the next interval. Opportunistic: skip when the
@@ -95,9 +99,11 @@ func (p trackedSense) ReadMode(e *Engine, now int64, phys uint64) sense.Mode {
 			e.acct.AddFlagAccess(trackingFlagBits(p.k))
 			e.stats.conversions++
 			e.epochConversions++
+			e.tel.conversion.Inc()
 			e.convertedLines[phys] = struct{}{}
 		} else {
 			e.stats.convSkipped++
+			e.tel.convSkipped.Inc()
 		}
 	}
 	return sense.ModeRM

@@ -95,7 +95,9 @@ func (p selectWrite) PlanWrite(e *Engine, now int64, phys uint64) (int, bool) {
 		phase := e.scrubPhase(phys)
 		subNow := lwt.SubIndex(now, phase, e.scrubIntervalPS, p.k)
 		subW := lwt.SubIndex(last, phase, e.scrubIntervalPS, p.k)
-		if lwt.DistanceAt(p.k, subNow, subW) < p.s {
+		dist := lwt.DistanceAt(p.k, subNow, subW)
+		e.tel.selectDistance.Observe(uint64(dist))
+		if dist < p.s {
 			full = false
 			dataCells := e.cfg.Mem.CellsPerLine - e.cfg.ParityCells
 			cells = int(float64(dataCells)*e.cfg.DiffDataCellFraction) + e.cfg.ParityCells

@@ -8,6 +8,7 @@ import (
 	"readduo/internal/dist"
 	"readduo/internal/drift"
 	"readduo/internal/reliability"
+	"readduo/internal/telemetry"
 )
 
 // probCache precomputes age-dependent line-error probabilities on a
@@ -52,6 +53,52 @@ func newProbCache(cfg drift.Config, correctT int) *probCache {
 	return pc
 }
 
+// cacheStats are the process-wide memo-table probes. They are plain
+// value counters, always live (a few atomic adds per sim.Run, nowhere
+// near a hot path), and mirrored into a telemetry registry on demand by
+// RegisterCacheTelemetry so snapshots include them.
+var cacheStats struct {
+	hits, misses, evictions telemetry.Counter
+}
+
+// RegisterCacheTelemetry publishes the shared probability-cache
+// counters into reg under the "sim.probcache" scope. Safe to call with
+// a nil registry.
+func RegisterCacheTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("sim.probcache.hit", &cacheStats.hits)
+	reg.RegisterCounter("sim.probcache.miss", &cacheStats.misses)
+	reg.RegisterCounter("sim.probcache.eviction", &cacheStats.evictions)
+}
+
+// CacheStats reports the process-wide probability-cache counters:
+// memo-table hits, misses (each miss runs the full quadrature build),
+// and evictions (tables dropped by PurgeSharedCaches).
+func CacheStats() (hits, misses, evictions uint64) {
+	return cacheStats.hits.Value(), cacheStats.misses.Value(), cacheStats.evictions.Value()
+}
+
+// PurgeSharedCaches drops every memoized probability table and
+// steady-state fraction, returning the number of entries evicted.
+// Benchmarks use it to measure cold builds; campaigns never need it.
+func PurgeSharedCaches() int {
+	n := 0
+	probCaches.Range(func(k, _ any) bool {
+		probCaches.Delete(k)
+		n++
+		return true
+	})
+	steadyFracs.Range(func(k, _ any) bool {
+		steadyFracs.Delete(k)
+		n++
+		return true
+	})
+	cacheStats.evictions.Add(uint64(n))
+	return n
+}
+
 // probCacheKey identifies one memoized probability table. drift.Config is
 // a plain value type, so the key is comparable.
 type probCacheKey struct {
@@ -70,8 +117,10 @@ var probCaches sync.Map // probCacheKey -> *probCache
 func sharedProbCache(cfg drift.Config, correctT int) *probCache {
 	key := probCacheKey{cfg: cfg, correctT: correctT}
 	if v, ok := probCaches.Load(key); ok {
+		cacheStats.hits.Inc()
 		return v.(*probCache)
 	}
+	cacheStats.misses.Inc()
 	v, _ := probCaches.LoadOrStore(key, newProbCache(cfg, correctT))
 	return v.(*probCache)
 }
@@ -89,8 +138,10 @@ var steadyFracs sync.Map // steadyKey -> float64
 func sharedSteadyRewrite(cfg drift.Config, interval time.Duration) (float64, error) {
 	key := steadyKey{cfg: cfg, interval: interval}
 	if v, ok := steadyFracs.Load(key); ok {
+		cacheStats.hits.Inc()
 		return v.(float64), nil
 	}
+	cacheStats.misses.Inc()
 	an, err := reliability.NewAnalyzer(cfg)
 	if err != nil {
 		return 0, err
@@ -141,6 +192,33 @@ func (pc *probCache) Silent(ageSeconds float64) float64 {
 	}
 	return pc.pSilent[pc.index(ageSeconds)]
 }
+
+// ProbTable is an exported read-only handle on one memoized
+// probability table — the exact structure the scrub scan and Hybrid
+// read paths consult. Benchmarks and diagnostics use it to measure the
+// cold build (after PurgeSharedCaches) and the hot lookup separately.
+type ProbTable struct {
+	pc *probCache
+}
+
+// SharedProbTable returns the process-wide memoized table for the
+// metric with a BCH-t code, building it on first use.
+func SharedProbTable(metric drift.Metric, correctT int) ProbTable {
+	cfg := drift.RMetricConfig()
+	if metric == drift.MetricM {
+		cfg = drift.MMetricConfig()
+	}
+	return ProbTable{pc: sharedProbCache(cfg, correctT)}
+}
+
+// AnyError returns P(>=1 drifted cell) at the given age.
+func (t ProbTable) AnyError(ageSeconds float64) float64 { return t.pc.AnyError(ageSeconds) }
+
+// Retry returns the R-M-read trigger probability at the given age.
+func (t ProbTable) Retry(ageSeconds float64) float64 { return t.pc.Retry(ageSeconds) }
+
+// Silent returns the undetectable-error probability at the given age.
+func (t ProbTable) Silent(ageSeconds float64) float64 { return t.pc.Silent(ageSeconds) }
 
 // splitmix64 is the standard SplitMix64 mixer, used to derive deterministic
 // per-line randomness (physical placement, scrub phase, age sampling seeds)

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"readduo/internal/telemetry"
+)
+
+// TestTelemetryCountsEngineActivity runs a telemetry-enabled simulation
+// of every paper scheme family and checks the probes that must fire for
+// each: read-mode dispatch, write classification, scrub traffic, and
+// the LWT tracking counters.
+func TestTelemetryCountsEngineActivity(t *testing.T) {
+	reg := telemetry.NewRegistry("test")
+
+	run := func(s Scheme) telemetry.Snapshot {
+		cfg := testConfig(t, "gcc", 40_000)
+		cfg.Telemetry = reg
+		mustRun(t, cfg, s)
+		return reg.Snapshot()
+	}
+
+	// Scrubbing: R-reads plus scrub scans and rewrites.
+	snap := run(Scrubbing())
+	for _, name := range []string{"sim.read.r", "sim.scrub.scan", "sim.scrub.rewrite"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("Scrubbing: counter %s = 0, want > 0", name)
+		}
+	}
+	if snap.Gauges["sim.scrub.interval_ms"] <= 0 {
+		t.Errorf("Scrubbing: scrub interval gauge = %d, want > 0", snap.Gauges["sim.scrub.interval_ms"])
+	}
+
+	// M-metric: every demand read is an M-read.
+	snap = run(MMetric())
+	if snap.Counters["sim.read.m"] == 0 {
+		t.Error("MMetric: no M-reads counted")
+	}
+
+	// Every scheme writes; the cells histogram sees each write's size.
+	if snap.Counters["sim.write.full"]+snap.Counters["sim.write.diff"] == 0 {
+		t.Error("no writes counted")
+	}
+	if snap.Histograms["sim.write.cells"].Count == 0 {
+		t.Error("write.cells histogram empty")
+	}
+
+	// LWT: tracked reads hit the untracked/conversion counters.
+	snap = run(LWT(4, true))
+	if snap.Counters["sim.read.untracked"] == 0 {
+		t.Error("LWT: no untracked reads counted")
+	}
+
+	// Select: the write planner observes a flag distance per write.
+	snap = run(Select(4, 2))
+	if snap.Histograms["sim.write.select_distance"].Count == 0 {
+		t.Error("Select: select_distance histogram empty")
+	}
+}
+
+// TestTelemetryDoesNotPerturbResults re-checks determinism: a run with a
+// registry attached must produce bit-identical results to a run without,
+// since probes never touch the RNG streams.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	cfg := testConfig(t, "mcf", 30_000)
+	bare := mustRun(t, cfg, Hybrid())
+
+	cfg.Telemetry = telemetry.NewRegistry("test")
+	instrumented := mustRun(t, cfg, Hybrid())
+
+	if *bare != *instrumented {
+		t.Errorf("telemetry changed the result:\nbare:         %+v\ninstrumented: %+v",
+			bare, instrumented)
+	}
+}

@@ -1,0 +1,97 @@
+// Package debughttp is the opt-in live-profiling listener for the
+// telemetry layer: /debug/pprof/* and /debug/vars with a telemetry
+// registry auto-published under its name.
+//
+// It lives apart from the core telemetry package on purpose: importing
+// net/http (via pprof and expvar) grows any binary that links it by
+// several megabytes, and that alone costs measurable end-to-end
+// simulator throughput -- even when no probe ever fires. Keeping the
+// HTTP surface here means instrumented packages (internal/sim,
+// internal/bch, internal/campaign) depend only on the dependency-light
+// core, and only the commands that actually expose -debug-addr pay for
+// the HTTP stack.
+package debughttp
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"readduo/internal/telemetry"
+)
+
+// expvarMu guards against double-publication: expvar.Publish
+// panics on a duplicate name, and tests (or a command restarted in
+// process) may wire the same registry name twice.
+var expvarMu sync.Mutex
+
+func publishExpvar(name string, reg *telemetry.Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	v := expvar.Func(func() any { return reg.Snapshot() })
+	if expvar.Get(name) != nil {
+		// Re-publish under the existing name is impossible through the
+		// expvar API; the earlier Func closure already reads a live
+		// registry of the same name, which is the intended view for the
+		// common restart-in-tests case.
+		return
+	}
+	expvar.Publish(name, v)
+}
+
+// Server is the live-profiling listener: /debug/pprof/* (CPU, heap,
+// goroutine, ... profiles of a running campaign) and /debug/vars
+// (expvar, with the registry auto-published under its name). It binds
+// its own mux so nothing leaks onto http.DefaultServeMux.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the debug listener on addr (host:port; port 0 picks a
+// free port) and publishes reg — which may be nil, in which case only
+// pprof and the standard expvars are served.
+func Serve(addr string, reg *telemetry.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debughttp: listener: %w", err)
+	}
+	if reg != nil {
+		name := reg.Name()
+		if name == "" {
+			name = "telemetry"
+		}
+		publishExpvar(name, reg)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	d := &Server{srv: srv, ln: ln}
+	go srv.Serve(ln) // Serve returns ErrServerClosed on Close; nothing to report
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (d *Server) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the listener. Nil-safe.
+func (d *Server) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

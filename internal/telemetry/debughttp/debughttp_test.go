@@ -1,0 +1,84 @@
+package debughttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"readduo/internal/telemetry"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServe(t *testing.T) {
+	reg := telemetry.NewRegistry("readduo-test")
+	reg.Sink("sim").Counter("reads").Add(99)
+	d, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	code, body := getBody(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars -> %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	raw, ok := vars["readduo-test"]
+	if !ok {
+		t.Fatalf("registry not auto-published; vars: %s", body)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sim.reads"] != 99 {
+		t.Fatalf("published snapshot = %+v", snap)
+	}
+
+	code, body = getBody(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ -> %d", code)
+	}
+	code, _ = getBody(t, base+"/debug/pprof/heap?debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/heap -> %d", code)
+	}
+}
+
+func TestServeDuplicatePublish(t *testing.T) {
+	reg := telemetry.NewRegistry(fmt.Sprintf("dup-%d", time.Now().UnixNano()))
+	d1, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+	// Second server with the same registry name must not panic on the
+	// duplicate expvar publication.
+	d2, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+}

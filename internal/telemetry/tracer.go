@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer emits span-style stage events as JSON Lines: one object per
+// completed span with the stage name, its start offset and duration in
+// microseconds, and any attributes. Events are written on Span.End in
+// completion order, each as a single Write, so a tracer can safely feed
+// a file shared with nothing else. A nil *Tracer (and the nil *Span it
+// hands out) is a valid, permanently disabled tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	err   error
+}
+
+// NewTracer returns a tracer writing JSONL events to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, start: time.Now()}
+}
+
+// Err returns the first write or encode error the tracer hit, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is one in-flight stage. End it exactly once.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+	attrs map[string]any
+}
+
+// Start opens a span named name. Nil tracers return a nil span; both
+// are safe to use.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, name: name, start: time.Now()}
+}
+
+// SetAttr attaches an attribute to the span (last write per key wins).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+}
+
+// spanEvent is the JSONL wire form of a completed span.
+type spanEvent struct {
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// End closes the span and emits its event.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	t := s.tr
+	ev := spanEvent{
+		Name:    s.name,
+		StartUS: s.start.Sub(t.start).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+		Attrs:   s.attrs,
+	}
+	buf, err := json.Marshal(ev)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		if t.err == nil {
+			t.err = fmt.Errorf("telemetry: encode span %q: %w", s.name, err)
+		}
+		return
+	}
+	buf = append(buf, '\n')
+	if _, err := t.w.Write(buf); err != nil && t.err == nil {
+		t.err = fmt.Errorf("telemetry: write span %q: %w", s.name, err)
+	}
+}

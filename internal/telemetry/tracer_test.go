@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	outer := tr.Start("campaign")
+	inner := tr.Start("job")
+	inner.SetAttr("key", "s0/mcf/Ideal")
+	inner.SetAttr("worker", 3)
+	inner.End()
+	outer.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []spanEvent
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev spanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	// Completion order: inner ends first.
+	if events[0].Name != "job" || events[1].Name != "campaign" {
+		t.Fatalf("event order = %s, %s", events[0].Name, events[1].Name)
+	}
+	if events[0].Attrs["key"] != "s0/mcf/Ideal" || events[0].Attrs["worker"] != float64(3) {
+		t.Fatalf("attrs = %+v", events[0].Attrs)
+	}
+	if events[0].DurUS < 0 || events[0].StartUS < 0 {
+		t.Fatalf("negative timestamps: %+v", events[0])
+	}
+}
+
+// TestTracerConcurrentSpans checks that spans ended from many
+// goroutines produce whole, parseable lines (run under -race in CI).
+func TestTracerConcurrentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start("job")
+				sp.SetAttr("worker", g)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		var ev spanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("torn line %q: %v", line, err)
+		}
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, bytes.ErrTooLarge }
+
+func TestTracerReportsWriteErrors(t *testing.T) {
+	tr := NewTracer(failWriter{})
+	tr.Start("x").End()
+	if tr.Err() == nil {
+		t.Fatal("want write error")
+	}
+}
