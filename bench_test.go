@@ -172,17 +172,19 @@ func BenchmarkFigure3_Motivation(b *testing.B) {
 }
 
 // BenchmarkFigure6_SDWDistribution runs the cell-population study behind
-// the full-vs-selective rewrite argument.
+// the full-vs-selective rewrite argument on the sharded Monte-Carlo
+// kernel. The shard count is pinned (part of the determinism key); the
+// worker pool sizes itself to the machine.
 func BenchmarkFigure6_SDWDistribution(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	const shards = 8
 	var crowd float64
 	for i := 0; i < b.N; i++ {
-		p, err := cell.NewPopulation(drift.RMetricConfig(), 2, 20000, rng)
+		p, err := cell.NewShardedPopulation(drift.RMetricConfig(), 2, 20000, 1, shards, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
 		drifted := p.DriftedCells(640)
-		p.RewriteCells(drifted, 640, rng)
+		p.RewriteCells(drifted, 640)
 		crowd = p.GuardBandMass(640, 0.25)
 	}
 	b.ReportMetric(crowd*100, "guardband%")

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Delta is one benchmark's old-vs-new comparison on the chosen metric.
+type Delta struct {
+	Name string
+	// Old and New are the per-side statistics (minimum across runs — the
+	// least-noise estimate of a benchmark's true cost).
+	Old, New float64
+	// Ratio is New/Old: 1.0 unchanged, >1 regression, <1 improvement.
+	Ratio float64
+	// Regressed marks ratios beyond the caller's threshold.
+	Regressed bool
+}
+
+// minMetric returns the minimum value of the metric across a benchmark's
+// runs, and whether any run reported it.
+func minMetric(b Benchmark, metric string) (float64, bool) {
+	best, found := math.Inf(1), false
+	for _, r := range b.Runs {
+		if v, ok := r.Metrics[metric]; ok && v < best {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// Compare evaluates every benchmark present in both documents on the
+// given metric, flagging those whose new/old ratio exceeds threshold.
+// It returns the deltas (old-document order), the names present on only
+// one side, and whether any benchmark regressed.
+func Compare(oldDoc, newDoc *Document, metric string, threshold float64) (deltas []Delta, onlyOld, onlyNew []string, regressed bool) {
+	newByName := map[string]Benchmark{}
+	for _, b := range newDoc.Benchmarks {
+		newByName[b.Name] = b
+	}
+	matched := map[string]bool{}
+	for _, ob := range oldDoc.Benchmarks {
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			onlyOld = append(onlyOld, ob.Name)
+			continue
+		}
+		matched[ob.Name] = true
+		ov, okO := minMetric(ob, metric)
+		nv, okN := minMetric(nb, metric)
+		if !okO || !okN {
+			// The metric is absent on a side (e.g. a custom unit): not
+			// comparable, not a failure.
+			continue
+		}
+		d := Delta{Name: ob.Name, Old: ov, New: nv}
+		if ov > 0 {
+			d.Ratio = nv / ov
+		} else if nv == ov {
+			d.Ratio = 1
+		} else {
+			d.Ratio = math.Inf(1)
+		}
+		d.Regressed = d.Ratio > threshold
+		regressed = regressed || d.Regressed
+		deltas = append(deltas, d)
+	}
+	for _, nb := range newDoc.Benchmarks {
+		if !matched[nb.Name] {
+			onlyNew = append(onlyNew, nb.Name)
+		}
+	}
+	return deltas, onlyOld, onlyNew, regressed
+}
+
+func readDoc(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+// runCompare implements `benchjson compare [flags] old.json new.json`.
+// It prints a per-benchmark delta table and exits 1 when any benchmark's
+// new/old ratio exceeds -threshold — the bench-regression gate.
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 1.25,
+		"fail when new/old exceeds this ratio on the compared metric")
+	metric := fs.String("metric", "ns/op", "metric to compare")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchjson compare [-threshold 1.25] [-metric ns/op] old.json new.json")
+		return 2
+	}
+	oldDoc, err := readDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := readDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	deltas, onlyOld, onlyNew, regressed := Compare(oldDoc, newDoc, *metric, *threshold)
+	if len(deltas) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no common benchmarks report", *metric)
+		return 2
+	}
+	fmt.Fprintf(stdout, "%-44s %14s %14s %8s\n", "benchmark", "old "+*metric, "new "+*metric, "ratio")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(stdout, "%-44s %14.1f %14.1f %7.3fx%s\n", d.Name, d.Old, d.New, d.Ratio, mark)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(stdout, "%-44s only in old baseline\n", n)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(stdout, "%-44s only in new baseline\n", n)
+	}
+	if regressed {
+		fmt.Fprintf(stderr, "benchjson: regression beyond %.2fx threshold\n", *threshold)
+		return 1
+	}
+	return 0
+}

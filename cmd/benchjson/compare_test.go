@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(benches ...Benchmark) *Document {
+	return &Document{Benchmarks: benches}
+}
+
+func bench(name string, nsPerOp ...float64) Benchmark {
+	b := Benchmark{Name: name}
+	for _, v := range nsPerOp {
+		b.Runs = append(b.Runs, Run{Iterations: 100, Metrics: map[string]float64{"ns/op": v}})
+	}
+	return b
+}
+
+func TestCompareUsesMinAcrossRuns(t *testing.T) {
+	oldDoc := doc(bench("BenchmarkA", 120, 100, 110))
+	newDoc := doc(bench("BenchmarkA", 300, 105, 200))
+	deltas, _, _, regressed := Compare(oldDoc, newDoc, "ns/op", 1.25)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %d", len(deltas))
+	}
+	d := deltas[0]
+	if d.Old != 100 || d.New != 105 {
+		t.Errorf("min not used: old %v new %v", d.Old, d.New)
+	}
+	if d.Ratio != 1.05 || d.Regressed || regressed {
+		t.Errorf("1.05x flagged as regression: %+v", d)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldDoc := doc(bench("BenchmarkA", 100), bench("BenchmarkB", 100))
+	newDoc := doc(bench("BenchmarkA", 99), bench("BenchmarkB", 180))
+	deltas, _, _, regressed := Compare(oldDoc, newDoc, "ns/op", 1.25)
+	if !regressed {
+		t.Fatal("1.8x regression not flagged")
+	}
+	if deltas[0].Regressed || !deltas[1].Regressed {
+		t.Errorf("wrong benchmark flagged: %+v", deltas)
+	}
+	// The same documents pass a 2x gate.
+	if _, _, _, hard := Compare(oldDoc, newDoc, "ns/op", 2.0); hard {
+		t.Error("1.8x failed the 2x hard gate")
+	}
+}
+
+func TestCompareDisjointSets(t *testing.T) {
+	oldDoc := doc(bench("BenchmarkOld", 100), bench("BenchmarkBoth", 100))
+	newDoc := doc(bench("BenchmarkBoth", 90), bench("BenchmarkNew", 50))
+	deltas, onlyOld, onlyNew, regressed := Compare(oldDoc, newDoc, "ns/op", 1.25)
+	if regressed {
+		t.Error("disjoint benchmarks treated as regression")
+	}
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkBoth" {
+		t.Errorf("deltas = %+v", deltas)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkOld" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestCompareMissingMetricSkipped(t *testing.T) {
+	oldDoc := doc(Benchmark{Name: "BenchmarkC", Runs: []Run{
+		{Iterations: 1, Metrics: map[string]float64{"LER": 1e-14}},
+	}})
+	newDoc := doc(Benchmark{Name: "BenchmarkC", Runs: []Run{
+		{Iterations: 1, Metrics: map[string]float64{"LER": 5e-14}},
+	}})
+	deltas, _, _, regressed := Compare(oldDoc, newDoc, "ns/op", 1.25)
+	if len(deltas) != 0 || regressed {
+		t.Errorf("metric-less benchmark compared: %+v", deltas)
+	}
+}
+
+func TestCompareZeroOldValue(t *testing.T) {
+	oldDoc := doc(bench("BenchmarkZ", 0))
+	newDoc := doc(bench("BenchmarkZ", 10))
+	deltas, _, _, regressed := Compare(oldDoc, newDoc, "ns/op", 1.25)
+	if !regressed || len(deltas) != 1 || !deltas[0].Regressed {
+		t.Errorf("0 -> 10 must regress (Inf ratio): %+v", deltas)
+	}
+}
+
+// TestRunCompareEndToEnd drives the CLI surface: files on disk, exit
+// codes, and table output.
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d *Document) string {
+		path := filepath.Join(dir, name)
+		buf, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", doc(bench("BenchmarkA", 100), bench("BenchmarkB", 100)))
+	newPath := write("new.json", doc(bench("BenchmarkA", 50), bench("BenchmarkB", 140)))
+
+	var out, errOut strings.Builder
+	if code := runCompare([]string{"-threshold", "1.25", oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "0.500x") {
+		t.Errorf("table missing expected rows:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := runCompare([]string{"-threshold", "1.5", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d want 0; stderr: %s", code, errOut.String())
+	}
+
+	if code := runCompare([]string{oldPath}, &out, &errOut); code != 2 {
+		t.Errorf("missing arg exit = %d want 2", code)
+	}
+	if code := runCompare([]string{oldPath, filepath.Join(dir, "nope.json")}, &out, &errOut); code != 2 {
+		t.Errorf("unreadable file exit = %d want 2", code)
+	}
+}

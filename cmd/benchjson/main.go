@@ -8,6 +8,12 @@
 // Every run of a benchmark is kept (not aggregated), so a baseline
 // generated with -count 5 preserves the run-to-run spread and a later
 // comparison can use whatever statistic it wants.
+//
+// The compare subcommand is the bench-regression gate: it diffs two
+// baseline documents per benchmark (minimum across runs) and exits
+// non-zero when any ratio exceeds the threshold:
+//
+//	benchjson compare -threshold 1.25 BENCH_old.json BENCH_new.json
 package main
 
 import (
@@ -48,6 +54,9 @@ type Document struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	note := flag.String("note", "", "free-form provenance note stored in the document")
 	flag.Parse()
 

@@ -133,6 +133,18 @@ func NewMLCPopulation(level, n int, rng *rand.Rand) (*Population, error) {
 	return cell.NewPopulation(drift.RMetricConfig(), level, n, rng)
 }
 
+// ShardedPopulation is the parallel Monte-Carlo form of Population:
+// deterministic for a fixed (seed, shard count), scaling across cores.
+type ShardedPopulation = cell.ShardedPopulation
+
+// NewMLCShardedPopulation programs n cells to the given storage level at
+// time 0 under the paper's R-metric parameters, sharded for parallel
+// studies. Pin the shard count to reproduce a cohort; workers <= 0 uses
+// the machine's parallelism and never affects results.
+func NewMLCShardedPopulation(level, n int, seed int64, shards, workers int) (*ShardedPopulation, error) {
+	return cell.NewShardedPopulation(drift.RMetricConfig(), level, n, seed, shards, workers)
+}
+
 // ---------------------------------------------------------------------------
 // Tracking and write policies
 

@@ -1,0 +1,124 @@
+package readduo_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"readduo/internal/cell"
+	"readduo/internal/drift"
+	"readduo/internal/lifetime"
+)
+
+// The MC golden file pins a sharded Monte-Carlo kernel run at a fixed
+// (seed, shard count): the Figure 6 population study (drift, selective
+// rewrite, survivor skew) and the lifetime endurance sampler. Because the
+// kernels are deterministic for the pinned key regardless of worker
+// count, this certifies the parallel path bit-for-bit, the same way
+// results/golden_schemes.json certifies the event-driven engine.
+//
+// Regenerate (only for a DELIBERATE behavior change):
+//
+//	go test -run TestGoldenShardedMC -update-golden-mc
+var updateGoldenMC = flag.Bool("update-golden-mc", false,
+	"rewrite results/golden_mc.json from the current kernels")
+
+const goldenMCPath = "results/golden_mc.json"
+
+type goldenMC struct {
+	Seed   int64 `json:"seed"`
+	Shards int   `json:"shards"`
+	Cells  int   `json:"cells"`
+	Level  int   `json:"level"`
+
+	// Figure 6 population study at the pinned key.
+	DriftedAt640     int               `json:"driftedAt640"`
+	DriftedFirst     []int             `json:"driftedFirst"`
+	HistogramAt640   []int             `json:"histogramAt640"`
+	GuardFresh       float64           `json:"guardFresh"`
+	GuardAfterDiff   float64           `json:"guardAfterDiff"`
+	GuardAfterFull   float64           `json:"guardAfterFull"`
+	LifetimeEnduring lifetime.MCResult `json:"lifetime"`
+}
+
+// goldenMCRun executes the pinned campaign with two different worker
+// counts and requires them to agree before returning — the golden file
+// then certifies the shared result.
+func goldenMCRun(t *testing.T, seed int64, shards, cells, level int) goldenMC {
+	t.Helper()
+	run := func(workers int) goldenMC {
+		sp, err := cell.NewShardedPopulation(drift.RMetricConfig(), level, cells, seed, shards, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := goldenMC{Seed: seed, Shards: shards, Cells: cells, Level: level}
+		g.GuardFresh = sp.GuardBandMass(1, 0.25)
+		drifted := sp.DriftedCells(640)
+		g.DriftedAt640 = len(drifted)
+		if len(drifted) > 8 {
+			g.DriftedFirst = drifted[:8]
+		} else {
+			g.DriftedFirst = drifted
+		}
+		g.HistogramAt640 = sp.Histogram(640, 2.0, 5.0, 32)
+		sp.RewriteCells(drifted, 640)
+		g.GuardAfterDiff = sp.GuardBandMass(640, 0.25)
+		sp.RewriteAll(640.001)
+		g.GuardAfterFull = sp.GuardBandMass(640.002, 0.25)
+		res, err := lifetime.SimulateMC(lifetime.MCConfig{
+			Cells:           cells,
+			MedianEndurance: lifetime.DefaultEndurance,
+			Sigma:           0.25,
+			WearRate:        1.0 / 3600,
+			Seed:            seed,
+			Shards:          shards,
+			Workers:         workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.LifetimeEnduring = res
+		return g
+	}
+	serial, pooled := run(1), run(0)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Fatalf("worker counts disagree at pinned key:\nserial: %+v\npooled: %+v", serial, pooled)
+	}
+	return pooled
+}
+
+func TestGoldenShardedMC(t *testing.T) {
+	got := goldenMCRun(t, 1, 4, 20000, 2)
+
+	if *updateGoldenMC {
+		buf, err := json.MarshalIndent(&got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(filepath.FromSlash(goldenMCPath), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenMCPath)
+		return
+	}
+
+	data, err := os.ReadFile(filepath.FromSlash(goldenMCPath))
+	if err != nil {
+		t.Fatalf("read golden MC file: %v (regenerate with -update-golden-mc)", err)
+	}
+	var want goldenMC
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("decode golden MC file: %v", err)
+	}
+	if got.Seed != want.Seed || got.Shards != want.Shards ||
+		got.Cells != want.Cells || got.Level != want.Level {
+		t.Fatalf("pinned key changed: got %+v want %+v", got, want)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sharded MC kernels diverged from golden:\n got: %+v\nwant: %+v", got, want)
+	}
+}

@@ -280,7 +280,7 @@ func (c *Code) berlekampMassey(synd []uint32, p *probes) []uint32 {
 			// b is never zero by construction; fail closed.
 			return []uint32{1}
 		}
-		next := make([]uint32, maxInt(len(sigma), len(prev)+mShift))
+		next := make([]uint32, max(len(sigma), len(prev)+mShift))
 		copy(next, sigma)
 		for j, pc := range prev {
 			next[j+mShift] ^= f.Mul(scale, pc)
@@ -321,11 +321,4 @@ func (c *Code) chienSearch(sigma []uint32) []int {
 		}
 	}
 	return positions
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

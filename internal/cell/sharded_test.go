@@ -1,0 +1,157 @@
+package cell
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"readduo/internal/drift"
+)
+
+func newSharded(t *testing.T, n, shards, workers int) *ShardedPopulation {
+	t.Helper()
+	sp, err := NewShardedPopulation(drift.RMetricConfig(), 2, n, 7, shards, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestShardedDeterministicAcrossWorkers is the core contract: for a fixed
+// (seed, shard count), results are bit-identical whatever the worker
+// count — 1 worker (serial), shard-count workers, or oversubscribed.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	const n, shards = 8000, 8
+	type snapshot struct {
+		drifted []int
+		hist    []int
+		guard   float64
+	}
+	run := func(workers int) snapshot {
+		sp := newSharded(t, n, shards, workers)
+		drifted := sp.DriftedCells(640)
+		sp.RewriteCells(drifted, 640)
+		return snapshot{
+			drifted: drifted,
+			hist:    sp.Histogram(1e4, 2.0, 5.0, 64),
+			guard:   sp.GuardBandMass(1e4, 0.25),
+		}
+	}
+	want := run(1)
+	for _, workers := range []int{2, shards, 3 * shards, 0} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged from serial run", workers)
+		}
+	}
+}
+
+// TestShardedSeedAndShardsAreTheKey: changing either seed or shard count
+// changes the cohort; keeping both fixed reproduces it.
+func TestShardedSeedAndShardsAreTheKey(t *testing.T) {
+	cfg := drift.RMetricConfig()
+	h := func(seed int64, shards int) []int {
+		sp, err := NewShardedPopulation(cfg, 2, 4000, seed, shards, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp.Histogram(640, 2.0, 5.0, 64)
+	}
+	if !reflect.DeepEqual(h(7, 4), h(7, 4)) {
+		t.Fatal("same (seed, shards) not reproducible")
+	}
+	if reflect.DeepEqual(h(7, 4), h(8, 4)) {
+		t.Fatal("different seeds produced identical cohorts")
+	}
+}
+
+// TestShardedMatchesPopulationStatistics: the sharded cohort is a
+// different sample than the serial Population, but must agree on
+// distribution-level statistics of the same physical model.
+func TestShardedMatchesPopulationStatistics(t *testing.T) {
+	const n = 20000
+	cfg := drift.RMetricConfig()
+	sp := newSharded(t, n, 8, 0)
+	p, err := NewPopulation(cfg, 2, n, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, age := range []float64{64, 640, 1e4} {
+		fs := float64(len(sp.DriftedCells(age))) / float64(n)
+		fp := float64(len(p.DriftedCells(age))) / float64(n)
+		// Binomial noise at n=20000 is ~0.35% one sigma near the observed
+		// rates; 2% absolute covers five sigma with margin.
+		if diff := fs - fp; diff > 0.02 || diff < -0.02 {
+			t.Errorf("age %g: sharded drift fraction %.4f vs serial %.4f", age, fs, fp)
+		}
+		gs, gp := sp.GuardBandMass(age, 0.25), p.GuardBandMass(age, 0.25)
+		if diff := gs - gp; diff > 0.02 || diff < -0.02 {
+			t.Errorf("age %g: sharded guard mass %.4f vs serial %.4f", age, gs, gp)
+		}
+	}
+}
+
+// TestShardedRewriteSkew reproduces the Figure 6 effect on the sharded
+// kernel: rewriting only the drifted cells leaves the survivor skew, a
+// full rewrite restores the fresh guard-band mass.
+func TestShardedRewriteSkew(t *testing.T) {
+	sp := newSharded(t, 20000, 8, 0)
+	fresh := sp.GuardBandMass(1, 0.25)
+	aged := sp.GuardBandMass(640, 0.25)
+	if aged <= fresh {
+		t.Fatalf("drift did not push mass toward the boundary: fresh %.4f aged %.4f", fresh, aged)
+	}
+	sp.RewriteCells(sp.DriftedCells(640), 640)
+	diff := sp.GuardBandMass(640.001, 0.25)
+	sp.RewriteAll(640.002)
+	full := sp.GuardBandMass(640.003, 0.25)
+	if full >= diff {
+		t.Fatalf("full rewrite should shrink boundary mass below differential: full %.4f diff %.4f", full, diff)
+	}
+}
+
+// TestShardedDriftedIndicesSorted: global indices come out ascending
+// (shard-ordered concatenation of per-shard ascending runs).
+func TestShardedDriftedIndicesSorted(t *testing.T) {
+	sp := newSharded(t, 5000, 7, 0)
+	drifted := sp.DriftedCells(1e4)
+	if len(drifted) == 0 {
+		t.Fatal("expected drifted cells at age 1e4")
+	}
+	for i := 1; i < len(drifted); i++ {
+		if drifted[i] <= drifted[i-1] {
+			t.Fatalf("indices not ascending at %d: %d then %d", i, drifted[i-1], drifted[i])
+		}
+	}
+	if last := drifted[len(drifted)-1]; last >= sp.Size() {
+		t.Fatalf("index %d out of range", last)
+	}
+}
+
+// TestShardedUnevenShards exercises n % shards != 0 partitioning and the
+// shardOf locator across boundaries.
+func TestShardedUnevenShards(t *testing.T) {
+	sp := newSharded(t, 1003, 7, 0)
+	if sp.Size() != 1003 || sp.Shards() != 7 {
+		t.Fatalf("size/shards = %d/%d", sp.Size(), sp.Shards())
+	}
+	for gi := 0; gi < 1003; gi++ {
+		si := sp.shardOf(gi)
+		s := &sp.shards[si]
+		if gi < s.offset || gi >= s.offset+len(s.cells) {
+			t.Fatalf("shardOf(%d) = %d owning [%d,%d)", gi, si, s.offset, s.offset+len(s.cells))
+		}
+	}
+	// Rewriting every cell through the global-index path must touch all.
+	all := make([]int, 1003)
+	for i := range all {
+		all[i] = i
+	}
+	sp.RewriteCells(all, 10)
+	for i := range sp.shards {
+		for c := range sp.shards[i].cells {
+			if w := sp.shards[i].cells[c].Writes(); w != 2 {
+				t.Fatalf("cell %d/%d has %d writes, want 2", i, c, w)
+			}
+		}
+	}
+}

@@ -88,13 +88,35 @@ type core struct {
 	writes      uint64
 }
 
+// waitEntry pairs an outstanding read request with its issuing core. The
+// set is bounded by Cores*MLP (16 in the default configuration), so a
+// flat slice with linear lookup and swap-removal beats a map: no hashing,
+// no bucket chasing, no allocation.
+type waitEntry struct {
+	id   uint64
+	core int
+}
+
 // Cluster drives the cores.
 type Cluster struct {
-	cfg       Config
-	src       Source
-	cores     []core
-	cycPS     int64
-	waitIndex map[uint64]int // read request id -> core
+	cfg     Config
+	src     Source
+	cores   []core
+	cycPS   int64
+	waiting []waitEntry // outstanding reads; len <= Cores*MLP
+
+	// stalledWrites counts cores in coreStalledWrite so RetryAt and
+	// HasStalledWrites skip the core scan in the common all-flowing case.
+	stalledWrites int
+
+	// Cached deadlines, recomputed lazily after any state change: nextAt
+	// is the earliest issue time among running cores (NextActionAt),
+	// stepAt additionally admits stalled-write retries (Step's early-out).
+	nextAt    int64
+	nextOK    bool
+	stepAt    int64
+	stepOK    bool
+	nextValid bool
 }
 
 // NewCluster builds the cluster and primes each core's first access.
@@ -106,11 +128,11 @@ func NewCluster(cfg Config, src Source) (*Cluster, error) {
 		return nil, fmt.Errorf("cpu: nil trace source")
 	}
 	cl := &Cluster{
-		cfg:       cfg,
-		src:       src,
-		cores:     make([]core, cfg.Cores),
-		cycPS:     int64(1000/cfg.FreqGHz + 0.5),
-		waitIndex: make(map[uint64]int),
+		cfg:     cfg,
+		src:     src,
+		cores:   make([]core, cfg.Cores),
+		cycPS:   int64(1000/cfg.FreqGHz + 0.5),
+		waiting: make([]waitEntry, 0, cfg.Cores*cfg.MLP),
 	}
 	for i := range cl.cores {
 		if err := cl.fetch(i, 0); err != nil {
@@ -120,6 +142,31 @@ func NewCluster(cfg Config, src Source) (*Cluster, error) {
 	return cl, nil
 }
 
+// recompute refreshes the cached deadlines from the core states.
+func (cl *Cluster) recompute() {
+	var nextAt, stepAt int64
+	nextOK, stepOK := false, false
+	for i := range cl.cores {
+		c := &cl.cores[i]
+		switch c.state {
+		case coreRunning:
+			if !nextOK || c.readyAt < nextAt {
+				nextAt, nextOK = c.readyAt, true
+			}
+			if !stepOK || c.readyAt < stepAt {
+				stepAt, stepOK = c.readyAt, true
+			}
+		case coreStalledWrite:
+			if !stepOK || c.readyAt < stepAt {
+				stepAt, stepOK = c.readyAt, true
+			}
+		}
+	}
+	cl.nextAt, cl.nextOK = nextAt, nextOK
+	cl.stepAt, cl.stepOK = stepAt, stepOK
+	cl.nextValid = true
+}
+
 // fetch loads core i's next record and schedules its issue time after the
 // instruction gap; it retires the budget check first.
 func (cl *Cluster) fetch(i int, now int64) error {
@@ -127,6 +174,7 @@ func (cl *Cluster) fetch(i int, now int64) error {
 	if c.retired >= cl.cfg.InstrBudget {
 		c.state = coreDone
 		c.finishedAt = now
+		cl.nextValid = false
 		return nil
 	}
 	rec, err := cl.src.Next(i)
@@ -139,6 +187,7 @@ func (cl *Cluster) fetch(i int, now int64) error {
 	// before the access reaches memory.
 	c.readyAt = now + (int64(rec.Gap)+1)*cl.cycPS
 	c.retired += uint64(rec.Gap) + 1
+	cl.nextValid = false
 	return nil
 }
 
@@ -148,21 +197,21 @@ func (cl *Cluster) fetch(i int, now int64) error {
 // would livelock the event loop at a frozen timestamp; RetryAt re-arms them
 // once memory progresses.
 func (cl *Cluster) NextActionAt() (int64, bool) {
-	var best int64
-	found := false
-	for i := range cl.cores {
-		c := &cl.cores[i]
-		if c.state == coreRunning {
-			if !found || c.readyAt < best {
-				best, found = c.readyAt, true
-			}
-		}
+	if !cl.nextValid {
+		cl.recompute()
 	}
-	return best, found
+	return cl.nextAt, cl.nextOK
 }
 
-// Step issues the accesses of every core ready at or before now.
+// Step issues the accesses of every core ready at or before now. When the
+// cached deadline says no core is actionable yet, the scan is skipped.
 func (cl *Cluster) Step(now int64, mem MemPort) error {
+	if !cl.nextValid {
+		cl.recompute()
+	}
+	if !cl.stepOK || cl.stepAt > now {
+		return nil
+	}
 	for i := range cl.cores {
 		c := &cl.cores[i]
 		if c.readyAt > now {
@@ -187,9 +236,16 @@ func (cl *Cluster) issue(i int, now int64, mem MemPort) error {
 		}
 		if !ok {
 			// Backpressure: retry when the memory system next advances.
+			if c.state != coreStalledWrite {
+				cl.stalledWrites++
+			}
 			c.state = coreStalledWrite
 			c.writesStalled(now)
+			cl.nextValid = false
 			return nil
+		}
+		if c.state == coreStalledWrite {
+			cl.stalledWrites--
 		}
 		c.writes++
 		return cl.fetch(i, now)
@@ -200,10 +256,11 @@ func (cl *Cluster) issue(i int, now int64, mem MemPort) error {
 	}
 	c.reads++
 	c.outstanding++
-	cl.waitIndex[id] = i
+	cl.waiting = append(cl.waiting, waitEntry{id: id, core: i})
 	if c.outstanding >= cl.cfg.MLP {
 		// Window full: stall until a completion frees a slot.
 		c.state = coreWaitingRead
+		cl.nextValid = false
 		return nil
 	}
 	return cl.fetch(i, now)
@@ -218,11 +275,20 @@ func (c *core) writesStalled(now int64) {
 // OnReadComplete retires an outstanding read, resuming the core if the
 // completion freed a full MLP window.
 func (cl *Cluster) OnReadComplete(id uint64, at int64) error {
-	i, ok := cl.waitIndex[id]
-	if !ok {
+	idx := -1
+	for j := range cl.waiting {
+		if cl.waiting[j].id == id {
+			idx = j
+			break
+		}
+	}
+	if idx < 0 {
 		return fmt.Errorf("cpu: completion for unknown request %d", id)
 	}
-	delete(cl.waitIndex, id)
+	i := cl.waiting[idx].core
+	last := len(cl.waiting) - 1
+	cl.waiting[idx] = cl.waiting[last]
+	cl.waiting = cl.waiting[:last]
 	c := &cl.cores[i]
 	if c.outstanding <= 0 {
 		return fmt.Errorf("cpu: core %d has no outstanding reads", i)
@@ -238,22 +304,21 @@ func (cl *Cluster) OnReadComplete(id uint64, at int64) error {
 // calls it after the memory controller has made progress (completions fired
 // or time advanced), so the retry can observe drained queues.
 func (cl *Cluster) RetryAt(now int64) {
+	if cl.stalledWrites == 0 {
+		return
+	}
 	for i := range cl.cores {
 		c := &cl.cores[i]
 		if c.state == coreStalledWrite && c.readyAt < now {
 			c.readyAt = now
+			cl.nextValid = false
 		}
 	}
 }
 
 // HasStalledWrites reports whether any core waits on write-queue space.
 func (cl *Cluster) HasStalledWrites() bool {
-	for i := range cl.cores {
-		if cl.cores[i].state == coreStalledWrite {
-			return true
-		}
-	}
-	return false
+	return cl.stalledWrites > 0
 }
 
 // TotalRetired sums retired instructions across cores.

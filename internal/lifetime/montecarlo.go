@@ -1,0 +1,119 @@
+package lifetime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"readduo/internal/parallel"
+)
+
+// The analytic Model treats endurance as a single per-cell constant; real
+// PCM arrays wear out lognormally (sigma ~0.2-0.3 in ln units), so the
+// first failures arrive well before the median cell dies. This file adds
+// the Monte-Carlo companion: sample a population's per-cell endurance,
+// convert each to a lifetime under the observed wear rate, and report the
+// failure-time distribution. The kernel shards the population across a
+// bounded worker pool with per-shard splitmix64 RNG sub-streams, making
+// the result deterministic for a fixed (seed, shard count) regardless of
+// worker count or scheduling.
+
+// MCConfig parameterizes a Monte-Carlo endurance study.
+type MCConfig struct {
+	// Cells is the sampled population size.
+	Cells int
+	// MedianEndurance is the lognormal median per-cell write endurance.
+	MedianEndurance float64
+	// Sigma is the lognormal shape in natural-log units.
+	Sigma float64
+	// WearRate is the average cell-write rate (programs per cell-second),
+	// e.g. Model.WearRate of a measured run.
+	WearRate float64
+	// Seed and Shards form the determinism key; Workers only bounds the
+	// pool (<= 0 picks the machine's parallelism).
+	Seed    int64
+	Shards  int
+	Workers int
+}
+
+// Validate checks the configuration.
+func (c MCConfig) Validate() error {
+	if c.Cells < 1 {
+		return fmt.Errorf("lifetime: MC cell count %d must be positive", c.Cells)
+	}
+	if c.MedianEndurance <= 0 {
+		return fmt.Errorf("lifetime: MC median endurance %v must be positive", c.MedianEndurance)
+	}
+	if c.Sigma < 0 {
+		return fmt.Errorf("lifetime: MC sigma %v must be non-negative", c.Sigma)
+	}
+	if c.WearRate <= 0 {
+		return fmt.Errorf("lifetime: MC wear rate %v must be positive", c.WearRate)
+	}
+	if c.Shards < 1 || c.Shards > c.Cells {
+		return fmt.Errorf("lifetime: MC shard count %d out of range 1..%d", c.Shards, c.Cells)
+	}
+	return nil
+}
+
+// MCResult summarizes the sampled failure-time distribution (seconds).
+type MCResult struct {
+	// FirstFailSeconds is the earliest cell death — the horizon at which
+	// hard-error correction (ECP et al.) must take over.
+	FirstFailSeconds float64
+	// P01Seconds / MedianSeconds are the 1% and 50% failure quantiles.
+	P01Seconds    float64
+	MedianSeconds float64
+	// MeanSeconds is the average cell lifetime.
+	MeanSeconds float64
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SimulateMC samples the population and returns the failure-time summary.
+func SimulateMC(cfg MCConfig) (MCResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return MCResult{}, err
+	}
+	lifetimes := make([]float64, cfg.Cells)
+	base, extra := cfg.Cells/cfg.Shards, cfg.Cells%cfg.Shards
+	offsets := make([]int, cfg.Shards+1)
+	for i := 0; i < cfg.Shards; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		offsets[i+1] = offsets[i] + sz
+	}
+	parallel.ForEach(cfg.Workers, cfg.Shards, func(i int) {
+		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed) + uint64(i)))))
+		for c := offsets[i]; c < offsets[i+1]; c++ {
+			endurance := cfg.MedianEndurance * math.Exp(cfg.Sigma*rng.NormFloat64())
+			if endurance < 1 {
+				endurance = 1
+			}
+			lifetimes[c] = endurance / cfg.WearRate
+		}
+	})
+	sort.Float64s(lifetimes)
+	var sum float64
+	for _, v := range lifetimes {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lifetimes)-1))
+		return lifetimes[i]
+	}
+	return MCResult{
+		FirstFailSeconds: lifetimes[0],
+		P01Seconds:       q(0.01),
+		MedianSeconds:    q(0.50),
+		MeanSeconds:      sum / float64(len(lifetimes)),
+	}, nil
+}

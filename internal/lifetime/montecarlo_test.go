@@ -1,0 +1,120 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func mcBase() MCConfig {
+	return MCConfig{
+		Cells:           50_000,
+		MedianEndurance: DefaultEndurance,
+		Sigma:           0.25,
+		WearRate:        1.0 / 3600, // one program per cell-hour
+		Seed:            1,
+		Shards:          8,
+	}
+}
+
+// TestMCDeterministicAcrossWorkers: same (seed, shards), any worker
+// count, identical result.
+func TestMCDeterministicAcrossWorkers(t *testing.T) {
+	cfg := mcBase()
+	cfg.Workers = 1
+	want, err := SimulateMC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8, 32, 0} {
+		cfg.Workers = w
+		got, err := SimulateMC(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: %+v != serial %+v", w, got, want)
+		}
+	}
+}
+
+// TestMCMatchesLognormalTheory checks the sampled quantiles against the
+// closed-form lognormal: median ~ median_endurance/rate, and the 1%
+// quantile at exp(-2.326 sigma) of the median.
+func TestMCMatchesLognormalTheory(t *testing.T) {
+	cfg := mcBase()
+	res, err := SimulateMC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medianWant := cfg.MedianEndurance / cfg.WearRate
+	if r := res.MedianSeconds / medianWant; r < 0.98 || r > 1.02 {
+		t.Errorf("median %v want ~%v (ratio %v)", res.MedianSeconds, medianWant, r)
+	}
+	p01Want := medianWant * math.Exp(-2.3263*cfg.Sigma)
+	if r := res.P01Seconds / p01Want; r < 0.95 || r > 1.05 {
+		t.Errorf("p01 %v want ~%v (ratio %v)", res.P01Seconds, p01Want, r)
+	}
+	meanWant := medianWant * math.Exp(cfg.Sigma*cfg.Sigma/2)
+	if r := res.MeanSeconds / meanWant; r < 0.98 || r > 1.02 {
+		t.Errorf("mean %v want ~%v (ratio %v)", res.MeanSeconds, meanWant, r)
+	}
+	if res.FirstFailSeconds >= res.P01Seconds || res.P01Seconds >= res.MedianSeconds {
+		t.Errorf("ordering violated: first %v p01 %v median %v",
+			res.FirstFailSeconds, res.P01Seconds, res.MedianSeconds)
+	}
+}
+
+// TestMCAgainstAnalyticModel ties the kernel back to the analytic
+// projection: with sigma=0 every cell dies exactly at Project's horizon.
+func TestMCAgainstAnalyticModel(t *testing.T) {
+	cfg := mcBase()
+	cfg.Sigma = 0
+	// One program per cell-second keeps the 1e8-write horizon well inside
+	// time.Duration's representable range for the analytic comparison.
+	cfg.WearRate = 1.0
+	res, err := SimulateMC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(cfg.MedianEndurance, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One cell written at WearRate for an hour absorbs WearRate*3600 writes.
+	dur := time.Hour
+	writes := uint64(cfg.WearRate * dur.Seconds())
+	proj, err := m.Project(writes, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.MedianSeconds / proj.Seconds(); r < 0.999 || r > 1.001 {
+		t.Errorf("sigma=0 MC median %v vs analytic projection %v", res.MedianSeconds, proj)
+	}
+	if res.FirstFailSeconds != res.MedianSeconds {
+		t.Errorf("sigma=0 population not degenerate: first %v median %v",
+			res.FirstFailSeconds, res.MedianSeconds)
+	}
+}
+
+func TestMCConfigValidate(t *testing.T) {
+	bad := []func(*MCConfig){
+		func(c *MCConfig) { c.Cells = 0 },
+		func(c *MCConfig) { c.MedianEndurance = 0 },
+		func(c *MCConfig) { c.Sigma = -0.1 },
+		func(c *MCConfig) { c.WearRate = 0 },
+		func(c *MCConfig) { c.Shards = 0 },
+		func(c *MCConfig) { c.Shards = 1; c.Cells = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := mcBase()
+		mutate(&cfg)
+		if _, err := SimulateMC(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	cfg := mcBase()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("base config rejected: %v", err)
+	}
+}

@@ -182,20 +182,83 @@ type op struct {
 	rewriteCells int
 }
 
+// opQueue is a growable ring buffer of ops. The steady-state loop pops
+// from the front and pushes to the back millions of times; a plain slice
+// either loses its capacity to resliced pops or allocates on every
+// cancellation push-front, so the ring keeps one power-of-two backing
+// array and wraps. The zero opQueue is ready to use.
+type opQueue struct {
+	buf  []op // len(buf) is always zero or a power of two
+	head int
+	n    int
+}
+
+func (q *opQueue) len() int { return q.n }
+
+func (q *opQueue) pushBack(o op) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = o
+	q.n++
+}
+
+// pushFront is the write-cancellation path: a paused write returns to the
+// head of its queue in O(1), where the slice implementation re-allocated
+// the whole queue.
+func (q *opQueue) pushFront(o op) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = o
+	q.n++
+}
+
+func (q *opQueue) popFront() op {
+	o := q.buf[q.head]
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return o
+}
+
+func (q *opQueue) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]op, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf, q.head = nb, 0
+}
+
 type bank struct {
-	idx       int
-	readQ     []op
-	writeQ    []op
-	inflight  *op
-	busyUntil int64
-	draining  bool
+	idx int
+	// inflight is stored by value — taking a pointer to the dispatched op
+	// forced a heap allocation per operation in the old design.
+	readQ       opQueue
+	writeQ      opQueue
+	inflight    op
+	hasInflight bool
+	busyUntil   int64
+	draining    bool
 
 	scrubEnabled bool
 	nextScrubAt  int64
 	scrubPeriod  int64 // per-line visit period within this bank
 	scrubCursor  uint64
-	scrubPending []op
+	scrubPending opQueue
 	linesInBank  uint64
+
+	// Cached next-event state, maintained by refreshBank whenever the
+	// bank's op state changes. eventAt is the earliest internal event the
+	// bank can produce (op completion or scrub due); rearm marks an idle
+	// bank holding queued work, which is dispatchable "now".
+	eventAt int64
+	eventOK bool
+	rearm   bool
 }
 
 // Controller is the memory controller plus PCM rank model.
@@ -207,6 +270,14 @@ type Controller struct {
 	now         int64
 	stats       Stats
 	completions []Completion
+
+	// Cached minimum over the banks' eventAt values, invalidated by
+	// refreshBank. NextEventAt and AdvanceTo consult it instead of
+	// re-scanning every bank on every engine iteration.
+	minAt    int64
+	minOK    bool
+	rearmAny bool
+	minValid bool
 }
 
 // NewController builds a controller. The energy accounting sink is
@@ -236,8 +307,41 @@ func NewController(cfg Config, acct *energy.Accounting, hook ScrubHook) (*Contro
 			// Stagger bank walkers so scrub traffic doesn't pulse.
 			b.nextScrubAt = int64(i) * b.scrubPeriod / int64(cfg.Banks)
 		}
+		c.refreshBank(b)
 	}
 	return c, nil
+}
+
+// refreshBank recomputes the bank's cached next-event state from its op
+// state and invalidates the controller-level minimum. Every mutation path
+// (dispatch, completion, scrub arrival, cancellation) funnels through
+// dispatch, which calls this last.
+func (c *Controller) refreshBank(b *bank) {
+	at, ok := int64(0), false
+	if b.hasInflight {
+		at, ok = b.busyUntil, true
+	}
+	if b.scrubEnabled && (!ok || b.nextScrubAt < at) {
+		at, ok = b.nextScrubAt, true
+	}
+	b.eventAt, b.eventOK = at, ok
+	b.rearm = !b.hasInflight && (b.readQ.n > 0 || b.writeQ.n > 0 || b.scrubPending.n > 0)
+	c.minValid = false
+}
+
+// recomputeMin refreshes the controller-level minimum from the per-bank
+// caches. O(banks), but only runs after a state change; the steady-state
+// NextEventAt/AdvanceTo polling is O(1).
+func (c *Controller) recomputeMin() {
+	at, ok, rearm := int64(0), false, false
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.eventOK && (!ok || b.eventAt < at) {
+			at, ok = b.eventAt, true
+		}
+		rearm = rearm || b.rearm
+	}
+	c.minAt, c.minOK, c.rearmAny, c.minValid = at, ok, rearm, true
 }
 
 // Now returns the controller's current time (ps).
@@ -258,7 +362,7 @@ func (c *Controller) EnqueueRead(now int64, id, line uint64, mode sense.Mode) er
 		return fmt.Errorf("memctrl: unsupported read mode %v", mode)
 	}
 	b := &c.banks[c.BankOf(line)]
-	b.readQ = append(b.readQ, op{
+	b.readQ.pushBack(op{
 		kind: opRead, id: id, line: line,
 		latencyPS: PS(lat), cells: c.cfg.CellsPerLine, mode: mode, enqueuedAt: now,
 	})
@@ -271,11 +375,11 @@ func (c *Controller) EnqueueRead(now int64, id, line uint64, mode sense.Mode) er
 // false when the bank's write queue is full (the producer must stall).
 func (c *Controller) EnqueueWrite(now int64, line uint64, cells int) bool {
 	b := &c.banks[c.BankOf(line)]
-	if len(b.writeQ) >= c.cfg.WriteQueueCap {
+	if b.writeQ.len() >= c.cfg.WriteQueueCap {
 		c.stats.WriteQueueStalls++
 		return false
 	}
-	b.writeQ = append(b.writeQ, op{
+	b.writeQ.pushBack(op{
 		kind: opWrite, line: line,
 		latencyPS: PS(c.cfg.Timing.Write), cells: cells, enqueuedAt: now,
 	})
@@ -286,44 +390,46 @@ func (c *Controller) EnqueueWrite(now int64, line uint64, cells int) bool {
 // WriteQueueSpace reports free write-queue slots for the line's bank.
 func (c *Controller) WriteQueueSpace(line uint64) int {
 	b := &c.banks[c.BankOf(line)]
-	return c.cfg.WriteQueueCap - len(b.writeQ)
+	return c.cfg.WriteQueueCap - b.writeQ.len()
 }
 
 // NextEventAt returns the earliest pending internal event (op completion or
-// scrub due), or ok=false if the controller is fully idle.
+// scrub due), or ok=false if the controller is fully idle. It answers from
+// the cached bank minimum; a full scan only happens after a state change.
 func (c *Controller) NextEventAt() (int64, bool) {
-	best := int64(0)
-	found := false
-	for i := range c.banks {
-		b := &c.banks[i]
-		if b.inflight != nil && (!found || b.busyUntil < best) {
-			best, found = b.busyUntil, true
-		}
-		if b.scrubEnabled && (!found || b.nextScrubAt < best) {
-			best, found = b.nextScrubAt, true
-		}
-		// An idle bank with queued work should have been dispatched, but
-		// a bank idled by backpressure interactions re-arms here.
-		if b.inflight == nil && (len(b.readQ) > 0 || len(b.writeQ) > 0 || len(b.scrubPending) > 0) {
-			if !found || c.now < best {
-				best, found = c.now, true
-			}
-		}
+	if !c.minValid {
+		c.recomputeMin()
 	}
-	return best, found
+	at, ok := c.minAt, c.minOK
+	// An idle bank with queued work should have been dispatched, but a
+	// bank idled by backpressure interactions re-arms at the current time.
+	if c.rearmAny && (!ok || c.now < at) {
+		at, ok = c.now, true
+	}
+	return at, ok
 }
 
-// AdvanceTo runs the controller forward to time t, returning demand-read
-// completions in time order. Ties at the same instant retire completions
-// before admitting scrub arrivals, so a freed bank is immediately
-// re-dispatchable.
-func (c *Controller) AdvanceTo(t int64) []Completion {
-	c.completions = c.completions[:0]
+// AdvanceTo runs the controller forward to time t, appending demand-read
+// completions in time order to comps (a caller-owned scratch slice,
+// truncated first) and returning it. Ties at the same instant retire
+// completions before admitting scrub arrivals, so a freed bank is
+// immediately re-dispatchable.
+func (c *Controller) AdvanceTo(t int64, comps []Completion) []Completion {
+	c.completions = comps[:0]
 	for {
+		// Cheap exit: no bank has an internal event due by t. The selection
+		// scan below is only entered when an event definitely exists, so the
+		// common empty AdvanceTo costs one cached comparison.
+		if !c.minValid {
+			c.recomputeMin()
+		}
+		if !c.minOK || c.minAt > t {
+			break
+		}
 		bankIdx, isScrub, eventAt := -1, false, t
 		for i := range c.banks {
 			b := &c.banks[i]
-			if b.inflight != nil && b.busyUntil <= eventAt {
+			if b.hasInflight && b.busyUntil <= eventAt {
 				bankIdx, isScrub, eventAt = i, false, b.busyUntil
 			}
 		}
@@ -350,9 +456,12 @@ func (c *Controller) AdvanceTo(t int64) []Completion {
 	if t > c.now {
 		c.now = t
 	}
-	// Re-arm any banks idled by earlier backpressure.
+	// Re-arm any banks idled by earlier backpressure. The rearm flags are
+	// maintained by refreshBank, so only flagged banks need a dispatch.
 	for i := range c.banks {
-		c.dispatch(&c.banks[i], c.now)
+		if c.banks[i].rearm {
+			c.dispatch(&c.banks[i], c.now)
+		}
 	}
 	return c.completions
 }
@@ -369,7 +478,7 @@ func (c *Controller) scrubArrive(b *bank) {
 	if act.Voltage {
 		mode = sense.ModeM
 	}
-	b.scrubPending = append(b.scrubPending, op{
+	b.scrubPending.pushBack(op{
 		kind: opScrubRead, line: line,
 		latencyPS: PS(act.ReadLatency), cells: c.cfg.CellsPerLine, mode: mode,
 		enqueuedAt: c.now, rewriteAfter: act.Rewrite, rewriteCells: act.CellsWritten,
@@ -380,7 +489,7 @@ func (c *Controller) scrubArrive(b *bank) {
 // complete retires the bank's in-flight op.
 func (c *Controller) complete(b *bank) {
 	o := b.inflight
-	b.inflight = nil
+	b.hasInflight = false
 	c.stats.BankBusyPS += o.latencyPS
 	switch o.kind {
 	case opRead:
@@ -410,7 +519,7 @@ func (c *Controller) complete(b *bank) {
 			// behind demand traffic). A full queue would stall the
 			// walker; rewrite directly in that rare case by requeueing
 			// as pending scrub work.
-			b.writeQ = append(b.writeQ, op{
+			b.writeQ.pushBack(op{
 				kind: opScrubWrite, line: o.line,
 				latencyPS: PS(c.cfg.Timing.Write), cells: o.rewriteCells, enqueuedAt: c.now,
 			})
@@ -424,33 +533,39 @@ func (c *Controller) complete(b *bank) {
 
 // dispatch starts the next op on an idle bank according to the priority
 // policy: forced write drain > demand reads > scrub scans > opportunistic
-// writes.
+// writes. It always leaves the bank's cached next-event state fresh, so
+// every mutation path ends here.
 func (c *Controller) dispatch(b *bank, now int64) {
-	if b.inflight != nil {
+	if b.hasInflight {
+		c.refreshBank(b)
 		return
 	}
-	if len(b.writeQ) >= c.cfg.WriteDrainHi {
+	if b.writeQ.n >= c.cfg.WriteDrainHi {
 		b.draining = true
 	}
-	if len(b.writeQ) <= c.cfg.WriteDrainLo {
+	if b.writeQ.n <= c.cfg.WriteDrainLo {
 		b.draining = false
 	}
-	var next op
+	var q *opQueue
 	switch {
-	case b.draining && len(b.writeQ) > 0:
-		next, b.writeQ = b.writeQ[0], b.writeQ[1:]
-	case len(b.readQ) > 0:
-		next, b.readQ = b.readQ[0], b.readQ[1:]
-	case len(b.scrubPending) > 0:
-		next, b.scrubPending = b.scrubPending[0], b.scrubPending[1:]
-	case len(b.writeQ) > 0:
-		next, b.writeQ = b.writeQ[0], b.writeQ[1:]
+	case b.draining && b.writeQ.n > 0:
+		q = &b.writeQ
+	case b.readQ.n > 0:
+		q = &b.readQ
+	case b.scrubPending.n > 0:
+		q = &b.scrubPending
+	case b.writeQ.n > 0:
+		q = &b.writeQ
 	default:
+		c.refreshBank(b)
 		return
 	}
+	next := q.popFront()
 	next.startedAt = now
-	b.inflight = &next
+	b.inflight = next
+	b.hasInflight = true
 	b.busyUntil = now + next.latencyPS
+	c.refreshBank(b)
 }
 
 // maybeCancelWrite implements write cancellation with pausing (the paper
@@ -461,7 +576,7 @@ func (c *Controller) dispatch(b *bank, now int64) {
 // first. Programming energy is charged once, at final completion, because
 // the iterations already applied are kept.
 func (c *Controller) maybeCancelWrite(b *bank, now int64) {
-	if !c.cfg.CancelWrites || b.inflight == nil {
+	if !c.cfg.CancelWrites || !b.hasInflight {
 		return
 	}
 	o := b.inflight
@@ -474,12 +589,12 @@ func (c *Controller) maybeCancelWrite(b *bank, now int64) {
 	}
 	c.stats.Cancellations++
 	c.stats.BankBusyPS += now - o.startedAt
-	paused := *o
+	paused := o
 	paused.latencyPS = o.latencyPS - (now - o.startedAt)
 	if paused.latencyPS < 1 {
 		paused.latencyPS = 1
 	}
 	paused.startedAt = 0
-	b.inflight = nil
-	b.writeQ = append([]op{paused}, b.writeQ...)
+	b.hasInflight = false
+	b.writeQ.pushFront(paused)
 }

@@ -89,7 +89,7 @@ func TestSingleReadLatency(t *testing.T) {
 	if err := c.EnqueueRead(0, 1, 0, sense.ModeR); err != nil {
 		t.Fatalf("EnqueueRead: %v", err)
 	}
-	comps := c.AdvanceTo(PS(time.Millisecond))
+	comps := c.AdvanceTo(PS(time.Millisecond), nil)
 	if len(comps) != 1 {
 		t.Fatalf("completions = %d, want 1", len(comps))
 	}
@@ -119,7 +119,7 @@ func TestReadModesLatencies(t *testing.T) {
 		if err := c.EnqueueRead(0, 9, 4, tt.mode); err != nil {
 			t.Fatalf("EnqueueRead(%v): %v", tt.mode, err)
 		}
-		comps := c.AdvanceTo(PS(time.Millisecond))
+		comps := c.AdvanceTo(PS(time.Millisecond), nil)
 		if len(comps) != 1 || comps[0].At != PS(tt.want) {
 			t.Errorf("%v completion %+v, want at %d", tt.mode, comps, PS(tt.want))
 		}
@@ -139,7 +139,7 @@ func TestBankSerialization(t *testing.T) {
 	if err := c.EnqueueRead(0, 3, 1, sense.ModeR); err != nil { // bank 1
 		t.Fatal(err)
 	}
-	comps := c.AdvanceTo(PS(time.Millisecond))
+	comps := c.AdvanceTo(PS(time.Millisecond), nil)
 	at := map[uint64]int64{}
 	for _, cp := range comps {
 		at[cp.ID] = cp.At
@@ -171,7 +171,7 @@ func TestReadPriorityOverWrite(t *testing.T) {
 	if err := c.EnqueueRead(0, 2, 4, sense.ModeR); err != nil {
 		t.Fatal(err)
 	}
-	comps := c.AdvanceTo(PS(time.Millisecond))
+	comps := c.AdvanceTo(PS(time.Millisecond), nil)
 	if len(comps) != 2 {
 		t.Fatalf("completions = %d", len(comps))
 	}
@@ -192,11 +192,11 @@ func TestWriteCancellation(t *testing.T) {
 	if !c.EnqueueWrite(0, 0, 296) {
 		t.Fatal("write rejected")
 	}
-	c.AdvanceTo(PS(100 * time.Nanosecond)) // write is 10% done
+	c.AdvanceTo(PS(100*time.Nanosecond), nil) // write is 10% done
 	if err := c.EnqueueRead(PS(100*time.Nanosecond), 7, 0, sense.ModeR); err != nil {
 		t.Fatal(err)
 	}
-	comps := c.AdvanceTo(PS(time.Millisecond))
+	comps := c.AdvanceTo(PS(time.Millisecond), nil)
 	if len(comps) != 1 {
 		t.Fatalf("completions = %d", len(comps))
 	}
@@ -220,11 +220,11 @@ func TestNoCancellationPastThreshold(t *testing.T) {
 	if !c.EnqueueWrite(0, 0, 296) {
 		t.Fatal("write rejected")
 	}
-	c.AdvanceTo(PS(700 * time.Nanosecond)) // 70% done: past threshold
+	c.AdvanceTo(PS(700*time.Nanosecond), nil) // 70% done: past threshold
 	if err := c.EnqueueRead(PS(700*time.Nanosecond), 7, 0, sense.ModeR); err != nil {
 		t.Fatal(err)
 	}
-	comps := c.AdvanceTo(PS(time.Millisecond))
+	comps := c.AdvanceTo(PS(time.Millisecond), nil)
 	if len(comps) != 1 {
 		t.Fatalf("completions = %d", len(comps))
 	}
@@ -256,7 +256,7 @@ func TestWriteQueueBackpressure(t *testing.T) {
 	if c.Stats().WriteQueueStalls != 5 {
 		t.Errorf("stalls = %d, want 5", c.Stats().WriteQueueStalls)
 	}
-	c.AdvanceTo(PS(time.Millisecond))
+	c.AdvanceTo(PS(time.Millisecond), nil)
 	if c.Stats().Writes != 5 {
 		t.Errorf("drained writes = %d, want 5", c.Stats().Writes)
 	}
@@ -278,7 +278,7 @@ func TestForcedDrainPrioritizesWrites(t *testing.T) {
 	if err := c.EnqueueRead(0, 1, 0, sense.ModeR); err != nil {
 		t.Fatal(err)
 	}
-	comps := c.AdvanceTo(PS(time.Millisecond))
+	comps := c.AdvanceTo(PS(time.Millisecond), nil)
 	if len(comps) != 1 {
 		t.Fatalf("completions = %d", len(comps))
 	}
@@ -298,7 +298,7 @@ func TestScrubWalkerRateAndCoverage(t *testing.T) {
 	cfg.ScrubInterval = 512 * 150 * time.Nanosecond * 4
 	hook := &fixedScrub{act: ScrubAction{ReadLatency: 150 * time.Nanosecond}}
 	c, _ := mustController(t, cfg, hook)
-	c.AdvanceTo(PS(cfg.ScrubInterval))
+	c.AdvanceTo(PS(cfg.ScrubInterval), nil)
 	// One full interval: every line visited about once.
 	if hook.calls < 1000 || hook.calls > 1100 {
 		t.Errorf("scrub visits = %d over one interval of 1024 lines", hook.calls)
@@ -323,7 +323,7 @@ func TestScrubRewriteFlowsThroughWriteQueue(t *testing.T) {
 		ReadLatency: 450 * time.Nanosecond, Voltage: true, Rewrite: true, CellsWritten: 296,
 	}}
 	c, _ := mustController(t, cfg, hook)
-	c.AdvanceTo(PS(2 * time.Millisecond))
+	c.AdvanceTo(PS(2*time.Millisecond), nil)
 	st := c.Stats()
 	if st.ScrubReads == 0 {
 		t.Fatal("no scrub reads")
@@ -361,7 +361,7 @@ func TestEnergyCharged(t *testing.T) {
 	if !c.EnqueueWrite(0, 1, 296) {
 		t.Fatal("write rejected")
 	}
-	c.AdvanceTo(PS(time.Millisecond))
+	c.AdvanceTo(PS(time.Millisecond), nil)
 	b := acct.Dynamic()
 	if b.ReadPJ <= 0 || b.WritePJ <= 0 {
 		t.Errorf("energy not charged: %+v", b)

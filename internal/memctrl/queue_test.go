@@ -1,0 +1,112 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"readduo/internal/energy"
+	"readduo/internal/sense"
+)
+
+// TestOpQueueAgainstSliceOracle drives the ring buffer and a plain slice
+// with the same operation stream — pushBack, pushFront (cancellation),
+// popFront — across many grow boundaries.
+func TestOpQueueAgainstSliceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q opQueue
+	var oracle []op
+	for step := 0; step < 100_000; step++ {
+		switch r := rng.Intn(5); {
+		case r < 2:
+			o := op{id: uint64(step), latencyPS: int64(step)}
+			q.pushBack(o)
+			oracle = append(oracle, o)
+		case r == 2:
+			o := op{id: uint64(step), kind: opWrite}
+			q.pushFront(o)
+			oracle = append([]op{o}, oracle...)
+		default:
+			if len(oracle) == 0 {
+				continue
+			}
+			got := q.popFront()
+			want := oracle[0]
+			oracle = oracle[1:]
+			if got != want {
+				t.Fatalf("step %d: popFront = %+v want %+v", step, got, want)
+			}
+		}
+		if q.len() != len(oracle) {
+			t.Fatalf("step %d: len = %d oracle %d", step, q.len(), len(oracle))
+		}
+	}
+	// Drain and compare the tail.
+	for i := 0; q.len() > 0; i++ {
+		if got := q.popFront(); got != oracle[i] {
+			t.Fatalf("drain %d: %+v want %+v", i, got, oracle[i])
+		}
+	}
+}
+
+// TestNextEventCacheConsistent checks the incrementally-maintained event
+// minimum against a brute-force scan of the bank states after every
+// mutation of a busy random workload.
+func TestNextEventCacheConsistent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScrubInterval = 50 * time.Microsecond
+	cfg.TotalLines = 1 << 10
+	acct, err := energy.NewAccounting(energy.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(cfg, acct, nopHook{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := func() (int64, bool) {
+		best, found := int64(0), false
+		for i := range c.banks {
+			b := &c.banks[i]
+			if b.hasInflight && (!found || b.busyUntil < best) {
+				best, found = b.busyUntil, true
+			}
+			if b.scrubEnabled && (!found || b.nextScrubAt < best) {
+				best, found = b.nextScrubAt, true
+			}
+			if !b.hasInflight && (b.readQ.len() > 0 || b.writeQ.len() > 0 || b.scrubPending.len() > 0) {
+				if !found || c.now < best {
+					best, found = c.now, true
+				}
+			}
+		}
+		return best, found
+	}
+	rng := rand.New(rand.NewSource(2))
+	now := int64(0)
+	var scratch []Completion
+	for step := 0; step < 20_000; step++ {
+		line := uint64(rng.Intn(1 << 10))
+		switch rng.Intn(3) {
+		case 0:
+			if err := c.EnqueueRead(now, uint64(step), line, sense.ModeR); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			c.EnqueueWrite(now, line, 296)
+		default:
+			now += int64(rng.Intn(200_000))
+			scratch = c.AdvanceTo(now, scratch)
+		}
+		gotAt, gotOK := c.NextEventAt()
+		wantAt, wantOK := brute()
+		if gotAt != wantAt || gotOK != wantOK {
+			t.Fatalf("step %d: NextEventAt = %d,%v brute force %d,%v",
+				step, gotAt, gotOK, wantAt, wantOK)
+		}
+	}
+}
+
+type nopHook struct{}
+
+func (nopHook) OnScrub(now int64, line uint64) ScrubAction { return ScrubAction{} }

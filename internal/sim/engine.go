@@ -11,6 +11,7 @@ import (
 	"readduo/internal/lwt"
 	"readduo/internal/memctrl"
 	"readduo/internal/sense"
+	"readduo/internal/sim/linetable"
 	"readduo/internal/telemetry"
 	"readduo/internal/trace"
 )
@@ -126,8 +127,10 @@ type Engine struct {
 	recordScrubRewrites bool
 
 	// Line state: physical line -> last full write time (ps, possibly
-	// far negative for pre-window writes).
-	lastWrite map[uint64]int64
+	// far negative for pre-window writes). An open-addressing flat table
+	// (internal/sim/linetable): Read, Write, and OnScrub each consult it
+	// once, making it the hottest data structure of the run.
+	lastWrite *linetable.Table
 
 	// Scrub geometry (ps).
 	scrubIntervalPS int64
@@ -196,6 +199,21 @@ var _ memctrl.ScrubHook = (*Engine)(nil)
 
 // Run executes one (scheme, workload) simulation and returns its Result.
 func Run(cfg Config, scheme Scheme) (*Result, error) {
+	e, err := newEngine(cfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+// newEngine validates the configuration and assembles a ready-to-run
+// engine (memory controller, CPU cluster, probability tables) without
+// starting the event loop — the seam the steady-state allocation tests
+// drive the read/write paths through.
+func newEngine(cfg Config, scheme Scheme) (*Engine, error) {
 	if err := scheme.Validate(); err != nil {
 		return nil, err
 	}
@@ -207,7 +225,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 		cfg:       cfg,
 		scheme:    scheme,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		lastWrite: make(map[uint64]int64, 1<<16),
+		lastWrite: linetable.New(1 << 12),
 		tel:       newEngineProbes(cfg.Telemetry),
 	}
 
@@ -291,11 +309,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 	if e.warmupInstr == 0 {
 		e.warmupDone = true
 	}
-
-	if err := e.loop(); err != nil {
-		return nil, err
-	}
-	return e.result(), nil
+	return e, nil
 }
 
 // loop is the two-clock event loop: the CPU cluster proposes its next issue
@@ -304,6 +318,9 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 func (e *Engine) loop() error {
 	const maxIters = 1 << 62
 	var now int64
+	// Completion scratch, owned by the loop and recycled every iteration so
+	// the steady state never allocates.
+	var scratch []memctrl.Completion
 	for iter := 0; ; iter++ {
 		if iter >= maxIters {
 			return fmt.Errorf("sim: event loop did not terminate")
@@ -318,7 +335,7 @@ func (e *Engine) loop() error {
 		var t int64
 		switch {
 		case okCPU && okMem:
-			t = min64(tCPU, tMem)
+			t = min(tCPU, tMem)
 		case okCPU:
 			t = tCPU
 		case okMem:
@@ -331,7 +348,8 @@ func (e *Engine) loop() error {
 		}
 		progressed := t > now
 		now = t
-		comps := e.ctrl.AdvanceTo(t)
+		comps := e.ctrl.AdvanceTo(t, scratch)
+		scratch = comps
 		for _, comp := range comps {
 			if err := e.cluster.OnReadComplete(comp.ID, comp.At); err != nil {
 				return err
@@ -361,13 +379,6 @@ func (e *Engine) mark(now int64) {
 	e.markCellWr = e.acct.WriteCellCount()
 	e.markMem = e.ctrl.Stats()
 	e.markRun = e.stats
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // physLine maps a trace line address onto the physical line space.
@@ -406,7 +417,7 @@ func (e *Engine) lastScrubAt(phys uint64, now int64) int64 {
 // first-touch read the virtual age comes from the workload profile; a
 // first-touch write is simply recorded at its own time by the caller.
 func (e *Engine) lineLastWrite(phys uint64, now int64) int64 {
-	if t, ok := e.lastWrite[phys]; ok {
+	if t, ok := e.lastWrite.Get(phys); ok {
 		return t
 	}
 	interval := time.Duration(e.scrubIntervalPS/1000) * time.Nanosecond
@@ -415,7 +426,7 @@ func (e *Engine) lineLastWrite(phys uint64, now int64) int64 {
 	}
 	age := e.cfg.Bench.SampleInitialAge(interval, e.rng)
 	t := now - memctrl.PS(age)
-	e.lastWrite[phys] = t
+	e.lastWrite.Put(phys, t)
 	return t
 }
 
@@ -480,7 +491,7 @@ func (e *Engine) Write(now int64, core int, line uint64) (bool, error) {
 		// Every scheme records demand writes: tracking designs for the
 		// flag semantics, the rest so scrub-rewrite sampling and Hybrid's
 		// age math see correct drift clocks.
-		e.lastWrite[phys] = now
+		e.lastWrite.Put(phys, now)
 		if e.scheme.Write.Tracking() {
 			e.acct.AddFlagAccess(e.scheme.Write.FlagBits())
 		}
@@ -513,7 +524,7 @@ func (e *Engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
 	default:
 		// W=1: rewrite iff the scan finds >= 1 drifted cell.
 		var p float64
-		if last, ok := e.lastWrite[phys]; ok {
+		if last, ok := e.lastWrite.Get(phys); ok {
 			age := e.ageSeconds(now, last)
 			if e.scrubMetric == drift.MetricM {
 				p = e.mProbs.AnyError(age)
@@ -528,8 +539,8 @@ func (e *Engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
 	}
 	if act.Rewrite {
 		e.tel.scrubRewrite.Inc()
-		if _, ok := e.lastWrite[phys]; ok || e.recordScrubRewrites {
-			e.lastWrite[phys] = now
+		if _, ok := e.lastWrite.Get(phys); ok || e.recordScrubRewrites {
+			e.lastWrite.Put(phys, now)
 		}
 	}
 	return act

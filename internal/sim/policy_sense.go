@@ -95,7 +95,7 @@ func (p trackedSense) ReadMode(e *Engine, now int64, phys uint64) sense.Mode {
 		// R-reads for the next interval. Opportunistic: skip when the
 		// bank's write queue is saturated.
 		if e.ctrl.WriteQueueSpace(phys) > 1 && e.ctrl.EnqueueWrite(now, phys, e.cfg.Mem.CellsPerLine) {
-			e.lastWrite[phys] = now
+			e.lastWrite.Put(phys, now)
 			e.acct.AddFlagAccess(trackingFlagBits(p.k))
 			e.stats.conversions++
 			e.epochConversions++

@@ -91,7 +91,7 @@ func SelectWrite(k, s int) WritePolicy { return selectWrite{k: k, s: s} }
 func (p selectWrite) PlanWrite(e *Engine, now int64, phys uint64) (int, bool) {
 	cells := e.cfg.Mem.CellsPerLine
 	full := true
-	if last, ok := e.lastWrite[phys]; ok {
+	if last, ok := e.lastWrite.Get(phys); ok {
 		phase := e.scrubPhase(phys)
 		subNow := lwt.SubIndex(now, phase, e.scrubIntervalPS, p.k)
 		subW := lwt.SubIndex(last, phase, e.scrubIntervalPS, p.k)

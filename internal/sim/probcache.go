@@ -151,22 +151,27 @@ func sharedSteadyRewrite(cfg drift.Config, interval time.Duration) (float64, err
 	return v.(float64), nil
 }
 
-// index maps an age in seconds to the nearest grid point.
-func (pc *probCache) index(ageSeconds float64) int {
+// locate maps an age to its lower grid index plus interpolation weight.
+func (pc *probCache) locate(ageSeconds float64) (int, float64) {
 	if ageSeconds <= pc.minAge {
-		return 0
+		return 0, 0
 	}
 	if ageSeconds >= pc.maxAge {
-		return probCachePoints - 1
+		return probCachePoints - 1, 0
 	}
-	i := int((math.Log(ageSeconds)-pc.logMin)/pc.step + 0.5)
-	if i < 0 {
-		return 0
+	x := (math.Log(ageSeconds) - pc.logMin) / pc.step
+	i := int(x)
+	if i >= probCachePoints-1 {
+		return probCachePoints - 1, 0
 	}
-	if i >= probCachePoints {
-		return probCachePoints - 1
+	return i, x - float64(i)
+}
+
+func lerp(tab []float64, i int, f float64) float64 {
+	if f == 0 {
+		return tab[i]
 	}
-	return i
+	return tab[i] + f*(tab[i+1]-tab[i])
 }
 
 // AnyError returns P(>=1 drift error) at the given age.
@@ -174,7 +179,8 @@ func (pc *probCache) AnyError(ageSeconds float64) float64 {
 	if ageSeconds <= 0 {
 		return 0
 	}
-	return pc.pAnyError[pc.index(ageSeconds)]
+	i, f := pc.locate(ageSeconds)
+	return lerp(pc.pAnyError, i, f)
 }
 
 // Retry returns the R-M-read probability at the given age.
@@ -182,7 +188,8 @@ func (pc *probCache) Retry(ageSeconds float64) float64 {
 	if ageSeconds <= 0 {
 		return 0
 	}
-	return pc.pRetry[pc.index(ageSeconds)]
+	i, f := pc.locate(ageSeconds)
+	return lerp(pc.pRetry, i, f)
 }
 
 // Silent returns the undetectable-error probability at the given age.
@@ -190,7 +197,8 @@ func (pc *probCache) Silent(ageSeconds float64) float64 {
 	if ageSeconds <= 0 {
 		return 0
 	}
-	return pc.pSilent[pc.index(ageSeconds)]
+	i, f := pc.locate(ageSeconds)
+	return lerp(pc.pSilent, i, f)
 }
 
 // ProbTable is an exported read-only handle on one memoized

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
 
+	"readduo/internal/dist"
 	"readduo/internal/drift"
 	"readduo/internal/reliability"
 )
@@ -140,6 +142,66 @@ func TestSharedSteadyRewrite(t *testing.T) {
 	}
 	if want := an.SteadyStateRewriteFraction(8); got != want {
 		t.Errorf("memoized fraction %v, direct %v", got, want)
+	}
+}
+
+// TestProbCacheInterpolation bounds the interpolated lookups against
+// direct quadrature at deliberately off-grid ages. The grid is
+// logarithmic with 128 points over [1, 1e7] s, so linear interpolation
+// between adjacent points must track the smooth binomial-tail curves to
+// within a few percent; nearest-point snapping (the previous behavior)
+// fails the tighter of these bounds near steep regions.
+func TestProbCacheInterpolation(t *testing.T) {
+	cfg := drift.RMetricConfig()
+	pc := newProbCache(cfg, 8)
+	const n = reliability.CellsPerLine
+	direct := func(age float64) (anyE, retry, silent float64) {
+		p := cfg.AvgCellErrorProb(age)
+		anyE = 1 - math.Pow(1-p, float64(n))
+		tailT := dist.BinomTailGT(n, p, 8)
+		tailDetect := dist.BinomTailGT(n, p, 2*8+1)
+		return anyE, max(tailT-tailDetect, 0), tailDetect
+	}
+	// Off-grid ages: geometric sweep deliberately incommensurate with the
+	// 128-point grid, plus the ages the engine actually feeds (sampled
+	// first-touch ages, scrub phases).
+	for age := 1.37; age < 9e6; age *= 3.71 {
+		wantAny, wantRetry, wantSilent := direct(age)
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"AnyError", pc.AnyError(age), wantAny},
+			{"Retry", pc.Retry(age), wantRetry},
+			{"Silent", pc.Silent(age), wantSilent},
+		} {
+			// Relative bound where the probability is meaningful, absolute
+			// floor below it (tiny tails are dominated by quadrature noise).
+			tol := 0.05*c.want + 1e-9
+			if math.Abs(c.got-c.want) > tol {
+				t.Errorf("%s(%g) = %v, direct quadrature %v (tol %v)",
+					c.name, age, c.got, c.want, tol)
+			}
+		}
+	}
+	// At grid-aligned ages interpolation must reproduce the table entry
+	// exactly (weight 0), so grid-point behavior is unchanged.
+	for i := 0; i < probCachePoints; i += 17 {
+		age := math.Exp(pc.logMin + float64(i)*pc.step)
+		if got := pc.AnyError(age); got != pc.pAnyError[i] {
+			// Allow the one-ULP case where Exp(Log(age)) lands a hair off.
+			j, f := pc.locate(age)
+			if j != i || f > 1e-12 {
+				t.Errorf("grid age %g: AnyError %v != table %v", age, got, pc.pAnyError[i])
+			}
+		}
+	}
+	// Interpolation is continuous across a grid boundary: values just
+	// left and right of a grid point agree to first order.
+	mid := math.Exp(pc.logMin + 40.5*pc.step)
+	lo, hi := pc.AnyError(mid*(1-1e-9)), pc.AnyError(mid*(1+1e-9))
+	if math.Abs(lo-hi) > 1e-9*(lo+hi+1) {
+		t.Errorf("interpolation discontinuous near grid midpoint: %v vs %v", lo, hi)
 	}
 }
 
