@@ -1,0 +1,125 @@
+// Command readduo-serve exposes the ReadDuo reliability models as a
+// batched, cached HTTP/JSON query service: drift LER tables, scrub-policy
+// checks, scheme introspection, Monte-Carlo endurance studies, and bounded
+// full-system scheme comparisons.
+//
+// Usage:
+//
+//	readduo-serve [-addr :8080] [-workers N] [-queue N] [-cache-bytes N]
+//	              [-request-timeout 30s] [-compute-timeout 30s]
+//	              [-max-mc-cells N] [-max-budget N]
+//	              [-debug-addr :6060] [-trace-spans spans.jsonl]
+//
+// The service answers identical specs with byte-identical cached bodies,
+// coalesces concurrent identical requests into one computation, and sheds
+// load with 429 + Retry-After once the worker queue saturates. SIGINT or
+// SIGTERM starts a graceful drain: readiness flips to 503, in-flight
+// requests finish (up to the drain timeout), then in-flight computations
+// are cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"readduo/internal/obs"
+	"readduo/internal/server"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8080", "HTTP listen address")
+		workers        = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue          = flag.Int("queue", 0, "admission queue depth beyond executing jobs (0 = 2x workers)")
+		cacheBytes     = flag.Int64("cache-bytes", 64<<20, "response cache budget in bytes")
+		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request wall-time cap")
+		computeTimeout = flag.Duration("compute-timeout", 0, "per-computation cap (0 = request timeout)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+		maxMCCells     = flag.Int("max-mc-cells", 0, "Monte-Carlo population cap (0 = 10M)")
+		maxBudget      = flag.Uint64("max-budget", 0, "comparison instruction-budget cap (0 = 2M)")
+		debugAddr      = flag.String("debug-addr", "", "pprof/expvar listener address (empty = off)")
+		traceSpans     = flag.String("trace-spans", "", "span trace JSONL path (empty = off)")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		addr: *addr, workers: *workers, queue: *queue, cacheBytes: *cacheBytes,
+		requestTimeout: *requestTimeout, computeTimeout: *computeTimeout,
+		drainTimeout: *drainTimeout, maxMCCells: *maxMCCells, maxBudget: *maxBudget,
+		debugAddr: *debugAddr, traceSpans: *traceSpans,
+	}, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "readduo-serve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr           string
+	workers, queue int
+	cacheBytes     int64
+	requestTimeout time.Duration
+	computeTimeout time.Duration
+	drainTimeout   time.Duration
+	maxMCCells     int
+	maxBudget      uint64
+	debugAddr      string
+	traceSpans     string
+}
+
+// run brings the service up and blocks until a termination signal has
+// been fully drained. started, when non-nil, receives the bound address
+// once the listener accepts (tests use it to drive real requests).
+func run(cfg config, started func(addr string)) error {
+	// The service always runs with a live registry: its metrics are
+	// scraped via the debug listener while serving, not reported at exit.
+	session, err := obs.Start(obs.Options{
+		Name:          "readduo-serve",
+		ForceRegistry: true,
+		DebugAddr:     cfg.debugAddr,
+		TracePath:     cfg.traceSpans,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	srv := server.New(server.Config{
+		Addr:             cfg.addr,
+		Workers:          cfg.workers,
+		QueueDepth:       cfg.queue,
+		CacheBytes:       cfg.cacheBytes,
+		RequestTimeout:   cfg.requestTimeout,
+		ComputeTimeout:   cfg.computeTimeout,
+		MaxMCCells:       cfg.maxMCCells,
+		MaxCompareBudget: cfg.maxBudget,
+		Registry:         session.Registry,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	log.Printf("serving on http://%s (healthz, readyz, v1/{ler,policy,mc,compare,schemes})", srv.Addr())
+	if started != nil {
+		started(srv.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default signal handling: a second signal kills hard
+
+	log.Printf("drain: waiting up to %s for in-flight requests", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

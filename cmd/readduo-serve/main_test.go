@@ -1,0 +1,58 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrainsOnSIGTERM boots the real service on an ephemeral
+// port, drives a request through it, then delivers SIGTERM to the
+// process and verifies run returns through the graceful-drain path.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(config{
+			addr:           "127.0.0.1:0",
+			workers:        2,
+			cacheBytes:     1 << 20,
+			requestTimeout: 10 * time.Second,
+			drainTimeout:   10 * time.Second,
+		}, func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/policy?e=8&s=16&w=1")
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "meets") {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain after SIGTERM")
+	}
+}

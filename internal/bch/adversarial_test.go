@@ -1,0 +1,212 @@
+package bch
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Adversarial error patterns for the paper's line code (BCH-8 over 512
+// data bits). The uniform-random sweeps in bch_test.go establish the
+// average case; these tests attack the decoder where algebraic decoders
+// historically break: dense bursts, region boundaries, the extreme
+// codeword positions, and parity-only corruption — and they pin the parts
+// of the Decode contract the other tests leave unchecked (the exact
+// CorrectedBits set, and bufferwise immutability on detection).
+
+// patternName/positions generators. Positions use codeword numbering
+// (0..parityBits-1 parity, then data), matching Result.CorrectedBits.
+type errorPattern struct {
+	name string
+	gen  func(rng *rand.Rand, errs, parityBits, total int) []int
+}
+
+func adversarialPatterns() []errorPattern {
+	return []errorPattern{
+		{"burst-random-offset", func(rng *rand.Rand, errs, _, total int) []int {
+			start := rng.Intn(total - errs)
+			return consecutive(start, errs)
+		}},
+		{"burst-straddling-parity-data-boundary", func(_ *rand.Rand, errs, parityBits, _ int) []int {
+			return consecutive(parityBits-errs/2-1, errs)
+		}},
+		{"codeword-extremes", func(_ *rand.Rand, errs, _, total int) []int {
+			// Half at the lowest positions, half at the highest: maximal
+			// spread stresses the Chien search over the shortened range.
+			pos := make([]int, 0, errs)
+			for i := 0; i < errs/2; i++ {
+				pos = append(pos, i)
+			}
+			for i := 0; len(pos) < errs; i++ {
+				pos = append(pos, total-1-i)
+			}
+			return pos
+		}},
+		{"parity-only", func(rng *rand.Rand, errs, parityBits, _ int) []int {
+			return distinctPositions(rng, errs, parityBits)
+		}},
+		{"data-only", func(rng *rand.Rand, errs, parityBits, total int) []int {
+			pos := distinctPositions(rng, errs, total-parityBits)
+			for i := range pos {
+				pos[i] += parityBits
+			}
+			return pos
+		}},
+	}
+}
+
+func consecutive(start, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}
+
+// inject flips the given codeword positions in (data, parity).
+func inject(data, parity []byte, parityBits int, positions []int) {
+	for _, pos := range positions {
+		if pos < parityBits {
+			flipBit(parity, pos)
+		} else {
+			flipBit(data, pos-parityBits)
+		}
+	}
+}
+
+// TestAdversarialExactCorrection drives every adversarial pattern at
+// every weight 1..t and requires the full correction contract: status,
+// bit-exact restoration of both buffers, and a CorrectedBits set equal to
+// the injected positions (not merely the right count).
+func TestAdversarialExactCorrection(t *testing.T) {
+	c := lineCode(t)
+	rng := rand.New(rand.NewSource(41))
+	total := c.DataBits() + c.ParityBits()
+	for _, pat := range adversarialPatterns() {
+		for errs := 1; errs <= c.CorrectCapability(); errs++ {
+			for trial := 0; trial < 4; trial++ {
+				data := randomData(rng, c.DataBytes())
+				parity, err := c.Encode(data)
+				if err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				orig := append([]byte(nil), data...)
+				origP := append([]byte(nil), parity...)
+
+				injected := pat.gen(rng, errs, c.ParityBits(), total)
+				inject(data, parity, c.ParityBits(), injected)
+
+				res, err := c.Decode(data, parity)
+				if err != nil {
+					t.Fatalf("%s e=%d: Decode: %v", pat.name, errs, err)
+				}
+				if res.Status != StatusCorrected {
+					t.Fatalf("%s e=%d: status %v, want corrected", pat.name, errs, res.Status)
+				}
+				if !bytes.Equal(data, orig) || !bytes.Equal(parity, origP) {
+					t.Fatalf("%s e=%d: buffers not restored", pat.name, errs)
+				}
+				got := append([]int(nil), res.CorrectedBits...)
+				want := append([]int(nil), injected...)
+				sort.Ints(got)
+				sort.Ints(want)
+				if len(got) != len(want) {
+					t.Fatalf("%s e=%d: CorrectedBits has %d entries, want %d",
+						pat.name, errs, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s e=%d: CorrectedBits = %v, injected %v",
+							pat.name, errs, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdversarialDetectionImmutability attacks the detection range
+// (t < e <= 2t+1) and pins the other half of the contract: a decode that
+// reports uncorrectable must leave BOTH buffers bit-identical to the
+// corrupted input — no partial repairs — and a decode that claims a
+// correction must restore the true codeword (no silent miscorrection).
+// The seed is fixed, so the e > 2t region (where miscorrection is
+// theoretically possible for some patterns) stays deterministic.
+func TestAdversarialDetectionImmutability(t *testing.T) {
+	c := lineCode(t)
+	rng := rand.New(rand.NewSource(43))
+	total := c.DataBits() + c.ParityBits()
+	tt := c.CorrectCapability()
+	for _, pat := range adversarialPatterns() {
+		for errs := tt + 1; errs <= c.DetectCapability(); errs++ {
+			for trial := 0; trial < 3; trial++ {
+				data := randomData(rng, c.DataBytes())
+				parity, err := c.Encode(data)
+				if err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				orig := append([]byte(nil), data...)
+
+				injected := pat.gen(rng, errs, c.ParityBits(), total)
+				inject(data, parity, c.ParityBits(), injected)
+				corrupted := append([]byte(nil), data...)
+				corruptedP := append([]byte(nil), parity...)
+
+				res, err := c.Decode(data, parity)
+				if err != nil {
+					t.Fatalf("%s e=%d: Decode: %v", pat.name, errs, err)
+				}
+				switch res.Status {
+				case StatusUncorrectable:
+					if !bytes.Equal(data, corrupted) || !bytes.Equal(parity, corruptedP) {
+						t.Fatalf("%s e=%d: uncorrectable decode modified buffers", pat.name, errs)
+					}
+					if len(res.CorrectedBits) != 0 {
+						t.Fatalf("%s e=%d: uncorrectable result lists corrected bits %v",
+							pat.name, errs, res.CorrectedBits)
+					}
+				case StatusCorrected:
+					if !bytes.Equal(data, orig) {
+						t.Fatalf("%s e=%d: silent miscorrection (data differs from true codeword)",
+							pat.name, errs)
+					}
+				default:
+					t.Fatalf("%s e=%d: status %v with %d injected errors", pat.name, errs, res.Status, errs)
+				}
+			}
+		}
+	}
+}
+
+// TestAdversarialBurstSweepAcrossBoundary slides a maximal-weight
+// correctable burst across the full codeword, one bit at a time through
+// the parity/data boundary region, exhaustively covering the alignment
+// cases a random sweep almost never hits.
+func TestAdversarialBurstSweepAcrossBoundary(t *testing.T) {
+	c := lineCode(t)
+	rng := rand.New(rand.NewSource(47))
+	tt := c.CorrectCapability()
+	data0 := randomData(rng, c.DataBytes())
+	parity0, err := c.Encode(data0)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Sweep the burst start through the whole boundary neighbourhood and
+	// around byte boundaries on both sides.
+	for start := c.ParityBits() - tt; start <= c.ParityBits()+2*tt; start++ {
+		data := append([]byte(nil), data0...)
+		parity := append([]byte(nil), parity0...)
+		inject(data, parity, c.ParityBits(), consecutive(start, tt))
+		res, err := c.Decode(data, parity)
+		if err != nil {
+			t.Fatalf("start=%d: %v", start, err)
+		}
+		if res.Status != StatusCorrected {
+			t.Fatalf("start=%d: status %v, want corrected", start, res.Status)
+		}
+		if !bytes.Equal(data, data0) || !bytes.Equal(parity, parity0) {
+			t.Fatalf("start=%d: burst not fully repaired", start)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOpenRejectsVersionMismatch: a journal written under a different
+// schema version must refuse to resume, naming both versions.
+func TestOpenRejectsVersionMismatch(t *testing.T) {
+	spec := journalSpec(t)
+	path := filepath.Join(t.TempDir(), "old.jsonl")
+	stale := spec.Header(1)
+	stale.Version = journalVersion + 1
+	j, err := Create(path, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = Open(path, spec.Header(1))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("Open with version mismatch = %v, want version error", err)
+	}
+}
+
+// TestRestoreSpecErrors drives every failure mode of the
+// header -> campaign reconstruction: names the journal recorded that the
+// binary no longer knows, and a fingerprint that disagrees with the
+// reconstructed spec (a header edited or mixed between files).
+func TestRestoreSpecErrors(t *testing.T) {
+	good := journalSpec(t).Header(1)
+	for _, tc := range []struct {
+		name    string
+		mutate  func(h *Header)
+		wantErr string
+	}{
+		{"unknown benchmark", func(h *Header) {
+			h.Benchmarks = []string{"no-such-workload"}
+		}, "unknown benchmark"},
+		{"unparseable scheme", func(h *Header) {
+			h.Schemes = []string{"lwt:k=not-a-number"}
+		}, "restore scheme"},
+		{"invalid spec", func(h *Header) {
+			h.Benchmarks = nil
+		}, "campaign"},
+		{"fingerprint mismatch", func(h *Header) {
+			h.Fingerprint = "0000000000000000"
+		}, "does not match"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := good
+			h.Benchmarks = append([]string(nil), good.Benchmarks...)
+			h.Schemes = append([]string(nil), good.Schemes...)
+			tc.mutate(&h)
+			_, err := RestoreSpec(h)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("RestoreSpec = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"readduo/internal/sim"
+)
+
+// TestCrashRecoveryEndToEnd exercises the complete operator workflow a
+// journal exists for, with no state smuggled between the "processes":
+//
+//	process 1: runs the campaign, is interrupted mid-flight, and its
+//	           final journal write is torn (SIGKILL mid-write);
+//	process 2: learns everything from the journal file alone —
+//	           DecodeFile for the header, RestoreSpec for the campaign,
+//	           Open for the completed records — resumes, and must
+//	           produce byte-identical rendered aggregates to an
+//	           uninterrupted reference run.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	spec := testSpec(t, 25_000)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+
+	// Reference: the same campaign, never interrupted, no journal.
+	refTable := renderTable(t, mustMatrix(t, spec, mustRun(t, spec, Options{Parallel: 2})))
+
+	// --- process 1: interrupted run -----------------------------------
+	j, err := Create(path, spec.Header(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	interrupted := spec // shallow copy; Configure is not part of identity
+	interrupted.Configure = func(Job, *sim.Config) {
+		// Let two jobs through, then interrupt the campaign. The drain
+		// finishes what started, so 2..3 jobs land in the journal.
+		if started.Add(1) == 2 {
+			cancel()
+		}
+	}
+	out, err := Run(ctx, interrupted, Options{Parallel: 1, Journal: j})
+	if err != nil {
+		t.Fatalf("interrupted Run: %v", err)
+	}
+	if !out.Interrupted || out.Done == 0 || out.Remaining == 0 {
+		t.Fatalf("want a partially-complete interrupted outcome, got %+v", out)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL mid-write: a torn, truncated record at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"record":{"key":"s0/gcc/LWT-4","index":`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- process 2: recovery from the file alone ----------------------
+	header, _, err := DecodeFile(path)
+	if err != nil {
+		t.Fatalf("DecodeFile on torn journal: %v", err)
+	}
+	restored, err := RestoreSpec(header)
+	if err != nil {
+		t.Fatalf("RestoreSpec: %v", err)
+	}
+	if restored.Fingerprint() != spec.Fingerprint() {
+		t.Fatalf("restored fingerprint %s, want %s", restored.Fingerprint(), spec.Fingerprint())
+	}
+	j2, done, _, err := Open(path, header)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(done) != out.Done {
+		t.Fatalf("recovered %d records, process 1 completed %d", len(done), out.Done)
+	}
+	if missing := restored.Missing(recordSlice(restored, done)); len(missing) != out.Remaining+out.Failed {
+		t.Fatalf("Missing lists %d jobs (%v), want %d", len(missing), missing, out.Remaining+out.Failed)
+	}
+
+	var executed atomic.Int64
+	restored.Configure = func(Job, *sim.Config) { executed.Add(1) }
+	resumed, err := Run(context.Background(), restored, Options{Parallel: 2, Journal: j2, Completed: done})
+	if err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := len(spec.Jobs())
+	if resumed.Done != total || resumed.Resumed != len(done) {
+		t.Fatalf("resumed outcome %+v, want %d done with %d resumed", resumed, total, len(done))
+	}
+	if got := executed.Load(); int(got) != total-len(done) {
+		t.Fatalf("resume executed %d jobs, want %d", got, total-len(done))
+	}
+
+	// The acceptance bar: rendered aggregates, byte for byte.
+	resumedTable := renderTable(t, mustMatrix(t, restored, resumed))
+	if !bytes.Equal(refTable, resumedTable) {
+		t.Fatalf("resumed table differs from uninterrupted reference:\n--- reference\n%s\n--- resumed\n%s",
+			refTable, resumedTable)
+	}
+}
+
+// recordSlice shapes a Completed map into the dense index-ordered slice
+// Spec.Missing consumes.
+func recordSlice(spec Spec, done map[string]Record) []Record {
+	out := make([]Record, len(spec.Jobs()))
+	for _, job := range spec.Jobs() {
+		if rec, ok := done[job.Key()]; ok {
+			out[job.Index] = rec
+		}
+	}
+	return out
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"readduo/internal/sim"
@@ -32,6 +31,13 @@ type Options struct {
 	Telemetry *telemetry.Registry
 	// Tracer, when non-nil, records one span per executed job.
 	Tracer *telemetry.Tracer
+	// CancelInFlight threads the run context into each executing
+	// simulation: cancelling ctx then aborts in-flight jobs immediately
+	// (they are journaled as failed with the context error and re-run on
+	// resume) instead of letting them finish. The default preserves the
+	// batch-tool behavior — a drain finishes what it started — while a
+	// serving layer with per-request deadlines wants the abort.
+	CancelInFlight bool
 }
 
 // campaignProbes is the scheduler's own instrumentation. All fields are
@@ -55,13 +61,6 @@ func newCampaignProbes(reg *telemetry.Registry) campaignProbes {
 		wallMS:      s.Histogram("job.wall_ms"),
 		queueWaitMS: s.Histogram("job.queue_wait_ms"),
 	}
-}
-
-// queuedJob carries the enqueue timestamp so workers can report how long
-// the job sat in the channel behind slower work.
-type queuedJob struct {
-	job      Job
-	enqueued time.Time
 }
 
 // Outcome is the result of a campaign run.
@@ -128,31 +127,32 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		tel.jobsResumed.Add(uint64(out.Resumed))
 	}
 
-	jobCh := make(chan queuedJob)
+	// jobCtx is what executing simulations observe: the run context when
+	// the caller asked for in-flight cancellation, an unbounded context
+	// for the classic drain (cancel stops the feed, running jobs finish).
+	jobCtx := context.Background()
+	if opts.CancelInFlight {
+		jobCtx = ctx
+	}
+	// The scheduling substrate is the shared Pool (also the serving
+	// layer's engine): an unbuffered queue, so the producer below blocks
+	// until a worker frees up and a context cancellation abandons exactly
+	// the jobs that never reached a worker.
+	pool := NewPool(parallel, 0, func(d time.Duration) {
+		tel.queueWaitMS.Observe(uint64(d.Milliseconds()))
+	})
 	recCh := make(chan Record)
 	go func() {
-		defer close(jobCh)
 		for _, job := range pending {
-			select {
-			case jobCh <- queuedJob{job: job, enqueued: time.Now()}:
-			case <-ctx.Done():
-				return
+			job := job
+			err := pool.Submit(ctx, func(worker int) {
+				recCh <- runJob(jobCtx, spec, job, worker, tel, opts)
+			})
+			if err != nil {
+				break // context cancelled: abandon the rest of the queue
 			}
 		}
-	}()
-	var wg sync.WaitGroup
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for qj := range jobCh {
-				tel.queueWaitMS.Observe(uint64(time.Since(qj.enqueued).Milliseconds()))
-				recCh <- runJob(spec, qj.job, worker, tel, opts)
-			}
-		}(w)
-	}
-	go func() {
-		wg.Wait()
+		pool.Close()
 		close(recCh)
 	}()
 
@@ -217,8 +217,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 }
 
 // runJob executes one simulation, converting a panic anywhere inside the
-// simulator into a failed-job record rather than a dead process.
-func runJob(spec Spec, job Job, worker int, tel campaignProbes, opts Options) (rec Record) {
+// simulator into a failed-job record rather than a dead process. ctx
+// aborts the simulation mid-run (Options.CancelInFlight); the aborted job
+// is recorded as failed with the context error.
+func runJob(ctx context.Context, spec Spec, job Job, worker int, tel campaignProbes, opts Options) (rec Record) {
 	rec = Record{
 		Key:       job.Key(),
 		Index:     job.Index,
@@ -253,7 +255,7 @@ func runJob(spec Spec, job Job, worker int, tel campaignProbes, opts Options) (r
 	if spec.Configure != nil {
 		spec.Configure(job, &cfg)
 	}
-	res, err := sim.Run(cfg, job.Scheme)
+	res, err := sim.RunContext(ctx, cfg, job.Scheme)
 	if err != nil {
 		rec.Status = StatusFailed
 		rec.Error = err.Error()

@@ -1,10 +1,12 @@
 package lifetime
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"readduo/internal/parallel"
 )
@@ -78,6 +80,15 @@ func splitmix64(x uint64) uint64 {
 
 // SimulateMC samples the population and returns the failure-time summary.
 func SimulateMC(cfg MCConfig) (MCResult, error) {
+	return SimulateMCContext(context.Background(), cfg)
+}
+
+// SimulateMCContext is SimulateMC with cooperative cancellation: each
+// shard polls a shared abort flag every few thousand cells and bails out,
+// so a cancelled request stops burning cores within microseconds. Results
+// are identical to SimulateMC when ctx is never cancelled — the abort
+// flag never perturbs the RNG sub-streams.
+func SimulateMCContext(ctx context.Context, cfg MCConfig) (MCResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return MCResult{}, err
 	}
@@ -91,9 +102,27 @@ func SimulateMC(cfg MCConfig) (MCResult, error) {
 		}
 		offsets[i+1] = offsets[i] + sz
 	}
+	// One goroutine flips the flag on cancellation; shard bodies only
+	// ever load it, so the fan-out stays contention-free.
+	var aborted atomic.Bool
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				aborted.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
+	const cancelStride = 1 << 12
 	parallel.ForEach(cfg.Workers, cfg.Shards, func(i int) {
 		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed) + uint64(i)))))
 		for c := offsets[i]; c < offsets[i+1]; c++ {
+			if (c-offsets[i])%cancelStride == 0 && aborted.Load() {
+				return
+			}
 			endurance := cfg.MedianEndurance * math.Exp(cfg.Sigma*rng.NormFloat64())
 			if endurance < 1 {
 				endurance = 1
@@ -101,6 +130,9 @@ func SimulateMC(cfg MCConfig) (MCResult, error) {
 			lifetimes[c] = endurance / cfg.WearRate
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return MCResult{}, fmt.Errorf("lifetime: MC aborted: %w", err)
+	}
 	sort.Float64s(lifetimes)
 	var sum float64
 	for _, v := range lifetimes {

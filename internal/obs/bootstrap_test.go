@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStartForceRegistry covers the long-running-service bootstrap
+// (readduo-serve): ForceRegistry alone yields a live registry with the
+// codec probes attached, but no exit report — Report stays silent and
+// writes no JSON file.
+func TestStartForceRegistry(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "telemetry.json")
+	s, err := Start(Options{Name: "svc", ForceRegistry: true, JSONPath: jsonPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Registry == nil {
+		t.Fatal("ForceRegistry session has no registry")
+	}
+	if s.Tracer != nil {
+		t.Error("ForceRegistry session has a tracer")
+	}
+	// The self-check ran against the live registry: the codec counters
+	// must already be seeded.
+	if snap := s.Registry.Snapshot(); snap.Counters["bch.encode"] == 0 {
+		t.Errorf("codec probes not seeded: %v", snap.Counters)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Report(&buf); err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("ForceRegistry-only session reported: %q", buf.String())
+	}
+	if _, err := os.Stat(jsonPath); !os.IsNotExist(err) {
+		t.Errorf("Report wrote %s without -telemetry (stat err %v)", jsonPath, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestStartTraceFileError: an uncreatable trace path must fail Start
+// (and tear the partially built session down, which Close tolerates).
+func TestStartTraceFileError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "spans.jsonl")
+	if _, err := Start(Options{Name: "test", TracePath: path}); err == nil ||
+		!strings.Contains(err.Error(), "trace file") {
+		t.Fatalf("Start with bad trace path = %v, want trace file error", err)
+	}
+}
+
+// TestStartDebugAddrError: an unbindable debug address must fail Start.
+func TestStartDebugAddrError(t *testing.T) {
+	if _, err := Start(Options{Name: "test", DebugAddr: "256.256.256.256:0"}); err == nil {
+		t.Fatal("Start with unbindable debug address succeeded")
+	}
+}
+
+// TestReportJSONPathError: the snapshot table still renders, but an
+// uncreatable JSON path surfaces as the Report error.
+func TestReportJSONPathError(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "no-such-dir", "telemetry.json")
+	s, err := Start(Options{Name: "test", Telemetry: true, JSONPath: jsonPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var buf bytes.Buffer
+	if err := s.Report(&buf); err == nil ||
+		!strings.Contains(err.Error(), "telemetry json") {
+		t.Fatalf("Report with bad JSON path = %v, want telemetry json error", err)
+	}
+	if !strings.Contains(buf.String(), "bch.encode") {
+		t.Errorf("table not rendered before the JSON failure:\n%s", buf.String())
+	}
+}

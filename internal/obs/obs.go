@@ -40,6 +40,12 @@ type Options struct {
 	// JSONPath is where Report writes the snapshot JSON; empty
 	// selects "telemetry.json".
 	JSONPath string
+	// ForceRegistry guarantees a live Registry even when Telemetry and
+	// DebugAddr are both off. Long-running services (readduo-serve)
+	// set it: their metrics are scraped over HTTP while running, so a
+	// registry must exist regardless of whether an exit report or
+	// debug listener was requested.
+	ForceRegistry bool
 	// Logf, when non-nil, receives one-line startup notices (the
 	// bound debug address). Defaults to silent.
 	Logf func(format string, args ...any)
@@ -71,10 +77,10 @@ func Start(o Options) (*Session, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	if !o.Telemetry && o.DebugAddr == "" && o.TracePath == "" {
+	if !o.Telemetry && o.DebugAddr == "" && o.TracePath == "" && !o.ForceRegistry {
 		return s, nil
 	}
-	if o.Telemetry || o.DebugAddr != "" {
+	if o.Telemetry || o.DebugAddr != "" || o.ForceRegistry {
 		s.Registry = telemetry.NewRegistry(o.Name)
 		bch.EnableTelemetry(s.Registry)
 		sim.RegisterCacheTelemetry(s.Registry)

@@ -1,0 +1,127 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"readduo/internal/bch"
+	"readduo/internal/cell"
+	"readduo/internal/drift"
+)
+
+// TestLERMatchesCellMonteCarlo is the differential check between the two
+// independent implementations of the paper's error model: the analytical
+// binomial-tail Analyzer (this package) and the per-cell drift sampling
+// in internal/cell. Both claim to compute P[> e drift errors at age t]
+// over the 296 cells of a BCH-protected line (256 data + 40 parity); here
+// the Monte-Carlo estimate must land inside a z=4 binomial confidence
+// interval of the closed form, for every (metric, e, t) point where the
+// probability is large enough to resolve with the sample budget.
+//
+// Clock alignment: the cell model resets a cell's drift clock on write and
+// evaluates its value at age+T0, so a freshly written cell reads at its
+// programmed position (lambda = 0). The closed form takes absolute drift
+// time directly (lambda = log10(t/T0)). A line sensed at age a therefore
+// corresponds to the analytic probability at t = a + T0 — the comparison
+// below uses that mapping rather than papering over the offset with a
+// looser bound (at a = 4 s the two differ by ~2x).
+//
+// The bound is exact, not hand-tuned: the empirical fraction over N
+// independent lines is Binomial(N, p)/N, so |p̂-p| <= z*sqrt(p(1-p)/N)
+// + 1/(2N) (continuity) holds with probability ~1-6e-5 per point at z=4;
+// the fixed seed makes the run deterministic on top of that.
+func TestLERMatchesCellMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo differential; run without -short")
+	}
+	code, err := bch.New(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg, mcfg := drift.RMetricConfig(), drift.MMetricConfig()
+	// One protected line holds 256 data cells plus the code's parity
+	// cells (80 bits at 2 bits per cell).
+	cells := 256 + code.ParityBits()/2
+
+	const (
+		lines = 4000
+		z     = 4.0
+	)
+	eccs := []int{0, 1, 2, 4, 8}
+
+	for _, tc := range []struct {
+		name   string
+		metric cell.ReadMetric
+		cfg    drift.Config
+		// Sense ages chosen so several (e, age) points clear the
+		// resolvability floor below: the M-metric drifts four decades
+		// slower than the R-metric (alpha/7 on a log10 clock), so its
+		// error probabilities only become measurable at much longer ages.
+		ages []float64
+	}{
+		{"R-metric", cell.ReadR, rcfg, []float64{4, 16, 64, 256, 1024}},
+		{"M-metric", cell.ReadM, mcfg, []float64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			an, err := NewAnalyzer(tc.cfg, WithCellsPerLine(cells))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			data := make([]byte, code.DataBytes())
+
+			// Sample the ground-truth error count of every line at every
+			// age. Lines are independent; ages within a line share the
+			// drift draw, which is fine — each (e, age) point is compared
+			// against its own N-line binomial.
+			counts := make([][]int, len(tc.ages))
+			for i := range counts {
+				counts[i] = make([]int, lines)
+			}
+			for n := 0; n < lines; n++ {
+				l, err := cell.NewLine(rcfg, mcfg, code)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng.Read(data)
+				if err := l.Write(data, 0, rng); err != nil {
+					t.Fatal(err)
+				}
+				for i, age := range tc.ages {
+					counts[i][n] = l.DriftErrorCount(tc.metric, age)
+				}
+			}
+
+			tested := 0
+			for _, e := range eccs {
+				for i, age := range tc.ages {
+					p := an.LER(e, age+tc.cfg.T0)
+					// Resolvable probabilities only: at least ~40 expected
+					// events on each side of the threshold.
+					if p*lines < 40 || (1-p)*lines < 40 {
+						continue
+					}
+					exceed := 0
+					for _, c := range counts[i] {
+						if c > e {
+							exceed++
+						}
+					}
+					emp := float64(exceed) / lines
+					bound := z*math.Sqrt(p*(1-p)/lines) + 0.5/lines
+					if diff := math.Abs(emp - p); diff > bound {
+						t.Errorf("e=%d age=%gs: MC %.5f vs closed form %.5f (|diff| %.5f > bound %.5f)",
+							e, age, emp, p, diff, bound)
+					}
+					tested++
+				}
+			}
+			// The grid must actually have produced comparisons across
+			// several regimes, or the differential is vacuous.
+			if tested < 5 {
+				t.Fatalf("only %d resolvable (e, age) points; widen the grid", tested)
+			}
+		})
+	}
+}

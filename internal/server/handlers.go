@@ -1,0 +1,385 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"readduo/internal/campaign"
+	"readduo/internal/lifetime"
+	"readduo/internal/reliability"
+	"readduo/internal/sim"
+	"readduo/internal/trace"
+)
+
+// Response shapes. These are the service's wire contract; they flatten
+// the internal types into explicit JSON so internal refactors don't
+// silently change the API.
+
+type lerResponse struct {
+	Metric    string      `json:"metric"`
+	Intervals []float64   `json:"intervals_s"`
+	ECCs      []int       `json:"eccs"`
+	Targets   []float64   `json:"targets"`
+	Values    [][]float64 `json:"values"`
+}
+
+type policyResponse struct {
+	Metric         string  `json:"metric"`
+	E              int     `json:"e"`
+	S              float64 `json:"s"`
+	W              int     `json:"w"`
+	FirstInterval  float64 `json:"first_interval"`
+	SecondInterval float64 `json:"second_interval,omitempty"`
+	ThirdInterval  float64 `json:"third_interval,omitempty"`
+	TargetFirst    float64 `json:"target_first"`
+	TargetSecond   float64 `json:"target_second,omitempty"`
+	TargetThird    float64 `json:"target_third,omitempty"`
+	Meets          bool    `json:"meets"`
+}
+
+type mcResponse struct {
+	Cells            int     `json:"cells"`
+	Seed             int64   `json:"seed"`
+	Shards           int     `json:"shards"`
+	FirstFailSeconds float64 `json:"first_fail_s"`
+	P01Seconds       float64 `json:"p01_s"`
+	MedianSeconds    float64 `json:"median_s"`
+	MeanSeconds      float64 `json:"mean_s"`
+}
+
+type compareRow struct {
+	Scheme           string  `json:"scheme"`
+	ExecSeconds      float64 `json:"exec_s"`
+	NormExecTime     float64 `json:"norm_exec_time"`
+	SystemEnergyPJ   float64 `json:"system_energy_pj"`
+	CellWrites       uint64  `json:"cell_writes"`
+	RReads           uint64  `json:"r_reads"`
+	MReads           uint64  `json:"m_reads"`
+	RMReads          uint64  `json:"rm_reads"`
+	Conversions      uint64  `json:"conversions"`
+	SilentErrors     uint64  `json:"silent_errors"`
+	AreaCellsPerLine float64 `json:"area_cells_per_line"`
+}
+
+type compareResponse struct {
+	Benchmark string       `json:"benchmark"`
+	Budget    uint64       `json:"budget"`
+	Seed      int64        `json:"seed"`
+	Rows      []compareRow `json:"rows"`
+}
+
+type schemesResponse struct {
+	Grammars []string            `json:"grammars"`
+	Sets     map[string][]string `json:"sets"`
+	Resolved string              `json:"resolved,omitempty"`
+}
+
+// handleLER serves the drift line-error-rate grid (Tables III/IV).
+func (s *Server) handleLER(w http.ResponseWriter, r *http.Request) {
+	var req lerRequest
+	err := decodeRequest(r, &req, func(qv *queryValues) error {
+		qv.str("metric", &req.Metric)
+		if err := qv.intList("eccs", &req.ECCs); err != nil {
+			return err
+		}
+		return qv.floatList("intervals", &req.Intervals)
+	})
+	if err == nil {
+		err = req.normalize(s.cfg.limits())
+	}
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.serve(w, r, req.Key(), func(context.Context) (any, error) {
+		an, err := reliability.NewAnalyzer(req.cfg)
+		if err != nil {
+			return nil, err
+		}
+		tab := an.BuildTable(req.Intervals, req.ECCs)
+		return lerResponse{
+			Metric:    req.Metric,
+			Intervals: tab.Intervals,
+			ECCs:      tab.ECCs,
+			Targets:   tab.Targets,
+			Values:    tab.Values,
+		}, nil
+	})
+}
+
+// handlePolicy serves one (E, S, W) scrub-policy verdict.
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	var req policyRequest
+	err := decodeRequest(r, &req, func(qv *queryValues) error {
+		qv.str("metric", &req.Metric)
+		if err := qv.int("e", &req.E); err != nil {
+			return err
+		}
+		if err := qv.float("s", &req.S); err != nil {
+			return err
+		}
+		return qv.int("w", &req.W)
+	})
+	if err == nil {
+		err = req.normalize(s.cfg.limits())
+	}
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.serve(w, r, req.Key(), func(context.Context) (any, error) {
+		an, err := reliability.NewAnalyzer(req.cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := an.Check(reliability.Policy{E: req.E, S: req.S, W: req.W})
+		if err != nil {
+			return nil, err
+		}
+		return policyResponse{
+			Metric: req.Metric, E: req.E, S: req.S, W: req.W,
+			FirstInterval:  rep.FirstInterval,
+			SecondInterval: rep.SecondInterval,
+			ThirdInterval:  rep.ThirdInterval,
+			TargetFirst:    rep.TargetFirst,
+			TargetSecond:   rep.TargetSecond,
+			TargetThird:    rep.TargetThird,
+			Meets:          rep.Meets,
+		}, nil
+	})
+}
+
+// handleMC serves a bounded Monte-Carlo endurance study.
+func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
+	var req mcRequest
+	err := decodeRequest(r, &req, func(qv *queryValues) error {
+		if err := qv.int("cells", &req.Cells); err != nil {
+			return err
+		}
+		if err := qv.float("median_endurance", &req.MedianEndurance); err != nil {
+			return err
+		}
+		if err := qv.float("sigma", &req.Sigma); err != nil {
+			return err
+		}
+		if err := qv.float("wear_rate", &req.WearRate); err != nil {
+			return err
+		}
+		if err := qv.int64("seed", &req.Seed); err != nil {
+			return err
+		}
+		return qv.int("shards", &req.Shards)
+	})
+	if err == nil {
+		err = req.normalize(s.cfg.limits())
+	}
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.serve(w, r, req.Key(), func(ctx context.Context) (any, error) {
+		res, err := lifetime.SimulateMCContext(ctx, lifetime.MCConfig{
+			Cells:           req.Cells,
+			MedianEndurance: req.MedianEndurance,
+			Sigma:           req.Sigma,
+			WearRate:        req.WearRate,
+			Seed:            req.Seed,
+			Shards:          req.Shards,
+			Workers:         1, // one pool slot per request; fairness over speed
+		})
+		if err != nil {
+			if ctx.Err() == nil {
+				err = badRequestError{err} // MCConfig.Validate rejection
+			}
+			return nil, err
+		}
+		return mcResponse{
+			Cells: req.Cells, Seed: req.Seed, Shards: req.Shards,
+			FirstFailSeconds: res.FirstFailSeconds,
+			P01Seconds:       res.P01Seconds,
+			MedianSeconds:    res.MedianSeconds,
+			MeanSeconds:      res.MeanSeconds,
+		}, nil
+	})
+}
+
+// handleCompare serves a bounded full-system scheme comparison on one
+// benchmark, driven through the campaign engine with in-flight
+// cancellation so an abandoned request stops simulating.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req compareRequest
+	err := decodeRequest(r, &req, func(qv *queryValues) error {
+		qv.str("benchmark", &req.Benchmark)
+		if err := qv.strList("schemes", &req.Schemes); err != nil {
+			return err
+		}
+		if err := qv.uint64("budget", &req.Budget); err != nil {
+			return err
+		}
+		return qv.int64("seed", &req.Seed)
+	})
+	if err == nil {
+		err = req.normalize(s.cfg.limits())
+	}
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.serve(w, r, req.Key(), func(ctx context.Context) (any, error) {
+		spec := campaign.Spec{
+			Benchmarks: []trace.Benchmark{req.bench},
+			Schemes:    req.schemes,
+			Seeds:      []int64{req.Seed},
+			Budget:     req.Budget,
+		}
+		out, err := campaign.Run(ctx, spec, campaign.Options{
+			Parallel:       1, // the request already occupies one pool slot
+			Telemetry:      s.reg,
+			CancelInFlight: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if out.Interrupted {
+			return nil, ctx.Err()
+		}
+		mats, err := out.Matrices(spec)
+		if err != nil {
+			return nil, err
+		}
+		results := mats[0].Matrix.Results[0]
+		resp := compareResponse{
+			Benchmark: req.Benchmark,
+			Budget:    req.Budget,
+			Seed:      req.Seed,
+			Rows:      make([]compareRow, len(results)),
+		}
+		base := results[0].ExecTime.Seconds()
+		for i, res := range results {
+			norm := 0.0
+			if base > 0 {
+				norm = res.ExecTime.Seconds() / base
+			}
+			resp.Rows[i] = compareRow{
+				Scheme:           res.Scheme,
+				ExecSeconds:      res.ExecTime.Seconds(),
+				NormExecTime:     norm,
+				SystemEnergyPJ:   res.SystemEnergyPJ,
+				CellWrites:       res.CellWrites,
+				RReads:           res.RReads,
+				MReads:           res.MReads,
+				RMReads:          res.RMReads,
+				Conversions:      res.Conversions,
+				SilentErrors:     res.SilentErrors,
+				AreaCellsPerLine: res.AreaCellsPerLine,
+			}
+		}
+		return resp, nil
+	})
+}
+
+// handleSchemes serves scheme-spec introspection: the registered
+// grammars, the named scheme sets, and (with ?spec=) the canonical name
+// a spec string resolves to. Pure metadata — served directly, uncached.
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, r, badf("method %s not allowed", r.Method))
+		return
+	}
+	resp := schemesResponse{
+		Grammars: sim.SchemeGrammars(),
+		Sets: map[string][]string{
+			"prior":   schemeNames(sim.PriorSchemes()),
+			"readduo": schemeNames(sim.ReadDuoSchemes()),
+			"all":     schemeNames(sim.AllSchemes()),
+			"edap":    schemeNames(sim.EDAPSchemes()),
+		},
+	}
+	if spec := r.URL.Query().Get("spec"); spec != "" {
+		sch, err := sim.Parse(spec)
+		if err != nil {
+			s.writeError(w, r, badRequestError{err})
+			return
+		}
+		resp.Resolved = sch.Name()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func schemeNames(schemes []sim.Scheme) []string {
+	out := make([]string, len(schemes))
+	for i, sch := range schemes {
+		out[i] = sch.Name()
+	}
+	return out
+}
+
+// serve funnels a cacheable request through the store and translates the
+// outcome onto the wire. Cached and freshly computed responses are the
+// same bytes; X-Cache distinguishes them for observability only.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string,
+	compute func(context.Context) (any, error)) {
+	buf, m, err := s.store.do(r.Context(), key, compute)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	switch {
+	case m.Cached:
+		w.Header().Set("X-Cache", "hit")
+	case m.Shared:
+		w.Header().Set("X-Cache", "shared")
+	default:
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
+}
+
+// statusClientClosedRequest is nginx's conventional code for a request
+// abandoned by the client; the write usually lands nowhere, but logs and
+// metrics see an honest status.
+const statusClientClosedRequest = 499
+
+// writeError maps the store/compute error taxonomy onto HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	var status int
+	var bad badRequestError
+	switch {
+	case errors.As(err, &bad):
+		status = http.StatusBadRequest
+	case errors.Is(err, campaign.ErrSaturated):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+	case errors.Is(err, campaign.ErrPoolClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		if r.Context().Err() != nil {
+			status = statusClientClosedRequest
+		} else {
+			status = http.StatusServiceUnavailable // server shutting down
+		}
+	default:
+		status = http.StatusInternalServerError
+	}
+	s.tel.errsByStatus(status).Inc()
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"readduo/internal/telemetry"
+)
+
+// TestLoadMixed10k is the acceptance soak: >= 10k mixed requests against
+// a live server. It verifies that
+//
+//   - every response is a well-formed status from the service's taxonomy
+//     (200, 400, 429, 504 — never a 5xx surprise),
+//   - identical specs always yield byte-identical bodies, across cache
+//     hits, misses, and coalesced flights,
+//   - the cache and singleflight actually engage (hit counters),
+//   - memory stays bounded, and
+//   - the server drains cleanly afterwards.
+func TestLoadMixed10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; run without -short")
+	}
+	reg := telemetry.NewRegistry("load")
+	srv := New(Config{
+		Workers:    4,
+		QueueDepth: 64,
+		CacheBytes: 1 << 20, // small budget: force evictions under load
+		Registry:   reg,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The request mix: a bounded set of distinct cacheable specs (so the
+	// cache and singleflight see heavy reuse), plus invalid requests.
+	paths := make([]string, 0, 64)
+	for e := 4; e <= 16; e += 4 {
+		for _, s := range []int{8, 16, 64} {
+			paths = append(paths, fmt.Sprintf("/v1/policy?e=%d&s=%d", e, s))
+			paths = append(paths, fmt.Sprintf("/v1/policy?metric=M&e=%d&s=%d", e, s))
+		}
+	}
+	for _, m := range []string{"R", "M"} {
+		paths = append(paths,
+			"/v1/ler?metric="+m,
+			"/v1/ler?metric="+m+"&eccs=8,16&intervals=16,64",
+		)
+	}
+	for seed := 1; seed <= 4; seed++ {
+		paths = append(paths, fmt.Sprintf("/v1/mc?cells=20000&seed=%d&shards=8", seed))
+	}
+	paths = append(paths,
+		"/v1/schemes",
+		"/v1/schemes?spec=lwt:k=8",
+		"/v1/ler?metric=Q",     // 400
+		"/v1/policy?e=8&s=0",   // 400
+		"/v1/mc?cells=-1",      // 400
+		"/v1/unknown-endpoint", // 404 from the mux, not the taxonomy
+	)
+
+	const (
+		total      = 10_000
+		concurrent = 32
+	)
+	bodies := make([]map[string][32]byte, concurrent) // per-worker first-seen body per path
+	var counts struct {
+		sync.Mutex
+		byStatus map[int]int
+	}
+	counts.byStatus = map[int]int{}
+
+	var wg sync.WaitGroup
+	for w := 0; w < concurrent; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seen := make(map[string][32]byte)
+			bodies[w] = seen
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := w; i < total; i += concurrent {
+				// Walk the path list with a unit stride per worker
+				// (offset by worker) so every worker covers every
+				// path regardless of list-length parity.
+				path := paths[(i/concurrent+w*5)%len(paths)]
+				resp, err := client.Get(ts.URL + path)
+				if err != nil {
+					t.Errorf("worker %d: GET %s: %v", w, path, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("worker %d: read %s: %v", w, path, err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+					http.StatusTooManyRequests, http.StatusGatewayTimeout:
+				default:
+					t.Errorf("worker %d: %s -> unexpected status %d (%s)", w, path, resp.StatusCode, body)
+					return
+				}
+				counts.Lock()
+				counts.byStatus[resp.StatusCode]++
+				counts.Unlock()
+				if resp.StatusCode != http.StatusOK {
+					continue
+				}
+				sum := sha256.Sum256(body)
+				if prev, ok := seen[path]; ok && prev != sum {
+					t.Errorf("worker %d: %s returned different bytes across requests", w, path)
+					return
+				}
+				seen[path] = sum
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Identical specs must agree across workers too.
+	canonical := make(map[string][32]byte)
+	for w, seen := range bodies {
+		for path, sum := range seen {
+			if prev, ok := canonical[path]; ok && prev != sum {
+				t.Fatalf("worker %d: %s bytes differ from another worker's", w, path)
+			}
+			canonical[path] = sum
+		}
+	}
+
+	snap := reg.Snapshot()
+	hits := snap.Counters["server.cache.hits"]
+	okCount := counts.byStatus[http.StatusOK]
+	if okCount < total/2 {
+		t.Fatalf("only %d/%d requests succeeded: %v", okCount, total, counts.byStatus)
+	}
+	// With ~40 distinct cacheable specs and thousands of OK responses,
+	// the overwhelming majority must be cache hits or shared flights.
+	if served := hits + snap.Counters["server.flight.shared"]; served < uint64(okCount)*8/10 {
+		t.Fatalf("cache pipeline barely engaged: hits=%d shared=%d ok=%d", hits,
+			snap.Counters["server.flight.shared"], okCount)
+	}
+	if computed := snap.Counters["server.compute.ok"]; computed > uint64(len(paths)*4) {
+		t.Fatalf("computed %d times for %d distinct specs: dedup not working", computed, len(paths))
+	}
+
+	// Bounded memory: after GC the heap must be far below anything a
+	// leak across 10k requests would produce.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 256<<20 {
+		t.Fatalf("heap after soak = %d MiB, want < 256 MiB", ms.HeapAlloc>>20)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+	t.Logf("statuses: %v; cache hits=%d shared=%d computed=%d evictions=%d",
+		counts.byStatus, hits, snap.Counters["server.flight.shared"],
+		snap.Counters["server.compute.ok"], snap.Counters["server.cache.evictions"])
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a byte-budgeted LRU of marshaled responses. Bounding by
+// bytes rather than entry count is what makes the service's memory
+// bounded under arbitrary request mixes: a handful of giant tables and
+// thousands of tiny policy checks cost what they actually weigh.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int64
+	size     int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// entryCost is the accounting weight of one cache entry.
+func entryCost(key string, val []byte) int64 {
+	return int64(len(key) + len(val))
+}
+
+func newLRUCache(capacity int64) *lruCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key, refreshing its recency. The
+// returned slice is shared and must not be mutated by callers.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put stores val under key, evicting least-recently-used entries until
+// the byte budget holds. It returns how many entries were evicted. A
+// value exceeding the whole budget is not cached at all (storing it
+// would evict everything for a single entry).
+func (c *lruCache) Put(key string, val []byte) (evicted int) {
+	cost := entryCost(key, val)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cost > c.capacity {
+		return 0
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.size += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+		c.size += cost
+	}
+	for c.size > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.size -= entryCost(ent.key, ent.val)
+		evicted++
+	}
+	return evicted
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the accounted size of the cache.
+func (c *lruCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

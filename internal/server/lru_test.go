@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUEvictsByBytes(t *testing.T) {
+	// Each entry costs len(key)+len(val) = 2+8 = 10 bytes; budget fits 3.
+	c := newLRUCache(30)
+	for i := 0; i < 4; i++ {
+		if ev := c.Put(fmt.Sprintf("k%d", i), make([]byte, 8)); i < 3 && ev != 0 {
+			t.Fatalf("entry %d evicted %d, want 0", i, ev)
+		}
+	}
+	if c.Len() != 3 || c.Bytes() != 30 {
+		t.Fatalf("len=%d bytes=%d, want 3/30", c.Len(), c.Bytes())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 should have been evicted (oldest)")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d missing", i)
+		}
+	}
+}
+
+func TestLRUGetRefreshesRecency(t *testing.T) {
+	c := newLRUCache(30)
+	c.Put("k0", make([]byte, 8))
+	c.Put("k1", make([]byte, 8))
+	c.Put("k2", make([]byte, 8))
+	c.Get("k0") // k0 becomes most recent; k1 is now the eviction victim
+	c.Put("k3", make([]byte, 8))
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 should have survived (recently used)")
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	c := newLRUCache(100)
+	c.Put("k", []byte("short"))
+	c.Put("k", []byte("a-much-longer-value"))
+	if c.Len() != 1 {
+		t.Fatalf("len=%d, want 1", c.Len())
+	}
+	want := int64(len("k") + len("a-much-longer-value"))
+	if c.Bytes() != want {
+		t.Fatalf("bytes=%d, want %d", c.Bytes(), want)
+	}
+	val, ok := c.Get("k")
+	if !ok || string(val) != "a-much-longer-value" {
+		t.Fatalf("got %q", val)
+	}
+	// Shrinking must reduce accounting too.
+	c.Put("k", []byte("x"))
+	if want := int64(2); c.Bytes() != want {
+		t.Fatalf("bytes=%d after shrink, want %d", c.Bytes(), want)
+	}
+}
+
+func TestLRUOversizedValueNotCached(t *testing.T) {
+	c := newLRUCache(10)
+	c.Put("small", []byte("ab"))
+	if ev := c.Put("big", make([]byte, 100)); ev != 0 {
+		t.Fatalf("oversized Put evicted %d entries", ev)
+	}
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversized value must not be cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("existing entry clobbered by rejected oversized Put")
+	}
+}
+
+func TestLRUGrowingUpdateEvictsOthers(t *testing.T) {
+	c := newLRUCache(30)
+	c.Put("k0", make([]byte, 8))
+	c.Put("k1", make([]byte, 8))
+	c.Put("k2", make([]byte, 8))
+	// Growing k2 to 18 bytes (cost 20) forces the two older entries out.
+	if ev := c.Put("k2", make([]byte, 18)); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 should have been evicted to fit the grown k2")
+	}
+	if c.Bytes() > 30 {
+		t.Fatalf("bytes=%d exceeds budget", c.Bytes())
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := newLRUCache(0)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("zero-capacity cache must store nothing")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("len=%d bytes=%d, want 0/0", c.Len(), c.Bytes())
+	}
+}

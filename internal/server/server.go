@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"readduo/internal/campaign"
+	"readduo/internal/telemetry"
+)
+
+// Config sizes a Server. The zero value is usable: every field has a
+// production default applied by New.
+type Config struct {
+	// Addr is the listen address; empty selects ":8080". Use ":0" in
+	// tests to grab an ephemeral port.
+	Addr string
+	// Workers bounds concurrent computations; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds computations admitted beyond the executing ones;
+	// past that the pool refuses and the server answers 429. <= 0
+	// selects 2x workers.
+	QueueDepth int
+	// CacheBytes budgets the response cache; <= 0 selects 64 MiB.
+	CacheBytes int64
+	// RequestTimeout caps a request's wall time end to end; <= 0 selects
+	// 30 s.
+	RequestTimeout time.Duration
+	// ComputeTimeout caps one computation on a worker; <= 0 selects the
+	// request timeout.
+	ComputeTimeout time.Duration
+	// RetryAfter is the hint attached to 429 responses; <= 0 selects 1 s.
+	RetryAfter time.Duration
+	// MaxGridCells, MaxMCCells, MaxCompareBudget and MaxCompareSchemes
+	// cap per-request work; <= 0 selects 4096 cells, 10M cells, 2M
+	// instructions and 8 schemes.
+	MaxGridCells      int
+	MaxMCCells        int
+	MaxCompareBudget  uint64
+	MaxCompareSchemes int
+	// Registry receives the server's telemetry; nil disables probes.
+	Registry *telemetry.Registry
+}
+
+func (c *Config) applyDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ComputeTimeout <= 0 {
+		c.ComputeTimeout = c.RequestTimeout
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxGridCells <= 0 {
+		c.MaxGridCells = 4096
+	}
+	if c.MaxMCCells <= 0 {
+		c.MaxMCCells = 10_000_000
+	}
+	if c.MaxCompareBudget <= 0 {
+		c.MaxCompareBudget = 2_000_000
+	}
+	if c.MaxCompareSchemes <= 0 {
+		c.MaxCompareSchemes = 8
+	}
+}
+
+func (c Config) limits() limits {
+	return limits{
+		MaxGridCells:      c.MaxGridCells,
+		MaxMCCells:        c.MaxMCCells,
+		MaxCompareBudget:  c.MaxCompareBudget,
+		MaxCompareSchemes: c.MaxCompareSchemes,
+	}
+}
+
+// serverProbes is the HTTP layer's instrumentation (the store has its
+// own); nil-safe like every telemetry metric.
+type serverProbes struct {
+	sink      *telemetry.Sink
+	requests  *telemetry.Counter
+	inflight  *telemetry.Gauge
+	panics    *telemetry.Counter
+	requestMS *telemetry.Histogram
+
+	mu       sync.Mutex
+	byStatus map[int]*telemetry.Counter
+}
+
+func newServerProbes(reg *telemetry.Registry) *serverProbes {
+	s := reg.Sink("server")
+	return &serverProbes{
+		sink:      s,
+		requests:  s.Counter("http.requests"),
+		inflight:  s.Gauge("http.inflight"),
+		panics:    s.Counter("http.panics"),
+		requestMS: s.Histogram("http.request_ms"),
+		byStatus:  make(map[int]*telemetry.Counter),
+	}
+}
+
+// errsByStatus lazily interns one counter per error status code.
+func (p *serverProbes) errsByStatus(status int) *telemetry.Counter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.byStatus[status]
+	if !ok {
+		c = p.sink.Counter("http.errors." + strconv.Itoa(status))
+		p.byStatus[status] = c
+	}
+	return c
+}
+
+// Server is the readduo-serve HTTP service: a mux over the query
+// handlers, a store (cache + singleflight + pool), and a drain-aware
+// lifecycle.
+type Server struct {
+	cfg   Config
+	reg   *telemetry.Registry
+	tel   *serverProbes
+	pool  *campaign.Pool
+	store *store
+	mux   *http.ServeMux
+	http  *http.Server
+
+	// base is the server lifetime; cancelling it aborts every in-flight
+	// computation during shutdown.
+	base       context.Context
+	cancelBase context.CancelFunc
+
+	ready atomic.Bool
+	ln    net.Listener
+}
+
+// New builds a Server from cfg (defaults applied; cfg is not mutated).
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		tel:        newServerProbes(cfg.Registry),
+		base:       base,
+		cancelBase: cancel,
+	}
+	queueWait := s.tel.sink.Histogram("pool.queue_wait_ms")
+	s.pool = campaign.NewPool(cfg.Workers, cfg.QueueDepth, func(d time.Duration) {
+		queueWait.Observe(uint64(d.Milliseconds()))
+	})
+	s.store = newStore(base, s.pool, cfg.CacheBytes, cfg.ComputeTimeout, cfg.Registry)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/ler", s.instrument(s.handleLER))
+	s.mux.HandleFunc("/v1/policy", s.instrument(s.handlePolicy))
+	s.mux.HandleFunc("/v1/mc", s.instrument(s.handleMC))
+	s.mux.HandleFunc("/v1/compare", s.instrument(s.handleCompare))
+	s.mux.HandleFunc("/v1/schemes", s.instrument(s.handleSchemes))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler exposes the full route table (useful under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// instrument wraps a handler with the per-request timeout, panic
+// recovery, and the request counters.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.tel.requests.Inc()
+		s.tel.inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			s.tel.inflight.Add(-1)
+			s.tel.requestMS.Observe(uint64(time.Since(start).Milliseconds()))
+			if rec := recover(); rec != nil {
+				s.tel.panics.Inc()
+				s.writeJSON(w, http.StatusInternalServerError,
+					map[string]string{"error": fmt.Sprintf("panic: %v", rec)})
+			}
+		}()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// handleHealthz reports liveness: the process is up and serving HTTP,
+// even while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// handleReadyz reports readiness: 503 before Start and during drain, so
+// a load balancer stops routing before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\"status\":\"draining\"}\n"))
+		return
+	}
+	w.Write([]byte(fmt.Sprintf("{\"status\":\"ready\",\"queue_depth\":%d}\n", s.pool.Depth())))
+}
+
+// Start binds the listener and serves until Shutdown. It returns once
+// the listener is accepting (the caller learns the bound address via
+// Addr); Serve errors after a clean Shutdown are swallowed.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.ready.Store(true)
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.tel.errsByStatus(http.StatusInternalServerError).Inc()
+		}
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address (resolved port after Start with
+// ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: readiness flips off, the HTTP server
+// stops accepting and waits for handlers up to ctx's deadline, then the
+// base context aborts whatever computations are still running and the
+// pool drains. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	err := s.http.Shutdown(ctx)
+	s.cancelBase()
+	s.pool.Close()
+	return err
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress computation: every request for the same key
+// parks on done; the job context is cancelled when the last waiter
+// abandons the flight, so orphaned work stops burning workers.
+type flight struct {
+	done    chan struct{}
+	val     []byte
+	err     error
+	waiters int
+	settled bool
+	cancel  context.CancelFunc
+}
+
+// flightGroup coalesces concurrent requests for the same canonical key
+// into a single computation. Unlike the classic singleflight, waiting is
+// context-aware per caller: a waiter whose request is cancelled detaches
+// immediately (its HTTP handler returns), and only when the flight has no
+// waiters left is the underlying computation cancelled too.
+type flightGroup struct {
+	// base parents every flight's job context: typically the server's
+	// lifetime, so graceful shutdown cancels all in-progress work.
+	base context.Context
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, flights: make(map[string]*flight)}
+}
+
+// Do returns the result for key, starting the computation via begin if no
+// flight is in progress, or joining the existing flight otherwise
+// (shared=true). begin receives the flight-scoped job context and a
+// report callback it must invoke exactly once — from any goroutine —
+// with the finished value.
+func (g *flightGroup) Do(ctx context.Context, key string,
+	begin func(jobCtx context.Context, report func([]byte, error))) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	f, ok := g.flights[key]
+	if ok {
+		f.waiters++
+		g.mu.Unlock()
+		return f.wait(ctx, g, key, true)
+	}
+	jobCtx, cancel := context.WithCancel(g.base)
+	f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	begin(jobCtx, func(val []byte, err error) { g.settle(key, f, val, err) })
+	return f.wait(ctx, g, key, false)
+}
+
+// wait parks until the flight settles or the caller's own context ends.
+func (f *flight) wait(ctx context.Context, g *flightGroup, key string, shared bool) ([]byte, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	case <-ctx.Done():
+		g.abandon(key, f)
+		return nil, shared, ctx.Err()
+	}
+}
+
+// settle publishes the result and retires the flight. A late settle from
+// an already-abandoned flight is harmless: the key slot may already hold
+// a newer flight, which is left untouched.
+func (g *flightGroup) settle(key string, f *flight, val []byte, err error) {
+	g.mu.Lock()
+	if f.settled {
+		g.mu.Unlock()
+		return
+	}
+	f.settled = true
+	f.val, f.err = val, err
+	if g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	f.cancel() // release the job context's resources
+	close(f.done)
+}
+
+// abandon detaches one waiter; the last one out cancels the computation
+// and frees the key so a later request starts fresh.
+func (g *flightGroup) abandon(key string, f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0 && !f.settled
+	if last && g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}

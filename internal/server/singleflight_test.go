@@ -1,0 +1,219 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupShares verifies that concurrent callers for one key run
+// the computation once and all observe the same bytes.
+func TestFlightGroupShares(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	var begun atomic.Int32
+	release := make(chan struct{})
+
+	const callers = 8
+	results := make([][]byte, callers)
+	shareds := make([]bool, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			val, shared, err := g.Do(context.Background(), "k", func(_ context.Context, report func([]byte, error)) {
+				begun.Add(1)
+				go func() {
+					<-release
+					report([]byte("result"), nil)
+				}()
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i], shareds[i] = val, shared
+		}(i)
+	}
+	// Let every caller park on the flight before settling it.
+	deadline := time.Now().Add(2 * time.Second)
+	for begun.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := begun.Load(); n != 1 {
+		t.Fatalf("computation began %d times, want 1", n)
+	}
+	sharedCount := 0
+	for i, r := range results {
+		if string(r) != "result" {
+			t.Fatalf("caller %d got %q", i, r)
+		}
+		if shareds[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != callers-1 {
+		t.Fatalf("got %d shared callers, want %d", sharedCount, callers-1)
+	}
+}
+
+// TestFlightGroupWaiterCancel verifies that a cancelled waiter detaches
+// with its own context error while the surviving waiter still gets the
+// result — the computation is NOT cancelled while anyone waits.
+func TestFlightGroupWaiterCancel(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	release := make(chan struct{})
+	var jobCtx context.Context
+
+	started := make(chan struct{})
+	type res struct {
+		val []byte
+		err error
+	}
+	leader := make(chan res, 1)
+	go func() {
+		val, _, err := g.Do(context.Background(), "k", func(ctx context.Context, report func([]byte, error)) {
+			jobCtx = ctx
+			close(started)
+			go func() {
+				<-release
+				report([]byte("v"), nil)
+			}()
+		})
+		leader <- res{val, err}
+	}()
+	<-started
+
+	// A second waiter joins, then cancels.
+	wctx, wcancel := context.WithCancel(context.Background())
+	joiner := make(chan res, 1)
+	go func() {
+		val, _, err := g.Do(wctx, "k", func(context.Context, func([]byte, error)) {
+			t.Error("joiner must not begin a new computation")
+		})
+		joiner <- res{val, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	wcancel()
+	r := <-joiner
+	if !errors.Is(r.err, context.Canceled) {
+		t.Fatalf("joiner error = %v, want context.Canceled", r.err)
+	}
+	if jobCtx.Err() != nil {
+		t.Fatal("job context cancelled while the leader still waits")
+	}
+
+	close(release)
+	r = <-leader
+	if r.err != nil || string(r.val) != "v" {
+		t.Fatalf("leader got (%q, %v), want (v, nil)", r.val, r.err)
+	}
+}
+
+// TestFlightGroupLastWaiterCancels verifies the orphan rule: when every
+// waiter abandons the flight, the job context is cancelled and the key is
+// freed for a fresh computation.
+func TestFlightGroupLastWaiterCancels(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	var jobCtx context.Context
+	started := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", func(jc context.Context, _ func([]byte, error)) {
+			jobCtx = jc
+			close(started)
+			// Never settles: simulates a long computation.
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-jobCtx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("job context not cancelled after last waiter left")
+	}
+
+	// The key must be free: a new Do starts a fresh flight.
+	begun := false
+	val, _, err := g.Do(context.Background(), "k", func(_ context.Context, report func([]byte, error)) {
+		begun = true
+		report([]byte("fresh"), nil)
+	})
+	if !begun || err != nil || string(val) != "fresh" {
+		t.Fatalf("fresh flight: begun=%v val=%q err=%v", begun, val, err)
+	}
+}
+
+// TestFlightGroupLateSettle verifies that a computation settling after
+// abandonment does not poison a newer flight under the same key.
+func TestFlightGroupLateSettle(t *testing.T) {
+	g := newFlightGroup(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var lateReport func([]byte, error)
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		g.Do(ctx, "k", func(_ context.Context, report func([]byte, error)) {
+			lateReport = report
+			close(started)
+		})
+		close(done)
+	}()
+	<-started
+	cancel()
+	<-done
+
+	// New flight under the same key, still running.
+	release := make(chan struct{})
+	res := make(chan []byte, 1)
+	started2 := make(chan struct{})
+	go func() {
+		val, _, _ := g.Do(context.Background(), "k", func(_ context.Context, report func([]byte, error)) {
+			close(started2)
+			go func() {
+				<-release
+				report([]byte("new"), nil)
+			}()
+		})
+		res <- val
+	}()
+	<-started2
+
+	lateReport([]byte("stale"), nil) // must not touch the new flight
+	close(release)
+	if val := <-res; string(val) != "new" {
+		t.Fatalf("new flight got %q, want new", val)
+	}
+}
+
+// TestFlightGroupError verifies errors propagate to all waiters.
+func TestFlightGroupError(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	boom := errors.New("boom")
+	_, _, err := g.Do(context.Background(), "k", func(_ context.Context, report func([]byte, error)) {
+		report(nil, boom)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failed flight must not be cached: the next Do recomputes.
+	val, _, err := g.Do(context.Background(), "k", func(_ context.Context, report func([]byte, error)) {
+		report([]byte("ok"), nil)
+	})
+	if err != nil || string(val) != "ok" {
+		t.Fatalf("retry got (%q, %v)", val, err)
+	}
+}

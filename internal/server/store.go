@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"readduo/internal/campaign"
+	"readduo/internal/telemetry"
+)
+
+// storeProbes instruments the cache pipeline. All fields are nil-safe
+// (telemetry's nil-metric contract), so a store without a registry runs
+// probe-free.
+type storeProbes struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	shared    *telemetry.Counter
+	computed  *telemetry.Counter
+	errors    *telemetry.Counter
+	rejected  *telemetry.Counter
+	cacheLen  *telemetry.Gauge
+	cacheB    *telemetry.Gauge
+	computeMS *telemetry.Histogram
+}
+
+func newStoreProbes(reg *telemetry.Registry) storeProbes {
+	s := reg.Sink("server")
+	return storeProbes{
+		hits:      s.Counter("cache.hits"),
+		misses:    s.Counter("cache.misses"),
+		evictions: s.Counter("cache.evictions"),
+		shared:    s.Counter("flight.shared"),
+		computed:  s.Counter("compute.ok"),
+		errors:    s.Counter("compute.errors"),
+		rejected:  s.Counter("compute.rejected"),
+		cacheLen:  s.Gauge("cache.entries"),
+		cacheB:    s.Gauge("cache.bytes"),
+		computeMS: s.Histogram("compute.wall_ms"),
+	}
+}
+
+// store is the serving core: canonical key -> LRU -> singleflight ->
+// bounded pool. It owns no HTTP concerns; handlers translate its error
+// taxonomy (ErrSaturated, context errors) into status codes.
+type store struct {
+	cache          *lruCache
+	flights        *flightGroup
+	pool           *campaign.Pool
+	computeTimeout time.Duration
+	tel            storeProbes
+}
+
+// meta describes how a result was obtained, surfaced as response headers
+// so clients (and the load test) can observe the pipeline.
+type meta struct {
+	Cached bool // served straight from the LRU
+	Shared bool // joined an in-progress flight
+}
+
+func newStore(base context.Context, pool *campaign.Pool, cacheBytes int64,
+	computeTimeout time.Duration, reg *telemetry.Registry) *store {
+	return &store{
+		cache:          newLRUCache(cacheBytes),
+		flights:        newFlightGroup(base),
+		pool:           pool,
+		computeTimeout: computeTimeout,
+		tel:            newStoreProbes(reg),
+	}
+}
+
+// do returns the marshaled result for key, computing it at most once per
+// concurrent demand. compute runs on a pool worker under the flight's job
+// context bounded by the compute timeout; its result is marshaled once,
+// cached, and shared byte-identically with every waiter.
+func (s *store) do(ctx context.Context, key string,
+	compute func(context.Context) (any, error)) ([]byte, meta, error) {
+	if buf, ok := s.cache.Get(key); ok {
+		s.tel.hits.Inc()
+		return buf, meta{Cached: true}, nil
+	}
+	s.tel.misses.Inc()
+	buf, shared, err := s.flights.Do(ctx, key, func(jobCtx context.Context, report func([]byte, error)) {
+		submitErr := s.pool.TrySubmit(func(int) {
+			start := time.Now()
+			val, err := func() (any, error) {
+				cctx, cancel := context.WithTimeout(jobCtx, s.computeTimeout)
+				defer cancel()
+				return compute(cctx)
+			}()
+			s.tel.computeMS.Observe(uint64(time.Since(start).Milliseconds()))
+			if err != nil {
+				s.tel.errors.Inc()
+				report(nil, err)
+				return
+			}
+			out, err := json.Marshal(val)
+			if err != nil {
+				s.tel.errors.Inc()
+				report(nil, fmt.Errorf("server: marshal result: %w", err))
+				return
+			}
+			out = append(out, '\n')
+			evicted := s.cache.Put(key, out)
+			if evicted > 0 {
+				s.tel.evictions.Add(uint64(evicted))
+			}
+			s.tel.cacheLen.Set(int64(s.cache.Len()))
+			s.tel.cacheB.Set(s.cache.Bytes())
+			s.tel.computed.Inc()
+			report(out, nil)
+		})
+		if submitErr != nil {
+			s.tel.rejected.Inc()
+			report(nil, submitErr)
+		}
+	})
+	if shared {
+		s.tel.shared.Inc()
+	}
+	return buf, meta{Shared: shared}, err
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"readduo/internal/campaign"
+	"readduo/internal/telemetry"
+)
+
+func newTestStore(t *testing.T, workers, queue int) (*store, *campaign.Pool, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry("test")
+	pool := campaign.NewPool(workers, queue, nil)
+	t.Cleanup(pool.Close)
+	return newStore(context.Background(), pool, 1<<20, time.Minute, reg), pool, reg
+}
+
+func TestStoreCachesBytes(t *testing.T) {
+	s, _, reg := newTestStore(t, 2, 2)
+	var computes atomic.Int32
+	compute := func(context.Context) (any, error) {
+		computes.Add(1)
+		return map[string]int{"x": 42}, nil
+	}
+
+	first, m1, err := s.do(context.Background(), "k", compute)
+	if err != nil || m1.Cached {
+		t.Fatalf("first do: meta=%+v err=%v", m1, err)
+	}
+	second, m2, err := s.do(context.Background(), "k", compute)
+	if err != nil || !m2.Cached {
+		t.Fatalf("second do: meta=%+v err=%v", m2, err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached bytes differ: %q vs %q", first, second)
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("computed %d times, want 1", computes.Load())
+	}
+	if hits := reg.Sink("server").Counter("cache.hits").Value(); hits != 1 {
+		t.Fatalf("cache.hits = %d, want 1", hits)
+	}
+}
+
+func TestStoreSingleflightShares(t *testing.T) {
+	s, _, reg := newTestStore(t, 2, 4)
+	var computes atomic.Int32
+	release := make(chan struct{})
+	compute := func(context.Context) (any, error) {
+		computes.Add(1)
+		<-release
+		return "shared", nil
+	}
+
+	const callers = 6
+	outs := make([][]byte, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, _, err := s.do(context.Background(), "k", compute)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			outs[i] = out
+		}(i)
+	}
+	// Wait until the one computation is running, then let it finish.
+	deadline := time.Now().Add(2 * time.Second)
+	for computes.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the rest join the flight
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	for i := 1; i < callers; i++ {
+		if !bytes.Equal(outs[0], outs[i]) {
+			t.Fatalf("caller %d bytes differ", i)
+		}
+	}
+	if shared := reg.Sink("server").Counter("flight.shared").Value(); shared != callers-1 {
+		t.Fatalf("flight.shared = %d, want %d", shared, callers-1)
+	}
+}
+
+func TestStoreSaturationFailsFast(t *testing.T) {
+	s, pool, reg := newTestStore(t, 1, 0)
+	// Occupy the single worker so the unbuffered queue cannot admit.
+	// Submit blocks until the worker picks the task up, so afterwards
+	// the pool is deterministically saturated.
+	block := make(chan struct{})
+	defer close(block)
+	if err := pool.Submit(context.Background(), func(int) { <-block }); err != nil {
+		t.Fatalf("occupying worker: %v", err)
+	}
+
+	_, _, err := s.do(context.Background(), "k", func(context.Context) (any, error) {
+		t.Error("compute must not run on a saturated pool")
+		return nil, nil
+	})
+	if !errors.Is(err, campaign.ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if rej := reg.Sink("server").Counter("compute.rejected").Value(); rej != 1 {
+		t.Fatalf("compute.rejected = %d, want 1", rej)
+	}
+	// The failed flight must not wedge the key: after the worker frees
+	// up, the same key computes fine.
+}
+
+func TestStoreComputeErrorNotCached(t *testing.T) {
+	s, _, _ := newTestStore(t, 1, 1)
+	boom := errors.New("boom")
+	calls := 0
+	compute := func(context.Context) (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, _, err := s.do(context.Background(), "k", compute); !errors.Is(err, boom) {
+		t.Fatalf("first do err = %v, want boom", err)
+	}
+	out, m, err := s.do(context.Background(), "k", compute)
+	if err != nil || m.Cached {
+		t.Fatalf("retry: meta=%+v err=%v", m, err)
+	}
+	if string(out) != "\"ok\"\n" {
+		t.Fatalf("retry got %q", out)
+	}
+}
+
+func TestStoreComputeTimeout(t *testing.T) {
+	reg := telemetry.NewRegistry("test")
+	pool := campaign.NewPool(1, 1, nil)
+	t.Cleanup(pool.Close)
+	s := newStore(context.Background(), pool, 1<<20, 10*time.Millisecond, reg)
+
+	_, _, err := s.do(context.Background(), "k", func(ctx context.Context) (any, error) {
+		<-ctx.Done() // honor the compute deadline like the real kernels
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}

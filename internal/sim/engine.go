@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -199,11 +200,19 @@ var _ memctrl.ScrubHook = (*Engine)(nil)
 
 // Run executes one (scheme, workload) simulation and returns its Result.
 func Run(cfg Config, scheme Scheme) (*Result, error) {
+	return RunContext(context.Background(), cfg, scheme)
+}
+
+// RunContext is Run with cooperative cancellation: the event loop polls
+// ctx every few thousand iterations and aborts with ctx's error. Results
+// are bit-identical to Run when ctx is never cancelled — the poll reads
+// the context without touching any simulation state.
+func RunContext(ctx context.Context, cfg Config, scheme Scheme) (*Result, error) {
 	e, err := newEngine(cfg, scheme)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.loop(); err != nil {
+	if err := e.loop(ctx); err != nil {
 		return nil, err
 	}
 	return e.result(), nil
@@ -312,10 +321,15 @@ func newEngine(cfg Config, scheme Scheme) (*Engine, error) {
 	return e, nil
 }
 
+// cancelCheckMask throttles the event loop's context poll to one check
+// every 8192 iterations — cheap against the hot path while still bounding
+// the abort latency of a cancelled request to microseconds.
+const cancelCheckMask = 1<<13 - 1
+
 // loop is the two-clock event loop: the CPU cluster proposes its next issue
 // time, the memory controller its next internal event; the earlier one
 // advances global time.
-func (e *Engine) loop() error {
+func (e *Engine) loop(ctx context.Context) error {
 	const maxIters = 1 << 62
 	var now int64
 	// Completion scratch, owned by the loop and recycled every iteration so
@@ -324,6 +338,9 @@ func (e *Engine) loop() error {
 	for iter := 0; ; iter++ {
 		if iter >= maxIters {
 			return fmt.Errorf("sim: event loop did not terminate")
+		}
+		if iter&cancelCheckMask == 0 && ctx.Err() != nil {
+			return fmt.Errorf("sim: run aborted: %w", ctx.Err())
 		}
 		if e.cluster.AllDone() {
 			// Let in-flight work finish for accounting symmetry? The
