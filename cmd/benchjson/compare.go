@@ -92,20 +92,55 @@ func readDoc(path string) (*Document, error) {
 	return &doc, nil
 }
 
+// CheckGovernance enforces cohort integrity and minimum sample sizes
+// between two baseline documents. It returns every violation rather
+// than the first, so a refused comparison explains itself completely.
+func CheckGovernance(oldDoc, newDoc *Document, minSamples int) []string {
+	var violations []string
+	if oldDoc.Cohort == "" {
+		violations = append(violations, "old baseline carries no cohort stamp (regenerate with benchjson)")
+	}
+	if newDoc.Cohort == "" {
+		violations = append(violations, "new baseline carries no cohort stamp (regenerate with benchjson)")
+	}
+	if oldDoc.Cohort != "" && newDoc.Cohort != "" && oldDoc.Cohort != newDoc.Cohort {
+		violations = append(violations, fmt.Sprintf(
+			"mixed cohorts: old %s vs new %s — the baselines measured different configurations",
+			oldDoc.Cohort, newDoc.Cohort))
+	}
+	undersampled := func(side string, doc *Document) {
+		for _, b := range doc.Benchmarks {
+			if n := b.samples(); n < minSamples {
+				violations = append(violations, fmt.Sprintf(
+					"%s %s: %d sample(s), need >= %d", side, b.Name, n, minSamples))
+			}
+		}
+	}
+	undersampled("old", oldDoc)
+	undersampled("new", newDoc)
+	return violations
+}
+
 // runCompare implements `benchjson compare [flags] old.json new.json`.
 // It prints a per-benchmark delta table and exits 1 when any benchmark's
-// new/old ratio exceeds -threshold — the bench-regression gate.
+// new/old ratio exceeds -threshold — the bench-regression gate. With
+// -governance it first refuses (exit 1, no table) comparisons across
+// mixed cohorts or claims backed by fewer than -min-samples runs.
 func runCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 1.25,
 		"fail when new/old exceeds this ratio on the compared metric")
 	metric := fs.String("metric", "ns/op", "metric to compare")
+	governance := fs.Bool("governance", false,
+		"refuse mixed-cohort baselines and under-sampled claims before comparing")
+	minSamples := fs.Int("min-samples", 5,
+		"with -governance, the minimum runs a benchmark claim must be backed by")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: benchjson compare [-threshold 1.25] [-metric ns/op] old.json new.json")
+		fmt.Fprintln(stderr, "usage: benchjson compare [-threshold 1.25] [-metric ns/op] [-governance] [-min-samples 5] old.json new.json")
 		return 2
 	}
 	oldDoc, err := readDoc(fs.Arg(0))
@@ -117,6 +152,15 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
 		return 2
+	}
+	if *governance {
+		if violations := CheckGovernance(oldDoc, newDoc, *minSamples); len(violations) > 0 {
+			fmt.Fprintln(stderr, "benchjson: governance refused the comparison:")
+			for _, v := range violations {
+				fmt.Fprintln(stderr, "  -", v)
+			}
+			return 1
+		}
 	}
 	deltas, onlyOld, onlyNew, regressed := Compare(oldDoc, newDoc, *metric, *threshold)
 	if len(deltas) == 0 {

@@ -92,6 +92,123 @@ func TestCompareZeroOldValue(t *testing.T) {
 	}
 }
 
+// governedDoc builds a stamped document with n runs per benchmark.
+func governedDoc(pkg string, runs int, names ...string) *Document {
+	d := &Document{GOOS: "linux", GOARCH: "amd64", Pkg: pkg}
+	for _, name := range names {
+		vals := make([]float64, runs)
+		for i := range vals {
+			vals[i] = 100 + float64(i)
+		}
+		d.Benchmarks = append(d.Benchmarks, bench(name, vals...))
+	}
+	stampGovernance(d, "")
+	return d
+}
+
+func TestCohortHash(t *testing.T) {
+	a := governedDoc("readduo/campaign/abc", 5, "BenchmarkA", "BenchmarkB")
+	b := governedDoc("readduo/campaign/abc", 5, "BenchmarkB", "BenchmarkA")
+	if a.Cohort == "" || a.Cohort != b.Cohort {
+		t.Errorf("cohort must be benchmark-order independent: %q vs %q", a.Cohort, b.Cohort)
+	}
+	c := governedDoc("readduo/campaign/other", 5, "BenchmarkA", "BenchmarkB")
+	if c.Cohort == a.Cohort {
+		t.Error("different pkg produced the same cohort")
+	}
+	d := governedDoc("readduo/campaign/abc", 5, "BenchmarkA")
+	if d.Cohort == a.Cohort {
+		t.Error("different benchmark set produced the same cohort")
+	}
+}
+
+func TestStampGovernance(t *testing.T) {
+	d := doc(bench("BenchmarkA", 1, 2, 3))
+	stampGovernance(d, "")
+	if d.Cohort == "" || d.Benchmarks[0].Samples != 3 {
+		t.Errorf("stamp incomplete: cohort %q samples %d", d.Cohort, d.Benchmarks[0].Samples)
+	}
+	pinned := doc(bench("BenchmarkA", 1))
+	stampGovernance(pinned, "pinned-cohort")
+	if pinned.Cohort != "pinned-cohort" {
+		t.Errorf("explicit cohort not honored: %q", pinned.Cohort)
+	}
+}
+
+func TestCheckGovernance(t *testing.T) {
+	ok := governedDoc("p", 5, "BenchmarkA")
+	if v := CheckGovernance(ok, ok, 5); len(v) != 0 {
+		t.Errorf("clean pair refused: %v", v)
+	}
+	unstamped := doc(bench("BenchmarkA", 1, 2, 3, 4, 5))
+	if v := CheckGovernance(unstamped, ok, 5); len(v) == 0 {
+		t.Error("missing old cohort accepted")
+	}
+	other := governedDoc("q", 5, "BenchmarkA")
+	v := CheckGovernance(ok, other, 5)
+	if len(v) != 1 || !strings.Contains(v[0], "mixed cohorts") {
+		t.Errorf("mixed cohorts not refused: %v", v)
+	}
+	thin := governedDoc("p", 4, "BenchmarkA")
+	v = CheckGovernance(ok, thin, 5)
+	if len(v) != 1 || !strings.Contains(v[0], "4 sample(s)") {
+		t.Errorf("under-sampled claim not refused: %v", v)
+	}
+	// A pre-governance benchmark without a stamp counts its runs.
+	legacy := governedDoc("p", 5, "BenchmarkA")
+	legacy.Benchmarks[0].Samples = 0
+	if v := CheckGovernance(ok, legacy, 5); len(v) != 0 {
+		t.Errorf("run count fallback broken: %v", v)
+	}
+}
+
+// TestRunCompareGovernance drives the governance gate through the CLI:
+// mixed cohorts and thin samples exit non-zero, and the same files
+// still compare when governance is off.
+func TestRunCompareGovernance(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d *Document) string {
+		path := filepath.Join(dir, name)
+		buf, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	okOld := write("ok_old.json", governedDoc("p", 5, "BenchmarkA"))
+	okNew := write("ok_new.json", governedDoc("p", 5, "BenchmarkA"))
+	mixed := write("mixed.json", governedDoc("q", 5, "BenchmarkA"))
+	thin := write("thin.json", governedDoc("p", 2, "BenchmarkA"))
+
+	var out, errOut strings.Builder
+	if code := runCompare([]string{"-governance", okOld, okNew}, &out, &errOut); code != 0 {
+		t.Fatalf("clean governed compare exit = %d; stderr: %s", code, errOut.String())
+	}
+	if code := runCompare([]string{"-governance", okOld, mixed}, &out, &errOut); code != 1 {
+		t.Errorf("mixed cohort exit = %d want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "mixed cohorts") {
+		t.Errorf("stderr lacks the refusal reason: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := runCompare([]string{"-governance", okOld, thin}, &out, &errOut); code != 1 {
+		t.Errorf("thin samples exit = %d want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "need >= 5") {
+		t.Errorf("stderr lacks the sample refusal: %s", errOut.String())
+	}
+	// -min-samples relaxes the floor; governance off skips the checks.
+	if code := runCompare([]string{"-governance", "-min-samples", "2", okOld, thin}, &out, &errOut); code != 0 {
+		t.Errorf("relaxed min-samples exit = %d want 0", code)
+	}
+	if code := runCompare([]string{okOld, mixed}, &out, &errOut); code != 0 {
+		t.Errorf("ungoverned compare exit = %d want 0", code)
+	}
+}
+
 // TestRunCompareEndToEnd drives the CLI surface: files on disk, exit
 // codes, and table output.
 func TestRunCompareEndToEnd(t *testing.T) {

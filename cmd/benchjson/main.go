@@ -9,11 +9,20 @@
 // generated with -count 5 preserves the run-to-run spread and a later
 // comparison can use whatever statistic it wants.
 //
+// Every document is stamped with governance metadata: a cohort hash
+// binding the numbers to the configuration that produced them, and a
+// per-benchmark sample count.
+//
 // The compare subcommand is the bench-regression gate: it diffs two
 // baseline documents per benchmark (minimum across runs) and exits
 // non-zero when any ratio exceeds the threshold:
 //
 //	benchjson compare -threshold 1.25 BENCH_old.json BENCH_new.json
+//
+// With -governance the gate also refuses comparisons across mixed
+// cohorts and claims backed by fewer than -min-samples runs:
+//
+//	benchjson compare -governance -min-samples 5 BENCH_old.json BENCH_new.json
 package main
 
 import (
@@ -21,8 +30,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -36,16 +47,25 @@ type Run struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Benchmark groups the runs of one benchmark name.
+// Benchmark groups the runs of one benchmark name. Samples is the
+// run count, stamped at generation time so a later governance check
+// can tell how much evidence backs the claim even if runs are pruned.
 type Benchmark struct {
-	Name string `json:"name"`
-	Runs []Run  `json:"runs"`
+	Name    string `json:"name"`
+	Samples int    `json:"samples,omitempty"`
+	Runs    []Run  `json:"runs"`
 }
 
-// Document is the top-level baseline file.
+// Document is the top-level baseline file. Cohort is the governance
+// identity: a hash of the configuration that produced the numbers
+// (GOOS, GOARCH, pkg, and the benchmark set — deliberately not the
+// CPU, so deterministic simulated metrics compare across machines).
+// Two documents with different cohorts measured different things and
+// must not be diffed as a regression claim.
 type Document struct {
 	GeneratedUnix int64       `json:"generated_unix"`
 	Note          string      `json:"note,omitempty"`
+	Cohort        string      `json:"cohort,omitempty"`
 	GOOS          string      `json:"goos,omitempty"`
 	GOARCH        string      `json:"goarch,omitempty"`
 	Pkg           string      `json:"pkg,omitempty"`
@@ -53,11 +73,49 @@ type Document struct {
 	Benchmarks    []Benchmark `json:"benchmarks"`
 }
 
+// CohortHash derives the document's cohort identity from its
+// configuration and benchmark set.
+func CohortHash(doc *Document) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "goos=%s|goarch=%s|pkg=%s", doc.GOOS, doc.GOARCH, doc.Pkg)
+	names := make([]string, len(doc.Benchmarks))
+	for i, b := range doc.Benchmarks {
+		names[i] = b.Name
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "|bench=%s", n)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// stampGovernance fills the governance fields: the cohort hash (unless
+// the caller pinned one) and per-benchmark sample counts.
+func stampGovernance(doc *Document, cohort string) {
+	if cohort == "" {
+		cohort = CohortHash(doc)
+	}
+	doc.Cohort = cohort
+	for i := range doc.Benchmarks {
+		doc.Benchmarks[i].Samples = len(doc.Benchmarks[i].Runs)
+	}
+}
+
+// samples reports how many runs back a benchmark's claim, trusting the
+// stamped count when present (pre-governance documents carry none).
+func (b Benchmark) samples() int {
+	if b.Samples > 0 {
+		return b.Samples
+	}
+	return len(b.Runs)
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	note := flag.String("note", "", "free-form provenance note stored in the document")
+	cohort := flag.String("cohort", "", "explicit cohort identity (default: hash of goos/goarch/pkg/benchmark set)")
 	flag.Parse()
 
 	doc, err := Parse(os.Stdin)
@@ -67,6 +125,7 @@ func main() {
 	}
 	doc.Note = *note
 	doc.GeneratedUnix = time.Now().Unix()
+	stampGovernance(doc, *cohort)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {

@@ -1,0 +1,158 @@
+// Command readduo-proxy is the capture/replay proxy of the workload
+// subsystem: put it in front of readduo-serve and real served traffic is
+// recorded as (a) a native trace file replayable as campaign workload
+// and (b) a JSONL request log replayable as live load.
+//
+// Capture (reverse proxy, Ctrl-C flushes and exits):
+//
+//	readduo-proxy -listen=:8081 -backend=http://localhost:8080 \
+//	              -capture=traffic.trace -reqlog=traffic.jsonl [-gzip] [-cores=4]
+//
+// Replay (re-issue a recorded request log):
+//
+//	readduo-proxy -replay=traffic.jsonl -backend=http://localhost:8080 [-speed=2]
+//
+// The captured trace then runs through the simulator like any workload:
+//
+//	readduo-sim -trace=traffic.trace -benchmarks=corpus:ingested -schemes=all
+package main
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"readduo/internal/capture"
+	"readduo/internal/trace"
+)
+
+func main() {
+	listen := flag.String("listen", ":8081", "proxy listen address")
+	backend := flag.String("backend", "http://localhost:8080", "backend base URL (readduo-serve)")
+	capturePath := flag.String("capture", "", "write the native trace capture to this file")
+	reqlogPath := flag.String("reqlog", "", "write the JSONL request log to this file")
+	gz := flag.Bool("gzip", false, "gzip-compress the trace capture")
+	cores := flag.Int("cores", 4, "core count recorded in the capture header")
+	replayPath := flag.String("replay", "", "replay this request log against -backend instead of proxying")
+	speed := flag.Float64("speed", 1, "replay pacing: 1 = recorded gaps, 0 = as fast as possible")
+	name := flag.String("name", "captured", "workload name recorded in the capture header")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *listen, *backend, *capturePath, *reqlogPath, *gz, *cores, *replayPath, *speed, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "readduo-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, listen, backend, capturePath, reqlogPath string,
+	gz bool, cores int, replayPath string, speed float64, name string) error {
+	if replayPath != "" {
+		return replay(ctx, backend, replayPath, speed)
+	}
+	if capturePath == "" {
+		return fmt.Errorf("need -capture (or -replay)")
+	}
+	backendURL, err := url.Parse(backend)
+	if err != nil {
+		return fmt.Errorf("bad -backend: %w", err)
+	}
+
+	f, err := os.Create(capturePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var dst io.Writer = f
+	closeDst := func() error { return nil }
+	if gz {
+		zw := gzip.NewWriter(f)
+		dst = zw
+		closeDst = zw.Close
+	}
+	tw, err := trace.NewWriter(dst, name, cores)
+	if err != nil {
+		return err
+	}
+
+	opts := capture.Options{TraceWriter: tw, Cores: cores}
+	var logFile *os.File
+	if reqlogPath != "" {
+		logFile, err = os.Create(reqlogPath)
+		if err != nil {
+			return err
+		}
+		defer logFile.Close()
+		opts.RequestLog = logFile
+	}
+	proxy, err := capture.NewProxy(backendURL, opts)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: listen, Handler: proxy}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "readduo-proxy: capturing %s -> %s into %s\n", listen, backend, capturePath)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	if err := proxy.Flush(); err != nil {
+		return err
+	}
+	if err := closeDst(); err != nil {
+		return err
+	}
+	if logFile != nil {
+		if err := logFile.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "readduo-proxy: captured %d requests to %s\n", proxy.Recorded(), capturePath)
+	return nil
+}
+
+func replay(ctx context.Context, backend, logPath string, speed float64) error {
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	stats, err := capture.ReplayLog(ctx, nil, backend, f, speed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d requests (%d transport failures)\n", stats.Requests, stats.Failed)
+	codes := make([]int, 0, len(stats.Statuses))
+	for c := range stats.Statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  %d: %d\n", c, stats.Statuses[c])
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"readduo/internal/capture"
+	"readduo/internal/trace"
+)
+
+// TestCaptureEndToEnd runs the real capture path: stub backend, proxy on
+// a live port, traffic through it, SIGTERM-equivalent shutdown via
+// context cancel, then the written artifacts parse and replay.
+func TestCaptureEndToEnd(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Cache", "miss")
+		w.Write([]byte(`{}`))
+	}))
+	defer backend.Close()
+
+	dir := t.TempDir()
+	capturePath := filepath.Join(dir, "cap.trace.gz")
+	reqlogPath := filepath.Join(dir, "cap.jsonl")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port for the proxy
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, addr, backend.URL, capturePath, reqlogPath, true, 2, "", 0, "e2e")
+	}()
+
+	// Wait for the proxy to come up, then send traffic.
+	var resp *http.Response
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get("http://" + addr + "/v1/x")
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("proxy never came up: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	for i := 0; i < 4; i++ {
+		r2, err := http.Get("http://" + addr + "/v1/y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r2.Body)
+		r2.Body.Close()
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("proxy run: %v", err)
+	}
+
+	// The gzip capture parses transparently and replays.
+	data, err := os.ReadFile(capturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := trace.NewReplayer(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.BenchmarkName() != "e2e" || rp.Cores() != 2 {
+		t.Fatalf("capture header (%q, %d)", rp.BenchmarkName(), rp.Cores())
+	}
+	n := 0
+	for core := 0; core < 2; core++ {
+		if _, err := rp.Next(core); err == nil {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no records replayable from capture")
+	}
+
+	// The request log replays against the backend (speed 0 = no pacing).
+	f, err := os.Open(reqlogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rctx, rcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer rcancel()
+	stats, err := capture.ReplayLog(rctx, nil, backend.URL, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 5 || stats.Failed != 0 {
+		t.Fatalf("replay stats %+v, want 5 requests, 0 failed", stats)
+	}
+}

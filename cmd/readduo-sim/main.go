@@ -29,12 +29,15 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"readduo/internal/campaign"
+	_ "readduo/internal/corpus" // register corpus:* workload scenarios
 	"readduo/internal/obs"
 	"readduo/internal/report"
 	"readduo/internal/sim"
@@ -47,9 +50,11 @@ type options struct {
 	schemeSet   string
 	budget      uint64
 	seed        int64
+	seedList    string
 	what        string
 	traceFile   string
 	jsonOut     bool
+	emitBench   bool
 	parallel    int
 	journalPath string
 	resume      bool
@@ -66,9 +71,12 @@ func main() {
 		"prior, readduo, all, or a comma-separated scheme list (e.g. \"Ideal,LWT-8,Select-4:2\", \"lwt:k=16\")")
 	flag.Uint64Var(&opts.budget, "budget", 2_000_000, "instructions per core")
 	flag.Int64Var(&opts.seed, "seed", 1, "campaign seed (per-job seeds are derived from it)")
+	flag.StringVar(&opts.seedList, "seeds", "", "comma-separated replicate seeds (e.g. 1,2,3,4,5); overrides -seed")
 	flag.StringVar(&opts.what, "report", "all", "time, energy, lifetime, or all")
 	flag.StringVar(&opts.traceFile, "trace", "", "replay this capture (from tracegen) instead of generating accesses; requires -benchmarks naming the matching profile")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit the full result matrix as JSON instead of tables")
+	flag.BoolVar(&opts.emitBench, "emit-bench", false,
+		"emit results as go-test benchmark lines (one run per replicate seed) for benchjson governance")
 	flag.IntVar(&opts.parallel, "parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&opts.journalPath, "journal", "", "append completed jobs to this JSONL journal")
 	flag.BoolVar(&opts.resume, "resume", false, "skip jobs already completed in -journal")
@@ -116,6 +124,29 @@ func selectSchemes(set string) ([]sim.Scheme, error) {
 	}
 }
 
+// parseSeeds resolves the replicate seed list: -seeds wins, else -seed.
+func parseSeeds(list string, single int64) ([]int64, error) {
+	if list == "" {
+		return []int64{single}, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		s, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds entry %q", part)
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-seeds is empty")
+	}
+	return out, nil
+}
+
 // buildSpec assembles the campaign spec, including the per-job trace
 // replay hook when -trace is given.
 func buildSpec(opts options) (campaign.Spec, error) {
@@ -127,10 +158,14 @@ func buildSpec(opts options) (campaign.Spec, error) {
 	if err != nil {
 		return campaign.Spec{}, err
 	}
+	seeds, err := parseSeeds(opts.seedList, opts.seed)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
 	spec := campaign.Spec{
 		Benchmarks: benches,
 		Schemes:    schemes,
-		Seeds:      []int64{opts.seed},
+		Seeds:      seeds,
 		Budget:     opts.budget,
 	}
 	if opts.traceFile != "" {
@@ -152,6 +187,9 @@ func buildSpec(opts options) (campaign.Spec, error) {
 				return // validated above; unreachable in practice
 			}
 			cfg.Source = rp
+			// The capture's core count wins over the config default: a
+			// 2-core trace must not be asked for core 3's stream.
+			cfg.CPU.Cores = rp.Cores()
 		}
 	}
 	return spec, nil
@@ -240,12 +278,50 @@ func run(ctx context.Context, opts options) error {
 	if err != nil {
 		return err
 	}
-	m := matrices[0].Matrix
 
-	if opts.jsonOut {
-		return writeJSON(os.Stdout, m, outcome, opts)
+	if opts.emitBench {
+		return emitBench(os.Stdout, spec, matrices)
 	}
-	return writeTables(os.Stdout, m, opts.what)
+	if opts.jsonOut {
+		return writeJSON(os.Stdout, spec, matrices, outcome, opts)
+	}
+	// Tables report the first replicate; use -json or -emit-bench for the
+	// full multi-seed surface.
+	return writeTables(os.Stdout, matrices[0].Matrix, opts.what)
+}
+
+// benchNameSanitizer rewrites characters benchjson's parser would
+// mangle: '-' (stripped as a GOMAXPROCS suffix) and spaces.
+var benchNameSanitizer = strings.NewReplacer("-", "_", " ", "_")
+
+// emitBench renders the campaign results as `go test -bench` output so
+// benchjson can capture them as a governed baseline. Each replicate
+// seed contributes one run per benchmark line, so a 5-seed campaign
+// yields 5 samples per claim, and the pkg line carries the campaign
+// fingerprint so benchjson's cohort hash binds the baseline to the
+// exact matrix (budget, seeds, benchmarks, schemes) that produced it.
+// The simulated metrics are deterministic, so baselines compare exactly
+// across machines.
+func emitBench(w io.Writer, spec campaign.Spec, matrices []campaign.SeedMatrix) error {
+	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(w, "pkg: readduo/campaign/%s\n", spec.Fingerprint())
+	for _, sm := range matrices {
+		m := sm.Matrix
+		for i := range m.Benchmarks {
+			for j := range m.Schemes {
+				r := m.Results[i][j]
+				name := fmt.Sprintf("BenchmarkCampaign/%s/%s",
+					benchNameSanitizer.Replace(r.Benchmark),
+					benchNameSanitizer.Replace(r.Scheme))
+				if _, err := fmt.Fprintf(w, "%s 1 %d sim_ns %.1f dyn_pJ %d cell_writes\n",
+					name, r.ExecTime.Nanoseconds(), r.Energy.Total(), r.CellWrites); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // reportTelemetry prints the run's snapshot (and, on a resumed
@@ -370,7 +446,7 @@ type jsonOutput struct {
 	Runs     []jsonRun    `json:"runs"`
 }
 
-func writeJSON(w io.Writer, m *report.Matrix, outcome *campaign.Outcome, opts options) error {
+func writeJSON(w io.Writer, spec campaign.Spec, matrices []campaign.SeedMatrix, outcome *campaign.Outcome, opts options) error {
 	out := jsonOutput{
 		Campaign: jsonCampaign{
 			Seed:     opts.seed,
@@ -380,36 +456,40 @@ func writeJSON(w io.Writer, m *report.Matrix, outcome *campaign.Outcome, opts op
 			Resumed:  outcome.Resumed,
 			WallMS:   float64(outcome.Elapsed) / float64(time.Millisecond),
 		},
-		Runs: make([]jsonRun, 0, len(m.Benchmarks)*len(m.Schemes)),
+		Runs: make([]jsonRun, 0, len(outcome.Records)),
 	}
-	for i := range m.Benchmarks {
-		for j := range m.Schemes {
-			r := m.Results[i][j]
-			rec := outcome.Records[i*len(m.Schemes)+j]
-			out.Runs = append(out.Runs, jsonRun{
-				Benchmark:      r.Benchmark,
-				Scheme:         r.Scheme,
-				Seed:           rec.Seed,
-				WallMS:         rec.WallMS,
-				Worker:         rec.Worker,
-				ExecTimeNS:     r.ExecTime.Nanoseconds(),
-				Instructions:   r.Instructions,
-				RReads:         r.RReads,
-				MReads:         r.MReads,
-				RMReads:        r.RMReads,
-				Untracked:      r.UntrackedReads,
-				Conversions:    r.Conversions,
-				ConverterT:     r.ConverterT,
-				FullWrites:     r.FullWrites,
-				DiffWrites:     r.DiffWrites,
-				ScrubReads:     r.Mem.ScrubReads,
-				ScrubWrites:    r.Mem.ScrubWrites,
-				DynamicPJ:      r.Energy.Total(),
-				SystemPJ:       r.SystemEnergyPJ,
-				CellWrites:     r.CellWrites,
-				AreaCells:      r.AreaCellsPerLine,
-				AvgReadLatency: r.Mem.AvgReadLatency().String(),
-			})
+	for si, sm := range matrices {
+		m := sm.Matrix
+		base := si * len(m.Benchmarks) * len(m.Schemes)
+		for i := range m.Benchmarks {
+			for j := range m.Schemes {
+				r := m.Results[i][j]
+				rec := outcome.Records[base+i*len(m.Schemes)+j]
+				out.Runs = append(out.Runs, jsonRun{
+					Benchmark:      r.Benchmark,
+					Scheme:         r.Scheme,
+					Seed:           rec.Seed,
+					WallMS:         rec.WallMS,
+					Worker:         rec.Worker,
+					ExecTimeNS:     r.ExecTime.Nanoseconds(),
+					Instructions:   r.Instructions,
+					RReads:         r.RReads,
+					MReads:         r.MReads,
+					RMReads:        r.RMReads,
+					Untracked:      r.UntrackedReads,
+					Conversions:    r.Conversions,
+					ConverterT:     r.ConverterT,
+					FullWrites:     r.FullWrites,
+					DiffWrites:     r.DiffWrites,
+					ScrubReads:     r.Mem.ScrubReads,
+					ScrubWrites:    r.Mem.ScrubWrites,
+					DynamicPJ:      r.Energy.Total(),
+					SystemPJ:       r.SystemEnergyPJ,
+					CellWrites:     r.CellWrites,
+					AreaCells:      r.AreaCellsPerLine,
+					AvgReadLatency: r.Mem.AvgReadLatency().String(),
+				})
+			}
 		}
 	}
 	enc := json.NewEncoder(w)

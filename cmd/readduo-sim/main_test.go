@@ -60,7 +60,7 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := writeJSON(&buf, matrices[0].Matrix, outcome, opts); err != nil {
+	if err := writeJSON(&buf, spec, matrices, outcome, opts); err != nil {
 		t.Fatal(err)
 	}
 	var got jsonOutput
@@ -83,6 +83,82 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 	if r.WallMS <= 0 {
 		t.Errorf("run wall time %v not captured", r.WallMS)
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("", 9)
+	if err != nil || len(got) != 1 || got[0] != 9 {
+		t.Errorf("default: %v, %v", got, err)
+	}
+	got, err = parseSeeds("1, 2,3", 9)
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Errorf("list: %v, %v", got, err)
+	}
+	if _, err := parseSeeds("1,x", 9); err == nil {
+		t.Error("non-integer seed accepted")
+	}
+	if _, err := parseSeeds(",", 9); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+// TestCorpusBenchmarksResolve pins the wiring the issue requires: the
+// corpus scenarios are runnable through -benchmarks by name.
+func TestCorpusBenchmarksResolve(t *testing.T) {
+	benches, err := selectBenches("corpus:zipfian,corpus:scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 || benches[0].Name != "corpus:zipfian" {
+		t.Fatalf("benches = %+v", benches)
+	}
+}
+
+// TestEmitBench runs a 2-seed matrix and checks the emitted go-bench
+// lines: one run per seed per cell, sanitized names, the campaign
+// fingerprint on the pkg line, and determinism across runs.
+func TestEmitBench(t *testing.T) {
+	opts := options{
+		benchList: "corpus:zipfian", schemeSet: "Ideal,LWT-4",
+		budget: 10_000, seedList: "1,2",
+	}
+	render := func() string {
+		spec, err := buildSpec(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcome, err := campaign.Run(context.Background(), spec, campaign.Options{Parallel: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		matrices, err := outcome.Matrices(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := emitBench(&buf, spec, matrices); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := render()
+	if out != render() {
+		t.Fatal("emit-bench output is not deterministic")
+	}
+	if !strings.Contains(out, "pkg: readduo/campaign/") {
+		t.Errorf("missing fingerprint pkg line:\n%s", out)
+	}
+	// LWT-4 must sanitize to LWT_4 so benchjson's -N suffix strip
+	// cannot mangle the name.
+	if strings.Contains(out, "LWT-4") || !strings.Contains(out, "BenchmarkCampaign/corpus:zipfian/LWT_4") {
+		t.Errorf("scheme name not sanitized:\n%s", out)
+	}
+	if n := strings.Count(out, "BenchmarkCampaign/corpus:zipfian/Ideal 1 "); n != 2 {
+		t.Errorf("Ideal cell emitted %d runs, want 2 (one per seed):\n%s", n, out)
+	}
+	if !strings.Contains(out, "sim_ns") || !strings.Contains(out, "dyn_pJ") || !strings.Contains(out, "cell_writes") {
+		t.Errorf("missing metrics:\n%s", out)
 	}
 }
 

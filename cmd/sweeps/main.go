@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"readduo/internal/campaign"
+	_ "readduo/internal/corpus" // register corpus:* workload scenarios
 	"readduo/internal/obs"
 	"readduo/internal/report"
 	"readduo/internal/sim"

@@ -1,19 +1,26 @@
 // Command tracegen lists the synthetic workload suite (the Table X
-// stand-in) and generates binary memory-access trace files from it, so the
-// simulator's inputs can be inspected, archived, or replayed elsewhere.
+// stand-in), generates binary memory-access trace files from it, and
+// converts external trace formats (ChampSim binary, Pin-style text)
+// into the native format, so the simulator's inputs can be inspected,
+// archived, or replayed elsewhere.
 //
 // Usage:
 //
 //	tracegen -list
-//	tracegen -benchmark=mcf -records=1000000 -cores=4 -seed=1 -out=mcf.trace
+//	tracegen -benchmark=mcf -records=1000000 -cores=4 -seed=1 -out=mcf.trace [-gzip]
+//	tracegen -ingest=trace.champsim.gz -format=auto -cores=4 -out=ingested.trace
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
+	"readduo/internal/corpus"
+	"readduo/internal/ingest"
 	"readduo/internal/trace"
 )
 
@@ -24,21 +31,57 @@ func main() {
 	cores := flag.Int("cores", 4, "core count")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "", "output file (default <benchmark>.trace)")
+	gz := flag.Bool("gzip", false, "gzip-compress the output trace")
+	ingestPath := flag.String("ingest", "", "convert this external trace (ChampSim/Pin) to the native format instead of generating")
+	format := flag.String("format", "auto", "ingest input format: auto, native, champsim, pin")
+	gap := flag.Uint64("gap", 0, "ingest: fixed instruction gap per record (pin format only)")
+	maxRecords := flag.Uint64("max-records", 0, "ingest: stop after this many normalized records (0 = all)")
+	name := flag.String("name", "", "ingest: workload name stamped in the native header (default corpus:ingested)")
 	flag.Parse()
 
-	if err := run(*list, *bench, *records, *cores, *seed, *out); err != nil {
+	var err error
+	if *ingestPath != "" {
+		err = runIngest(*ingestPath, *format, *cores, *gap, *maxRecords, *name, *out, *gz)
+	} else {
+		err = run(*list, *bench, *records, *cores, *seed, *out, *gz)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, bench string, records uint64, cores int, seed int64, out string) error {
+// openOut creates the output file, optionally wrapping it in gzip. The
+// returned closer flushes the compressor before syncing the file.
+func openOut(path string, gz bool) (io.Writer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var dst io.Writer = f
+	closeZ := func() error { return nil }
+	if gz {
+		zw := gzip.NewWriter(f)
+		dst = zw
+		closeZ = zw.Close
+	}
+	closer := func() error {
+		if err := closeZ(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return dst, closer, nil
+}
+
+func run(list bool, bench string, records uint64, cores int, seed int64, out string, gz bool) error {
 	if list {
 		printSuite()
 		return nil
 	}
 	if bench == "" {
-		return fmt.Errorf("need -benchmark or -list")
+		return fmt.Errorf("need -benchmark, -ingest, or -list")
 	}
 	b, ok := trace.ByName(bench)
 	if !ok {
@@ -46,36 +89,82 @@ func run(list bool, bench string, records uint64, cores int, seed int64, out str
 	}
 	if out == "" {
 		out = bench + ".trace"
+		if gz {
+			out += ".gz"
+		}
 	}
 	gen, err := trace.NewGenerator(b, cores, seed)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(out)
+	dst, closeOut, err := openOut(out, gz)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	w, err := trace.NewWriter(f, b.Name, cores)
+	w, err := trace.NewWriter(dst, b.Name, cores)
 	if err != nil {
+		closeOut()
 		return err
 	}
 	for i := uint64(0); i < records; i++ {
 		rec, err := gen.Next(int(i % uint64(cores)))
 		if err != nil {
+			closeOut()
 			return err
 		}
 		if err := w.Write(rec); err != nil {
+			closeOut()
 			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
+		closeOut()
 		return err
 	}
-	if err := f.Close(); err != nil {
+	if err := closeOut(); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d records for %s to %s\n", w.Count(), b.Name, out)
+	return nil
+}
+
+// runIngest converts an external trace into the native format.
+func runIngest(path, format string, cores int, gap, maxRecords uint64, name, out string, gz bool) error {
+	fm, err := ingest.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		name = corpus.Prefix + "ingested"
+	}
+	if out == "" {
+		out = "ingested.trace"
+		if gz {
+			out += ".gz"
+		}
+	}
+	src, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, closeOut, err := openOut(out, gz)
+	if err != nil {
+		return err
+	}
+	n, err := ingest.Convert(dst, src, fm, name, ingest.Options{
+		Cores:      cores,
+		Gap:        uint32(gap),
+		MaxRecords: maxRecords,
+	})
+	if err != nil {
+		closeOut()
+		return fmt.Errorf("ingest %s: %w", path, err)
+	}
+	if err := closeOut(); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d records from %s to %s (name %s, %d cores)\n", n, path, out, name, cores)
 	return nil
 }
 

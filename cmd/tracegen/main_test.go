@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,23 +11,23 @@ import (
 )
 
 func TestRunList(t *testing.T) {
-	if err := run(true, "", 0, 0, 0, ""); err != nil {
+	if err := run(true, "", 0, 0, 0, "", false); err != nil {
 		t.Errorf("list: %v", err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(false, "", 10, 4, 1, ""); err == nil {
+	if err := run(false, "", 10, 4, 1, "", false); err == nil {
 		t.Error("missing benchmark accepted")
 	}
-	if err := run(false, "nonesuch", 10, 4, 1, ""); err == nil {
+	if err := run(false, "nonesuch", 10, 4, 1, "", false); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
 
 func TestRunGeneratesReadableTrace(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.trace")
-	if err := run(false, "gcc", 500, 2, 7, out); err != nil {
+	if err := run(false, "gcc", 500, 2, 7, out, false); err != nil {
 		t.Fatalf("generate: %v", err)
 	}
 	f, err := os.Open(out)
@@ -49,5 +51,91 @@ func TestRunGeneratesReadableTrace(t *testing.T) {
 	}
 	if n != 500 {
 		t.Errorf("records = %d, want 500", n)
+	}
+}
+
+// TestRunGzipOutput checks the -gzip path: the file starts with the
+// gzip magic, and trace.NewReader sniffs through it transparently.
+func TestRunGzipOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.trace.gz")
+	if err := run(false, "mcf", 200, 2, 7, out, true); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatal("output is not gzip-framed")
+	}
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if r.BenchmarkName() != "mcf" {
+		t.Errorf("header %q", r.BenchmarkName())
+	}
+	var n int
+	for {
+		if _, err := r.Read(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 200 {
+		t.Errorf("records = %d, want 200", n)
+	}
+}
+
+// TestRunIngestConvertsChampSim drives the ingest mode over a minimal
+// ChampSim record and checks the native output replays.
+func TestRunIngestConvertsChampSim(t *testing.T) {
+	// One 64-byte instruction with one source memory operand.
+	instr := make([]byte, 64)
+	binary.LittleEndian.PutUint64(instr[0:], 0x400000)        // ip
+	binary.LittleEndian.PutUint64(instr[64-32:], 0x1234_5678) // src_mem[0]
+	in := filepath.Join(t.TempDir(), "one.champsim")
+	if err := os.WriteFile(in, instr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "one.trace")
+	if err := runIngest(in, "champsim", 2, 0, 0, "", out, false); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BenchmarkName() != "corpus:ingested" || r.Cores() != 2 {
+		t.Errorf("header %q/%d", r.BenchmarkName(), r.Cores())
+	}
+	var n int
+	for {
+		if _, err := r.Read(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 2 { // one access replicated onto two cores
+		t.Errorf("records = %d, want 2", n)
+	}
+}
+
+func TestRunIngestRejectsMalformed(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "trunc.champsim")
+	if err := os.WriteFile(in, make([]byte, 10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "trunc.trace")
+	if err := runIngest(in, "champsim", 1, 0, 0, "", out, false); err == nil {
+		t.Error("truncated ChampSim input accepted")
+	}
+	if err := runIngest(in, "nonesuch", 1, 0, 0, "", out, false); err == nil {
+		t.Error("unknown format accepted")
 	}
 }

@@ -1,0 +1,298 @@
+// Package capture turns real served traffic into replayable workload: a
+// recording reverse proxy sits in front of readduo-serve (or the in-mem
+// DB example's query tier), forwards every request to the backend, and
+// writes two artifacts:
+//
+//   - a native trace file (trace.Writer): each request becomes one
+//     memory-access record — the canonical request identity hashes to a
+//     line address, a backend cache miss records as a write (the compute
+//     populated the cache line), a hit as a read, and the wall-clock gap
+//     since the previous request becomes the instruction gap. The file
+//     replays directly as campaign workload (readduo-sim -trace) or
+//     registers as a corpus scenario, closing the loop from production
+//     traffic to simulated reliability numbers.
+//
+//   - an optional JSONL request log: one entry per request (method, URI,
+//     body, status, cache disposition, timestamp) that ReplayLog can
+//     re-issue against any backend — load replay with the recorded mix.
+package capture
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"time"
+
+	"readduo/internal/trace"
+)
+
+// Options configures a recording proxy.
+type Options struct {
+	// TraceWriter receives one record per proxied request. Required.
+	TraceWriter *trace.Writer
+	// RequestLog, when non-nil, receives one JSON line per request.
+	RequestLog io.Writer
+	// Cores spreads captured records round-robin over this many cores
+	// (arrival order modulo); 0 means 1. Round-robin guarantees every
+	// declared core has records once the capture holds at least Cores
+	// requests, so the replayer can serve all of them. Must match the
+	// core count the trace header declares.
+	Cores int
+	// MaxBodyBytes caps how much of a request body the request log
+	// stores (bodies beyond the cap mark the entry truncated and replay
+	// refuses it). 0 defaults to 64 KiB.
+	MaxBodyBytes int
+	// now is the gap clock, injectable for tests. Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Proxy is a recording reverse proxy. It is an http.Handler.
+type Proxy struct {
+	rp   *httputil.ReverseProxy
+	opts Options
+
+	mu       sync.Mutex
+	last     time.Time
+	recorded uint64
+	reqlog   *bufio.Writer
+}
+
+// LogEntry is one request-log line.
+type LogEntry struct {
+	UnixMS    int64  `json:"t_unix_ms"`
+	Method    string `json:"method"`
+	URI       string `json:"uri"` // path + raw query
+	Body      string `json:"body,omitempty"`
+	Truncated bool   `json:"truncated,omitempty"`
+	Status    int    `json:"status"`
+	Cache     string `json:"cache,omitempty"` // backend X-Cache disposition
+}
+
+// NewProxy builds a recording proxy for the given backend URL.
+func NewProxy(backend *url.URL, opts Options) (*Proxy, error) {
+	if opts.TraceWriter == nil {
+		return nil, fmt.Errorf("capture: need a trace writer")
+	}
+	if opts.Cores == 0 {
+		opts.Cores = 1
+	}
+	if opts.Cores < 1 || opts.Cores > 255 {
+		return nil, fmt.Errorf("capture: core count %d out of range", opts.Cores)
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 64 << 10
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	p := &Proxy{rp: httputil.NewSingleHostReverseProxy(backend), opts: opts}
+	if opts.RequestLog != nil {
+		p.reqlog = bufio.NewWriter(opts.RequestLog)
+	}
+	return p, nil
+}
+
+// statusRecorder captures the backend's status and cache headers.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	cache  string
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.cache = r.Header().Get("X-Cache")
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// ServeHTTP forwards to the backend and records the request.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Buffer the body so it can be both forwarded and logged.
+	var body []byte
+	truncated := false
+	if r.Body != nil && r.Body != http.NoBody {
+		limited := io.LimitReader(r.Body, int64(p.opts.MaxBodyBytes)+1)
+		b, err := io.ReadAll(limited)
+		if err != nil {
+			http.Error(w, "capture: read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(b) > p.opts.MaxBodyBytes {
+			b, truncated = b[:p.opts.MaxBodyBytes], true
+		}
+		body = b
+		r.Body = io.NopCloser(bytes.NewReader(b))
+		r.ContentLength = int64(len(b))
+	}
+	rec := &statusRecorder{ResponseWriter: w}
+	p.rp.ServeHTTP(rec, r)
+	p.record(r, body, truncated, rec)
+}
+
+// record appends the trace record and request-log entry for one request.
+func (p *Proxy) record(r *http.Request, body []byte, truncated bool, rec *statusRecorder) {
+	uri := r.URL.RequestURI()
+	h := fnv.New64a()
+	io.WriteString(h, r.Method)
+	io.WriteString(h, " ")
+	io.WriteString(h, uri)
+	h.Write(body)
+	key := h.Sum64()
+	// A backend cache miss means the request populated state — the
+	// memory-system analogue of a line write; everything else reads.
+	isWrite := rec.cache == "miss"
+
+	now := p.opts.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Cores are assigned round-robin by arrival order, not by line hash:
+	// a hash split can leave a core empty on short captures, and the
+	// replayer refuses to serve a core with no records.
+	core := uint8(p.recorded % uint64(p.opts.Cores))
+	gap := uint32(0)
+	if !p.last.IsZero() {
+		// Wall-clock µs between requests stands in for the non-memory
+		// instruction gap; capped to the field width.
+		us := now.Sub(p.last).Microseconds()
+		if us > 0 {
+			if us > int64(^uint32(0)) {
+				us = int64(^uint32(0))
+			}
+			gap = uint32(us)
+		}
+	}
+	p.last = now
+	p.opts.TraceWriter.Write(trace.Record{
+		Core:  core,
+		Write: isWrite,
+		Line:  key,
+		Gap:   gap,
+	})
+	p.recorded++
+	if p.reqlog != nil {
+		entry := LogEntry{
+			UnixMS:    now.UnixMilli(),
+			Method:    r.Method,
+			URI:       uri,
+			Body:      string(body),
+			Truncated: truncated,
+			Status:    rec.status,
+			Cache:     rec.cache,
+		}
+		if line, err := json.Marshal(entry); err == nil {
+			p.reqlog.Write(line)
+			p.reqlog.WriteByte('\n')
+		}
+	}
+}
+
+// Recorded reports how many requests have been captured.
+func (p *Proxy) Recorded() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recorded
+}
+
+// Flush drains buffered capture output (trace and request log).
+func (p *Proxy) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.opts.TraceWriter.Flush(); err != nil {
+		return err
+	}
+	if p.reqlog != nil {
+		if err := p.reqlog.Flush(); err != nil {
+			return fmt.Errorf("capture: flush request log: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReplayStats summarizes one ReplayLog pass.
+type ReplayStats struct {
+	Requests int
+	Failed   int // transport errors
+	Statuses map[int]int
+}
+
+// ReplayLog re-issues a recorded request log against baseURL. speed
+// scales pacing: 1 replays at recorded inter-request gaps, 0 replays as
+// fast as the backend allows, 2 replays twice as fast. Truncated-body
+// entries are an error (the recorded request cannot be reproduced).
+func ReplayLog(ctx context.Context, client *http.Client, baseURL string, log io.Reader, speed float64) (ReplayStats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if speed < 0 {
+		return ReplayStats{}, fmt.Errorf("capture: negative replay speed")
+	}
+	stats := ReplayStats{Statuses: map[int]int{}}
+	sc := bufio.NewScanner(log)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var prevMS int64
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var entry LogEntry
+		if err := json.Unmarshal(line, &entry); err != nil {
+			return stats, fmt.Errorf("capture: replay entry %d: %w", stats.Requests+1, err)
+		}
+		if entry.Truncated {
+			return stats, fmt.Errorf("capture: replay entry %d: body was truncated at capture time", stats.Requests+1)
+		}
+		if speed > 0 && prevMS != 0 && entry.UnixMS > prevMS {
+			wait := time.Duration(float64(entry.UnixMS-prevMS)/speed) * time.Millisecond
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			}
+		}
+		prevMS = entry.UnixMS
+		var body io.Reader
+		if entry.Body != "" {
+			body = bytes.NewReader([]byte(entry.Body))
+		}
+		req, err := http.NewRequestWithContext(ctx, entry.Method, baseURL+entry.URI, body)
+		if err != nil {
+			return stats, fmt.Errorf("capture: replay entry %d: %w", stats.Requests+1, err)
+		}
+		if entry.Body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		stats.Requests++
+		resp, err := client.Do(req)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return stats, ctx.Err()
+			}
+			stats.Failed++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		stats.Statuses[resp.StatusCode]++
+	}
+	if err := sc.Err(); err != nil {
+		return stats, fmt.Errorf("capture: replay scan: %w", err)
+	}
+	return stats, nil
+}

@@ -1,0 +1,212 @@
+package capture
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"readduo/internal/trace"
+)
+
+// newBackend serves a predictable X-Cache pattern: first sight of a URI
+// is a miss, repeats are hits.
+func newBackend(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	seen := map[string]bool{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		key := r.Method + " " + r.URL.RequestURI() + string(body)
+		if seen[key] {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			seen[key] = true
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func newRecordingProxy(t *testing.T, backend string, traceBuf, logBuf *bytes.Buffer, cores int) (*Proxy, *httptest.Server) {
+	t.Helper()
+	u, err := url.Parse(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := trace.NewWriter(traceBuf, "captured", cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1_700_000_000, 0)
+	p, err := NewProxy(u, Options{
+		TraceWriter: tw,
+		RequestLog:  logBuf,
+		Cores:       cores,
+		Now: func() time.Time {
+			clock = clock.Add(500 * time.Microsecond)
+			return clock
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front
+}
+
+func TestProxyRecordsTraceAndLog(t *testing.T) {
+	backend, _ := newBackend(t)
+	var traceBuf, logBuf bytes.Buffer
+	p, front := newRecordingProxy(t, backend.URL, &traceBuf, &logBuf, 2)
+
+	// Same GET twice (miss then hit), one POST.
+	for _, uri := range []string{"/v1/ler?metric=R", "/v1/ler?metric=R"} {
+		resp, err := http.Get(front.URL + uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Post(front.URL+"/v1/policy", "application/json", strings.NewReader(`{"e":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if p.Recorded() != 3 {
+		t.Fatalf("recorded %d requests, want 3", p.Recorded())
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := trace.NewReader(bytes.NewReader(traceBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BenchmarkName() != "captured" || r.Cores() != 2 {
+		t.Fatalf("trace header (%q, %d)", r.BenchmarkName(), r.Cores())
+	}
+	var recs []trace.Record
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("trace has %d records, want 3", len(recs))
+	}
+	// First sight = miss = write; repeat = hit = read; same key = same line.
+	if !recs[0].Write || recs[1].Write {
+		t.Fatalf("cache disposition mapping wrong: %+v %+v", recs[0], recs[1])
+	}
+	if recs[0].Line != recs[1].Line {
+		t.Fatal("identical requests hashed to different lines")
+	}
+	if recs[2].Line == recs[0].Line {
+		t.Fatal("distinct requests hashed to the same line")
+	}
+	// Injected clock advances 500µs per tick; gaps must reflect it.
+	if recs[1].Gap == 0 || recs[2].Gap == 0 {
+		t.Fatalf("gaps not recorded: %+v %+v", recs[1], recs[2])
+	}
+	// Round-robin core assignment: every declared core has records once
+	// the capture holds >= cores requests, so replay serves all of them.
+	if recs[0].Core != 0 || recs[1].Core != 1 || recs[2].Core != 0 {
+		t.Fatalf("cores not round-robin: %d %d %d", recs[0].Core, recs[1].Core, recs[2].Core)
+	}
+
+	// Request log: 3 JSONL entries, bodies preserved.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("request log has %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[2], `"body":"{\"e\":4}"`) {
+		t.Fatalf("POST body not logged: %s", lines[2])
+	}
+}
+
+func TestReplayLogReissuesTraffic(t *testing.T) {
+	backend, hits := newBackend(t)
+	var traceBuf, logBuf bytes.Buffer
+	p, front := newRecordingProxy(t, backend.URL, &traceBuf, &logBuf, 1)
+
+	for _, uri := range []string{"/v1/a", "/v1/b?x=1"} {
+		resp, err := http.Get(front.URL + uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Post(front.URL+"/v1/c", "application/json", strings.NewReader(`{"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := hits.Load()
+	stats, err := ReplayLog(context.Background(), nil, backend.URL, bytes.NewReader(logBuf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 3 || stats.Failed != 0 {
+		t.Fatalf("replay stats %+v, want 3 requests, 0 failed", stats)
+	}
+	if stats.Statuses[http.StatusOK] != 3 {
+		t.Fatalf("replay statuses %+v", stats.Statuses)
+	}
+	if got := hits.Load() - before; got != 3 {
+		t.Fatalf("backend saw %d replayed requests, want 3", got)
+	}
+}
+
+func TestReplayRefusesTruncatedBodies(t *testing.T) {
+	log := `{"t_unix_ms":1,"method":"POST","uri":"/x","body":"abc","truncated":true,"status":200}`
+	_, err := ReplayLog(context.Background(), nil, "http://127.0.0.1:0", strings.NewReader(log), 0)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncated-body refusal", err)
+	}
+}
+
+func TestReplayRespectsContext(t *testing.T) {
+	// Two entries 10 s apart at speed 1: the pacing wait must abort on
+	// context cancellation rather than sleeping.
+	log := `{"t_unix_ms":1000,"method":"GET","uri":"/x","status":200}
+{"t_unix_ms":11000,"method":"GET","uri":"/y","status":200}`
+	backend, _ := newBackend(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ReplayLog(ctx, nil, backend.URL, strings.NewReader(log), 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("replay ignored context during pacing wait")
+	}
+}

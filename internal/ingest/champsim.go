@@ -1,0 +1,91 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ChampSim's tracer emits one fixed-size input_instr per retired
+// instruction, little-endian:
+//
+//	ip                    u64
+//	is_branch             u8
+//	branch_taken          u8
+//	destination_registers [2]u8
+//	source_registers      [4]u8
+//	destination_memory    [2]u64   (stores; 0 = unused slot)
+//	source_memory         [4]u64   (loads;  0 = unused slot)
+//
+// 64 bytes total. Memory operands are byte addresses; we fold them onto
+// 64-byte lines. Instructions without memory operands accumulate into
+// the Gap of the next emitted access, which is exactly the semantic the
+// native Record.Gap carries (non-memory instructions since the previous
+// record).
+const (
+	champSimRecordSize = 64
+	champSimDestSlots  = 2
+	champSimSrcSlots   = 4
+	lineShift          = 6 // 64-byte lines
+)
+
+type champSimParser struct {
+	r      io.Reader
+	buf    [champSimRecordSize]byte
+	queued []access // remaining operands of the current instruction
+	gap    uint32   // non-memory instructions since the last access
+	instrs uint64
+}
+
+type access struct {
+	line  uint64
+	write bool
+	gap   uint32
+}
+
+func newChampSimParser(r io.Reader) *champSimParser {
+	return &champSimParser{r: r}
+}
+
+func (p *champSimParser) name() string { return "champsim" }
+
+func (p *champSimParser) next() (uint64, bool, uint32, error) {
+	for len(p.queued) == 0 {
+		if _, err := io.ReadFull(p.r, p.buf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return 0, false, 0, io.EOF
+			}
+			// A partial trailing record (ErrUnexpectedEOF) or any
+			// transport error is a malformed trace, not a clean end.
+			return 0, false, 0, fmt.Errorf("%w: champsim record %d: %v",
+				ErrMalformed, p.instrs, err)
+		}
+		p.instrs++
+		// Loads first: ChampSim issues source operands before the
+		// instruction's store retires.
+		base := champSimRecordSize - 8*champSimSrcSlots
+		for i := 0; i < champSimSrcSlots; i++ {
+			if addr := binary.LittleEndian.Uint64(p.buf[base+8*i:]); addr != 0 {
+				p.queued = append(p.queued, access{line: addr >> lineShift, gap: p.gap})
+				p.gap = 0
+			}
+		}
+		base = champSimRecordSize - 8*(champSimSrcSlots+champSimDestSlots)
+		for i := 0; i < champSimDestSlots; i++ {
+			if addr := binary.LittleEndian.Uint64(p.buf[base+8*i:]); addr != 0 {
+				p.queued = append(p.queued, access{line: addr >> lineShift, write: true, gap: p.gap})
+				p.gap = 0
+			}
+		}
+		if len(p.queued) == 0 {
+			// Pure compute instruction: widen the next access's gap.
+			if p.gap < ^uint32(0) {
+				p.gap++
+			}
+		}
+	}
+	a := p.queued[0]
+	p.queued = p.queued[1:]
+	return a.line, a.write, a.gap, nil
+}

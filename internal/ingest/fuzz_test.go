@@ -1,0 +1,87 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// drainBounded pulls up to n records and requires every error to be a
+// clean EOF or ErrMalformed — never a panic, never an unclassified error.
+func drainBounded(t *testing.T, s *Stream, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, err := s.Next()
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, ErrMalformed) {
+			return
+		}
+		t.Fatalf("Next error %v is neither EOF nor ErrMalformed", err)
+	}
+}
+
+// FuzzChampSim feeds the ChampSim binary parser arbitrary bytes. The
+// parser must not panic and must classify every failure as ErrMalformed.
+// Memory stays bounded: the record buffer is fixed-size and per-instr
+// operand queues hold at most 6 accesses.
+func FuzzChampSim(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, champSimRecordSize))
+	f.Add(bytes.Repeat([]byte{0xff}, champSimRecordSize+7))
+	seed := make([]byte, champSimRecordSize)
+	seed[champSimRecordSize-8] = 0x40 // one source-memory operand
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := Open(bytes.NewReader(raw), FormatChampSim, Options{Cores: 3, MaxRecords: 4096})
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("Open error %v not ErrMalformed", err)
+			}
+			return
+		}
+		drainBounded(t, s, 5000)
+	})
+}
+
+// FuzzPin feeds the Pin text parser arbitrary bytes: no panics, strict
+// ErrMalformed classification, line length capped at maxPinLine.
+func FuzzPin(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("R 0x1000\nW 0x2000\n"))
+	f.Add([]byte("# comment\n0x401b32: R 0x7f03c1a0\n"))
+	f.Add([]byte("R"))
+	f.Add(bytes.Repeat([]byte{'R', ' '}, maxPinLine))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := Open(bytes.NewReader(raw), FormatPin, Options{MaxRecords: 4096})
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("Open error %v not ErrMalformed", err)
+			}
+			return
+		}
+		drainBounded(t, s, 5000)
+	})
+}
+
+// FuzzAutoDetect exercises the sniffing path end to end, including gzip
+// framing: whatever the bytes, Open either classifies them or returns
+// ErrMalformed, and the resulting stream drains cleanly.
+func FuzzAutoDetect(f *testing.F) {
+	f.Add([]byte("RDTR"))
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte("R 0x40\n"))
+	f.Add(bytes.Repeat([]byte{0}, 128))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := Open(bytes.NewReader(raw), FormatAuto, Options{MaxRecords: 4096})
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("Open error %v not ErrMalformed", err)
+			}
+			return
+		}
+		drainBounded(t, s, 5000)
+	})
+}

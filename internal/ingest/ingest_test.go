@@ -1,0 +1,328 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"readduo/internal/trace"
+)
+
+// champInstr builds one ChampSim input_instr record.
+type champInstr struct {
+	ip       uint64
+	destMem  []uint64 // up to 2
+	srcMem   []uint64 // up to 4
+	isBranch bool
+}
+
+func champBytes(t *testing.T, instrs []champInstr) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, in := range instrs {
+		var rec [champSimRecordSize]byte
+		binary.LittleEndian.PutUint64(rec[0:], in.ip)
+		if in.isBranch {
+			rec[8] = 1
+		}
+		if len(in.destMem) > champSimDestSlots || len(in.srcMem) > champSimSrcSlots {
+			t.Fatalf("too many memory operands in test instr")
+		}
+		destBase := champSimRecordSize - 8*(champSimSrcSlots+champSimDestSlots)
+		for i, a := range in.destMem {
+			binary.LittleEndian.PutUint64(rec[destBase+8*i:], a)
+		}
+		srcBase := champSimRecordSize - 8*champSimSrcSlots
+		for i, a := range in.srcMem {
+			binary.LittleEndian.PutUint64(rec[srcBase+8*i:], a)
+		}
+		buf.Write(rec[:])
+	}
+	return buf.Bytes()
+}
+
+func drain(t *testing.T, s *Stream) []trace.Record {
+	t.Helper()
+	var out []trace.Record
+	for {
+		rec, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestChampSimParse(t *testing.T) {
+	// Three instructions: a pure-compute one (widens the next gap), a
+	// load+store, and a two-load instruction.
+	raw := champBytes(t, []champInstr{
+		{ip: 0x400000},
+		{ip: 0x400004, srcMem: []uint64{0x1000}, destMem: []uint64{0x2040}},
+		{ip: 0x400008, srcMem: []uint64{0x3000, 0x3fc0}},
+	})
+	s, err := Open(bytes.NewReader(raw), FormatChampSim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := drain(t, s)
+	want := []trace.Record{
+		{Core: 0, Write: false, Line: 0x1000 >> 6, Gap: 1}, // after 1 compute instr
+		{Core: 0, Write: true, Line: 0x2040 >> 6, Gap: 0},
+		{Core: 0, Write: false, Line: 0x3000 >> 6, Gap: 0},
+		{Core: 0, Write: false, Line: 0x3fc0 >> 6, Gap: 0},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d: %+v", len(recs), len(want), recs)
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestChampSimTruncatedRecordIsMalformed(t *testing.T) {
+	raw := champBytes(t, []champInstr{
+		{ip: 1, srcMem: []uint64{0x40}},
+		{ip: 2, srcMem: []uint64{0x80}},
+	})
+	s, err := Open(bytes.NewReader(raw[:champSimRecordSize+10]), FormatChampSim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err != nil { // first record parses
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated champsim record: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestChampSimCoreExpansion(t *testing.T) {
+	raw := champBytes(t, []champInstr{{ip: 1, srcMem: []uint64{0x1000}}})
+	s, err := Open(bytes.NewReader(raw), FormatChampSim, Options{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := drain(t, s)
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4 per-core replicas", len(recs))
+	}
+	for c, rec := range recs {
+		if int(rec.Core) != c {
+			t.Fatalf("replica %d has core %d", c, rec.Core)
+		}
+		if want := uint64(c)<<40 | (0x1000 >> 6); rec.Line != want {
+			t.Fatalf("replica %d line %#x, want %#x (disjoint slice)", c, rec.Line, want)
+		}
+	}
+}
+
+func TestPinParse(t *testing.T) {
+	input := strings.Join([]string{
+		"# pinatrace output",
+		"",
+		"0x401b32: R 0x7f03c1a0",
+		"W 0x7f03c1e0",
+		"r 4096",
+	}, "\n")
+	s, err := Open(strings.NewReader(input), FormatPin, Options{Gap: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := drain(t, s)
+	want := []trace.Record{
+		{Core: 0, Write: false, Line: 0x7f03c1a0 >> 6, Gap: 25},
+		{Core: 0, Write: true, Line: 0x7f03c1e0 >> 6, Gap: 25},
+		{Core: 0, Write: false, Line: 4096 >> 6, Gap: 25},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestPinMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"R",                    // missing address
+		"X 0x1000",             // unknown op
+		"R 0xzz",               // unparseable address
+		"R 0x1000 extra words", // too many fields
+	} {
+		s, err := Open(strings.NewReader(bad), FormatPin, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Next(); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("input %q: err = %v, want ErrMalformed", bad, err)
+		}
+	}
+}
+
+func TestPinOverlongLineBounded(t *testing.T) {
+	s, err := Open(strings.NewReader("R 0x"+strings.Repeat("1", 2*maxPinLine)), FormatPin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("overlong line: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestAutoDetect(t *testing.T) {
+	// Native.
+	var nb bytes.Buffer
+	w, err := trace.NewWriter(&nb, "nat", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(trace.Record{Line: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+		want Format
+	}{
+		{"native", nb.Bytes(), FormatNative},
+		{"pin", []byte("R 0x40\nW 0x80\n"), FormatPin},
+		{"champsim", champBytes(t, []champInstr{{ip: 1, srcMem: []uint64{0x40}}}), FormatChampSim},
+	} {
+		s, err := Open(bytes.NewReader(tc.data), FormatAuto, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if s.Format() != tc.want {
+			t.Fatalf("%s detected as %q, want %q", tc.name, s.Format(), tc.want)
+		}
+	}
+	if _, err := Open(bytes.NewReader(nil), FormatAuto, Options{}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty input: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestTransparentGzip(t *testing.T) {
+	raw := champBytes(t, []champInstr{{ip: 1, srcMem: []uint64{0x1000}}, {ip: 2, destMem: []uint64{0x2000}}})
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	zw.Write(raw)
+	zw.Close()
+
+	plain, err := Open(bytes.NewReader(raw), FormatAuto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipped, err := Open(bytes.NewReader(zbuf.Bytes()), FormatAuto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := drain(t, plain), drain(t, zipped)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("record counts %d/%d, want 2/2", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across gzip framing", i)
+		}
+	}
+}
+
+func TestNativePassthroughIdentity(t *testing.T) {
+	var nb bytes.Buffer
+	w, err := trace.NewWriter(&nb, "orig", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []trace.Record{
+		{Core: 0, Write: true, Line: 5, Gap: 1},
+		{Core: 1, Write: false, Line: 1<<40 | 6, Gap: 2},
+	}
+	for _, rec := range src {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Convert native -> native must be byte-identical (cores/name kept).
+	var out bytes.Buffer
+	n, err := Convert(&out, bytes.NewReader(nb.Bytes()), FormatAuto, "", Options{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(src)) {
+		t.Fatalf("converted %d records, want %d", n, len(src))
+	}
+	if !bytes.Equal(out.Bytes(), nb.Bytes()) {
+		t.Fatal("native passthrough is not byte-identical")
+	}
+}
+
+func TestConvertChampSimToNative(t *testing.T) {
+	raw := champBytes(t, []champInstr{
+		{ip: 1, srcMem: []uint64{0x1000}},
+		{ip: 2},
+		{ip: 3, destMem: []uint64{0x2000}},
+	})
+	var out bytes.Buffer
+	n, err := Convert(&out, bytes.NewReader(raw), FormatChampSim, "sample", Options{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // 2 accesses x 2 cores
+		t.Fatalf("converted %d records, want 4", n)
+	}
+	r, err := trace.NewReader(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BenchmarkName() != "sample" || r.Cores() != 2 {
+		t.Fatalf("native header = (%q, %d), want (sample, 2)", r.BenchmarkName(), r.Cores())
+	}
+	// The write replica for core 1 carries the gap of the skipped compute
+	// instruction and the disjoint address slice.
+	var last trace.Record
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = rec
+	}
+	if !last.Write || last.Core != 1 || last.Gap != 1 || last.Line != 1<<40|(0x2000>>6) {
+		t.Fatalf("last record = %+v", last)
+	}
+}
+
+func TestMaxRecordsCap(t *testing.T) {
+	raw := champBytes(t, []champInstr{
+		{ip: 1, srcMem: []uint64{0x1000, 0x2000, 0x3000, 0x4000}},
+	})
+	s, err := Open(bytes.NewReader(raw), FormatChampSim, Options{MaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drain(t, s)); got != 2 {
+		t.Fatalf("MaxRecords=2 yielded %d records", got)
+	}
+}

@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// pinParser reads the Pin-style text format: one access per line, either
+//
+//	R 0x7f03c1a0
+//	W 0x7f03c1a0
+//
+// or the pinatrace.so form with the instruction pointer prefix:
+//
+//	0x401b32: R 0x7f03c1a0
+//
+// Addresses parse with strconv's base-0 rules (0x hex or decimal).
+// Blank lines and '#' comments are skipped; any other shape is an
+// ErrMalformed naming the offending line number. Lines are capped at
+// maxPinLine bytes so adversarial input cannot grow the buffer.
+const maxPinLine = 4096
+
+type pinParser struct {
+	sc     *bufio.Scanner
+	lineNo uint64
+}
+
+func newPinParser(r io.Reader) *pinParser {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, maxPinLine), maxPinLine)
+	return &pinParser{sc: sc}
+}
+
+func (p *pinParser) name() string { return "pin" }
+
+func (p *pinParser) next() (uint64, bool, uint32, error) {
+	for p.sc.Scan() {
+		p.lineNo++
+		line := strings.TrimSpace(p.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Strip the optional "ip:" prefix.
+		if len(fields) == 3 && strings.HasSuffix(fields[0], ":") {
+			fields = fields[1:]
+		}
+		if len(fields) != 2 {
+			return 0, false, 0, fmt.Errorf("%w: pin line %d: want \"R <addr>\" or \"<ip>: R <addr>\", got %q",
+				ErrMalformed, p.lineNo, line)
+		}
+		var write bool
+		switch fields[0] {
+		case "R", "r":
+			write = false
+		case "W", "w":
+			write = true
+		default:
+			return 0, false, 0, fmt.Errorf("%w: pin line %d: op %q is neither R nor W",
+				ErrMalformed, p.lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return 0, false, 0, fmt.Errorf("%w: pin line %d: bad address %q",
+				ErrMalformed, p.lineNo, fields[1])
+		}
+		return addr >> lineShift, write, 0, nil
+	}
+	if err := p.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return 0, false, 0, fmt.Errorf("%w: pin line %d exceeds %d bytes",
+				ErrMalformed, p.lineNo+1, maxPinLine)
+		}
+		return 0, false, 0, fmt.Errorf("%w: pin line %d: %v", ErrMalformed, p.lineNo+1, err)
+	}
+	return 0, false, 0, io.EOF
+}

@@ -414,12 +414,9 @@ func (q *queryValues) strList(key string, dst *[]string) error {
 // --- small helpers ----------------------------------------------------
 
 func benchNames() []string {
-	bs := trace.Benchmarks()
-	out := make([]string, len(bs))
-	for i, b := range bs {
-		out[i] = b.Name
-	}
-	return out
+	// Names covers registered corpus scenarios as well as the built-in
+	// suite, so error messages advertise the full spec grammar.
+	return trace.Names()
 }
 
 func splitInts(s string) ([]int, error) {

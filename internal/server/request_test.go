@@ -132,6 +132,28 @@ func TestCompareNormalization(t *testing.T) {
 	}
 }
 
+// TestCompareAcceptsCorpusScenarios pins the serve spec grammar the
+// workload subsystem promises: bench=corpus:zipfian resolves like any
+// built-in workload (the server package registers the corpus).
+func TestCompareAcceptsCorpusScenarios(t *testing.T) {
+	req := compareRequest{Benchmark: "corpus:zipfian", Schemes: []string{"ideal"}}
+	if err := req.normalize(testLimits()); err != nil {
+		t.Fatal(err)
+	}
+	if req.Benchmark != "corpus:zipfian" || req.bench.Name != "corpus:zipfian" {
+		t.Fatalf("corpus benchmark not canonicalized: %+v", req)
+	}
+	if !strings.Contains(req.Key(), "b=corpus:zipfian") {
+		t.Fatalf("key %q lacks the corpus benchmark", req.Key())
+	}
+	// The known-benchmark listing in errors advertises corpus names.
+	missing := compareRequest{Schemes: []string{"ideal"}}
+	err := missing.normalize(testLimits())
+	if err == nil || !strings.Contains(err.Error(), "corpus:zipfian") {
+		t.Fatalf("err = %v, want corpus names in the known list", err)
+	}
+}
+
 func TestQueryDecodeRejectsUnknownParams(t *testing.T) {
 	r := httptest.NewRequest("GET", "/v1/mc?cells=100&sseed=3", nil)
 	var req mcRequest

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"readduo/internal/campaign"
+	_ "readduo/internal/corpus" // register corpus:* scenarios for the spec grammar
 	"readduo/internal/telemetry"
 )
 

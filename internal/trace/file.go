@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -88,9 +89,19 @@ type Reader struct {
 	records   uint64
 }
 
-// NewReader parses the header.
+// NewReader parses the header. Gzip-compressed trace files are accepted
+// transparently: the stream is sniffed for the gzip magic bytes and
+// decompressed before header parsing, so `tracegen -gzip` output (and any
+// externally compressed capture) reads like a plain trace.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: gzip framing: %v", ErrBadTraceFile, err)
+		}
+		br = bufio.NewReader(zr)
+	}
 	head := make([]byte, 4+4)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrBadTraceFile, err)

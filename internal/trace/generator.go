@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -22,6 +23,7 @@ type coreStream struct {
 	cursor   uint64 // streaming pointer
 	meanGap  float64
 	writeP   float64
+	emitted  uint64 // records produced so far (burst phase clock)
 }
 
 // NewGenerator builds a generator for `cores` cores. Streams are
@@ -63,8 +65,17 @@ func (g *Generator) Next(core int) (Record, error) {
 	}
 	cs := &g.cores[core]
 	// Inter-access instruction gap: geometric with the profile's mean, so
-	// accesses cluster and spread as real miss streams do.
-	gap := uint32(cs.rng.ExpFloat64() * cs.meanGap)
+	// accesses cluster and spread as real miss streams do. Bursty profiles
+	// additionally modulate the mean over the record index — same RNG
+	// draws, so BurstFactor == 0 reproduces the historical streams bit for
+	// bit.
+	meanGap := cs.meanGap
+	if g.bench.BurstFactor > 0 {
+		phase := 2 * math.Pi * float64(cs.emitted%uint64(g.bench.BurstPeriodRecs)) / float64(g.bench.BurstPeriodRecs)
+		meanGap *= 1 + g.bench.BurstFactor*math.Sin(phase)
+	}
+	cs.emitted++
+	gap := uint32(cs.rng.ExpFloat64() * meanGap)
 	isWrite := cs.rng.Float64() < cs.writeP
 
 	var line uint64

@@ -17,6 +17,8 @@ package trace
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -59,6 +61,14 @@ type Benchmark struct {
 	// untracked.
 	FreshFrac, MidFrac float64
 	MidAge, OldAge     time.Duration
+	// BurstFactor and BurstPeriodRecs optionally modulate access intensity
+	// over time (bursty/diurnal workloads, e.g. the corpus:bursty-diurnal
+	// scenario): the per-core instruction gap is scaled by
+	// 1 + BurstFactor*sin(2π·i/BurstPeriodRecs) over the record index i,
+	// alternating dense bursts with quiet troughs. Zero BurstFactor (the
+	// default, and every Table X profile) leaves the stream untouched.
+	BurstFactor     float64
+	BurstPeriodRecs int
 }
 
 // Validate checks profile consistency.
@@ -84,6 +94,12 @@ func (b Benchmark) Validate() error {
 	}
 	if b.MidAge <= 0 || b.OldAge <= b.MidAge {
 		return fmt.Errorf("trace: %s: need 0 < MidAge < OldAge", b.Name)
+	}
+	if b.BurstFactor < 0 || b.BurstFactor >= 1 {
+		return fmt.Errorf("trace: %s: burst factor %v outside [0,1)", b.Name, b.BurstFactor)
+	}
+	if b.BurstFactor > 0 && b.BurstPeriodRecs < 2 {
+		return fmt.Errorf("trace: %s: burst period %d needs at least 2 records", b.Name, b.BurstPeriodRecs)
 	}
 	return nil
 }
@@ -138,12 +154,74 @@ func Benchmarks() []Benchmark {
 	}
 }
 
-// ByName finds a benchmark profile.
-func ByName(name string) (Benchmark, bool) {
+// registry holds benchmark profiles registered beyond the built-in Table X
+// suite: corpus scenarios (internal/corpus) and ingested-trace workloads.
+// ByName consults it after the built-ins, so registered names resolve
+// everywhere benchmarks are named — campaign restore, readduo-sim
+// -benchmarks lists, and the serve spec grammar.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Benchmark{}
+)
+
+// Register adds a benchmark profile to the lookup table. Registering a name
+// that collides with a built-in or an earlier registration with a different
+// profile is an error; re-registering an identical profile is a no-op (so
+// blank imports from several binaries compose).
+func Register(b Benchmark) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if _, builtin := builtinByName(b.Name); builtin {
+		return fmt.Errorf("trace: register %q: collides with a built-in benchmark", b.Name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if prev, ok := registry[b.Name]; ok {
+		if prev != b {
+			return fmt.Errorf("trace: register %q: already registered with a different profile", b.Name)
+		}
+		return nil
+	}
+	registry[b.Name] = b
+	return nil
+}
+
+func builtinByName(name string) (Benchmark, bool) {
 	for _, b := range Benchmarks() {
 		if b.Name == name {
 			return b, true
 		}
 	}
 	return Benchmark{}, false
+}
+
+// ByName finds a benchmark profile: the built-in suite first, then the
+// registry of corpus scenarios and ingested workloads.
+func ByName(name string) (Benchmark, bool) {
+	if b, ok := builtinByName(name); ok {
+		return b, true
+	}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names lists every resolvable benchmark name: the built-in suite in paper
+// order, then registered names sorted.
+func Names() []string {
+	bs := Benchmarks()
+	out := make([]string, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, b.Name)
+	}
+	registryMu.RLock()
+	reg := make([]string, 0, len(registry))
+	for name := range registry {
+		reg = append(reg, name)
+	}
+	registryMu.RUnlock()
+	sort.Strings(reg)
+	return append(out, reg...)
 }

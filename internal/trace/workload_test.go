@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// writeCapture produces a small valid trace stream in memory.
+func writeCapture(t *testing.T, name string, cores int, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, name, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func gzipBytes(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReaderTransparentGzip pins that NewReader sniffs the gzip magic and
+// yields the same records as the uncompressed stream.
+func TestReaderTransparentGzip(t *testing.T) {
+	recs := []Record{
+		{Core: 0, Write: false, Line: 42, Gap: 7},
+		{Core: 1, Write: true, Line: 1 << 40, Gap: 0},
+		{Core: 0, Write: false, Line: 99, Gap: 123},
+	}
+	raw := writeCapture(t, "gz", 2, recs)
+
+	read := func(data []byte) []Record {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.BenchmarkName() != "gz" || r.Cores() != 2 {
+			t.Fatalf("header = (%q, %d), want (gz, 2)", r.BenchmarkName(), r.Cores())
+		}
+		var out []Record
+		for {
+			rec, err := r.Read()
+			if errors.Is(err, io.EOF) {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rec)
+		}
+	}
+
+	plain := read(raw)
+	zipped := read(gzipBytes(t, raw))
+	if len(plain) != len(recs) {
+		t.Fatalf("plain read %d records, want %d", len(plain), len(recs))
+	}
+	for i := range plain {
+		if plain[i] != zipped[i] {
+			t.Fatalf("record %d differs: plain %+v gzip %+v", i, plain[i], zipped[i])
+		}
+	}
+}
+
+// TestReaderRejectsTruncatedGzip pins the strict-error contract on a
+// corrupt gzip member.
+func TestReaderRejectsTruncatedGzip(t *testing.T) {
+	raw := gzipBytes(t, writeCapture(t, "x", 1, []Record{{Line: 1}}))
+	_, err := NewReader(bytes.NewReader(raw[:3]))
+	if !errors.Is(err, ErrBadTraceFile) {
+		t.Fatalf("truncated gzip: err = %v, want ErrBadTraceFile", err)
+	}
+}
+
+// TestReplayerOverGzip verifies the replayer's rewind path re-sniffs the
+// gzip framing on every loop.
+func TestReplayerOverGzip(t *testing.T) {
+	recs := []Record{
+		{Core: 0, Line: 1, Gap: 1},
+		{Core: 0, Line: 2, Gap: 2},
+	}
+	zipped := gzipBytes(t, writeCapture(t, "loop", 1, recs))
+	rp, err := NewReplayer(bytes.NewReader(zipped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pull two full loops' worth of records.
+	for i := 0; i < 2*len(recs); i++ {
+		rec, err := rp.Next(0)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if want := recs[i%len(recs)]; rec != want {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, want)
+		}
+	}
+	if rp.Loops() != 1 {
+		t.Fatalf("loops = %d, want 1", rp.Loops())
+	}
+}
+
+// TestRegisterAndByName pins registry semantics: lookup, idempotent
+// re-registration, collision rejection, Names ordering.
+func TestRegisterAndByName(t *testing.T) {
+	prof := Benchmark{
+		Name: "corpus-test:probe", RPKI: 2, WPKI: 1,
+		WorkingSetLines: 1024, HotFraction: 0.5, HotSetLines: 64,
+		FreshFrac: 0.5, MidFrac: 0.3, MidAge: 640 * time.Second, OldAge: time.Hour,
+	}
+	if err := Register(prof); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ByName(prof.Name)
+	if !ok || got != prof {
+		t.Fatalf("ByName(%q) = (%+v, %v)", prof.Name, got, ok)
+	}
+	// Identical re-registration is a no-op.
+	if err := Register(prof); err != nil {
+		t.Fatalf("idempotent re-register: %v", err)
+	}
+	// Different profile under the same name is rejected.
+	changed := prof
+	changed.RPKI = 3
+	if err := Register(changed); err == nil {
+		t.Fatal("conflicting re-register accepted")
+	}
+	// Built-in collision is rejected.
+	mcf, _ := ByName("mcf")
+	if err := Register(mcf); err == nil {
+		t.Fatal("built-in shadowing accepted")
+	}
+	// Names lists built-ins first, then registered entries.
+	names := Names()
+	if len(names) < len(Benchmarks())+1 {
+		t.Fatalf("Names() has %d entries, want > %d", len(names), len(Benchmarks()))
+	}
+	found := false
+	for _, n := range names[len(Benchmarks()):] {
+		if n == prof.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered name missing from Names(): %v", names)
+	}
+}
+
+// TestBurstModulationDeterministic pins that bursty profiles generate
+// deterministic streams, differ from their flat twin only in gaps, and
+// that BurstFactor == 0 leaves the draw sequence untouched.
+func TestBurstModulationDeterministic(t *testing.T) {
+	flat := Benchmark{
+		Name: "flat", RPKI: 4, WPKI: 2,
+		WorkingSetLines: 4096, HotFraction: 0.5, HotSetLines: 128,
+		FreshFrac: 0.6, MidFrac: 0.2, MidAge: 640 * time.Second, OldAge: time.Hour,
+	}
+	bursty := flat
+	bursty.Name = "bursty"
+	bursty.BurstFactor = 0.9
+	bursty.BurstPeriodRecs = 64
+
+	gen := func(b Benchmark) []Record {
+		g, err := NewGenerator(b, 1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Record, 256)
+		for i := range out {
+			rec, err := g.Next(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = rec
+		}
+		return out
+	}
+
+	a, b := gen(bursty), gen(bursty)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bursty stream not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	f := gen(flat)
+	gapsDiffer, restSame := false, true
+	for i := range f {
+		if f[i].Gap != a[i].Gap {
+			gapsDiffer = true
+		}
+		if f[i].Line != a[i].Line || f[i].Write != a[i].Write || f[i].Core != a[i].Core {
+			restSame = false
+		}
+	}
+	if !gapsDiffer {
+		t.Fatal("burst modulation changed no gaps")
+	}
+	if !restSame {
+		t.Fatal("burst modulation leaked into address/op draws")
+	}
+}
+
+// TestBurstValidation pins the burst-field consistency checks.
+func TestBurstValidation(t *testing.T) {
+	base := Benchmark{
+		Name: "b", RPKI: 1, WPKI: 1,
+		WorkingSetLines: 16, HotFraction: 0.5, HotSetLines: 4,
+		FreshFrac: 0.5, MidFrac: 0.3, MidAge: time.Second, OldAge: time.Hour,
+	}
+	bad := base
+	bad.BurstFactor = 1.0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("BurstFactor 1.0 accepted")
+	}
+	bad = base
+	bad.BurstFactor = 0.5 // period missing
+	if err := bad.Validate(); err == nil {
+		t.Fatal("burst without period accepted")
+	}
+	good := base
+	good.BurstFactor = 0.5
+	good.BurstPeriodRecs = 32
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
