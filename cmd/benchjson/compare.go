@@ -121,11 +121,47 @@ func CheckGovernance(oldDoc, newDoc *Document, minSamples int) []string {
 	return violations
 }
 
+// SpreadOutliers flags benchmarks in doc whose per-seed spread on the
+// metric — max run value over min run value — exceeds maxSpread. A wide
+// spread means the replicate seeds disagree about the benchmark's cost,
+// so its min-based claim rests on an outlier rather than a stable
+// population; the comparison still runs, but the claim deserves triage
+// (re-run, more seeds, or a look at what made one seed diverge).
+func SpreadOutliers(side string, doc *Document, metric string, maxSpread float64) []string {
+	var warnings []string
+	for _, b := range doc.Benchmarks {
+		lo, hi, found := math.Inf(1), math.Inf(-1), false
+		for _, r := range b.Runs {
+			if v, ok := r.Metrics[metric]; ok {
+				lo, hi, found = math.Min(lo, v), math.Max(hi, v), true
+			}
+		}
+		if !found || len(b.Runs) < 2 {
+			continue
+		}
+		spread := math.Inf(1)
+		switch {
+		case lo > 0:
+			spread = hi / lo
+		case hi == lo:
+			spread = 1
+		}
+		if spread > maxSpread {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s %s: per-seed spread %.2fx exceeds %.2fx (min %.1f, max %.1f %s) — claim may rest on an outlier seed",
+				side, b.Name, spread, maxSpread, lo, hi, metric))
+		}
+	}
+	return warnings
+}
+
 // runCompare implements `benchjson compare [flags] old.json new.json`.
 // It prints a per-benchmark delta table and exits 1 when any benchmark's
 // new/old ratio exceeds -threshold — the bench-regression gate. With
 // -governance it first refuses (exit 1, no table) comparisons across
-// mixed cohorts or claims backed by fewer than -min-samples runs.
+// mixed cohorts or claims backed by fewer than -min-samples runs, and
+// warns — without failing — about claims whose per-seed spread exceeds
+// -max-spread, so noisy cells get triaged instead of silently trusted.
 func runCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -136,11 +172,13 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		"refuse mixed-cohort baselines and under-sampled claims before comparing")
 	minSamples := fs.Int("min-samples", 5,
 		"with -governance, the minimum runs a benchmark claim must be backed by")
+	maxSpread := fs.Float64("max-spread", 2.0,
+		"with -governance, warn when a benchmark's per-seed spread (max/min of the compared metric) exceeds this ratio; 0 disables")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: benchjson compare [-threshold 1.25] [-metric ns/op] [-governance] [-min-samples 5] old.json new.json")
+		fmt.Fprintln(stderr, "usage: benchjson compare [-threshold 1.25] [-metric ns/op] [-governance] [-min-samples 5] [-max-spread 2.0] old.json new.json")
 		return 2
 	}
 	oldDoc, err := readDoc(fs.Arg(0))
@@ -160,6 +198,16 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "  -", v)
 			}
 			return 1
+		}
+		if *maxSpread > 0 {
+			warnings := append(SpreadOutliers("old", oldDoc, *metric, *maxSpread),
+				SpreadOutliers("new", newDoc, *metric, *maxSpread)...)
+			if len(warnings) > 0 {
+				fmt.Fprintln(stderr, "benchjson: outlier triage (comparison proceeds):")
+				for _, w := range warnings {
+					fmt.Fprintln(stderr, "  -", w)
+				}
+			}
 		}
 	}
 	deltas, onlyOld, onlyNew, regressed := Compare(oldDoc, newDoc, *metric, *threshold)

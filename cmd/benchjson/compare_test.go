@@ -162,6 +162,87 @@ func TestCheckGovernance(t *testing.T) {
 	}
 }
 
+func TestSpreadOutliers(t *testing.T) {
+	tight := doc(bench("BenchmarkA", 100, 110, 105))
+	if w := SpreadOutliers("old", tight, "ns/op", 2.0); len(w) != 0 {
+		t.Errorf("1.1x spread flagged: %v", w)
+	}
+	wide := doc(bench("BenchmarkA", 100, 110), bench("BenchmarkB", 100, 350))
+	w := SpreadOutliers("new", wide, "ns/op", 2.0)
+	if len(w) != 1 || !strings.Contains(w[0], "BenchmarkB") || !strings.Contains(w[0], "3.50x") {
+		t.Errorf("3.5x spread not flagged exactly once: %v", w)
+	}
+	// A zero minimum with a non-zero maximum is an infinite spread.
+	if w := SpreadOutliers("old", doc(bench("BenchmarkZ", 0, 50)), "ns/op", 2.0); len(w) != 1 {
+		t.Errorf("0 -> 50 spread not flagged: %v", w)
+	}
+	// Single runs and all-zero runs have no spread to judge.
+	if w := SpreadOutliers("old", doc(bench("BenchmarkS", 500)), "ns/op", 2.0); len(w) != 0 {
+		t.Errorf("single-run benchmark flagged: %v", w)
+	}
+	if w := SpreadOutliers("old", doc(bench("BenchmarkO", 0, 0)), "ns/op", 2.0); len(w) != 0 {
+		t.Errorf("all-zero benchmark flagged: %v", w)
+	}
+	// Benchmarks without the metric are not comparable, so not triaged.
+	missing := doc(Benchmark{Name: "BenchmarkM", Runs: []Run{
+		{Iterations: 1, Metrics: map[string]float64{"LER": 1}},
+		{Iterations: 1, Metrics: map[string]float64{"LER": 9}},
+	}})
+	if w := SpreadOutliers("old", missing, "ns/op", 2.0); len(w) != 0 {
+		t.Errorf("metric-less benchmark triaged: %v", w)
+	}
+}
+
+// TestRunCompareMaxSpread drives the triage warning through the CLI: a
+// wide-spread claim warns on stderr but still compares and exits 0, and
+// -max-spread 0 disables the triage.
+func TestRunCompareMaxSpread(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d *Document) string {
+		path := filepath.Join(dir, name)
+		buf, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	steady := governedDoc("p", 5, "BenchmarkA")
+	noisy := governedDoc("p", 5, "BenchmarkA")
+	noisy.Benchmarks[0].Runs[4].Metrics["ns/op"] = 900 // one outlier seed
+	oldPath := write("old.json", steady)
+	newPath := write("new.json", noisy)
+
+	var out, errOut strings.Builder
+	if code := runCompare([]string{"-governance", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("wide spread failed the compare: exit %d, stderr %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "outlier triage") ||
+		!strings.Contains(errOut.String(), "new BenchmarkA") {
+		t.Errorf("stderr lacks the triage warning: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkA") {
+		t.Errorf("delta table not printed despite warning:\n%s", out.String())
+	}
+	errOut.Reset()
+	if code := runCompare([]string{"-governance", "-max-spread", "0", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("disabled triage changed the exit code: %d", code)
+	}
+	if strings.Contains(errOut.String(), "outlier triage") {
+		t.Errorf("-max-spread 0 still warned: %s", errOut.String())
+	}
+	// A tighter ratio flags even the steady document (104/100 > 1.02).
+	errOut.Reset()
+	if code := runCompare([]string{"-governance", "-max-spread", "1.02", oldPath, oldPath}, &out, &errOut); code != 0 {
+		t.Fatalf("triage-only run exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "old BenchmarkA") || !strings.Contains(errOut.String(), "new BenchmarkA") {
+		t.Errorf("tight ratio did not flag both sides: %s", errOut.String())
+	}
+}
+
 // TestRunCompareGovernance drives the governance gate through the CLI:
 // mixed cohorts and thin samples exit non-zero, and the same files
 // still compare when governance is off.

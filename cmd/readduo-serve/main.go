@@ -6,6 +6,8 @@
 // Usage:
 //
 //	readduo-serve [-addr :8080] [-workers N] [-queue N] [-cache-bytes N]
+//	              [-disk-cache DIR] [-disk-cache-bytes N]
+//	              [-remote-workers host:port,host:port]
 //	              [-request-timeout 30s] [-compute-timeout 30s]
 //	              [-max-mc-cells N] [-max-budget N]
 //	              [-debug-addr :6060] [-trace-spans spans.jsonl]
@@ -16,6 +18,11 @@
 // SIGTERM starts a graceful drain: readiness flips to 503, in-flight
 // requests finish (up to the drain timeout), then in-flight computations
 // are cancelled.
+//
+// With -remote-workers, computations are routed across readduo-worker
+// nodes by consistent hashing of the canonical spec key, degrading to
+// local compute when a worker fails. With -disk-cache, responses also
+// persist in a size-bounded on-disk tier that survives restarts.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,7 +45,10 @@ func main() {
 		addr           = flag.String("addr", ":8080", "HTTP listen address")
 		workers        = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue          = flag.Int("queue", 0, "admission queue depth beyond executing jobs (0 = 2x workers)")
-		cacheBytes     = flag.Int64("cache-bytes", 64<<20, "response cache budget in bytes")
+		cacheBytes     = flag.Int64("cache-bytes", 64<<20, "in-heap response cache budget in bytes")
+		diskCache      = flag.String("disk-cache", "", "directory for the on-disk cache tier (empty = off)")
+		diskCacheBytes = flag.Int64("disk-cache-bytes", 0, "disk cache tier budget in bytes (0 = 256 MiB)")
+		remoteWorkers  = flag.String("remote-workers", "", "comma-separated worker addresses host:port (empty = local compute)")
 		requestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request wall-time cap")
 		computeTimeout = flag.Duration("compute-timeout", 0, "per-computation cap (0 = request timeout)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
@@ -50,6 +61,8 @@ func main() {
 
 	if err := run(config{
 		addr: *addr, workers: *workers, queue: *queue, cacheBytes: *cacheBytes,
+		diskCache: *diskCache, diskCacheBytes: *diskCacheBytes,
+		remoteWorkers:  splitAddrs(*remoteWorkers),
 		requestTimeout: *requestTimeout, computeTimeout: *computeTimeout,
 		drainTimeout: *drainTimeout, maxMCCells: *maxMCCells, maxBudget: *maxBudget,
 		debugAddr: *debugAddr, traceSpans: *traceSpans,
@@ -63,6 +76,9 @@ type config struct {
 	addr           string
 	workers, queue int
 	cacheBytes     int64
+	diskCache      string
+	diskCacheBytes int64
+	remoteWorkers  []string
 	requestTimeout time.Duration
 	computeTimeout time.Duration
 	drainTimeout   time.Duration
@@ -70,6 +86,18 @@ type config struct {
 	maxBudget      uint64
 	debugAddr      string
 	traceSpans     string
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties so
+// a trailing comma is harmless.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // run brings the service up and blocks until a termination signal has
@@ -90,21 +118,30 @@ func run(cfg config, started func(addr string)) error {
 	}
 	defer session.Close()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Addr:             cfg.addr,
 		Workers:          cfg.workers,
 		QueueDepth:       cfg.queue,
 		CacheBytes:       cfg.cacheBytes,
+		DiskCacheDir:     cfg.diskCache,
+		DiskCacheBytes:   cfg.diskCacheBytes,
+		RemoteWorkers:    cfg.remoteWorkers,
 		RequestTimeout:   cfg.requestTimeout,
 		ComputeTimeout:   cfg.computeTimeout,
 		MaxMCCells:       cfg.maxMCCells,
 		MaxCompareBudget: cfg.maxBudget,
 		Registry:         session.Registry,
 	})
+	if err != nil {
+		return err
+	}
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	log.Printf("serving on http://%s (healthz, readyz, v1/{ler,policy,mc,compare,schemes})", srv.Addr())
+	log.Printf("serving on http://%s (healthz, readyz, statusz, v1/{ler,policy,mc,compare,schemes})", srv.Addr())
+	if n := len(cfg.remoteWorkers); n > 0 {
+		log.Printf("routing compute across %d workers: %s", n, strings.Join(cfg.remoteWorkers, ", "))
+	}
 	if started != nil {
 		started(srv.Addr())
 	}

@@ -21,7 +21,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -33,6 +32,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -148,19 +148,22 @@ func parseSeeds(list string, single int64) ([]int64, error) {
 }
 
 // buildSpec assembles the campaign spec, including the per-job trace
-// replay hook when -trace is given.
-func buildSpec(opts options) (campaign.Spec, error) {
+// replay hook when -trace is given. The returned cleanup (never nil)
+// must run once the campaign has drained; it closes any trace handles
+// the jobs opened.
+func buildSpec(opts options) (campaign.Spec, func(), error) {
+	noop := func() {}
 	benches, err := selectBenches(opts.benchList)
 	if err != nil {
-		return campaign.Spec{}, err
+		return campaign.Spec{}, noop, err
 	}
 	schemes, err := selectSchemes(opts.schemeSet)
 	if err != nil {
-		return campaign.Spec{}, err
+		return campaign.Spec{}, noop, err
 	}
 	seeds, err := parseSeeds(opts.seedList, opts.seed)
 	if err != nil {
-		return campaign.Spec{}, err
+		return campaign.Spec{}, noop, err
 	}
 	spec := campaign.Spec{
 		Benchmarks: benches,
@@ -168,38 +171,67 @@ func buildSpec(opts options) (campaign.Spec, error) {
 		Seeds:      seeds,
 		Budget:     opts.budget,
 	}
-	if opts.traceFile != "" {
-		if len(benches) != 1 {
-			return campaign.Spec{}, fmt.Errorf("-trace needs exactly one -benchmarks entry for the age profile")
-		}
-		// Load the capture once; each job replays its own in-memory
-		// reader so concurrent jobs never fight over a file offset.
-		data, err := os.ReadFile(opts.traceFile)
-		if err != nil {
-			return campaign.Spec{}, err
-		}
-		if _, err := trace.NewReplayer(bytes.NewReader(data)); err != nil {
-			return campaign.Spec{}, fmt.Errorf("trace %s: %w", opts.traceFile, err)
-		}
-		spec.Configure = func(_ campaign.Job, cfg *sim.Config) {
-			rp, err := trace.NewReplayer(bytes.NewReader(data))
-			if err != nil {
-				return // validated above; unreachable in practice
-			}
-			cfg.Source = rp
-			// The capture's core count wins over the config default: a
-			// 2-core trace must not be asked for core 3's stream.
-			cfg.CPU.Cores = rp.Cores()
-		}
+	if opts.traceFile == "" {
+		return spec, noop, nil
 	}
-	return spec, nil
+	if len(benches) != 1 {
+		return campaign.Spec{}, noop, fmt.Errorf("-trace needs exactly one -benchmarks entry for the age profile")
+	}
+	// Validate the header once, then stream: each job opens its own
+	// handle so concurrent jobs never fight over a file offset, and the
+	// capture is read through trace.NewReader's buffered stream rather
+	// than loaded into memory — replay cost stays flat no matter how
+	// large the capture is. Rewind-at-EOF seeks the file, so looping
+	// replay works on a plain handle (gzip captures are re-sniffed on
+	// each loop).
+	probe, err := os.Open(opts.traceFile)
+	if err != nil {
+		return campaign.Spec{}, noop, err
+	}
+	rp, err := trace.NewReplayer(probe)
+	probe.Close()
+	if err != nil {
+		return campaign.Spec{}, noop, fmt.Errorf("trace %s: %w", opts.traceFile, err)
+	}
+	// The capture's core count wins over the config default: a 2-core
+	// trace must not be asked for core 3's stream.
+	cores := rp.Cores()
+
+	var mu sync.Mutex
+	var open []*os.File
+	spec.Configure = func(_ campaign.Job, cfg *sim.Config) {
+		f, err := os.Open(opts.traceFile)
+		if err != nil {
+			return // validated above; disappearing mid-run fails the job loudly later
+		}
+		rp, err := trace.NewReplayer(f)
+		if err != nil {
+			f.Close()
+			return
+		}
+		mu.Lock()
+		open = append(open, f)
+		mu.Unlock()
+		cfg.Source = rp
+		cfg.CPU.Cores = cores
+	}
+	cleanup := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, f := range open {
+			f.Close()
+		}
+		open = nil
+	}
+	return spec, cleanup, nil
 }
 
 func run(ctx context.Context, opts options) error {
-	spec, err := buildSpec(opts)
+	spec, cleanup, err := buildSpec(opts)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 
 	session, err := obs.Start(obs.Options{
 		Name:      "readduo-sim",

@@ -46,7 +46,7 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 		benchList: "gcc", schemeSet: "readduo", budget: 20_000, seed: 7,
 		parallel: 2, journalPath: "run.jsonl",
 	}
-	spec, err := buildSpec(opts)
+	spec, _, err := buildSpec(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestEmitBench(t *testing.T) {
 		budget: 10_000, seedList: "1,2",
 	}
 	render := func() string {
-		spec, err := buildSpec(opts)
+		spec, _, err := buildSpec(opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunComputesAndDrainsOnSIGTERM boots the real worker on an
+// ephemeral port, drives a routed compute through it (including the
+// key-verification path), then delivers SIGTERM and verifies run
+// returns through the graceful-drain path.
+func TestRunComputesAndDrainsOnSIGTERM(t *testing.T) {
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(config{
+			addr:           "127.0.0.1:0",
+			workers:        2,
+			computeTimeout: 10 * time.Second,
+			drainTimeout:   10 * time.Second,
+		}, func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never came up")
+	}
+
+	body := `{"key":"policy|m=R|e=8|s=16|w=1","spec":{"op":"policy","body":{"metric":"R","e":8,"s":16,"w":1}}}`
+	resp, err := http.Post("http://"+addr+"/compute", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("compute: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(out), "meets") {
+		t.Fatalf("status %d body %s", resp.StatusCode, out)
+	}
+
+	// A mismatched key must be refused deterministically (version-skew
+	// guard), not computed under the wrong identity.
+	skew := `{"key":"policy|m=R|e=9|s=16|w=1","spec":{"op":"policy","body":{"metric":"R","e":8,"s":16,"w":1}}}`
+	resp, err = http.Post("http://"+addr+"/compute", "application/json", bytes.NewReader([]byte(skew)))
+	if err != nil {
+		t.Fatalf("skewed compute: %v", err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(out), "mismatch") {
+		t.Fatalf("skewed key: status %d body %s, want 400 mismatch", resp.StatusCode, out)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain after SIGTERM")
+	}
+}

@@ -1,0 +1,62 @@
+// Package backend separates *what computes* from *how work is
+// distributed* in the serving tier. A Backend turns a canonical spec
+// key plus its wire-form Spec into the marshaled response bytes; the
+// store (cache + singleflight) in internal/server neither knows nor
+// cares whether those bytes came from the in-process pool (Local) or a
+// remote worker node chosen by consistent hashing (Remote). Because
+// every computation is deterministic in its canonical key, any backend
+// must produce byte-identical results for the same Spec — that is the
+// contract the topology integration tests pin.
+package backend
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+)
+
+// Spec is the wire form of one computation: the operation name and the
+// normalized request body. It is everything a worker needs to reproduce
+// the computation byte-for-byte, independent of which node runs it.
+type Spec struct {
+	// Op names the computation family ("ler", "policy", "mc", "compare").
+	Op string `json:"op"`
+	// Body is the normalized request, marshaled. Normalization is
+	// idempotent, so a worker re-normalizing the decoded body reproduces
+	// exactly the canonical key the frontend routed on.
+	Body json.RawMessage `json:"body"`
+}
+
+// Backend computes marshaled response bytes for canonical spec keys.
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Compute returns the response bytes for key. ctx carries the
+	// caller's deadline and cancellation; errors flow back through the
+	// serving taxonomy (campaign.ErrSaturated -> 429, ErrCircuitOpen ->
+	// 503, context.DeadlineExceeded -> 504, BadSpecError -> 400).
+	Compute(ctx context.Context, key string, spec Spec) ([]byte, error)
+	// Depth reports admitted-but-unfinished computations — the
+	// saturation signal surfaced on /readyz and /statusz.
+	Depth() int
+	// Close releases backend resources (worker connections, health
+	// probes). In-flight Computes may still finish.
+	Close() error
+}
+
+// Evaluator is the pure compute function a Local backend runs on a pool
+// worker: Spec in, marshaled response bytes out. internal/server
+// provides one that dispatches on Spec.Op into the model entry points.
+type Evaluator func(ctx context.Context, spec Spec) ([]byte, error)
+
+// ErrCircuitOpen reports that the routed worker's circuit breaker is
+// open and no local fallback is configured; the serving layer maps it
+// to 503 (try again once the node recovers or is replaced).
+var ErrCircuitOpen = errors.New("backend: worker circuit open")
+
+// BadSpecError marks a deterministic request-level failure (the spec
+// itself is invalid) as opposed to an infrastructure failure; the
+// serving layer maps it to 400 and it never trips a circuit breaker or
+// triggers fallback.
+type BadSpecError struct{ Msg string }
+
+func (e BadSpecError) Error() string { return e.Msg }

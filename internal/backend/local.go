@@ -1,0 +1,60 @@
+package backend
+
+import (
+	"context"
+	"time"
+
+	"readduo/internal/campaign"
+)
+
+// Local computes on the in-process bounded pool — the single-node path,
+// and the fallback every Remote degrades to when a worker node is
+// unreachable. Admission is non-blocking (TrySubmit): a saturated pool
+// surfaces campaign.ErrSaturated immediately rather than stalling the
+// caller, preserving the 429 backpressure discipline end to end.
+type Local struct {
+	pool           *campaign.Pool
+	eval           Evaluator
+	computeTimeout time.Duration
+}
+
+// NewLocal wraps pool + eval as a Backend. computeTimeout caps one
+// computation on a worker; <= 0 leaves the caller's ctx deadline as the
+// only bound.
+func NewLocal(pool *campaign.Pool, eval Evaluator, computeTimeout time.Duration) *Local {
+	return &Local{pool: pool, eval: eval, computeTimeout: computeTimeout}
+}
+
+// Compute submits the evaluation to the pool and waits for its result.
+// The evaluation keeps running to completion on the worker even if ctx
+// is cancelled mid-flight (the evaluator observes the cancelled context
+// and returns promptly), so a pool slot is never abandoned in an
+// unknown state.
+func (l *Local) Compute(ctx context.Context, _ string, spec Spec) ([]byte, error) {
+	type result struct {
+		buf []byte
+		err error
+	}
+	done := make(chan result, 1)
+	err := l.pool.TrySubmit(func(int) {
+		cctx, cancel := ctx, context.CancelFunc(func() {})
+		if l.computeTimeout > 0 {
+			cctx, cancel = context.WithTimeout(ctx, l.computeTimeout)
+		}
+		buf, err := l.eval(cctx, spec)
+		cancel()
+		done <- result{buf, err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := <-done
+	return res.buf, res.err
+}
+
+// Depth reports the pool's admitted-but-unfinished task count.
+func (l *Local) Depth() int { return l.pool.Depth() }
+
+// Close is a no-op: the pool is owned by the server's lifecycle, which
+// drains it after the HTTP layer stops.
+func (l *Local) Close() error { return nil }

@@ -1,0 +1,63 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"readduo/internal/campaign"
+)
+
+func echoEval(ctx context.Context, spec Spec) ([]byte, error) {
+	return append([]byte(spec.Op), '\n'), nil
+}
+
+func TestLocalComputes(t *testing.T) {
+	pool := campaign.NewPool(2, 2, nil)
+	defer pool.Close()
+	l := NewLocal(pool, echoEval, time.Minute)
+	buf, err := l.Compute(context.Background(), "k", Spec{Op: "ler"})
+	if err != nil || string(buf) != "ler\n" {
+		t.Fatalf("got %q, %v", buf, err)
+	}
+	if d := l.Depth(); d != 0 {
+		t.Fatalf("depth after compute = %d", d)
+	}
+}
+
+func TestLocalSaturationFailsFast(t *testing.T) {
+	pool := campaign.NewPool(1, 0, nil)
+	defer pool.Close()
+	l := NewLocal(pool, func(context.Context, Spec) ([]byte, error) {
+		t.Error("eval must not run on a saturated pool")
+		return nil, nil
+	}, 0)
+	// Occupy the single worker directly: a blocking Submit on an
+	// unbuffered queue returns only once the worker has picked the task
+	// up, so the pool is deterministically saturated afterwards.
+	// (TrySubmit itself cannot do this reliably — it fails fast whenever
+	// the worker isn't parked in receive at that exact instant.)
+	block := make(chan struct{})
+	defer close(block)
+	if err := pool.Submit(context.Background(), func(int) { <-block }); err != nil {
+		t.Fatalf("occupying worker: %v", err)
+	}
+	_, err := l.Compute(context.Background(), "k2", Spec{})
+	if !errors.Is(err, campaign.ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+}
+
+func TestLocalComputeTimeout(t *testing.T) {
+	pool := campaign.NewPool(1, 1, nil)
+	defer pool.Close()
+	l := NewLocal(pool, func(ctx context.Context, _ Spec) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, 10*time.Millisecond)
+	_, err := l.Compute(context.Background(), "k", Spec{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}

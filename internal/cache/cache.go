@@ -1,0 +1,163 @@
+// Package cache provides the serving layer's tiered response cache: a
+// Tier interface over byte blobs keyed by canonical spec keys, an
+// in-heap byte-budgeted LRU (tier 0), a crash-safe size-bounded on-disk
+// tier (tier 1), and a Tiered combinator that promotes lower-tier hits
+// upward and keeps per-tier statistics.
+//
+// Values are immutable once stored: Get returns shared slices that
+// callers must not mutate, which is what lets one marshaled response be
+// served byte-identically to every client.
+package cache
+
+import (
+	"sync/atomic"
+
+	"readduo/internal/telemetry"
+)
+
+// Tier is one cache level. Implementations are safe for concurrent use.
+type Tier interface {
+	// Name labels the tier in stats and telemetry ("lru", "disk").
+	Name() string
+	// Get returns the cached bytes for key. The slice is shared; callers
+	// must not mutate it.
+	Get(key string) ([]byte, bool)
+	// Put stores val under key, evicting older entries as needed to hold
+	// the tier's budget. It returns how many entries were evicted. A
+	// value too large for the whole tier is not stored.
+	Put(key string, val []byte) (evicted int)
+	// Len returns the number of entries currently held.
+	Len() int
+	// Bytes returns the accounted size of the tier.
+	Bytes() int64
+	// Close releases tier resources (flushes, file handles). The tier
+	// must not be used afterwards.
+	Close() error
+}
+
+// TierStats is one tier's live counters, surfaced on /statusz.
+type TierStats struct {
+	Name      string  `json:"name"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// tierState pairs a Tier with its counters and telemetry probes.
+type tierState struct {
+	tier      Tier
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	telHits *telemetry.Counter
+	telMiss *telemetry.Counter
+	telEvic *telemetry.Counter
+}
+
+// Tiered chains cache tiers: Get walks top-down and promotes a
+// lower-tier hit into every tier above it; Put writes through to all
+// tiers. With a single tier it behaves exactly like that tier plus
+// accounting, so the local-only topology pays nothing for the layering.
+type Tiered struct {
+	tiers []*tierState
+}
+
+// NewTiered builds the chain from the given tiers, top (fastest) first.
+// sink, when non-nil, receives per-tier hit/miss/eviction counters named
+// "tier.<name>.hits" etc.; a nil sink disables probes (telemetry's
+// nil-metric contract).
+func NewTiered(sink *telemetry.Sink, tiers ...Tier) *Tiered {
+	t := &Tiered{}
+	for _, tier := range tiers {
+		st := &tierState{tier: tier}
+		st.telHits = sink.Counter("tier." + tier.Name() + ".hits")
+		st.telMiss = sink.Counter("tier." + tier.Name() + ".misses")
+		st.telEvic = sink.Counter("tier." + tier.Name() + ".evictions")
+		t.tiers = append(t.tiers, st)
+	}
+	return t
+}
+
+// Get returns the first tier's bytes for key, promoting a hit from a
+// lower tier into every tier above it so the next lookup is a tier-0
+// hit.
+func (t *Tiered) Get(key string) ([]byte, bool) {
+	for i, st := range t.tiers {
+		if val, ok := st.tier.Get(key); ok {
+			st.hits.Add(1)
+			st.telHits.Inc()
+			for j := i - 1; j >= 0; j-- {
+				up := t.tiers[j]
+				if n := up.tier.Put(key, val); n > 0 {
+					up.evictions.Add(uint64(n))
+					up.telEvic.Add(uint64(n))
+				}
+			}
+			return val, true
+		}
+		st.misses.Add(1)
+		st.telMiss.Inc()
+	}
+	return nil, false
+}
+
+// Put writes val through to every tier.
+func (t *Tiered) Put(key string, val []byte) {
+	for _, st := range t.tiers {
+		if n := st.tier.Put(key, val); n > 0 {
+			st.evictions.Add(uint64(n))
+			st.telEvic.Add(uint64(n))
+		}
+	}
+}
+
+// Len returns the top tier's entry count (the working-set gauge).
+func (t *Tiered) Len() int {
+	if len(t.tiers) == 0 {
+		return 0
+	}
+	return t.tiers[0].tier.Len()
+}
+
+// Bytes returns the top tier's accounted size.
+func (t *Tiered) Bytes() int64 {
+	if len(t.tiers) == 0 {
+		return 0
+	}
+	return t.tiers[0].tier.Bytes()
+}
+
+// Stats snapshots every tier's counters, top first.
+func (t *Tiered) Stats() []TierStats {
+	out := make([]TierStats, len(t.tiers))
+	for i, st := range t.tiers {
+		s := TierStats{
+			Name:      st.tier.Name(),
+			Entries:   st.tier.Len(),
+			Bytes:     st.tier.Bytes(),
+			Hits:      st.hits.Load(),
+			Misses:    st.misses.Load(),
+			Evictions: st.evictions.Load(),
+		}
+		if total := s.Hits + s.Misses; total > 0 {
+			s.HitRate = float64(s.Hits) / float64(total)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Close closes every tier, returning the first error.
+func (t *Tiered) Close() error {
+	var first error
+	for _, st := range t.tiers {
+		if err := st.tier.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

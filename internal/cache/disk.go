@@ -1,0 +1,253 @@
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Disk is a size-bounded on-disk cache tier, content-addressed by the
+// canonical spec key: each entry is one file named by the key's SHA-256,
+// holding a small header (magic + key, so a hash collision or stale file
+// can never answer the wrong spec) followed by the value bytes. Writes
+// are crash-safe: the entry is assembled in a temp file in the same
+// directory and renamed into place, so a crash leaves either the old
+// entry, the new entry, or a *.tmp leftover that the next Open sweeps —
+// never a torn file under the content-addressed name.
+//
+// The byte budget is enforced by an in-memory LRU index over file
+// costs, rebuilt on Open from the directory itself (mtime order), so a
+// restarted server reuses the previous process's tier.
+type Disk struct {
+	dir      string
+	capacity int64
+
+	mu    sync.Mutex
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type diskEntry struct {
+	name string // file base name (hex digest)
+	cost int64  // file size in bytes
+}
+
+const diskMagic = "RDC1"
+
+// OpenDisk opens (creating if needed) a disk tier rooted at dir with the
+// given byte budget. Leftover temp files from a crashed writer are
+// removed; existing entries are indexed oldest-first so eviction order
+// survives restarts. If the directory's contents exceed the budget, the
+// oldest entries are evicted immediately.
+func OpenDisk(dir string, capacity int64) (*Disk, error) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk tier %s: %w", dir, err)
+	}
+	d := &Disk{
+		dir:      dir,
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: disk tier %s: %w", dir, err)
+	}
+	type found struct {
+		diskEntry
+		mtime int64
+	}
+	var scan []found
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		if strings.Contains(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // crashed writer's leftover
+			continue
+		}
+		if !isHexDigest(name) {
+			continue // not ours; leave it alone
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		scan = append(scan, found{diskEntry{name: name, cost: info.Size()}, info.ModTime().UnixNano()})
+	}
+	sort.Slice(scan, func(i, j int) bool { return scan[i].mtime < scan[j].mtime })
+	for _, f := range scan {
+		ent := f.diskEntry
+		d.items[ent.name] = d.ll.PushFront(&ent)
+		d.size += ent.cost
+	}
+	d.mu.Lock()
+	d.evictLocked()
+	d.mu.Unlock()
+	return d, nil
+}
+
+func isHexDigest(name string) bool {
+	if len(name) != sha256.Size*2 {
+		return false
+	}
+	_, err := hex.DecodeString(name)
+	return err == nil
+}
+
+func keyFile(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Name implements Tier.
+func (d *Disk) Name() string { return "disk" }
+
+// Get reads the entry for key, verifying the stored key matches. A
+// missing, torn, or mismatched file is treated as a miss and dropped
+// from the tier.
+func (d *Disk) Get(key string) ([]byte, bool) {
+	name := keyFile(key)
+	d.mu.Lock()
+	el, ok := d.items[name]
+	if !ok {
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.ll.MoveToFront(el)
+	d.mu.Unlock()
+
+	val, err := readEntry(filepath.Join(d.dir, name), key)
+	if err != nil {
+		d.mu.Lock()
+		if el, ok := d.items[name]; ok {
+			d.dropLocked(el)
+		}
+		d.mu.Unlock()
+		os.Remove(filepath.Join(d.dir, name))
+		return nil, false
+	}
+	return val, true
+}
+
+func readEntry(path, key string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := len(diskMagic) + 4
+	if len(data) < hdr || string(data[:len(diskMagic)]) != diskMagic {
+		return nil, fmt.Errorf("cache: %s: bad header", path)
+	}
+	klen := int(binary.LittleEndian.Uint32(data[len(diskMagic):hdr]))
+	if len(data) < hdr+klen {
+		return nil, fmt.Errorf("cache: %s: truncated key", path)
+	}
+	if string(data[hdr:hdr+klen]) != key {
+		return nil, fmt.Errorf("cache: %s: key mismatch", path)
+	}
+	return data[hdr+klen:], nil
+}
+
+// Put stores val under key via temp-file + rename, evicting
+// least-recently-used entries until the byte budget holds. A value whose
+// on-disk cost exceeds the whole budget is not stored.
+func (d *Disk) Put(key string, val []byte) (evicted int) {
+	name := keyFile(key)
+	cost := int64(len(diskMagic)+4+len(key)) + int64(len(val))
+	if cost > d.capacity {
+		return 0
+	}
+	path := filepath.Join(d.dir, name)
+	if err := writeEntry(d.dir, path, key, val); err != nil {
+		return 0 // a failed write leaves the tier as it was
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.items[name]; ok {
+		ent := el.Value.(*diskEntry)
+		d.size += cost - ent.cost
+		ent.cost = cost
+		d.ll.MoveToFront(el)
+	} else {
+		d.items[name] = d.ll.PushFront(&diskEntry{name: name, cost: cost})
+		d.size += cost
+	}
+	return d.evictLocked()
+}
+
+func writeEntry(dir, path, key string, val []byte) error {
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(key)))
+	for _, chunk := range [][]byte{[]byte(diskMagic), hdr[:], []byte(key), val} {
+		if _, err := tmp.Write(chunk); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// evictLocked removes LRU entries (and their files) until the budget
+// holds. Caller holds d.mu.
+func (d *Disk) evictLocked() (evicted int) {
+	for d.size > d.capacity {
+		back := d.ll.Back()
+		if back == nil {
+			break
+		}
+		d.dropLocked(back)
+		os.Remove(filepath.Join(d.dir, back.Value.(*diskEntry).name))
+		evicted++
+	}
+	return evicted
+}
+
+// dropLocked removes an entry from the index only. Caller holds d.mu.
+func (d *Disk) dropLocked(el *list.Element) {
+	ent := el.Value.(*diskEntry)
+	d.ll.Remove(el)
+	delete(d.items, ent.name)
+	d.size -= ent.cost
+}
+
+// Len returns the number of indexed entries.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ll.Len()
+}
+
+// Bytes returns the accounted on-disk size of the tier.
+func (d *Disk) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.size
+}
+
+// Close implements Tier. Entries stay on disk for the next Open.
+func (d *Disk) Close() error { return nil }

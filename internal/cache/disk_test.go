@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte(`{"answer":42}` + "\n")
+	d.Put("mc|n=5|seed=1", val)
+	got, ok := d.Get("mc|n=5|seed=1")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("got %q, %v", got, ok)
+	}
+	if _, ok := d.Get("mc|n=5|seed=2"); ok {
+		t.Fatal("hit for a key never stored")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len=%d, want 1", d.Len())
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("k1", []byte("v1"))
+	d.Put("k2", []byte("v2"))
+	d.Close()
+
+	d2, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 2 {
+		t.Fatalf("reopened len=%d, want 2", d2.Len())
+	}
+	got, ok := d2.Get("k1")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("reopened get k1 = %q, %v", got, ok)
+	}
+}
+
+func TestDiskEvictsByBytes(t *testing.T) {
+	dir := t.TempDir()
+	// Each entry costs header(8) + key(2) + value(20) = 30 bytes.
+	d, err := OpenDisk(dir, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k1", "k2", "k3"} {
+		d.Put(k, make([]byte, 20))
+	}
+	if d.Len() != 3 || d.Bytes() != 90 {
+		t.Fatalf("len=%d bytes=%d, want 3/90", d.Len(), d.Bytes())
+	}
+	if ev := d.Put("k4", make([]byte, 20)); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	if _, ok := d.Get("k1"); ok {
+		t.Fatal("oldest entry survived")
+	}
+	files, _ := os.ReadDir(dir)
+	if len(files) != 3 {
+		t.Fatalf("%d files on disk, want 3", len(files))
+	}
+}
+
+func TestDiskOversizedValueNotStored(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("k", make([]byte, 64))
+	if d.Len() != 0 {
+		t.Fatal("oversized value stored")
+	}
+}
+
+func TestDiskSweepsTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crashed writer: a torn temp file next to a good entry.
+	leftover := filepath.Join(dir, keyFile("k")+".tmp123")
+	if err := os.WriteFile(leftover, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Fatal("temp leftover not swept at open")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("len=%d, want 0", d.Len())
+	}
+}
+
+func TestDiskCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("k", []byte("value"))
+	// Corrupt the file behind the tier's back (torn write, bit rot).
+	path := filepath.Join(dir, keyFile("k"))
+	if err := os.WriteFile(path, []byte("RD"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if d.Len() != 0 {
+		t.Fatal("corrupt entry still indexed")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not removed")
+	}
+}
+
+func TestDiskKeyMismatchIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("real-key", []byte("value"))
+	// Plant a file under another key's digest name with the wrong stored
+	// key — the header check must refuse to serve it.
+	other := keyFile("victim-key")
+	if err := os.Rename(filepath.Join(dir, keyFile("real-key")), filepath.Join(dir, other)); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d2, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.Get("victim-key"); ok {
+		t.Fatal("entry with mismatched stored key served")
+	}
+}
+
+func TestDiskReopenEvictsOverBudget(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []string{"k1", "k2", "k3"} {
+		d.Put(k, make([]byte, 20))
+		// Distinct mtimes so reopen ordering is deterministic even on
+		// coarse filesystem timestamps.
+		mt := time.Now().Add(time.Duration(i-3) * time.Second)
+		os.Chtimes(filepath.Join(dir, keyFile(k)), mt, mt)
+	}
+	d.Close()
+	d2, err := OpenDisk(dir, 60) // room for two 30-byte entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 2 {
+		t.Fatalf("reopened len=%d, want 2", d2.Len())
+	}
+	if _, ok := d2.Get("k1"); ok {
+		t.Fatal("oldest entry survived the shrunken budget")
+	}
+}

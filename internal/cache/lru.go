@@ -1,15 +1,16 @@
-package server
+package cache
 
 import (
 	"container/list"
 	"sync"
 )
 
-// lruCache is a byte-budgeted LRU of marshaled responses. Bounding by
-// bytes rather than entry count is what makes the service's memory
-// bounded under arbitrary request mixes: a handful of giant tables and
-// thousands of tiny policy checks cost what they actually weigh.
-type lruCache struct {
+// LRU is a byte-budgeted in-heap cache of marshaled responses — tier 0
+// of the serving cache. Bounding by bytes rather than entry count is
+// what makes the service's memory bounded under arbitrary request
+// mixes: a handful of giant tables and thousands of tiny policy checks
+// cost what they actually weigh.
+type LRU struct {
 	mu       sync.Mutex
 	capacity int64
 	size     int64
@@ -27,20 +28,24 @@ func entryCost(key string, val []byte) int64 {
 	return int64(len(key) + len(val))
 }
 
-func newLRUCache(capacity int64) *lruCache {
+// NewLRU builds an LRU holding at most capacity bytes of keys+values.
+func NewLRU(capacity int64) *LRU {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &lruCache{
+	return &LRU{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 	}
 }
 
+// Name implements Tier.
+func (c *LRU) Name() string { return "lru" }
+
 // Get returns the cached bytes for key, refreshing its recency. The
 // returned slice is shared and must not be mutated by callers.
-func (c *lruCache) Get(key string) ([]byte, bool) {
+func (c *LRU) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -55,7 +60,7 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 // the byte budget holds. It returns how many entries were evicted. A
 // value exceeding the whole budget is not cached at all (storing it
 // would evict everything for a single entry).
-func (c *lruCache) Put(key string, val []byte) (evicted int) {
+func (c *LRU) Put(key string, val []byte) (evicted int) {
 	cost := entryCost(key, val)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -86,15 +91,18 @@ func (c *lruCache) Put(key string, val []byte) (evicted int) {
 }
 
 // Len returns the number of cached entries.
-func (c *lruCache) Len() int {
+func (c *LRU) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
 // Bytes returns the accounted size of the cache.
-func (c *lruCache) Bytes() int64 {
+func (c *LRU) Bytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.size
 }
+
+// Close implements Tier; an in-heap tier has nothing to release.
+func (c *LRU) Close() error { return nil }

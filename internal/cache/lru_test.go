@@ -1,0 +1,90 @@
+package cache
+
+import "testing"
+
+func TestLRUEvictsByBytes(t *testing.T) {
+	c := NewLRU(30)
+	c.Put("a", make([]byte, 9)) // cost 10
+	c.Put("b", make([]byte, 9))
+	c.Put("c", make([]byte, 9))
+	if c.Len() != 3 || c.Bytes() != 30 {
+		t.Fatalf("len=%d bytes=%d, want 3/30", c.Len(), c.Bytes())
+	}
+	if ev := c.Put("d", make([]byte, 9)); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for _, k := range []string{"b", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %q missing", k)
+		}
+	}
+}
+
+func TestLRUGetRefreshesRecency(t *testing.T) {
+	c := NewLRU(30)
+	c.Put("a", make([]byte, 9))
+	c.Put("b", make([]byte, 9))
+	c.Put("c", make([]byte, 9))
+	c.Get("a") // a becomes MRU; b is now LRU
+	c.Put("d", make([]byte, 9))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("refreshed entry a evicted")
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("k", []byte("short"))
+	c.Put("k", []byte("a-longer-value"))
+	if c.Len() != 1 {
+		t.Fatalf("len=%d after update, want 1", c.Len())
+	}
+	v, ok := c.Get("k")
+	if !ok || string(v) != "a-longer-value" {
+		t.Fatalf("got %q, %v", v, ok)
+	}
+	if want := entryCost("k", []byte("a-longer-value")); c.Bytes() != want {
+		t.Fatalf("bytes=%d, want %d", c.Bytes(), want)
+	}
+}
+
+func TestLRUOversizedValueNotCached(t *testing.T) {
+	c := NewLRU(10)
+	if ev := c.Put("k", make([]byte, 100)); ev != 0 {
+		t.Fatalf("oversized put evicted %d", ev)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("oversized value cached")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("len=%d bytes=%d after oversized put", c.Len(), c.Bytes())
+	}
+}
+
+func TestLRUGrowingUpdateEvictsOthers(t *testing.T) {
+	c := NewLRU(30)
+	c.Put("a", make([]byte, 9))
+	c.Put("b", make([]byte, 9))
+	c.Put("c", make([]byte, 9))
+	// Growing c beyond its old size must evict to rebalance.
+	if ev := c.Put("c", make([]byte, 19)); ev == 0 {
+		t.Fatal("growing update evicted nothing")
+	}
+	if c.Bytes() > 30 {
+		t.Fatalf("budget exceeded: %d", c.Bytes())
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := NewLRU(0)
+	c.Put("k", []byte("v"))
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}

@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"readduo/internal/telemetry"
+)
+
+func TestTieredWriteThroughAndPromotion(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru := NewLRU(1 << 10)
+	tc := NewTiered(nil, lru, disk)
+	defer tc.Close()
+
+	val := []byte("response-bytes\n")
+	tc.Put("k", val)
+	if lru.Len() != 1 || disk.Len() != 1 {
+		t.Fatalf("write-through missed a tier: lru=%d disk=%d", lru.Len(), disk.Len())
+	}
+
+	// Evict from tier 0 only; the next Get must hit disk and promote.
+	lruOnly := NewLRU(1 << 10)
+	tc2 := NewTiered(nil, lruOnly, disk)
+	got, ok := tc2.Get("k")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("tiered get = %q, %v", got, ok)
+	}
+	if lruOnly.Len() != 1 {
+		t.Fatal("disk hit not promoted into tier 0")
+	}
+	stats := tc2.Stats()
+	if stats[0].Name != "lru" || stats[1].Name != "disk" {
+		t.Fatalf("tier order: %+v", stats)
+	}
+	if stats[0].Misses != 1 || stats[1].Hits != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// Promoted: a second Get is a tier-0 hit.
+	if _, ok := tc2.Get("k"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if s := tc2.Stats()[0]; s.Hits != 1 || s.HitRate != 0.5 {
+		t.Fatalf("tier-0 stats after promotion: %+v", s)
+	}
+}
+
+func TestTieredMissCountsEveryTier(t *testing.T) {
+	reg := telemetry.NewRegistry("test")
+	tc := NewTiered(reg.Sink("cache"), NewLRU(64), NewLRU(64))
+	if _, ok := tc.Get("absent"); ok {
+		t.Fatal("hit for absent key")
+	}
+	for i, s := range tc.Stats() {
+		if s.Misses != 1 || s.Hits != 0 {
+			t.Fatalf("tier %d stats: %+v", i, s)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cache.tier.lru.misses"] != 2 {
+		t.Fatalf("telemetry misses: %v", snap.Counters)
+	}
+}
+
+func TestTieredSingleTierBehavesLikeTier(t *testing.T) {
+	tc := NewTiered(nil, NewLRU(1<<10))
+	tc.Put("k", []byte("v"))
+	if got, ok := tc.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	if tc.Len() != 1 || tc.Bytes() != int64(len("k")+len("v")) {
+		t.Fatalf("len=%d bytes=%d", tc.Len(), tc.Bytes())
+	}
+}

@@ -8,11 +8,9 @@ import (
 	"net/http"
 	"strconv"
 
+	"readduo/internal/backend"
 	"readduo/internal/campaign"
-	"readduo/internal/lifetime"
-	"readduo/internal/reliability"
 	"readduo/internal/sim"
-	"readduo/internal/trace"
 )
 
 // Response shapes. These are the service's wire contract; they flatten
@@ -88,27 +86,7 @@ func (s *Server) handleLER(w http.ResponseWriter, r *http.Request) {
 		}
 		return qv.floatList("intervals", &req.Intervals)
 	})
-	if err == nil {
-		err = req.normalize(s.cfg.limits())
-	}
-	if err != nil {
-		s.writeError(w, r, err)
-		return
-	}
-	s.serve(w, r, req.Key(), func(context.Context) (any, error) {
-		an, err := reliability.NewAnalyzer(req.cfg)
-		if err != nil {
-			return nil, err
-		}
-		tab := an.BuildTable(req.Intervals, req.ECCs)
-		return lerResponse{
-			Metric:    req.Metric,
-			Intervals: tab.Intervals,
-			ECCs:      tab.ECCs,
-			Targets:   tab.Targets,
-			Values:    tab.Values,
-		}, nil
-	})
+	s.dispatch(w, r, opLER, &req, err)
 }
 
 // handlePolicy serves one (E, S, W) scrub-policy verdict.
@@ -124,33 +102,7 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 		}
 		return qv.int("w", &req.W)
 	})
-	if err == nil {
-		err = req.normalize(s.cfg.limits())
-	}
-	if err != nil {
-		s.writeError(w, r, err)
-		return
-	}
-	s.serve(w, r, req.Key(), func(context.Context) (any, error) {
-		an, err := reliability.NewAnalyzer(req.cfg)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := an.Check(reliability.Policy{E: req.E, S: req.S, W: req.W})
-		if err != nil {
-			return nil, err
-		}
-		return policyResponse{
-			Metric: req.Metric, E: req.E, S: req.S, W: req.W,
-			FirstInterval:  rep.FirstInterval,
-			SecondInterval: rep.SecondInterval,
-			ThirdInterval:  rep.ThirdInterval,
-			TargetFirst:    rep.TargetFirst,
-			TargetSecond:   rep.TargetSecond,
-			TargetThird:    rep.TargetThird,
-			Meets:          rep.Meets,
-		}, nil
-	})
+	s.dispatch(w, r, opPolicy, &req, err)
 }
 
 // handleMC serves a bounded Monte-Carlo endurance study.
@@ -174,37 +126,7 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		}
 		return qv.int("shards", &req.Shards)
 	})
-	if err == nil {
-		err = req.normalize(s.cfg.limits())
-	}
-	if err != nil {
-		s.writeError(w, r, err)
-		return
-	}
-	s.serve(w, r, req.Key(), func(ctx context.Context) (any, error) {
-		res, err := lifetime.SimulateMCContext(ctx, lifetime.MCConfig{
-			Cells:           req.Cells,
-			MedianEndurance: req.MedianEndurance,
-			Sigma:           req.Sigma,
-			WearRate:        req.WearRate,
-			Seed:            req.Seed,
-			Shards:          req.Shards,
-			Workers:         1, // one pool slot per request; fairness over speed
-		})
-		if err != nil {
-			if ctx.Err() == nil {
-				err = badRequestError{err} // MCConfig.Validate rejection
-			}
-			return nil, err
-		}
-		return mcResponse{
-			Cells: req.Cells, Seed: req.Seed, Shards: req.Shards,
-			FirstFailSeconds: res.FirstFailSeconds,
-			P01Seconds:       res.P01Seconds,
-			MedianSeconds:    res.MedianSeconds,
-			MeanSeconds:      res.MeanSeconds,
-		}, nil
-	})
+	s.dispatch(w, r, opMC, &req, err)
 }
 
 // handleCompare serves a bounded full-system scheme comparison on one
@@ -222,6 +144,15 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		}
 		return qv.int64("seed", &req.Seed)
 	})
+	s.dispatch(w, r, opCompare, &req, err)
+}
+
+// dispatch finishes a compute handler: normalize the decoded request,
+// render it as a backend spec, and serve through the store. decodeErr
+// carries any earlier decode failure so the handlers stay linear.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, op string,
+	req specRequest, decodeErr error) {
+	err := decodeErr
 	if err == nil {
 		err = req.normalize(s.cfg.limits())
 	}
@@ -229,57 +160,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	s.serve(w, r, req.Key(), func(ctx context.Context) (any, error) {
-		spec := campaign.Spec{
-			Benchmarks: []trace.Benchmark{req.bench},
-			Schemes:    req.schemes,
-			Seeds:      []int64{req.Seed},
-			Budget:     req.Budget,
-		}
-		out, err := campaign.Run(ctx, spec, campaign.Options{
-			Parallel:       1, // the request already occupies one pool slot
-			Telemetry:      s.reg,
-			CancelInFlight: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if out.Interrupted {
-			return nil, ctx.Err()
-		}
-		mats, err := out.Matrices(spec)
-		if err != nil {
-			return nil, err
-		}
-		results := mats[0].Matrix.Results[0]
-		resp := compareResponse{
-			Benchmark: req.Benchmark,
-			Budget:    req.Budget,
-			Seed:      req.Seed,
-			Rows:      make([]compareRow, len(results)),
-		}
-		base := results[0].ExecTime.Seconds()
-		for i, res := range results {
-			norm := 0.0
-			if base > 0 {
-				norm = res.ExecTime.Seconds() / base
-			}
-			resp.Rows[i] = compareRow{
-				Scheme:           res.Scheme,
-				ExecSeconds:      res.ExecTime.Seconds(),
-				NormExecTime:     norm,
-				SystemEnergyPJ:   res.SystemEnergyPJ,
-				CellWrites:       res.CellWrites,
-				RReads:           res.RReads,
-				MReads:           res.MReads,
-				RMReads:          res.RMReads,
-				Conversions:      res.Conversions,
-				SilentErrors:     res.SilentErrors,
-				AreaCellsPerLine: res.AreaCellsPerLine,
-			}
-		}
-		return resp, nil
-	})
+	spec, err := specFor(op, req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.serve(w, r, req.Key(), spec)
 }
 
 // handleSchemes serves scheme-spec introspection: the registered
@@ -321,9 +207,8 @@ func schemeNames(schemes []sim.Scheme) []string {
 // serve funnels a cacheable request through the store and translates the
 // outcome onto the wire. Cached and freshly computed responses are the
 // same bytes; X-Cache distinguishes them for observability only.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string,
-	compute func(context.Context) (any, error)) {
-	buf, m, err := s.store.do(r.Context(), key, compute)
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, spec backend.Spec) {
+	buf, m, err := s.store.do(r.Context(), key, spec)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -346,17 +231,24 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string,
 // metrics see an honest status.
 const statusClientClosedRequest = 499
 
-// writeError maps the store/compute error taxonomy onto HTTP statuses.
+// writeError maps the store/backend error taxonomy onto HTTP statuses.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	var status int
 	var bad badRequestError
+	var badSpec backend.BadSpecError
 	switch {
 	case errors.As(err, &bad):
+		status = http.StatusBadRequest
+	case errors.As(err, &badSpec):
+		// A worker rejected the spec deterministically: the client's
+		// request is at fault, not the node.
 		status = http.StatusBadRequest
 	case errors.Is(err, campaign.ErrSaturated):
 		status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
 	case errors.Is(err, campaign.ErrPoolClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, backend.ErrCircuitOpen):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout

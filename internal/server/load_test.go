@@ -30,12 +30,15 @@ func TestLoadMixed10k(t *testing.T) {
 		t.Skip("soak test; run without -short")
 	}
 	reg := telemetry.NewRegistry("load")
-	srv := New(Config{
+	srv, err := New(Config{
 		Workers:    4,
 		QueueDepth: 64,
 		CacheBytes: 1 << 20, // small budget: force evictions under load
 		Registry:   reg,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -168,5 +171,5 @@ func TestLoadMixed10k(t *testing.T) {
 	}
 	t.Logf("statuses: %v; cache hits=%d shared=%d computed=%d evictions=%d",
 		counts.byStatus, hits, snap.Counters["server.flight.shared"],
-		snap.Counters["server.compute.ok"], snap.Counters["server.cache.evictions"])
+		snap.Counters["server.compute.ok"], snap.Counters["server.cache.tier.lru.evictions"])
 }

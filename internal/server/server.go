@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"readduo/internal/backend"
+	"readduo/internal/cache"
 	"readduo/internal/campaign"
 	_ "readduo/internal/corpus" // register corpus:* scenarios for the spec grammar
 	"readduo/internal/telemetry"
@@ -29,8 +31,25 @@ type Config struct {
 	// past that the pool refuses and the server answers 429. <= 0
 	// selects 2x workers.
 	QueueDepth int
-	// CacheBytes budgets the response cache; <= 0 selects 64 MiB.
+	// CacheBytes budgets the in-heap response cache tier; <= 0 selects
+	// 64 MiB.
 	CacheBytes int64
+	// DiskCacheDir, when non-empty, adds an on-disk cache tier below the
+	// in-heap one: entries evicted from (or missing in) the heap tier are
+	// served from disk and promoted back on hit. The directory is created
+	// if absent and survives restarts.
+	DiskCacheDir string
+	// DiskCacheBytes budgets the disk tier; <= 0 selects 256 MiB. Ignored
+	// without DiskCacheDir.
+	DiskCacheBytes int64
+	// RemoteWorkers lists worker base addresses (host:port). When
+	// non-empty the server routes computations across them by consistent
+	// hashing of the canonical spec key, degrading to local compute when
+	// a worker fails or its circuit is open.
+	RemoteWorkers []string
+	// Backend, when non-nil, replaces the backend entirely (tests inject
+	// fault models here). Overrides RemoteWorkers.
+	Backend backend.Backend
 	// RequestTimeout caps a request's wall time end to end; <= 0 selects
 	// 30 s.
 	RequestTimeout time.Duration
@@ -62,6 +81,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 64 << 20
+	}
+	if c.DiskCacheBytes <= 0 {
+		c.DiskCacheBytes = 256 << 20
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -96,7 +118,9 @@ func (c Config) limits() limits {
 }
 
 // serverProbes is the HTTP layer's instrumentation (the store has its
-// own); nil-safe like every telemetry metric.
+// own); nil-safe like every telemetry metric. The scope parameterizes
+// the sink so the serve frontend ("server") and the worker binary
+// ("worker") share the implementation without colliding metrics.
 type serverProbes struct {
 	sink      *telemetry.Sink
 	requests  *telemetry.Counter
@@ -108,8 +132,8 @@ type serverProbes struct {
 	byStatus map[int]*telemetry.Counter
 }
 
-func newServerProbes(reg *telemetry.Registry) *serverProbes {
-	s := reg.Sink("server")
+func newServerProbes(reg *telemetry.Registry, scope string) *serverProbes {
+	s := reg.Sink(scope)
 	return &serverProbes{
 		sink:      s,
 		requests:  s.Counter("http.requests"),
@@ -133,16 +157,20 @@ func (p *serverProbes) errsByStatus(status int) *telemetry.Counter {
 }
 
 // Server is the readduo-serve HTTP service: a mux over the query
-// handlers, a store (cache + singleflight + pool), and a drain-aware
-// lifecycle.
+// handlers, a store (tiered cache + singleflight + backend), and a
+// drain-aware lifecycle.
 type Server struct {
-	cfg   Config
-	reg   *telemetry.Registry
-	tel   *serverProbes
-	pool  *campaign.Pool
-	store *store
-	mux   *http.ServeMux
-	http  *http.Server
+	cfg         Config
+	reg         *telemetry.Registry
+	tel         *serverProbes
+	pool        *campaign.Pool
+	be          backend.Backend
+	backendKind string
+	remote      *backend.Remote // nil unless RemoteWorkers configured
+	cache       *cache.Tiered
+	store       *store
+	mux         *http.ServeMux
+	http        *http.Server
 
 	// base is the server lifetime; cancelling it aborts every in-flight
 	// computation during shutdown.
@@ -154,13 +182,15 @@ type Server struct {
 }
 
 // New builds a Server from cfg (defaults applied; cfg is not mutated).
-func New(cfg Config) *Server {
+// It errors only on backend/disk-tier construction: an unusable cache
+// directory or an empty worker list.
+func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Registry,
-		tel:        newServerProbes(cfg.Registry),
+		tel:        newServerProbes(cfg.Registry, "server"),
 		base:       base,
 		cancelBase: cancel,
 	}
@@ -168,7 +198,43 @@ func New(cfg Config) *Server {
 	s.pool = campaign.NewPool(cfg.Workers, cfg.QueueDepth, func(d time.Duration) {
 		queueWait.Observe(uint64(d.Milliseconds()))
 	})
-	s.store = newStore(base, s.pool, cfg.CacheBytes, cfg.ComputeTimeout, cfg.Registry)
+
+	local := backend.NewLocal(s.pool, newEvaluator(cfg.limits(), cfg.Registry), cfg.ComputeTimeout)
+	switch {
+	case cfg.Backend != nil:
+		s.be = cfg.Backend
+		s.backendKind = "custom"
+	case len(cfg.RemoteWorkers) > 0:
+		r, err := backend.NewRemote(cfg.RemoteWorkers, local, backend.RemoteOptions{
+			ComputeTimeout: cfg.ComputeTimeout,
+			Sink:           cfg.Registry.Sink("server"),
+		})
+		if err != nil {
+			cancel()
+			s.pool.Close()
+			return nil, err
+		}
+		s.be = r
+		s.remote = r
+		s.backendKind = fmt.Sprintf("remote[%d]", len(cfg.RemoteWorkers))
+	default:
+		s.be = local
+		s.backendKind = "local"
+	}
+
+	tiers := []cache.Tier{cache.NewLRU(cfg.CacheBytes)}
+	if cfg.DiskCacheDir != "" {
+		disk, err := cache.OpenDisk(cfg.DiskCacheDir, cfg.DiskCacheBytes)
+		if err != nil {
+			cancel()
+			s.pool.Close()
+			s.be.Close()
+			return nil, err
+		}
+		tiers = append(tiers, disk)
+	}
+	s.cache = cache.NewTiered(cfg.Registry.Sink("server.cache"), tiers...)
+	s.store = newStore(base, s.be, s.cache, cfg.Registry)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/ler", s.instrument(s.handleLER))
@@ -178,8 +244,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/schemes", s.instrument(s.handleSchemes))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.http = &http.Server{Handler: s.mux}
-	return s
+	return s, nil
 }
 
 // Handler exposes the full route table (useful under httptest).
@@ -226,6 +293,34 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte(fmt.Sprintf("{\"status\":\"ready\",\"queue_depth\":%d}\n", s.pool.Depth())))
 }
 
+// statuszResponse is the /statusz wire shape: a live snapshot of the
+// serving pipeline for operators and the multi-node smoke test.
+type statuszResponse struct {
+	Backend         string               `json:"backend"`
+	Workers         []backend.NodeStatus `json:"workers,omitempty"`
+	PoolDepth       int                  `json:"pool_depth"`
+	BackendDepth    int                  `json:"backend_depth"`
+	InflightFlights int                  `json:"inflight_flights"`
+	CacheTiers      []cache.TierStats    `json:"cache_tiers"`
+}
+
+// handleStatusz reports the backend kind, per-tier cache statistics,
+// pool depth and in-flight singleflight count. Uninstrumented like
+// /healthz: status probes must not skew request metrics.
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	resp := statuszResponse{
+		Backend:         s.backendKind,
+		PoolDepth:       s.pool.Depth(),
+		BackendDepth:    s.be.Depth(),
+		InflightFlights: s.store.flights.Len(),
+		CacheTiers:      s.cache.Stats(),
+	}
+	if s.remote != nil {
+		resp.Workers = s.remote.Nodes()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
 // Start binds the listener and serves until Shutdown. It returns once
 // the listener is accepting (the caller learns the bound address via
 // Addr); Serve errors after a clean Shutdown are swallowed.
@@ -255,12 +350,15 @@ func (s *Server) Addr() string {
 
 // Shutdown drains gracefully: readiness flips off, the HTTP server
 // stops accepting and waits for handlers up to ctx's deadline, then the
-// base context aborts whatever computations are still running and the
-// pool drains. Safe to call once.
+// base context aborts whatever computations are still running, the pool
+// drains, and the backend and cache tiers release their resources.
+// Safe to call once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
 	err := s.http.Shutdown(ctx)
 	s.cancelBase()
 	s.pool.Close()
+	s.be.Close()
+	s.cache.Close()
 	return err
 }

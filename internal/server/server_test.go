@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"readduo/internal/backend"
 	"readduo/internal/telemetry"
 )
 
@@ -18,7 +19,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry("test")
 	}
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -273,7 +277,10 @@ func TestClientCancellationPropagates(t *testing.T) {
 
 func TestHealthzAndReadyz(t *testing.T) {
 	reg := telemetry.NewRegistry("test")
-	srv := New(Config{Addr: "127.0.0.1:0", Registry: reg})
+	srv, err := New(Config{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -314,11 +321,99 @@ func TestHealthzAndReadyz(t *testing.T) {
 	}
 }
 
+// TestStatusz checks the operational snapshot: backend kind, per-tier
+// cache statistics with observed hit/miss counts, pool depth and
+// singleflight gauge all present and coherent.
+func TestStatusz(t *testing.T) {
+	_, ts := newTestServer(t, Config{DiskCacheDir: t.TempDir(), DiskCacheBytes: 1 << 20})
+	get(t, ts, "/v1/policy?e=8&s=16") // miss, computes
+	get(t, ts, "/v1/policy?e=8&s=16") // hit in the heap tier
+
+	resp, body := get(t, ts, "/statusz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out statuszResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Backend != "local" {
+		t.Fatalf("backend = %q, want local", out.Backend)
+	}
+	if len(out.CacheTiers) != 2 || out.CacheTiers[0].Name != "lru" || out.CacheTiers[1].Name != "disk" {
+		t.Fatalf("cache tiers: %+v", out.CacheTiers)
+	}
+	if out.CacheTiers[0].Entries != 1 || out.CacheTiers[0].Hits != 1 {
+		t.Fatalf("heap tier stats: %+v", out.CacheTiers[0])
+	}
+	if out.CacheTiers[1].Entries != 1 {
+		t.Fatalf("disk tier missing the write-through entry: %+v", out.CacheTiers[1])
+	}
+	if out.PoolDepth != 0 || out.InflightFlights != 0 {
+		t.Fatalf("idle server shows depth=%d flights=%d", out.PoolDepth, out.InflightFlights)
+	}
+}
+
+// faultBackend injects backend failures per request, for taxonomy and
+// cache-poisoning tests at the HTTP layer.
+type faultBackend struct {
+	errs chan error // one error consumed per Compute; nil computes "ok"
+}
+
+func (f *faultBackend) Compute(ctx context.Context, key string, spec backend.Spec) ([]byte, error) {
+	select {
+	case err := <-f.errs:
+		if err != nil {
+			return nil, err
+		}
+	default:
+	}
+	return []byte("{\"ok\":true}\n"), nil
+}
+func (f *faultBackend) Depth() int   { return 0 }
+func (f *faultBackend) Close() error { return nil }
+
+// TestBackendFaultTaxonomy drives injected backend failures through the
+// full HTTP path: an open circuit maps to 503, a worker's deterministic
+// spec rejection to 400, and neither poisons the cache — the next
+// request for the same key recomputes and succeeds.
+func TestBackendFaultTaxonomy(t *testing.T) {
+	fb := &faultBackend{errs: make(chan error, 2)}
+	srv, ts := newTestServer(t, Config{Backend: fb})
+
+	fb.errs <- backend.ErrCircuitOpen
+	resp, body := get(t, ts, "/v1/policy?e=8&s=16")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("circuit open: status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+
+	fb.errs <- backend.BadSpecError{Msg: "worker refused: e out of range"}
+	resp, body = get(t, ts, "/v1/policy?e=8&s=16")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+
+	// Neither failure may have been cached: this request must recompute.
+	resp, body = get(t, ts, "/v1/policy?e=8&s=16")
+	if resp.StatusCode != http.StatusOK || string(body) != "{\"ok\":true}\n" {
+		t.Fatalf("after faults: status %d body %q", resp.StatusCode, body)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Fatalf("X-Cache = %q, want miss (faults must not cache)", xc)
+	}
+	if errs := srv.reg.Sink("server").Counter("compute.errors").Value(); errs != 2 {
+		t.Fatalf("compute.errors = %d, want 2", errs)
+	}
+}
+
 // TestShutdownDrainsInFlight verifies the graceful path: a request in
 // flight when Shutdown begins completes with a real response.
 func TestShutdownDrainsInFlight(t *testing.T) {
 	reg := telemetry.NewRegistry("test")
-	srv := New(Config{Addr: "127.0.0.1:0", Registry: reg, Workers: 2})
+	srv, err := New(Config{Addr: "127.0.0.1:0", Registry: reg, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Start(); err != nil {
 		t.Fatal(err)
 	}

@@ -88,6 +88,13 @@ func (g *flightGroup) settle(key string, f *flight, val []byte, err error) {
 	close(f.done)
 }
 
+// Len reports the number of in-progress flights (for /statusz).
+func (g *flightGroup) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}
+
 // abandon detaches one waiter; the last one out cancels the computation
 // and frees the key so a later request starts fresh.
 func (g *flightGroup) abandon(key string, f *flight) {

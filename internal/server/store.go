@@ -2,21 +2,22 @@ package server
 
 import (
 	"context"
-	"encoding/json"
-	"fmt"
+	"errors"
 	"time"
 
+	"readduo/internal/backend"
+	"readduo/internal/cache"
 	"readduo/internal/campaign"
 	"readduo/internal/telemetry"
 )
 
 // storeProbes instruments the cache pipeline. All fields are nil-safe
 // (telemetry's nil-metric contract), so a store without a registry runs
-// probe-free.
+// probe-free. Per-tier hit/miss/eviction counters live inside
+// cache.Tiered; these aggregate the serving pipeline's view.
 type storeProbes struct {
 	hits      *telemetry.Counter
 	misses    *telemetry.Counter
-	evictions *telemetry.Counter
 	shared    *telemetry.Counter
 	computed  *telemetry.Counter
 	errors    *telemetry.Counter
@@ -31,7 +32,6 @@ func newStoreProbes(reg *telemetry.Registry) storeProbes {
 	return storeProbes{
 		hits:      s.Counter("cache.hits"),
 		misses:    s.Counter("cache.misses"),
-		evictions: s.Counter("cache.evictions"),
 		shared:    s.Counter("flight.shared"),
 		computed:  s.Counter("compute.ok"),
 		errors:    s.Counter("compute.errors"),
@@ -42,80 +42,66 @@ func newStoreProbes(reg *telemetry.Registry) storeProbes {
 	}
 }
 
-// store is the serving core: canonical key -> LRU -> singleflight ->
-// bounded pool. It owns no HTTP concerns; handlers translate its error
-// taxonomy (ErrSaturated, context errors) into status codes.
+// store is the serving core: canonical key -> tiered cache ->
+// singleflight -> backend. It owns no HTTP concerns; handlers translate
+// its error taxonomy (ErrSaturated, ErrCircuitOpen, context errors)
+// into status codes. Where the bytes come from — the local pool or a
+// remote worker — is entirely the backend's business.
 type store struct {
-	cache          *lruCache
-	flights        *flightGroup
-	pool           *campaign.Pool
-	computeTimeout time.Duration
-	tel            storeProbes
+	cache   *cache.Tiered
+	flights *flightGroup
+	be      backend.Backend
+	tel     storeProbes
 }
 
 // meta describes how a result was obtained, surfaced as response headers
 // so clients (and the load test) can observe the pipeline.
 type meta struct {
-	Cached bool // served straight from the LRU
+	Cached bool // served straight from a cache tier
 	Shared bool // joined an in-progress flight
 }
 
-func newStore(base context.Context, pool *campaign.Pool, cacheBytes int64,
-	computeTimeout time.Duration, reg *telemetry.Registry) *store {
+func newStore(base context.Context, be backend.Backend, tiers *cache.Tiered,
+	reg *telemetry.Registry) *store {
 	return &store{
-		cache:          newLRUCache(cacheBytes),
-		flights:        newFlightGroup(base),
-		pool:           pool,
-		computeTimeout: computeTimeout,
-		tel:            newStoreProbes(reg),
+		cache:   tiers,
+		flights: newFlightGroup(base),
+		be:      be,
+		tel:     newStoreProbes(reg),
 	}
 }
 
 // do returns the marshaled result for key, computing it at most once per
-// concurrent demand. compute runs on a pool worker under the flight's job
-// context bounded by the compute timeout; its result is marshaled once,
-// cached, and shared byte-identically with every waiter.
-func (s *store) do(ctx context.Context, key string,
-	compute func(context.Context) (any, error)) ([]byte, meta, error) {
+// concurrent demand. The backend produces the finished response bytes
+// under the flight's job context; they are cached write-through and
+// shared byte-identically with every waiter. A failed compute settles
+// the flight with its error and never touches any cache tier.
+func (s *store) do(ctx context.Context, key string, spec backend.Spec) ([]byte, meta, error) {
 	if buf, ok := s.cache.Get(key); ok {
 		s.tel.hits.Inc()
 		return buf, meta{Cached: true}, nil
 	}
 	s.tel.misses.Inc()
 	buf, shared, err := s.flights.Do(ctx, key, func(jobCtx context.Context, report func([]byte, error)) {
-		submitErr := s.pool.TrySubmit(func(int) {
+		go func() {
 			start := time.Now()
-			val, err := func() (any, error) {
-				cctx, cancel := context.WithTimeout(jobCtx, s.computeTimeout)
-				defer cancel()
-				return compute(cctx)
-			}()
+			out, err := s.be.Compute(jobCtx, key, spec)
 			s.tel.computeMS.Observe(uint64(time.Since(start).Milliseconds()))
 			if err != nil {
-				s.tel.errors.Inc()
+				if errors.Is(err, campaign.ErrSaturated) {
+					s.tel.rejected.Inc()
+				} else {
+					s.tel.errors.Inc()
+				}
 				report(nil, err)
 				return
 			}
-			out, err := json.Marshal(val)
-			if err != nil {
-				s.tel.errors.Inc()
-				report(nil, fmt.Errorf("server: marshal result: %w", err))
-				return
-			}
-			out = append(out, '\n')
-			evicted := s.cache.Put(key, out)
-			if evicted > 0 {
-				s.tel.evictions.Add(uint64(evicted))
-			}
+			s.cache.Put(key, out)
 			s.tel.cacheLen.Set(int64(s.cache.Len()))
 			s.tel.cacheB.Set(s.cache.Bytes())
 			s.tel.computed.Inc()
 			report(out, nil)
-		})
-		if submitErr != nil {
-			s.tel.rejected.Inc()
-			report(nil, submitErr)
-		}
+		}()
 	})
 	if shared {
 		s.tel.shared.Inc()

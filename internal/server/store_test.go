@@ -4,36 +4,56 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"readduo/internal/backend"
+	"readduo/internal/cache"
 	"readduo/internal/campaign"
 	"readduo/internal/telemetry"
 )
 
-func newTestStore(t *testing.T, workers, queue int) (*store, *campaign.Pool, *telemetry.Registry) {
+// backendFunc adapts a function to backend.Backend, for fault-injection
+// tests that need precise control over backend behavior.
+type backendFunc func(ctx context.Context, key string, spec backend.Spec) ([]byte, error)
+
+func (f backendFunc) Compute(ctx context.Context, key string, spec backend.Spec) ([]byte, error) {
+	return f(ctx, key, spec)
+}
+func (f backendFunc) Depth() int   { return 0 }
+func (f backendFunc) Close() error { return nil }
+
+// newTestStore wires a store over a Local backend running eval, with a
+// single in-heap cache tier.
+func newTestStore(t *testing.T, workers, queue int, timeout time.Duration,
+	eval backend.Evaluator) (*store, *campaign.Pool, *telemetry.Registry) {
 	t.Helper()
 	reg := telemetry.NewRegistry("test")
 	pool := campaign.NewPool(workers, queue, nil)
 	t.Cleanup(pool.Close)
-	return newStore(context.Background(), pool, 1<<20, time.Minute, reg), pool, reg
+	be := backend.NewLocal(pool, eval, timeout)
+	tiers := cache.NewTiered(nil, cache.NewLRU(1<<20))
+	return newStore(context.Background(), be, tiers, reg), pool, reg
 }
 
-func TestStoreCachesBytes(t *testing.T) {
-	s, _, reg := newTestStore(t, 2, 2)
-	var computes atomic.Int32
-	compute := func(context.Context) (any, error) {
-		computes.Add(1)
-		return map[string]int{"x": 42}, nil
-	}
+var testSpec = backend.Spec{Op: "test"}
 
-	first, m1, err := s.do(context.Background(), "k", compute)
+func TestStoreCachesBytes(t *testing.T) {
+	var computes atomic.Int32
+	s, _, reg := newTestStore(t, 2, 2, time.Minute,
+		func(context.Context, backend.Spec) ([]byte, error) {
+			computes.Add(1)
+			return []byte("{\"x\":42}\n"), nil
+		})
+
+	first, m1, err := s.do(context.Background(), "k", testSpec)
 	if err != nil || m1.Cached {
 		t.Fatalf("first do: meta=%+v err=%v", m1, err)
 	}
-	second, m2, err := s.do(context.Background(), "k", compute)
+	second, m2, err := s.do(context.Background(), "k", testSpec)
 	if err != nil || !m2.Cached {
 		t.Fatalf("second do: meta=%+v err=%v", m2, err)
 	}
@@ -49,14 +69,14 @@ func TestStoreCachesBytes(t *testing.T) {
 }
 
 func TestStoreSingleflightShares(t *testing.T) {
-	s, _, reg := newTestStore(t, 2, 4)
 	var computes atomic.Int32
 	release := make(chan struct{})
-	compute := func(context.Context) (any, error) {
-		computes.Add(1)
-		<-release
-		return "shared", nil
-	}
+	s, _, reg := newTestStore(t, 2, 4, time.Minute,
+		func(context.Context, backend.Spec) ([]byte, error) {
+			computes.Add(1)
+			<-release
+			return []byte("\"shared\"\n"), nil
+		})
 
 	const callers = 6
 	outs := make([][]byte, callers)
@@ -65,7 +85,7 @@ func TestStoreSingleflightShares(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out, _, err := s.do(context.Background(), "k", compute)
+			out, _, err := s.do(context.Background(), "k", testSpec)
 			if err != nil {
 				t.Errorf("caller %d: %v", i, err)
 			}
@@ -95,7 +115,11 @@ func TestStoreSingleflightShares(t *testing.T) {
 }
 
 func TestStoreSaturationFailsFast(t *testing.T) {
-	s, pool, reg := newTestStore(t, 1, 0)
+	s, pool, reg := newTestStore(t, 1, 0, time.Minute,
+		func(context.Context, backend.Spec) ([]byte, error) {
+			t.Error("compute must not run on a saturated pool")
+			return nil, nil
+		})
 	// Occupy the single worker so the unbuffered queue cannot admit.
 	// Submit blocks until the worker picks the task up, so afterwards
 	// the pool is deterministically saturated.
@@ -105,10 +129,7 @@ func TestStoreSaturationFailsFast(t *testing.T) {
 		t.Fatalf("occupying worker: %v", err)
 	}
 
-	_, _, err := s.do(context.Background(), "k", func(context.Context) (any, error) {
-		t.Error("compute must not run on a saturated pool")
-		return nil, nil
-	})
+	_, _, err := s.do(context.Background(), "k", testSpec)
 	if !errors.Is(err, campaign.ErrSaturated) {
 		t.Fatalf("err = %v, want ErrSaturated", err)
 	}
@@ -120,20 +141,19 @@ func TestStoreSaturationFailsFast(t *testing.T) {
 }
 
 func TestStoreComputeErrorNotCached(t *testing.T) {
-	s, _, _ := newTestStore(t, 1, 1)
 	boom := errors.New("boom")
-	calls := 0
-	compute := func(context.Context) (any, error) {
-		calls++
-		if calls == 1 {
-			return nil, boom
-		}
-		return "ok", nil
-	}
-	if _, _, err := s.do(context.Background(), "k", compute); !errors.Is(err, boom) {
+	var calls atomic.Int32
+	s, _, _ := newTestStore(t, 1, 1, time.Minute,
+		func(context.Context, backend.Spec) ([]byte, error) {
+			if calls.Add(1) == 1 {
+				return nil, boom
+			}
+			return []byte("\"ok\"\n"), nil
+		})
+	if _, _, err := s.do(context.Background(), "k", testSpec); !errors.Is(err, boom) {
 		t.Fatalf("first do err = %v, want boom", err)
 	}
-	out, m, err := s.do(context.Background(), "k", compute)
+	out, m, err := s.do(context.Background(), "k", testSpec)
 	if err != nil || m.Cached {
 		t.Fatalf("retry: meta=%+v err=%v", m, err)
 	}
@@ -143,16 +163,83 @@ func TestStoreComputeErrorNotCached(t *testing.T) {
 }
 
 func TestStoreComputeTimeout(t *testing.T) {
-	reg := telemetry.NewRegistry("test")
-	pool := campaign.NewPool(1, 1, nil)
-	t.Cleanup(pool.Close)
-	s := newStore(context.Background(), pool, 1<<20, 10*time.Millisecond, reg)
-
-	_, _, err := s.do(context.Background(), "k", func(ctx context.Context) (any, error) {
-		<-ctx.Done() // honor the compute deadline like the real kernels
-		return nil, ctx.Err()
-	})
+	s, _, _ := newTestStore(t, 1, 1, 10*time.Millisecond,
+		func(ctx context.Context, _ backend.Spec) ([]byte, error) {
+			<-ctx.Done() // honor the compute deadline like the real kernels
+			return nil, ctx.Err()
+		})
+	_, _, err := s.do(context.Background(), "k", testSpec)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestStoreFailedComputeNeverPoisonsTiers drives a store with both an
+// in-heap and a disk tier through a failing backend and verifies that
+// neither tier holds an entry for the key afterwards — a fault must not
+// be served from cache, not even across a restart via the disk tier.
+func TestStoreFailedComputeNeverPoisonsTiers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tier")
+	disk, err := cache.OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru := cache.NewLRU(1 << 20)
+	tiers := cache.NewTiered(nil, lru, disk)
+	t.Cleanup(func() { tiers.Close() })
+
+	boom := errors.New("node exploded")
+	be := backendFunc(func(context.Context, string, backend.Spec) ([]byte, error) {
+		return nil, boom
+	})
+	s := newStore(context.Background(), be, tiers, nil)
+
+	if _, _, err := s.do(context.Background(), "k", testSpec); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if lru.Len() != 0 || disk.Len() != 0 {
+		t.Fatalf("failed compute cached: lru=%d disk=%d entries", lru.Len(), disk.Len())
+	}
+	if _, ok := tiers.Get("k"); ok {
+		t.Fatal("failed compute served from cache")
+	}
+}
+
+// TestStoreDiskTierSurvivesHeapEviction exercises the tiered path end to
+// end: a value pushed out of a tiny heap tier is still served from disk
+// and promoted back, byte-identical.
+func TestStoreDiskTierSurvivesHeapEviction(t *testing.T) {
+	disk, err := cache.OpenDisk(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heap tier fits exactly one of our ~40-byte entries.
+	lru := cache.NewLRU(64)
+	tiers := cache.NewTiered(nil, lru, disk)
+	t.Cleanup(func() { tiers.Close() })
+
+	var computes atomic.Int32
+	be := backendFunc(func(_ context.Context, key string, _ backend.Spec) ([]byte, error) {
+		computes.Add(1)
+		return []byte("{\"key\":\"" + key + "\"}\n"), nil
+	})
+	s := newStore(context.Background(), be, tiers, nil)
+
+	first, _, err := s.do(context.Background(), "a", testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.do(context.Background(), "b", testSpec); err != nil {
+		t.Fatal(err) // evicts "a" from the heap tier
+	}
+	again, m, err := s.do(context.Background(), "a", testSpec)
+	if err != nil || !m.Cached {
+		t.Fatalf("disk-tier read: meta=%+v err=%v", m, err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatalf("disk tier bytes differ: %q vs %q", first, again)
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("computed %d times, want 2 (one per key)", computes.Load())
 	}
 }

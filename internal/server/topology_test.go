@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"readduo/internal/telemetry"
+)
+
+// startWorkerTS runs a Worker under httptest and returns its host:port
+// address (the form RemoteWorkers expects) plus a kill switch.
+func startWorkerTS(t *testing.T) (string, func()) {
+	t.Helper()
+	wk := NewWorker(WorkerConfig{
+		Workers:  2,
+		Registry: telemetry.NewRegistry("worker-test"),
+	})
+	ts := httptest.NewServer(wk.Handler())
+	stop := func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		wk.Shutdown(ctx)
+	}
+	return strings.TrimPrefix(ts.URL, "http://"), stop
+}
+
+// topologyPaths is the query mix every topology must answer
+// byte-identically: all four compute ops plus the uncached metadata
+// endpoint.
+func topologyPaths() []string {
+	paths := []string{
+		"/v1/ler?metric=R&eccs=8,16&intervals=16,64",
+		"/v1/ler?metric=M&eccs=8&intervals=16,32,64",
+		"/v1/schemes?spec=lwt:k=8",
+		"/v1/compare?benchmark=gcc&schemes=ideal,scrubbing&budget=15000&seed=3",
+	}
+	for _, e := range []int{4, 8, 16} {
+		for _, s := range []int{16, 64} {
+			paths = append(paths, fmt.Sprintf("/v1/policy?e=%d&s=%d&w=1", e, s))
+		}
+	}
+	for seed := 1; seed <= 3; seed++ {
+		paths = append(paths, fmt.Sprintf("/v1/mc?cells=2000&seed=%d&shards=8", seed))
+	}
+	return paths
+}
+
+// TestTopologyByteIdentity is the tentpole acceptance test: the same
+// query corpus served by (a) a local-only server, (b) a server with a
+// disk cache tier, and (c) a server routing across two remote workers
+// must produce byte-identical response bodies, because every topology
+// runs the same deterministic evaluator and caches finished bytes.
+func TestTopologyByteIdentity(t *testing.T) {
+	w1, stop1 := startWorkerTS(t)
+	defer stop1()
+	w2, stop2 := startWorkerTS(t)
+	defer stop2()
+
+	topologies := []struct {
+		name string
+		cfg  Config
+	}{
+		{"local", Config{}},
+		{"disk-tier", Config{DiskCacheDir: t.TempDir(), DiskCacheBytes: 1 << 20}},
+		{"two-workers", Config{RemoteWorkers: []string{w1, w2}}},
+	}
+
+	paths := topologyPaths()
+	bodies := make(map[string][]string) // path -> body per topology
+	for _, topo := range topologies {
+		_, ts := newTestServer(t, topo.cfg)
+		for _, path := range paths {
+			resp, body := get(t, ts, path)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("[%s] %s: status %d: %s", topo.name, path, resp.StatusCode, body)
+			}
+			bodies[path] = append(bodies[path], string(body))
+		}
+	}
+	for _, path := range paths {
+		for i := 1; i < len(bodies[path]); i++ {
+			if bodies[path][0] != bodies[path][i] {
+				t.Errorf("%s: %s and %s disagree:\n%s\n%s", path,
+					topologies[0].name, topologies[i].name,
+					bodies[path][0], bodies[path][i])
+			}
+		}
+	}
+}
+
+// TestTopologyWorkerKillDegrades kills one of two workers mid-run and
+// verifies the frontend keeps answering 200 with the same bytes a
+// healthy topology produces: failed routes fall back to local compute,
+// and the dead node's circuit opens instead of wedging requests.
+func TestTopologyWorkerKillDegrades(t *testing.T) {
+	w1, stop1 := startWorkerTS(t)
+	defer stop1()
+	w2, stop2 := startWorkerTS(t)
+	stopped := false
+	defer func() {
+		if !stopped {
+			stop2()
+		}
+	}()
+
+	// Reference bytes from a local-only server.
+	_, localTS := newTestServer(t, Config{})
+	_, remoteTS := newTestServer(t, Config{RemoteWorkers: []string{w1, w2}})
+
+	paths := topologyPaths()
+	half := len(paths) / 2
+	check := func(subset []string) {
+		t.Helper()
+		for _, path := range subset {
+			wantResp, want := get(t, localTS, path)
+			if wantResp.StatusCode != http.StatusOK {
+				t.Fatalf("local %s: status %d", path, wantResp.StatusCode)
+			}
+			resp, body := get(t, remoteTS, path)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("remote %s: status %d: %s", path, resp.StatusCode, body)
+			}
+			if string(want) != string(body) {
+				t.Errorf("%s: bytes diverge after degradation:\n%s\n%s", path, want, body)
+			}
+		}
+	}
+
+	check(paths[:half])
+	stop2() // kill one worker mid-run
+	stopped = true
+	check(paths[half:])
+
+	// Requests routed at the dead node must have fallen back locally or
+	// reached the surviving worker; either way the error budget shows up
+	// on the breaker, not on clients.
+	resp, body := get(t, remoteTS, "/statusz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "remote[2]") {
+		t.Fatalf("statusz lost the backend kind: %s", body)
+	}
+}
