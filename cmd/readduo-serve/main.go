@@ -11,6 +11,8 @@
 //	              [-request-timeout 30s] [-compute-timeout 30s]
 //	              [-max-mc-cells N] [-max-budget N]
 //	              [-debug-addr :6060] [-trace-spans spans.jsonl]
+//	              [-telemetry-interval 1s] [-telemetry-dir DIR]
+//	              [-dash-addr :8090]
 //
 // The service answers identical specs with byte-identical cached bodies,
 // coalesces concurrent identical requests into one computation, and sheds
@@ -23,6 +25,14 @@
 // nodes by consistent hashing of the canonical spec key, degrading to
 // local compute when a worker fails. With -disk-cache, responses also
 // persist in a size-bounded on-disk tier that survives restarts.
+//
+// With -telemetry-interval, a streaming collector samples the metric
+// registry into an in-memory time-series store exposed at /api/series;
+// -telemetry-dir persists that history across restarts, and -dash-addr
+// serves a live web dashboard (with /metrics and an SSE stream) on its
+// own listener. /metrics always serves the Prometheus text exposition,
+// and /statusz carries per-endpoint SLO burn rates once the collector
+// runs.
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 
 	"readduo/internal/obs"
 	"readduo/internal/server"
+	"readduo/internal/slo"
 )
 
 func main() {
@@ -56,6 +67,9 @@ func main() {
 		maxBudget      = flag.Uint64("max-budget", 0, "comparison instruction-budget cap (0 = 2M)")
 		debugAddr      = flag.String("debug-addr", "", "pprof/expvar listener address (empty = off)")
 		traceSpans     = flag.String("trace-spans", "", "span trace JSONL path (empty = off)")
+		telemetryIntvl = flag.Duration("telemetry-interval", 0, "metric collection period (0 = off unless -telemetry-dir/-dash-addr)")
+		telemetryDir   = flag.String("telemetry-dir", "", "directory persisting collected series across restarts (empty = in-memory)")
+		dashAddr       = flag.String("dash-addr", "", "live dashboard listener address (empty = off)")
 	)
 	flag.Parse()
 
@@ -66,6 +80,7 @@ func main() {
 		requestTimeout: *requestTimeout, computeTimeout: *computeTimeout,
 		drainTimeout: *drainTimeout, maxMCCells: *maxMCCells, maxBudget: *maxBudget,
 		debugAddr: *debugAddr, traceSpans: *traceSpans,
+		telemetryInterval: *telemetryIntvl, telemetryDir: *telemetryDir, dashAddr: *dashAddr,
 	}, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "readduo-serve:", err)
 		os.Exit(1)
@@ -73,19 +88,37 @@ func main() {
 }
 
 type config struct {
-	addr           string
-	workers, queue int
-	cacheBytes     int64
-	diskCache      string
-	diskCacheBytes int64
-	remoteWorkers  []string
-	requestTimeout time.Duration
-	computeTimeout time.Duration
-	drainTimeout   time.Duration
-	maxMCCells     int
-	maxBudget      uint64
-	debugAddr      string
-	traceSpans     string
+	addr              string
+	workers, queue    int
+	cacheBytes        int64
+	diskCache         string
+	diskCacheBytes    int64
+	remoteWorkers     []string
+	requestTimeout    time.Duration
+	computeTimeout    time.Duration
+	drainTimeout      time.Duration
+	maxMCCells        int
+	maxBudget         uint64
+	debugAddr         string
+	traceSpans        string
+	telemetryInterval time.Duration
+	telemetryDir      string
+	dashAddr          string
+}
+
+// defaultObjectives is the serving tier's SLO policy: every endpoint
+// promises 99.9% availability; the cheap metadata endpoint also
+// promises sub-100ms latency for 95% of requests. Compute endpoints get
+// no latency objective — a 10M-cell Monte-Carlo run is legitimately
+// slow, and an objective it cannot meet would burn budget forever.
+func defaultObjectives() []slo.Objective {
+	objectives := []slo.Objective{
+		{Endpoint: "schemes", Availability: 0.999, LatencyMS: 100, LatencyTarget: 0.95},
+	}
+	for _, ep := range []string{"ler", "policy", "mc", "compare"} {
+		objectives = append(objectives, slo.Objective{Endpoint: ep, Availability: 0.999})
+	}
+	return objectives
 }
 
 // splitAddrs parses a comma-separated address list, dropping empties so
@@ -107,17 +140,21 @@ func run(cfg config, started func(addr string)) error {
 	// The service always runs with a live registry: its metrics are
 	// scraped via the debug listener while serving, not reported at exit.
 	session, err := obs.Start(obs.Options{
-		Name:          "readduo-serve",
-		ForceRegistry: true,
-		DebugAddr:     cfg.debugAddr,
-		TracePath:     cfg.traceSpans,
-		Logf:          log.Printf,
+		Name:              "readduo-serve",
+		ForceRegistry:     true,
+		DebugAddr:         cfg.debugAddr,
+		TracePath:         cfg.traceSpans,
+		TelemetryInterval: cfg.telemetryInterval,
+		SeriesDir:         cfg.telemetryDir,
+		DashAddr:          cfg.dashAddr,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		return err
 	}
 	defer session.Close()
 
+	tracker := slo.NewTracker("server", defaultObjectives(), nil)
 	srv, err := server.New(server.Config{
 		Addr:             cfg.addr,
 		Workers:          cfg.workers,
@@ -131,10 +168,13 @@ func run(cfg config, started func(addr string)) error {
 		MaxMCCells:       cfg.maxMCCells,
 		MaxCompareBudget: cfg.maxBudget,
 		Registry:         session.Registry,
+		Collector:        session.Collector,
+		SLO:              tracker,
 	})
 	if err != nil {
 		return err
 	}
+	session.StartCollector(srv.TelemetrySamples, tracker.Collect)
 	if err := srv.Start(); err != nil {
 		return err
 	}

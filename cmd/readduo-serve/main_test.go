@@ -56,3 +56,108 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 		t.Fatal("run did not drain after SIGTERM")
 	}
 }
+
+// boot starts run with cfg on an ephemeral port and returns the bound
+// address plus the exit channel.
+func boot(t *testing.T, cfg config) (string, chan error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(cfg, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr, done
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+	panic("unreachable")
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(body)
+}
+
+func sigterm(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain after SIGTERM")
+	}
+}
+
+// TestRunObservabilityEndToEnd boots the service with the full
+// telemetry stack (collector, persistent series dir, dashboard
+// listener), exercises the live surfaces, drains, then restarts on the
+// same series dir and verifies history survives — the tentpole
+// acceptance path in one test.
+func TestRunObservabilityEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		addr:              "127.0.0.1:0",
+		workers:           2,
+		cacheBytes:        1 << 20,
+		requestTimeout:    10 * time.Second,
+		drainTimeout:      10 * time.Second,
+		telemetryInterval: 20 * time.Millisecond,
+		telemetryDir:      dir,
+		dashAddr:          "127.0.0.1:0",
+	}
+	addr, done := boot(t, cfg)
+
+	for i := 0; i < 5; i++ {
+		if code, body := getBody(t, "http://"+addr+"/v1/policy?e=8&s=16&w=1"); code != http.StatusOK {
+			t.Fatalf("policy: %d: %s", code, body)
+		}
+	}
+	// Let the collector tick at least once with the traffic applied.
+	deadline := time.Now().Add(5 * time.Second)
+	var series string
+	for time.Now().Before(deadline) {
+		_, series = getBody(t, "http://"+addr+"/api/series?name=server.http.requests")
+		if strings.Contains(series, `"v":`) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(series, `"v":`) {
+		t.Fatalf("collector never sampled: %s", series)
+	}
+
+	if code, body := getBody(t, "http://"+addr+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "readduo_serve_server_http_requests") {
+		t.Fatalf("metrics: %d: %.200s", code, body)
+	}
+	if code, body := getBody(t, "http://"+addr+"/statusz"); code != http.StatusOK ||
+		!strings.Contains(body, `"slo"`) {
+		t.Fatalf("statusz without slo: %d: %s", code, body)
+	}
+	sigterm(t, done)
+
+	// Restart on the same series dir: history from the first run is
+	// re-served before any new collection happens.
+	cfg.telemetryInterval = time.Hour
+	addr, done = boot(t, cfg)
+	code, body := getBody(t, "http://"+addr+"/api/series?name=server.http.requests")
+	if code != http.StatusOK || !strings.Contains(body, `"v":`) {
+		t.Fatalf("restart lost series history: %d: %s", code, body)
+	}
+	sigterm(t, done)
+}

@@ -59,6 +59,8 @@ type options struct {
 	journalPath string
 	resume      bool
 	telemetry   bool
+	telemIntvl  time.Duration
+	telemDir    string
 	debugAddr   string
 	traceSpans  string
 	progress    io.Writer // nil silences progress lines
@@ -81,6 +83,8 @@ func main() {
 	flag.StringVar(&opts.journalPath, "journal", "", "append completed jobs to this JSONL journal")
 	flag.BoolVar(&opts.resume, "resume", false, "skip jobs already completed in -journal")
 	flag.BoolVar(&opts.telemetry, "telemetry", false, "collect hot-path counters; print a snapshot table and write telemetry.json at exit")
+	flag.DurationVar(&opts.telemIntvl, "telemetry-interval", 0, "stream registry snapshots to a time-series store every interval (0 = off)")
+	flag.StringVar(&opts.telemDir, "telemetry-dir", "", "directory persisting streamed series (empty = in-memory; implies -telemetry-interval 1s)")
 	flag.StringVar(&opts.debugAddr, "debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.StringVar(&opts.traceSpans, "trace-spans", "", "stream per-job span events to this JSONL file")
 	flag.Parse()
@@ -234,10 +238,12 @@ func run(ctx context.Context, opts options) error {
 	defer cleanup()
 
 	session, err := obs.Start(obs.Options{
-		Name:      "readduo-sim",
-		Telemetry: opts.telemetry,
-		DebugAddr: opts.debugAddr,
-		TracePath: opts.traceSpans,
+		Name:              "readduo-sim",
+		Telemetry:         opts.telemetry,
+		DebugAddr:         opts.debugAddr,
+		TracePath:         opts.traceSpans,
+		TelemetryInterval: opts.telemIntvl,
+		SeriesDir:         opts.telemDir,
 		Logf: func(format string, args ...any) {
 			if opts.progress != nil {
 				fmt.Fprintf(opts.progress, format+"\n", args...)
@@ -248,6 +254,7 @@ func run(ctx context.Context, opts options) error {
 		return err
 	}
 	defer session.Close()
+	session.StartCollector()
 
 	campaignOpts := campaign.Options{
 		Parallel:  opts.parallel,

@@ -10,6 +10,8 @@
 //	               [-compute-timeout 30s] [-drain-timeout 30s]
 //	               [-max-mc-cells N] [-max-budget N]
 //	               [-debug-addr :6061] [-trace-spans spans.jsonl]
+//	               [-telemetry-interval 1s] [-telemetry-dir DIR]
+//	               [-dash-addr :8091]
 //
 // Workers are stateless and cache nothing: the frontend's tiered cache
 // is the single cache authority. The error taxonomy mirrors the
@@ -43,6 +45,9 @@ func main() {
 		maxBudget      = flag.Uint64("max-budget", 0, "comparison instruction-budget cap (0 = 2M)")
 		debugAddr      = flag.String("debug-addr", "", "pprof/expvar listener address (empty = off)")
 		traceSpans     = flag.String("trace-spans", "", "span trace JSONL path (empty = off)")
+		telemetryIntvl = flag.Duration("telemetry-interval", 0, "metric collection period (0 = off unless -telemetry-dir/-dash-addr)")
+		telemetryDir   = flag.String("telemetry-dir", "", "directory persisting collected series across restarts (empty = in-memory)")
+		dashAddr       = flag.String("dash-addr", "", "live dashboard listener address (empty = off)")
 	)
 	flag.Parse()
 
@@ -51,6 +56,7 @@ func main() {
 		computeTimeout: *computeTimeout, drainTimeout: *drainTimeout,
 		maxMCCells: *maxMCCells, maxBudget: *maxBudget,
 		debugAddr: *debugAddr, traceSpans: *traceSpans,
+		telemetryInterval: *telemetryIntvl, telemetryDir: *telemetryDir, dashAddr: *dashAddr,
 	}, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "readduo-worker:", err)
 		os.Exit(1)
@@ -58,14 +64,17 @@ func main() {
 }
 
 type config struct {
-	addr           string
-	workers, queue int
-	computeTimeout time.Duration
-	drainTimeout   time.Duration
-	maxMCCells     int
-	maxBudget      uint64
-	debugAddr      string
-	traceSpans     string
+	addr              string
+	workers, queue    int
+	computeTimeout    time.Duration
+	drainTimeout      time.Duration
+	maxMCCells        int
+	maxBudget         uint64
+	debugAddr         string
+	traceSpans        string
+	telemetryInterval time.Duration
+	telemetryDir      string
+	dashAddr          string
 }
 
 // run brings the worker up and blocks until a termination signal has
@@ -73,11 +82,14 @@ type config struct {
 // once the listener accepts.
 func run(cfg config, started func(addr string)) error {
 	session, err := obs.Start(obs.Options{
-		Name:          "readduo-worker",
-		ForceRegistry: true,
-		DebugAddr:     cfg.debugAddr,
-		TracePath:     cfg.traceSpans,
-		Logf:          log.Printf,
+		Name:              "readduo-worker",
+		ForceRegistry:     true,
+		DebugAddr:         cfg.debugAddr,
+		TracePath:         cfg.traceSpans,
+		TelemetryInterval: cfg.telemetryInterval,
+		SeriesDir:         cfg.telemetryDir,
+		DashAddr:          cfg.dashAddr,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		return err
@@ -92,7 +104,9 @@ func run(cfg config, started func(addr string)) error {
 		MaxMCCells:       cfg.maxMCCells,
 		MaxCompareBudget: cfg.maxBudget,
 		Registry:         session.Registry,
+		Collector:        session.Collector,
 	})
+	session.StartCollector(wk.TelemetrySamples)
 	if err := wk.Start(); err != nil {
 		return err
 	}

@@ -88,16 +88,22 @@ type NodeStatus struct {
 // nodeState is one worker's circuit breaker: consecutive failures past
 // the threshold open the circuit for a cooldown; the first request
 // after the cooldown is the half-open trial, and a health-probe 200
-// closes it early.
+// closes it early. The transition methods report state changes (not
+// every call) so the breaker counters count transitions, which is what
+// an operator alerts on: "opened 40 times this hour" means flapping,
+// while raw failure counts just restate the error rate.
 type nodeState struct {
 	addr string
 
 	mu        sync.Mutex
 	fails     int
 	openUntil time.Time
+	tripped   bool // circuit opened and not yet closed by success/probe
 
 	ok     atomic.Uint64
 	errors atomic.Uint64
+
+	openGauge *telemetry.Gauge // remote.node.<addr>.circuit_open
 }
 
 func (n *nodeState) isOpen(now time.Time) bool {
@@ -106,31 +112,49 @@ func (n *nodeState) isOpen(now time.Time) bool {
 	return now.Before(n.openUntil)
 }
 
-func (n *nodeState) success() {
+func (n *nodeState) success() (closed bool) {
 	n.ok.Add(1)
 	n.mu.Lock()
+	closed = n.tripped
 	n.fails = 0
 	n.openUntil = time.Time{}
+	n.tripped = false
 	n.mu.Unlock()
+	if closed {
+		n.openGauge.Set(0)
+	}
+	return closed
 }
 
 func (n *nodeState) failure(now time.Time, threshold int, cooldown time.Duration) (opened bool) {
 	n.errors.Add(1)
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.fails++
 	if n.fails >= threshold {
+		// A failure while already tripped (the half-open trial, or racing
+		// requests) extends the cooldown but is not a new transition.
+		opened = !n.tripped
 		n.openUntil = now.Add(cooldown)
-		return true
+		n.tripped = true
 	}
-	return false
+	n.mu.Unlock()
+	if opened {
+		n.openGauge.Set(1)
+	}
+	return opened
 }
 
-func (n *nodeState) reset() {
+func (n *nodeState) reset() (closed bool) {
 	n.mu.Lock()
+	closed = n.tripped
 	n.fails = 0
 	n.openUntil = time.Time{}
+	n.tripped = false
 	n.mu.Unlock()
+	if closed {
+		n.openGauge.Set(0)
+	}
+	return closed
 }
 
 // remoteProbes is the Remote backend's telemetry (nil-safe).
@@ -140,6 +164,13 @@ type remoteProbes struct {
 	fallbacks   *telemetry.Counter
 	circuitOpen *telemetry.Counter
 	remoteMS    *telemetry.Histogram
+
+	// Breaker state transitions: open counts closed->open trips, close
+	// counts open->closed recoveries (trial success or health probe),
+	// probe counts /healthz attempts against open circuits.
+	breakerOpen  *telemetry.Counter
+	breakerClose *telemetry.Counter
+	breakerProbe *telemetry.Counter
 }
 
 // Remote routes canonical spec keys across worker nodes by consistent
@@ -181,15 +212,21 @@ func NewRemote(workers []string, local *Local, opts RemoteOptions) (*Remote, err
 		now:     time.Now,
 		stop:    make(chan struct{}),
 		tel: remoteProbes{
-			ok:          opts.Sink.Counter("remote.ok"),
-			nodeErrors:  opts.Sink.Counter("remote.node_errors"),
-			fallbacks:   opts.Sink.Counter("remote.fallbacks"),
-			circuitOpen: opts.Sink.Counter("remote.circuit_open"),
-			remoteMS:    opts.Sink.Histogram("remote.wall_ms"),
+			ok:           opts.Sink.Counter("remote.ok"),
+			nodeErrors:   opts.Sink.Counter("remote.node_errors"),
+			fallbacks:    opts.Sink.Counter("remote.fallbacks"),
+			circuitOpen:  opts.Sink.Counter("remote.circuit_open"),
+			remoteMS:     opts.Sink.Histogram("remote.wall_ms"),
+			breakerOpen:  opts.Sink.Counter("remote.breaker.open"),
+			breakerClose: opts.Sink.Counter("remote.breaker.close"),
+			breakerProbe: opts.Sink.Counter("remote.breaker.probe"),
 		},
 	}
 	for _, w := range workers {
-		r.nodes = append(r.nodes, &nodeState{addr: w})
+		r.nodes = append(r.nodes, &nodeState{
+			addr:      w,
+			openGauge: opts.Sink.Gauge("remote.node." + w + ".circuit_open"),
+		})
 	}
 	r.probeWG.Add(1)
 	go r.healthLoop()
@@ -210,7 +247,9 @@ func (r *Remote) Compute(ctx context.Context, key string, spec Spec) ([]byte, er
 
 	buf, err, nodeFault := r.call(ctx, node, key, spec)
 	if err == nil {
-		node.success()
+		if node.success() {
+			r.tel.breakerClose.Inc()
+		}
 		r.tel.ok.Inc()
 		return buf, nil
 	}
@@ -219,7 +258,9 @@ func (r *Remote) Compute(ctx context.Context, key string, spec Spec) ([]byte, er
 		// cancellation: not the node's fault, no fallback.
 		return nil, err
 	}
-	node.failure(r.now(), r.opts.FailThreshold, r.opts.Cooldown)
+	if node.failure(r.now(), r.opts.FailThreshold, r.opts.Cooldown) {
+		r.tel.breakerOpen.Inc()
+	}
 	r.tel.nodeErrors.Inc()
 	return r.fallback(ctx, key, spec, err)
 }
@@ -323,13 +364,14 @@ func (r *Remote) healthLoop() {
 			if !node.isOpen(r.now()) {
 				continue
 			}
+			r.tel.breakerProbe.Inc()
 			ctx, cancel := context.WithTimeout(context.Background(), r.opts.HealthInterval)
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+node.addr+"/healthz", nil)
 			if err == nil {
 				if resp, err := r.opts.Client.Do(req); err == nil {
 					resp.Body.Close()
-					if resp.StatusCode == http.StatusOK {
-						node.reset()
+					if resp.StatusCode == http.StatusOK && node.reset() {
+						r.tel.breakerClose.Inc()
 					}
 				}
 			}

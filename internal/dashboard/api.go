@@ -1,0 +1,76 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"readduo/internal/telemetry"
+	"readduo/internal/tsdb"
+)
+
+// Metrics serves the registry in the Prometheus text exposition format
+// (version 0.0.4). A nil registry exposes an empty (but valid) page, so
+// the route is mounted unconditionally and scrapers never see a 404.
+func Metrics(reg *telemetry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := tsdb.WriteProm(w, reg.Snapshot()); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	}
+}
+
+// seriesResponse is the /api/series wire shape.
+type seriesResponse struct {
+	Name   string       `json:"name,omitempty"`
+	Points []tsdb.Point `json:"points,omitempty"`
+	Names  []string     `json:"names,omitempty"`
+}
+
+// Series answers range queries over the collector's store:
+//
+//	GET /api/series?name=<series>&since=<unix-ms>
+//
+// returns the named series' retained points at or after since (omitted
+// or 0 means everything retained). Without a name it lists the series
+// names instead, which is how the dashboard discovers what exists. A
+// nil store answers empty lists rather than erroring: observability
+// routes stay mounted even when collection is off.
+func Series(store *tsdb.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		name := q.Get("name")
+		if name == "" {
+			writeJSON(w, http.StatusOK, seriesResponse{Names: store.Names()})
+			return
+		}
+		var since int64
+		if raw := q.Get("since"); raw != "" {
+			v, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest,
+					map[string]string{"error": fmt.Sprintf("bad since %q: unix milliseconds expected", raw)})
+				return
+			}
+			since = v
+		}
+		writeJSON(w, http.StatusOK, seriesResponse{
+			Name:   name,
+			Points: store.Query(name, since),
+		})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}

@@ -1,0 +1,92 @@
+// Package dashboard is the live observability surface for the serving
+// tier: the /metrics Prometheus exposition, the /api/series range-query
+// API over the tsdb store, an SSE tick stream, and an embedded
+// single-file web UI that plots the serving pipeline in real time
+// (request rate, latency quantiles, cache tiers, singleflight
+// coalescing, pool depth, breaker transitions, SLO burn).
+//
+// Everything is dependency-free: the UI is one go:embed'ed HTML file
+// with inline JS and CSS drawing on <canvas>, so the dashboard works
+// on an air-gapped box with nothing but the binary. The handlers are
+// plain http.HandlerFuncs so the serving mux mounts /metrics and
+// /api/series directly, while -dash-addr gets the full UI on its own
+// listener via Start.
+package dashboard
+
+import (
+	"embed"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+
+	"readduo/internal/telemetry"
+	"readduo/internal/tsdb"
+)
+
+//go:embed static/index.html
+var staticFS embed.FS
+
+// Handler builds the full dashboard route table: the UI at "/", the
+// SSE stream at /events, plus /metrics and /api/series so the
+// dashboard port is self-sufficient for scraping and backfill.
+func Handler(reg *telemetry.Registry, c *tsdb.Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", handleIndex)
+	mux.HandleFunc("/events", Events(c))
+	mux.HandleFunc("/metrics", Metrics(reg))
+	mux.HandleFunc("/api/series", Series(c.Store()))
+	return mux
+}
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	page, err := staticFS.ReadFile("static/index.html")
+	if err != nil {
+		http.Error(w, "dashboard assets missing", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(page)
+}
+
+// Server is a standalone dashboard listener (the -dash-addr port).
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// Start binds addr and serves the dashboard until Close.
+func Start(addr string, reg *telemetry.Registry, c *tsdb.Collector) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dashboard: listen %s: %w", addr, err)
+	}
+	d := &Server{ln: ln, http: &http.Server{Handler: Handler(reg, c)}}
+	go func() {
+		if err := d.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err // listener closed underneath us: Close already ran
+		}
+	}()
+	return d, nil
+}
+
+// Addr reports the bound address (resolved port for ":0").
+func (d *Server) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the listener. Nil-safe so callers can hold an optional
+// dashboard without branching.
+func (d *Server) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.http.Close()
+}

@@ -1,0 +1,63 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"readduo/internal/tsdb"
+)
+
+// event is one SSE frame: the tick time plus every series' current
+// value. The full (undiffed) sample set ships on every tick so the
+// client needs no merge logic — each frame is a complete world state.
+type event struct {
+	UnixMS int64              `json:"t"`
+	Values map[string]float64 `json:"v"`
+}
+
+// Events streams collector ticks as server-sent events, one JSON frame
+// per tick. The subscription is lossy by design (the collector never
+// blocks on a slow browser); a dropped frame just means the next one
+// carries newer values. Closes cleanly when the client disconnects or
+// the collector shuts down. With a nil collector the stream ends
+// immediately after the headers, which EventSource surfaces as a
+// reconnect loop the UI turns into a "collector off" banner.
+func Events(c *tsdb.Collector) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("X-Accel-Buffering", "no")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+
+		ticks, cancel := c.Subscribe()
+		defer cancel()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case tick, open := <-ticks:
+				if !open {
+					return
+				}
+				ev := event{UnixMS: tick.UnixMS, Values: make(map[string]float64, len(tick.Samples))}
+				for _, s := range tick.Samples {
+					ev.Values[s.Name] = s.Value
+				}
+				buf, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				if _, err := w.Write(append(append([]byte("data: "), buf...), '\n', '\n')); err != nil {
+					return
+				}
+				fl.Flush()
+			}
+		}
+	}
+}

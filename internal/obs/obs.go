@@ -15,11 +15,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"readduo/internal/bch"
+	"readduo/internal/dashboard"
 	"readduo/internal/sim"
 	"readduo/internal/telemetry"
 	"readduo/internal/telemetry/debughttp"
+	"readduo/internal/tsdb"
 )
 
 // Options selects which observability features a command enables.
@@ -46,6 +49,21 @@ type Options struct {
 	// registry must exist regardless of whether an exit report or
 	// debug listener was requested.
 	ForceRegistry bool
+	// TelemetryInterval enables the streaming collector: every interval
+	// the registry is snapshotted, flattened, diffed, and appended to
+	// the time-series store. The -telemetry-interval flag. Implies a
+	// live registry. <= 0 disables the collector unless SeriesDir or
+	// DashAddr is set, in which case 1s is used.
+	TelemetryInterval time.Duration
+	// SeriesDir, when non-empty, persists collected series to an
+	// append-only segment log in that directory, so a restart re-serves
+	// history over /api/series. The -telemetry-dir flag. Empty keeps
+	// the store memory-only.
+	SeriesDir string
+	// DashAddr, when non-empty, serves the live web dashboard (plus
+	// /metrics, /api/series and the SSE stream) on its own listener.
+	// The -dash-addr flag. Implies the collector.
+	DashAddr string
 	// Logf, when non-nil, receives one-line startup notices (the
 	// bound debug address). Defaults to silent.
 	Logf func(format string, args ...any)
@@ -58,11 +76,19 @@ type Session struct {
 	Registry *telemetry.Registry
 	// Tracer streams span events; nil unless -trace-spans was given.
 	Tracer *telemetry.Tracer
+	// Collector streams registry snapshots into the time-series store;
+	// nil (inert) unless TelemetryInterval, SeriesDir or DashAddr was
+	// given. It is built but not started: commands register their
+	// CollectFuncs (server depths, SLO tracker) with AddCollect, then
+	// call StartCollector.
+	Collector *tsdb.Collector
 
 	report    bool
 	jsonPath  string
 	debug     *debughttp.Server
 	traceFile *os.File
+	store     *tsdb.Store
+	dash      *dashboard.Server
 }
 
 // Start brings up the requested observability features. The returned
@@ -77,10 +103,11 @@ func Start(o Options) (*Session, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	if !o.Telemetry && o.DebugAddr == "" && o.TracePath == "" && !o.ForceRegistry {
+	collect := o.TelemetryInterval > 0 || o.SeriesDir != "" || o.DashAddr != ""
+	if !o.Telemetry && o.DebugAddr == "" && o.TracePath == "" && !o.ForceRegistry && !collect {
 		return s, nil
 	}
-	if o.Telemetry || o.DebugAddr != "" || o.ForceRegistry {
+	if o.Telemetry || o.DebugAddr != "" || o.ForceRegistry || collect {
 		s.Registry = telemetry.NewRegistry(o.Name)
 		bch.EnableTelemetry(s.Registry)
 		sim.RegisterCacheTelemetry(s.Registry)
@@ -111,7 +138,42 @@ func Start(o Options) (*Session, error) {
 		s.traceFile = f
 		s.Tracer = telemetry.NewTracer(f)
 	}
+	if collect {
+		store, err := tsdb.Open(o.SeriesDir, tsdb.Options{})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("obs: series store: %w", err)
+		}
+		s.store = store
+		s.Collector = tsdb.NewCollector(s.Registry, store, o.TelemetryInterval)
+		if o.SeriesDir != "" {
+			logf("series history in %s", o.SeriesDir)
+		}
+		if o.DashAddr != "" {
+			d, err := dashboard.Start(o.DashAddr, s.Registry, s.Collector)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			s.dash = d
+			logf("dashboard on http://%s/ (metrics at /metrics)", d.Addr())
+		}
+	}
 	return s, nil
+}
+
+// StartCollector launches the collector loop after registering any
+// extra CollectFuncs. Nil-safe in every position: with the collector
+// disabled this is a no-op, so commands call it unconditionally once
+// their server (or simulator) is built.
+func (s *Session) StartCollector(collects ...tsdb.CollectFunc) {
+	if s == nil || s.Collector == nil {
+		return
+	}
+	for _, fn := range collects {
+		s.Collector.AddCollect(fn)
+	}
+	s.Collector.Start()
 }
 
 // Report prints the snapshot table to w and writes the snapshot JSON
@@ -151,7 +213,16 @@ func (s *Session) Close() error {
 	if s.Registry != nil {
 		bch.EnableTelemetry(nil)
 	}
-	if err := s.debug.Close(); err != nil {
+	// Dashboard first (stops the SSE readers), then the collector (one
+	// final poll + sync), then the store the collector was writing to.
+	if err := s.dash.Close(); err != nil {
+		first = err
+	}
+	s.Collector.Stop()
+	if err := s.store.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := s.debug.Close(); err != nil && first == nil {
 		first = err
 	}
 	if s.traceFile != nil {

@@ -16,7 +16,10 @@ import (
 	"readduo/internal/cache"
 	"readduo/internal/campaign"
 	_ "readduo/internal/corpus" // register corpus:* scenarios for the spec grammar
+	"readduo/internal/dashboard"
+	"readduo/internal/slo"
 	"readduo/internal/telemetry"
+	"readduo/internal/tsdb"
 )
 
 // Config sizes a Server. The zero value is usable: every field has a
@@ -67,6 +70,15 @@ type Config struct {
 	MaxCompareSchemes int
 	// Registry receives the server's telemetry; nil disables probes.
 	Registry *telemetry.Registry
+	// Collector, when non-nil, backs /api/series range queries with its
+	// store and feeds the dashboard SSE stream. The server mounts the
+	// routes but does not own the collector's lifecycle; the obs session
+	// (or the test) starts and stops it.
+	Collector *tsdb.Collector
+	// SLO, when non-nil, scores per-endpoint objectives; its live status
+	// is surfaced on /statusz and its burn-rate series flow through the
+	// Collector as first-class series.
+	SLO *slo.Tracker
 }
 
 func (c *Config) applyDefaults() {
@@ -156,6 +168,44 @@ func (p *serverProbes) errsByStatus(status int) *telemetry.Counter {
 	return c
 }
 
+// endpointProbes counts one handler's traffic under
+// <scope>.endpoint.<name>.*, the series the SLO tracker scores.
+type endpointProbes struct {
+	requests  *telemetry.Counter
+	errors    *telemetry.Counter
+	requestMS *telemetry.Histogram
+}
+
+func (p *serverProbes) endpoint(name string) endpointProbes {
+	return endpointProbes{
+		requests:  p.sink.Counter("endpoint." + name + ".requests"),
+		errors:    p.sink.Counter("endpoint." + name + ".errors"),
+		requestMS: p.sink.Histogram("endpoint." + name + ".request_ms"),
+	}
+}
+
+// statusRecorder captures the response status so instrument can count
+// server faults (>= 500) against the endpoint's error budget. Client
+// faults (4xx) spend no budget: the service answered correctly.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
 // Server is the readduo-serve HTTP service: a mux over the query
 // handlers, a store (tiered cache + singleflight + backend), and a
 // drain-aware lifecycle.
@@ -237,14 +287,18 @@ func New(cfg Config) (*Server, error) {
 	s.store = newStore(base, s.be, s.cache, cfg.Registry)
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/ler", s.instrument(s.handleLER))
-	s.mux.HandleFunc("/v1/policy", s.instrument(s.handlePolicy))
-	s.mux.HandleFunc("/v1/mc", s.instrument(s.handleMC))
-	s.mux.HandleFunc("/v1/compare", s.instrument(s.handleCompare))
-	s.mux.HandleFunc("/v1/schemes", s.instrument(s.handleSchemes))
+	s.mux.HandleFunc("/v1/ler", s.instrument("ler", s.handleLER))
+	s.mux.HandleFunc("/v1/policy", s.instrument("policy", s.handlePolicy))
+	s.mux.HandleFunc("/v1/mc", s.instrument("mc", s.handleMC))
+	s.mux.HandleFunc("/v1/compare", s.instrument("compare", s.handleCompare))
+	s.mux.HandleFunc("/v1/schemes", s.instrument("schemes", s.handleSchemes))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	// Observability routes are uninstrumented like the probes: scrapes
+	// must not skew the request metrics they report.
+	s.mux.HandleFunc("/metrics", dashboard.Metrics(cfg.Registry))
+	s.mux.HandleFunc("/api/series", dashboard.Series(cfg.Collector.Store()))
 	s.http = &http.Server{Handler: s.mux}
 	return s, nil
 }
@@ -252,25 +306,46 @@ func New(cfg Config) (*Server, error) {
 // Handler exposes the full route table (useful under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// TelemetrySamples is a tsdb.CollectFunc contributing the depths that
+// are point-in-time reads rather than registry metrics: pool and
+// backend queue depth and the in-flight singleflight count. Hooked into
+// the collector, they become plottable series next to the counters.
+func (s *Server) TelemetrySamples(int64, telemetry.Snapshot) []tsdb.Sample {
+	return []tsdb.Sample{
+		{Name: "server.pool.depth", Value: float64(s.pool.Depth())},
+		{Name: "server.backend.depth", Value: float64(s.be.Depth())},
+		{Name: "server.flight.inflight", Value: float64(s.store.flights.Len())},
+	}
+}
+
 // instrument wraps a handler with the per-request timeout, panic
-// recovery, and the request counters.
-func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+// recovery, the request counters, and the per-endpoint SLO probes
+// (requests, server-fault errors, latency histogram).
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.tel.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.tel.requests.Inc()
+		ep.requests.Inc()
 		s.tel.inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
 		defer func() {
 			s.tel.inflight.Add(-1)
-			s.tel.requestMS.Observe(uint64(time.Since(start).Milliseconds()))
-			if rec := recover(); rec != nil {
+			ms := uint64(time.Since(start).Milliseconds())
+			s.tel.requestMS.Observe(ms)
+			ep.requestMS.Observe(ms)
+			if p := recover(); p != nil {
 				s.tel.panics.Inc()
-				s.writeJSON(w, http.StatusInternalServerError,
-					map[string]string{"error": fmt.Sprintf("panic: %v", rec)})
+				s.writeJSON(rec, http.StatusInternalServerError,
+					map[string]string{"error": fmt.Sprintf("panic: %v", p)})
+			}
+			if rec.status >= http.StatusInternalServerError {
+				ep.errors.Inc()
 			}
 		}()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		h(w, r.WithContext(ctx))
+		h(rec, r.WithContext(ctx))
 	}
 }
 
@@ -302,6 +377,7 @@ type statuszResponse struct {
 	BackendDepth    int                  `json:"backend_depth"`
 	InflightFlights int                  `json:"inflight_flights"`
 	CacheTiers      []cache.TierStats    `json:"cache_tiers"`
+	SLO             []slo.EndpointStatus `json:"slo,omitempty"`
 }
 
 // handleStatusz reports the backend kind, per-tier cache statistics,
@@ -318,6 +394,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	if s.remote != nil {
 		resp.Workers = s.remote.Nodes()
 	}
+	resp.SLO = s.cfg.SLO.Status()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -111,7 +111,7 @@ func TestTopologyWorkerKillDegrades(t *testing.T) {
 
 	// Reference bytes from a local-only server.
 	_, localTS := newTestServer(t, Config{})
-	_, remoteTS := newTestServer(t, Config{RemoteWorkers: []string{w1, w2}})
+	remoteSrv, remoteTS := newTestServer(t, Config{RemoteWorkers: []string{w1, w2}})
 
 	paths := topologyPaths()
 	half := len(paths) / 2
@@ -137,6 +137,17 @@ func TestTopologyWorkerKillDegrades(t *testing.T) {
 	stopped = true
 	check(paths[half:])
 
+	// Spread enough distinct keys across the ring that the dead node sees
+	// its three consecutive failures with overwhelming probability (each
+	// key has ~1/2 odds of routing there, and the dead node can never
+	// interleave a success to reset its streak).
+	for seed := 100; seed < 140; seed++ {
+		resp, body := get(t, remoteTS, fmt.Sprintf("/v1/mc?cells=500&seed=%d", seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-kill mc seed=%d: status %d: %s", seed, resp.StatusCode, body)
+		}
+	}
+
 	// Requests routed at the dead node must have fallen back locally or
 	// reached the surviving worker; either way the error budget shows up
 	// on the breaker, not on clients.
@@ -146,5 +157,20 @@ func TestTopologyWorkerKillDegrades(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "remote[2]") {
 		t.Fatalf("statusz lost the backend kind: %s", body)
+	}
+
+	// Breaker transition sequence: the dead node's circuit tripped open
+	// exactly once and never closed (the worker stays dead, so neither a
+	// half-open trial nor a health probe can succeed), and the open
+	// circuit short-circuited at least one later request.
+	sink := remoteSrv.reg.Sink("server")
+	if open := sink.Counter("remote.breaker.open").Value(); open != 1 {
+		t.Errorf("breaker open transitions = %d, want exactly 1", open)
+	}
+	if closed := sink.Counter("remote.breaker.close").Value(); closed != 0 {
+		t.Errorf("breaker close transitions = %d, want 0 while the worker is dead", closed)
+	}
+	if skipped := sink.Counter("remote.circuit_open").Value(); skipped == 0 {
+		t.Error("open circuit never short-circuited a request")
 	}
 }

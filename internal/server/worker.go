@@ -14,7 +14,9 @@ import (
 
 	"readduo/internal/backend"
 	"readduo/internal/campaign"
+	"readduo/internal/dashboard"
 	"readduo/internal/telemetry"
+	"readduo/internal/tsdb"
 )
 
 // WorkerConfig sizes a Worker. The zero value is usable; defaults
@@ -41,6 +43,10 @@ type WorkerConfig struct {
 	MaxCompareSchemes int
 	// Registry receives worker.* telemetry; nil disables probes.
 	Registry *telemetry.Registry
+	// Collector, when non-nil, backs the worker's /api/series route.
+	// Like the frontend, the worker mounts observability routes but the
+	// obs session owns the collector lifecycle.
+	Collector *tsdb.Collector
 }
 
 func (c *WorkerConfig) applyDefaults() {
@@ -116,8 +122,18 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	w.mux.HandleFunc(backend.ComputePath, w.handleCompute)
 	w.mux.HandleFunc("/healthz", w.handleHealthz)
 	w.mux.HandleFunc("/readyz", w.handleReadyz)
+	w.mux.HandleFunc("/metrics", dashboard.Metrics(cfg.Registry))
+	w.mux.HandleFunc("/api/series", dashboard.Series(cfg.Collector.Store()))
 	w.http = &http.Server{Handler: w.mux}
 	return w
+}
+
+// TelemetrySamples mirrors the frontend's depth samples for the
+// worker's pool.
+func (w *Worker) TelemetrySamples(int64, telemetry.Snapshot) []tsdb.Sample {
+	return []tsdb.Sample{
+		{Name: "worker.pool.depth", Value: float64(w.pool.Depth())},
+	}
 }
 
 func (c WorkerConfig) limits() limits {

@@ -1,0 +1,286 @@
+// Package slo tracks per-endpoint service-level objectives for the
+// serving tier: an availability target (fraction of requests that do
+// not fail server-side) and a latency target (fraction of requests
+// answered under a threshold), each scored as multi-window burn rates.
+//
+// Burn rate is the standard SRE measure: the rate at which the error
+// budget is being consumed, normalized so that burn == 1 means "exactly
+// on target". For an availability objective A over a window W,
+//
+//	burn(W) = errorRate(W) / (1 - A)
+//
+// where errorRate is errors/requests inside the window. A 99.9%
+// objective with a 0.2% error rate over the last 5 minutes burns at
+// 2x; sustained, the monthly budget is gone in half a month. Two
+// windows (5m and 1h by default) separate fast burn ("page now") from
+// slow burn ("ticket"), following the multi-window multi-burn-rate
+// alerting pattern.
+//
+// The Tracker feeds from the same registry snapshots the tsdb
+// collector already takes: internal/server counts per-endpoint
+// requests, server-fault errors, and a latency histogram; the tracker
+// keeps a pruned history of those cumulative values and differences
+// them over each window. Hooked into the collector as a CollectFunc,
+// the burn rates become first-class series (slo.<endpoint>.
+// availability.burn_5m, ...) that persist, plot, and expose like any
+// other metric; Status() surfaces the same numbers on /statusz.
+package slo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"readduo/internal/telemetry"
+	"readduo/internal/tsdb"
+)
+
+// Objective is one endpoint's targets. Zero-valued targets disable
+// that half of the objective.
+type Objective struct {
+	// Endpoint is the short handler name ("ler", "mc", ...); metrics are
+	// read from <scope>.endpoint.<Endpoint>.*.
+	Endpoint string `json:"endpoint"`
+	// Availability is the target fraction of requests answered without a
+	// server fault (5xx), e.g. 0.999.
+	Availability float64 `json:"availability"`
+	// LatencyMS is the latency threshold; a request slower than this
+	// counts against the latency objective.
+	LatencyMS uint64 `json:"latency_ms,omitempty"`
+	// LatencyTarget is the target fraction of requests under LatencyMS,
+	// e.g. 0.95.
+	LatencyTarget float64 `json:"latency_target,omitempty"`
+}
+
+// Window is one burn-rate horizon.
+type Window struct {
+	Label string
+	D     time.Duration
+}
+
+// DefaultWindows is the fast-burn/slow-burn pair.
+func DefaultWindows() []Window {
+	return []Window{{Label: "5m", D: 5 * time.Minute}, {Label: "1h", D: time.Hour}}
+}
+
+// point is one tick's cumulative counters for one endpoint.
+type point struct {
+	unixMS            int64
+	total, errors     float64
+	latTotal, latGood float64
+}
+
+// Tracker scores objectives from registry snapshots. Safe for
+// concurrent use; a nil *Tracker collects nothing and reports no
+// status.
+type Tracker struct {
+	scope      string
+	objectives []Objective
+	windows    []Window
+	maxWindow  time.Duration
+
+	mu      sync.Mutex
+	history map[string][]point
+	lastMS  int64
+}
+
+// NewTracker builds a tracker over the given objectives. scope is the
+// metric prefix the serving layer writes under ("server", "worker").
+// windows nil selects DefaultWindows.
+func NewTracker(scope string, objectives []Objective, windows []Window) *Tracker {
+	if len(windows) == 0 {
+		windows = DefaultWindows()
+	}
+	t := &Tracker{
+		scope:      scope,
+		objectives: objectives,
+		windows:    windows,
+		history:    make(map[string][]point),
+	}
+	for _, w := range windows {
+		if w.D > t.maxWindow {
+			t.maxWindow = w.D
+		}
+	}
+	return t
+}
+
+// Objectives returns the configured objectives (nil for nil tracker).
+func (t *Tracker) Objectives() []Objective {
+	if t == nil {
+		return nil
+	}
+	return t.objectives
+}
+
+// Collect is a tsdb.CollectFunc: it folds the snapshot into the
+// history and emits one burn-rate sample per (objective, window,
+// dimension).
+func (t *Tracker) Collect(unixMS int64, snap telemetry.Snapshot) []tsdb.Sample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lastMS = unixMS
+	var out []tsdb.Sample
+	for _, o := range t.objectives {
+		cur := t.observe(unixMS, o, snap)
+		for _, w := range t.windows {
+			b := t.burn(o, w, cur)
+			out = append(out,
+				tsdb.Sample{Name: fmt.Sprintf("slo.%s.availability.burn_%s", o.Endpoint, w.Label), Value: b.AvailabilityBurn},
+				tsdb.Sample{Name: fmt.Sprintf("slo.%s.error_rate_%s", o.Endpoint, w.Label), Value: b.ErrorRate},
+			)
+			if o.LatencyMS > 0 {
+				out = append(out, tsdb.Sample{
+					Name:  fmt.Sprintf("slo.%s.latency.burn_%s", o.Endpoint, w.Label),
+					Value: b.LatencyBurn,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// observe appends this tick's cumulative counters for one endpoint and
+// prunes history beyond the longest window (plus one tick of slack so
+// a window always has a bracketing base point).
+func (t *Tracker) observe(unixMS int64, o Objective, snap telemetry.Snapshot) point {
+	prefix := t.scope + ".endpoint." + o.Endpoint
+	cur := point{
+		unixMS: unixMS,
+		total:  float64(snap.Counters[prefix+".requests"]),
+		errors: float64(snap.Counters[prefix+".errors"]),
+	}
+	if h, ok := snap.Histograms[prefix+".request_ms"]; ok && o.LatencyMS > 0 {
+		cur.latTotal = float64(h.Count)
+		cur.latGood = goodUnder(h, o.LatencyMS)
+	}
+	hist := append(t.history[o.Endpoint], cur)
+	cutoff := unixMS - t.maxWindow.Milliseconds()
+	drop := 0
+	// Keep the newest point older than the cutoff: it is the base the
+	// longest window differences against.
+	for drop < len(hist)-1 && hist[drop+1].unixMS <= cutoff {
+		drop++
+	}
+	t.history[o.Endpoint] = hist[drop:]
+	return cur
+}
+
+// WindowBurn is one window's scored rates for one endpoint.
+type WindowBurn struct {
+	Window           string  `json:"window"`
+	Requests         float64 `json:"requests"`
+	ErrorRate        float64 `json:"error_rate"`
+	AvailabilityBurn float64 `json:"availability_burn"`
+	LatencyOverRate  float64 `json:"latency_over_rate,omitempty"`
+	LatencyBurn      float64 `json:"latency_burn,omitempty"`
+}
+
+// burn differences the endpoint's history over one window. Requires
+// t.mu held.
+func (t *Tracker) burn(o Objective, w Window, cur point) WindowBurn {
+	out := WindowBurn{Window: w.Label}
+	hist := t.history[o.Endpoint]
+	if len(hist) == 0 {
+		return out
+	}
+	// Base: the newest point at or before the window start; a service
+	// younger than the window burns against its whole lifetime.
+	start := cur.unixMS - w.D.Milliseconds()
+	base := hist[0]
+	for _, p := range hist {
+		if p.unixMS > start {
+			break
+		}
+		base = p
+	}
+	dTotal := cur.total - base.total
+	dErr := cur.errors - base.errors
+	out.Requests = dTotal
+	if dTotal > 0 {
+		out.ErrorRate = dErr / dTotal
+		if budget := 1 - o.Availability; budget > 0 {
+			out.AvailabilityBurn = out.ErrorRate / budget
+		}
+	}
+	if o.LatencyMS > 0 {
+		dLatTotal := cur.latTotal - base.latTotal
+		dLatGood := cur.latGood - base.latGood
+		if dLatTotal > 0 {
+			out.LatencyOverRate = (dLatTotal - dLatGood) / dLatTotal
+			if out.LatencyOverRate < 0 {
+				out.LatencyOverRate = 0 // interpolation jitter across ticks
+			}
+			if budget := 1 - o.LatencyTarget; budget > 0 {
+				out.LatencyBurn = out.LatencyOverRate / budget
+			}
+		}
+	}
+	return out
+}
+
+// EndpointStatus is one endpoint's live SLO state for /statusz.
+type EndpointStatus struct {
+	Objective
+	Requests uint64       `json:"requests"`
+	Errors   uint64       `json:"errors"`
+	Windows  []WindowBurn `json:"windows"`
+}
+
+// Status reports every objective's current burn, computed against the
+// most recent Collect. Returns nil before the first Collect (and for a
+// nil tracker), so callers can distinguish "no data yet" from "all
+// clear".
+func (t *Tracker) Status() []EndpointStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.lastMS == 0 {
+		return nil
+	}
+	out := make([]EndpointStatus, 0, len(t.objectives))
+	for _, o := range t.objectives {
+		hist := t.history[o.Endpoint]
+		if len(hist) == 0 {
+			out = append(out, EndpointStatus{Objective: o})
+			continue
+		}
+		cur := hist[len(hist)-1]
+		st := EndpointStatus{
+			Objective: o,
+			Requests:  uint64(cur.total),
+			Errors:    uint64(cur.errors),
+		}
+		for _, w := range t.windows {
+			st.Windows = append(st.Windows, t.burn(o, w, cur))
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// goodUnder estimates how many observations in h were <= thresh. Full
+// buckets below the threshold count whole; the bucket straddling the
+// threshold contributes the linearly interpolated fraction of its
+// range at or below it (observations are assumed uniform inside a
+// bucket, the same assumption Quantile makes).
+func goodUnder(h telemetry.HistogramSnapshot, thresh uint64) float64 {
+	var good float64
+	for _, b := range h.Buckets {
+		switch {
+		case b.Hi <= thresh:
+			good += float64(b.Count)
+		case b.Lo > thresh:
+			return good
+		default:
+			span := float64(b.Hi-b.Lo) + 1
+			good += float64(b.Count) * (float64(thresh-b.Lo) + 1) / span
+		}
+	}
+	return good
+}

@@ -1,0 +1,196 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"readduo/internal/telemetry"
+)
+
+// fixture drives a tracker with hand-built snapshots at scripted
+// times, mimicking the collector's tick cadence.
+func fixture(windows []Window) (*telemetry.Registry, *Tracker) {
+	reg := telemetry.NewRegistry("test")
+	tr := NewTracker("server", []Objective{{
+		Endpoint:      "ler",
+		Availability:  0.999,
+		LatencyMS:     50,
+		LatencyTarget: 0.95,
+	}}, windows)
+	return reg, tr
+}
+
+func TestBurnRateAvailability(t *testing.T) {
+	reg, tr := fixture([]Window{{Label: "5m", D: 5 * time.Minute}})
+	req := reg.Counter("server.endpoint.ler.requests")
+	errs := reg.Counter("server.endpoint.ler.errors")
+
+	// Tick every 10s for 5 minutes: 100 req/tick, 1 error/tick =>
+	// error rate 1%, budget 0.1%, burn 10x.
+	var ms int64
+	for i := 0; i <= 30; i++ {
+		req.Add(100)
+		errs.Inc()
+		tr.Collect(ms, reg.Snapshot())
+		ms += 10_000
+	}
+	st := tr.Status()
+	if len(st) != 1 || len(st[0].Windows) != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	w := st[0].Windows[0]
+	if w.ErrorRate < 0.009 || w.ErrorRate > 0.011 {
+		t.Fatalf("error rate = %v, want ~0.01", w.ErrorRate)
+	}
+	if w.AvailabilityBurn < 9 || w.AvailabilityBurn > 11 {
+		t.Fatalf("burn = %v, want ~10", w.AvailabilityBurn)
+	}
+}
+
+func TestBurnRateWindowsSeparate(t *testing.T) {
+	reg, tr := fixture(nil) // default 5m + 1h
+	req := reg.Counter("server.endpoint.ler.requests")
+	errs := reg.Counter("server.endpoint.ler.errors")
+
+	// One clean hour...
+	var ms int64
+	for i := 0; i < 360; i++ {
+		req.Add(10)
+		tr.Collect(ms, reg.Snapshot())
+		ms += 10_000
+	}
+	// ...then 5 bad minutes at 50% errors.
+	for i := 0; i < 30; i++ {
+		req.Add(10)
+		errs.Add(5)
+		tr.Collect(ms, reg.Snapshot())
+		ms += 10_000
+	}
+	st := tr.Status()[0]
+	var w5, w1h WindowBurn
+	for _, w := range st.Windows {
+		switch w.Window {
+		case "5m":
+			w5 = w
+		case "1h":
+			w1h = w
+		}
+	}
+	// Fast window sees the full incident; slow window dilutes it.
+	if w5.ErrorRate < 0.45 || w5.ErrorRate > 0.55 {
+		t.Fatalf("5m error rate = %v, want ~0.5", w5.ErrorRate)
+	}
+	if w1h.ErrorRate >= w5.ErrorRate/2 {
+		t.Fatalf("1h error rate %v not diluted vs 5m %v", w1h.ErrorRate, w5.ErrorRate)
+	}
+	if w5.AvailabilityBurn <= w1h.AvailabilityBurn {
+		t.Fatalf("fast burn %v should exceed slow burn %v", w5.AvailabilityBurn, w1h.AvailabilityBurn)
+	}
+}
+
+func TestLatencyBurn(t *testing.T) {
+	reg, tr := fixture([]Window{{Label: "5m", D: 5 * time.Minute}})
+	req := reg.Counter("server.endpoint.ler.requests")
+	h := reg.Histogram("server.endpoint.ler.request_ms")
+
+	// 90% of requests at ~2ms, 10% at ~200ms against a 50ms/95% target:
+	// ~10% over threshold, budget 5%, burn ~2x.
+	var ms int64
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 9; j++ {
+			h.Observe(2)
+			req.Inc()
+		}
+		h.Observe(200)
+		req.Inc()
+		tr.Collect(ms, reg.Snapshot())
+		ms += 10_000
+	}
+	w := tr.Status()[0].Windows[0]
+	if w.LatencyOverRate < 0.05 || w.LatencyOverRate > 0.15 {
+		t.Fatalf("latency over-rate = %v, want ~0.1", w.LatencyOverRate)
+	}
+	if w.LatencyBurn < 1 || w.LatencyBurn > 3 {
+		t.Fatalf("latency burn = %v, want ~2", w.LatencyBurn)
+	}
+}
+
+func TestCollectEmitsSeries(t *testing.T) {
+	reg, tr := fixture(nil)
+	reg.Counter("server.endpoint.ler.requests").Add(100)
+	samples := tr.Collect(1000, reg.Snapshot())
+	names := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"slo.ler.availability.burn_5m",
+		"slo.ler.availability.burn_1h",
+		"slo.ler.error_rate_5m",
+		"slo.ler.latency.burn_5m",
+	} {
+		if !names[want] {
+			t.Errorf("Collect missing series %s; got %v", want, samples)
+		}
+	}
+	for n := range names {
+		if !strings.HasPrefix(n, "slo.") {
+			t.Errorf("unexpected series %s", n)
+		}
+	}
+}
+
+func TestHistoryPruned(t *testing.T) {
+	reg, tr := fixture([]Window{{Label: "5m", D: 5 * time.Minute}})
+	req := reg.Counter("server.endpoint.ler.requests")
+	var ms int64
+	for i := 0; i < 1000; i++ {
+		req.Inc()
+		tr.Collect(ms, reg.Snapshot())
+		ms += 10_000
+	}
+	tr.mu.Lock()
+	n := len(tr.history["ler"])
+	tr.mu.Unlock()
+	// 5m window at 10s ticks needs ~31 points plus one bracketing base.
+	if n > 40 {
+		t.Fatalf("history holds %d points, prune is broken", n)
+	}
+}
+
+func TestNilAndEmptyTracker(t *testing.T) {
+	var tr *Tracker
+	if tr.Collect(1, telemetry.Snapshot{}) != nil {
+		t.Fatal("nil tracker must collect nothing")
+	}
+	if tr.Status() != nil {
+		t.Fatal("nil tracker must report no status")
+	}
+	if tr.Objectives() != nil {
+		t.Fatal("nil tracker has no objectives")
+	}
+
+	live := NewTracker("server", []Objective{{Endpoint: "ler", Availability: 0.999}}, nil)
+	if live.Status() != nil {
+		t.Fatal("tracker before first Collect must report nil status")
+	}
+}
+
+func TestYoungServiceBurnsAgainstLifetime(t *testing.T) {
+	reg, tr := fixture([]Window{{Label: "1h", D: time.Hour}})
+	req := reg.Counter("server.endpoint.ler.requests")
+	errs := reg.Counter("server.endpoint.ler.errors")
+	req.Add(100)
+	errs.Add(10)
+	tr.Collect(0, reg.Snapshot())
+	req.Add(100)
+	errs.Add(10)
+	tr.Collect(10_000, reg.Snapshot())
+	w := tr.Status()[0].Windows[0]
+	// Only 10s of history inside a 1h window: rate computed over what
+	// exists (the delta from the first observation).
+	if w.ErrorRate < 0.09 || w.ErrorRate > 0.11 {
+		t.Fatalf("young-service error rate = %v, want ~0.1", w.ErrorRate)
+	}
+}

@@ -236,7 +236,8 @@ func (s Snapshot) WriteTable(w io.Writer) error {
 	}
 	for _, k := range sortedKeys(s.Histograms) {
 		h := s.Histograms[k]
-		fmt.Fprintf(tw, "%s\tn=%d sum=%d mean=%.1f\n", k, h.Count, h.Sum, h.Mean())
+		fmt.Fprintf(tw, "%s\tn=%d sum=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f\n",
+			k, h.Count, h.Sum, h.Mean(), h.P50, h.P95, h.P99)
 		for _, b := range h.Buckets {
 			fmt.Fprintf(tw, "  [%d, %d]\t%d\n", b.Lo, b.Hi, b.Count)
 		}

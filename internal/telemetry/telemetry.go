@@ -23,6 +23,7 @@
 package telemetry
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"unsafe"
@@ -142,6 +143,12 @@ type HistogramSnapshot struct {
 	Sum   uint64 `json:"sum"`
 	// Buckets lists only the occupied log2 ranges, in ascending order.
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
+	// P50, P95 and P99 are quantile estimates interpolated inside the
+	// log2 buckets (see Quantile). Populated by Snapshot; zero when the
+	// histogram is empty.
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
 }
 
 // HistogramBucket is one occupied log2 range [Lo, Hi].
@@ -157,6 +164,55 @@ func (s HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed values
+// by locating the log2 bucket holding the nearest-rank observation and
+// interpolating linearly inside it. The estimate always lies within the
+// bounds of the bucket that contains the true quantile, so the absolute
+// error is at most the bucket width (Hi - Lo) and the relative error is
+// at most 1x (the bucket spans one octave). Returns 0 for an empty
+// snapshot; q is clamped to (0, 1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank target in [1, Count].
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		if cum+b.Count >= target {
+			// Interpolate inside the bucket: observation ranks are spread
+			// uniformly across [Lo, Hi].
+			frac := float64(target-cum) / float64(b.Count)
+			return float64(b.Lo) + frac*float64(b.Hi-b.Lo)
+		}
+		cum += b.Count
+	}
+	// Torn read (Count disagrees with bucket sum): report the top bound.
+	if n := len(s.Buckets); n > 0 {
+		return float64(s.Buckets[n-1].Hi)
+	}
+	return 0
+}
+
+// fillQuantiles stamps the derived P50/P95/P99 estimates.
+func (s *HistogramSnapshot) fillQuantiles() {
+	if s.Count == 0 {
+		return
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 }
 
 // Snapshot merges the stripes. Concurrent Observe calls may or may not
@@ -185,6 +241,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		lo, hi := bucketBounds(b)
 		snap.Buckets = append(snap.Buckets, HistogramBucket{Lo: lo, Hi: hi, Count: n})
 	}
+	snap.fillQuantiles()
 	return snap
 }
 

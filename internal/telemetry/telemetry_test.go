@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -110,6 +112,79 @@ func TestHistogramBuckets(t *testing.T) {
 		if want[[2]uint64{b.Lo, b.Hi}] != b.Count {
 			t.Fatalf("bucket [%d,%d] count %d unexpected", b.Lo, b.Hi, b.Count)
 		}
+	}
+}
+
+// TestHistogramQuantileErrorBound pins the quantile estimator's
+// documented guarantee against exact nearest-rank quantiles: the
+// estimate must land inside the log2 bucket that contains the true
+// quantile, so the absolute error is bounded by that bucket's width
+// (equivalently, estimate/exact stays within [0.5, 2] for non-zero
+// values). Exercised over several distributions so the bound isn't an
+// artifact of one shape.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() uint64{
+		"uniform":   func() uint64 { return uint64(rng.Intn(100_000)) },
+		"heavytail": func() uint64 { return uint64(rng.ExpFloat64() * 500) },
+		"bimodal": func() uint64 {
+			if rng.Intn(2) == 0 {
+				return uint64(3 + rng.Intn(5))
+			}
+			return uint64(40_000 + rng.Intn(5000))
+		},
+	}
+	quantiles := []float64{0.50, 0.95, 0.99}
+	for name, gen := range distributions {
+		var h Histogram
+		values := make([]uint64, 20_000)
+		for i := range values {
+			values[i] = gen()
+			h.Observe(values[i])
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		snap := h.Snapshot()
+		for _, q := range quantiles {
+			exact := values[int(float64(len(values))*q)-1] // nearest rank
+			got := snap.Quantile(q)
+			lo, hi := bucketBounds(bucketOf(exact))
+			if got < float64(lo) || got > float64(hi) {
+				t.Errorf("%s q=%.2f: estimate %.1f outside exact's bucket [%d,%d] (exact %d)",
+					name, q, got, lo, hi, exact)
+			}
+			if exact > 0 {
+				if ratio := got / float64(exact); ratio < 0.5 || ratio > 2 {
+					t.Errorf("%s q=%.2f: relative error %.2fx exceeds octave bound (est %.1f, exact %d)",
+						name, q, ratio, got, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileEdges covers the degenerate shapes.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	snap := h.Snapshot()
+	if got := snap.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero quantile = %v, want 0", got)
+	}
+	var single Histogram
+	single.Observe(100)
+	s := single.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := s.Quantile(q); got < 64 || got > 127 {
+			t.Fatalf("single-value q=%v = %v, want within [64,127]", q, got)
+		}
+	}
+	if s.P50 == 0 || s.P95 == 0 || s.P99 == 0 {
+		t.Fatalf("snapshot quantiles not populated: %+v", s)
 	}
 }
 

@@ -1,0 +1,249 @@
+package tsdb
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"readduo/internal/telemetry"
+)
+
+// CollectFunc contributes extra samples to a tick from the same
+// registry snapshot the collector just took. internal/slo hooks its
+// burn-rate computation in through one of these, which is what makes
+// SLO burn a first-class series rather than a dashboard-side derived
+// value.
+type CollectFunc func(unixMS int64, snap telemetry.Snapshot) []Sample
+
+// Tick is one collection round: the full flattened sample set, not just
+// the diffed subset that was persisted. Subscribers (the dashboard SSE
+// stream) want current values for every series on every tick.
+type Tick struct {
+	UnixMS  int64
+	Samples []Sample
+}
+
+// Collector periodically flattens a telemetry.Registry snapshot into
+// samples and appends the changed ones to a Store.
+//
+// Diff semantics: a sample is appended only when its value differs from
+// the last value appended for that series, except that every
+// heartbeatTicks rounds an unchanged series is appended anyway. The
+// diff keeps idle series from filling rings and segments with flat
+// lines; the heartbeat guarantees any query window longer than
+// heartbeat x interval contains at least one point per live series, so
+// range queries can always interpolate. Values between two retained
+// points are defined to be the earlier point's value (counters and
+// gauges only change when something happened, and a change is always
+// retained).
+//
+// A nil *Collector is inert: Start, Stop, Poll and Subscribe are no-ops,
+// so commands thread the handle through unconditionally.
+type Collector struct {
+	reg      *telemetry.Registry
+	store    *Store
+	interval time.Duration
+	collects []CollectFunc
+
+	// heartbeatTicks forces an append of unchanged series every N ticks.
+	heartbeatTicks int
+
+	mu    sync.Mutex
+	last  map[string]float64 // last appended value per series
+	age   map[string]int     // ticks since last append per series
+	subs  map[chan Tick]struct{}
+	now   func() time.Time // injectable for tests
+	ticks uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewCollector builds a collector pumping reg into store every
+// interval (<= 0 selects 1s). The extra CollectFuncs run on every tick
+// after the registry flatten; their samples get the same diff
+// treatment.
+func NewCollector(reg *telemetry.Registry, store *Store, interval time.Duration,
+	collects ...CollectFunc) *Collector {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Collector{
+		reg:            reg,
+		store:          store,
+		interval:       interval,
+		collects:       collects,
+		heartbeatTicks: 30,
+		last:           make(map[string]float64),
+		age:            make(map[string]int),
+		subs:           make(map[chan Tick]struct{}),
+		now:            time.Now,
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+	}
+}
+
+// AddCollect registers an extra CollectFunc after construction. The
+// obs session builds the collector before the server (whose depth
+// samples and SLO tracker are collect funcs) exists, so registration
+// has to be late-bound. Safe to call concurrently with Poll.
+func (c *Collector) AddCollect(fn CollectFunc) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.mu.Lock()
+	c.collects = append(c.collects, fn)
+	c.mu.Unlock()
+}
+
+// Interval reports the tick period (0 for nil).
+func (c *Collector) Interval() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.interval
+}
+
+// Store returns the backing store (nil for a nil collector).
+func (c *Collector) Store() *Store {
+	if c == nil {
+		return nil
+	}
+	return c.store
+}
+
+// Start launches the tick loop. Safe to call once; later calls no-op.
+func (c *Collector) Start() {
+	if c == nil {
+		return
+	}
+	c.startOnce.Do(func() {
+		go c.loop()
+	})
+}
+
+func (c *Collector) loop() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.Poll()
+		}
+	}
+}
+
+// Stop halts the loop, takes one final synchronous poll so the last
+// partial interval is not lost, and syncs the store.
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.startOnce.Do(func() { close(c.done) }) // never started: unblock the wait
+		<-c.done
+		c.Poll()
+		c.store.Sync()
+	})
+}
+
+// Poll runs one collection round synchronously: snapshot, flatten,
+// diff-append, publish. Exposed so tests (and Stop) can tick without
+// waiting out the interval.
+func (c *Collector) Poll() {
+	if c == nil {
+		return
+	}
+	nowMS := c.now().UnixMilli()
+	snap := c.reg.Snapshot()
+	samples := Flatten(snap)
+	c.mu.Lock()
+	collects := c.collects
+	c.mu.Unlock()
+	for _, fn := range collects {
+		samples = append(samples, fn(nowMS, snap)...)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+
+	c.mu.Lock()
+	c.ticks++
+	changed := samples[:0:0]
+	for _, s := range samples {
+		prev, seen := c.last[s.Name]
+		c.age[s.Name]++
+		if seen && prev == s.Value && c.age[s.Name] < c.heartbeatTicks {
+			continue
+		}
+		c.last[s.Name] = s.Value
+		c.age[s.Name] = 0
+		changed = append(changed, s)
+	}
+	// Publish under the lock: sends are non-blocking, and holding mu
+	// means a concurrent Subscribe cancel cannot close a channel
+	// mid-send.
+	tick := Tick{UnixMS: nowMS, Samples: samples}
+	for ch := range c.subs {
+		select {
+		case ch <- tick:
+		default: // a stalled subscriber drops ticks, never blocks collection
+		}
+	}
+	c.mu.Unlock()
+
+	c.store.Append(nowMS, changed)
+}
+
+// Subscribe registers a tick listener; cancel unregisters it and closes
+// the channel. The channel is buffered and lossy: a subscriber that
+// stops draining misses ticks instead of stalling the collector.
+func (c *Collector) Subscribe() (<-chan Tick, func()) {
+	if c == nil {
+		ch := make(chan Tick)
+		close(ch)
+		return ch, func() {}
+	}
+	ch := make(chan Tick, 4)
+	c.mu.Lock()
+	c.subs[ch] = struct{}{}
+	c.mu.Unlock()
+	cancel := func() {
+		c.mu.Lock()
+		_, live := c.subs[ch]
+		delete(c.subs, ch)
+		c.mu.Unlock()
+		if live {
+			close(ch)
+		}
+	}
+	return ch, cancel
+}
+
+// Flatten renders a registry snapshot as flat samples: counters and
+// gauges under their metric names, histograms as derived .count, .mean,
+// .p50, .p95 and .p99 series. The result is unsorted; callers that need
+// determinism sort by name (the Collector does).
+func Flatten(snap telemetry.Snapshot) []Sample {
+	out := make([]Sample, 0, len(snap.Counters)+len(snap.Gauges)+5*len(snap.Histograms))
+	for name, v := range snap.Counters {
+		out = append(out, Sample{Name: name, Value: float64(v)})
+	}
+	for name, v := range snap.Gauges {
+		out = append(out, Sample{Name: name, Value: float64(v)})
+	}
+	for name, h := range snap.Histograms {
+		out = append(out,
+			Sample{Name: name + ".count", Value: float64(h.Count)},
+			Sample{Name: name + ".mean", Value: h.Mean()},
+			Sample{Name: name + ".p50", Value: h.P50},
+			Sample{Name: name + ".p95", Value: h.P95},
+			Sample{Name: name + ".p99", Value: h.P99},
+		)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package tsdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"readduo/internal/telemetry"
+)
+
+// WriteProm renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Metric names are the registry name
+// plus the metric name, sanitized to the Prometheus charset
+// ("readduo-serve" + "server.http.requests" ->
+// "readduo_serve_server_http_requests"). Counters and gauges map
+// directly; log2 histograms become cumulative le-bucketed histogram
+// series plus derived _p50/_p95/_p99 gauges. Output is sorted by
+// name, so series names and order are deterministic across runs and
+// scrapes.
+func WriteProm(w io.Writer, snap telemetry.Snapshot) error {
+	prefix := ""
+	if snap.Name != "" {
+		prefix = sanitizeMetricName(snap.Name) + "_"
+	}
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := prefix + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			full, full, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := prefix + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n",
+			full, full, snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writePromHistogram(w, prefix+sanitizeMetricName(name), snap.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, full string, h telemetry.HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", full); err != nil {
+		return err
+	}
+	// The occupied log2 buckets become cumulative le buckets; the
+	// inclusive Hi bound of each bucket is exactly Prometheus's
+	// less-or-equal boundary.
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", full, b.Hi, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		full, h.Count, full, h.Sum, full, h.Count); err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		suffix string
+		value  float64
+	}{{"_p50", h.P50}, {"_p95", h.P95}, {"_p99", h.P99}} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s gauge\n%s%s %s\n",
+			full, q.suffix, full, q.suffix, formatPromValue(q.value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatPromValue renders a float the way Prometheus parsers expect.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps arbitrary metric names onto the Prometheus
+// charset [a-zA-Z_][a-zA-Z0-9_]* (':' is valid but reserved for
+// recording rules, so it maps to '_' like everything else).
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

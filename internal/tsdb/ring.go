@@ -1,0 +1,60 @@
+package tsdb
+
+// ring is a fixed-capacity circular buffer of points in append order.
+// Not safe for concurrent use; the Store serializes access.
+type ring struct {
+	buf   []Point
+	start int // index of the oldest point
+	n     int // live points
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]Point, capacity)}
+}
+
+// push appends p, overwriting the oldest point when full.
+func (r *ring) push(p Point) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = p
+		r.n++
+		return
+	}
+	r.buf[r.start] = p
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// at returns the i-th oldest live point.
+func (r *ring) at(i int) Point {
+	return r.buf[(r.start+i)%len(r.buf)]
+}
+
+// latest returns the newest point.
+func (r *ring) latest() (Point, bool) {
+	if r.n == 0 {
+		return Point{}, false
+	}
+	return r.at(r.n - 1), true
+}
+
+// since copies out every point with UnixMS >= sinceMS, oldest first.
+// Points are appended in non-decreasing time order, so a binary search
+// finds the cut.
+func (r *ring) since(sinceMS int64) []Point {
+	lo, hi := 0, r.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.at(mid).UnixMS < sinceMS {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == r.n {
+		return nil
+	}
+	out := make([]Point, 0, r.n-lo)
+	for i := lo; i < r.n; i++ {
+		out = append(out, r.at(i))
+	}
+	return out
+}
