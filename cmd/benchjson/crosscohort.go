@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cross-cohort comparison (`benchjson compare -cross-cohort`): the one
+// sanctioned exception to the mixed-cohort refusal. Serial and parallel
+// engine baselines of the same benchmark set legitimately carry different
+// cohort stamps — the engine is part of the measured configuration — yet
+// comparing them is exactly how the parallel engine's speedup claim is
+// made. The mode pairs benchmarks by their engine-normalized names
+// (`/engine=...` path components stripped), requires the normalized sets
+// to match exactly, and reports speedup (old/new) instead of treating a
+// faster new side as suspicious.
+
+// stripEngineComponents removes `/engine=...` path components from a
+// benchmark name, so `BenchmarkX/engine=serial/gcc` and
+// `BenchmarkX/engine=parallel-8/gcc` pair up.
+func stripEngineComponents(name string) string {
+	parts := strings.Split(name, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if strings.HasPrefix(p, "engine=") {
+			continue
+		}
+		out = append(out, p)
+	}
+	return strings.Join(out, "/")
+}
+
+// normalizeEngineDoc returns a shallow copy of doc with benchmark names
+// engine-normalized. An error reports name collisions — a document that
+// contains both engine variants of one benchmark is not a single cohort
+// side and cannot be paired unambiguously.
+func normalizeEngineDoc(doc *Document) (*Document, error) {
+	out := *doc
+	out.Benchmarks = make([]Benchmark, len(doc.Benchmarks))
+	seen := map[string]string{}
+	for i, b := range doc.Benchmarks {
+		norm := stripEngineComponents(b.Name)
+		if prev, ok := seen[norm]; ok {
+			return nil, fmt.Errorf(
+				"benchmarks %q and %q normalize to the same name %q — split the engines into separate baselines",
+				prev, b.Name, norm)
+		}
+		seen[norm] = b.Name
+		nb := b
+		nb.Name = norm
+		out.Benchmarks[i] = nb
+	}
+	return &out, nil
+}
+
+// CheckCrossCohortGovernance is CheckGovernance with the cohort-equality
+// rule replaced by set equality of engine-normalized benchmark names:
+// the two sides must measure the same claims, just on different engines.
+func CheckCrossCohortGovernance(oldDoc, newDoc *Document, minSamples int) []string {
+	var violations []string
+	if oldDoc.Cohort == "" {
+		violations = append(violations, "old baseline carries no cohort stamp (regenerate with benchjson)")
+	}
+	if newDoc.Cohort == "" {
+		violations = append(violations, "new baseline carries no cohort stamp (regenerate with benchjson)")
+	}
+	names := func(doc *Document) []string {
+		out := make([]string, len(doc.Benchmarks))
+		for i, b := range doc.Benchmarks {
+			out[i] = stripEngineComponents(b.Name)
+		}
+		sort.Strings(out)
+		return out
+	}
+	oldNames, newNames := names(oldDoc), names(newDoc)
+	if strings.Join(oldNames, "\x00") != strings.Join(newNames, "\x00") {
+		violations = append(violations, fmt.Sprintf(
+			"cross-cohort sides disagree on the benchmark set after engine normalization: old has %d claims, new has %d — they must measure the same benchmarks",
+			len(oldNames), len(newNames)))
+	}
+	undersampled := func(side string, doc *Document) {
+		for _, b := range doc.Benchmarks {
+			if n := b.samples(); n < minSamples {
+				violations = append(violations, fmt.Sprintf(
+					"%s %s: %d sample(s), need >= %d", side, b.Name, n, minSamples))
+			}
+		}
+	}
+	undersampled("old", oldDoc)
+	undersampled("new", newDoc)
+	return violations
+}
+
+// CompareCrossCohort pairs the two sides by engine-normalized name and
+// evaluates the metric like Compare. The returned deltas carry the
+// normalized names; Ratio stays new/old, so speedup of new over old is
+// 1/Ratio.
+func CompareCrossCohort(oldDoc, newDoc *Document, metric string, threshold float64) (deltas []Delta, onlyOld, onlyNew []string, regressed bool, err error) {
+	oldNorm, err := normalizeEngineDoc(oldDoc)
+	if err != nil {
+		return nil, nil, nil, false, fmt.Errorf("old baseline: %w", err)
+	}
+	newNorm, err := normalizeEngineDoc(newDoc)
+	if err != nil {
+		return nil, nil, nil, false, fmt.Errorf("new baseline: %w", err)
+	}
+	deltas, onlyOld, onlyNew, regressed = Compare(oldNorm, newNorm, metric, threshold)
+	return deltas, onlyOld, onlyNew, regressed, nil
+}

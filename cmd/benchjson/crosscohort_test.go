@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStripEngineComponents(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"BenchmarkX", "BenchmarkX"},
+		{"BenchmarkX/engine=serial/gcc", "BenchmarkX/gcc"},
+		{"BenchmarkX/engine=parallel-8/gcc", "BenchmarkX/gcc"},
+		{"BenchmarkX/gcc/engine=parallel", "BenchmarkX/gcc"},
+		{"BenchmarkX/engines=both/gcc", "BenchmarkX/engines=both/gcc"},
+	}
+	for _, c := range cases {
+		if got := stripEngineComponents(c.in); got != c.want {
+			t.Errorf("stripEngineComponents(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeEngineDocCollision(t *testing.T) {
+	mixed := doc(
+		bench("BenchmarkX/engine=serial/gcc", 100),
+		bench("BenchmarkX/engine=parallel-8/gcc", 50),
+	)
+	if _, err := normalizeEngineDoc(mixed); err == nil {
+		t.Error("both engine variants in one document must refuse to normalize")
+	}
+	clean := doc(bench("BenchmarkX/engine=serial/gcc", 100), bench("BenchmarkY", 10))
+	norm, err := normalizeEngineDoc(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Benchmarks[0].Name != "BenchmarkX/gcc" || norm.Benchmarks[1].Name != "BenchmarkY" {
+		t.Errorf("normalized names wrong: %q, %q", norm.Benchmarks[0].Name, norm.Benchmarks[1].Name)
+	}
+	// The input document is untouched.
+	if clean.Benchmarks[0].Name != "BenchmarkX/engine=serial/gcc" {
+		t.Errorf("input mutated: %q", clean.Benchmarks[0].Name)
+	}
+}
+
+func TestCheckCrossCohortGovernance(t *testing.T) {
+	serial := governedDoc("readduo/campaign/abc", 5,
+		"BenchmarkX/engine=serial/gcc", "BenchmarkX/engine=serial/hmmer")
+	parallel := governedDoc("readduo/campaign/abc/engine=parallel-8", 5,
+		"BenchmarkX/engine=parallel-8/gcc", "BenchmarkX/engine=parallel-8/hmmer")
+	if serial.Cohort == parallel.Cohort {
+		t.Fatal("test premise broken: cohorts should differ across engines")
+	}
+	// Plain governance refuses the mixed cohorts; cross-cohort accepts.
+	if v := CheckGovernance(serial, parallel, 5); len(v) == 0 {
+		t.Error("plain governance accepted mixed engine cohorts")
+	}
+	if v := CheckCrossCohortGovernance(serial, parallel, 5); len(v) != 0 {
+		t.Errorf("matching normalized sets refused: %v", v)
+	}
+	// A missing stamp still refuses.
+	unstamped := doc(bench("BenchmarkX/engine=serial/gcc", 1, 2, 3, 4, 5),
+		bench("BenchmarkX/engine=serial/hmmer", 1, 2, 3, 4, 5))
+	if v := CheckCrossCohortGovernance(unstamped, parallel, 5); len(v) == 0 {
+		t.Error("missing cohort stamp accepted")
+	}
+	// Disagreeing normalized sets refuse.
+	extra := governedDoc("readduo/campaign/abc/engine=parallel-8", 5,
+		"BenchmarkX/engine=parallel-8/gcc")
+	if v := CheckCrossCohortGovernance(serial, extra, 5); len(v) == 0 {
+		t.Error("mismatched benchmark sets accepted")
+	}
+	// Thin samples refuse, same as plain governance.
+	thin := governedDoc("readduo/campaign/abc/engine=parallel-8", 2,
+		"BenchmarkX/engine=parallel-8/gcc", "BenchmarkX/engine=parallel-8/hmmer")
+	v := CheckCrossCohortGovernance(serial, thin, 5)
+	if len(v) == 0 || !strings.Contains(strings.Join(v, "\n"), "2 sample(s)") {
+		t.Errorf("under-sampled claim not refused: %v", v)
+	}
+}
+
+func TestCompareCrossCohort(t *testing.T) {
+	serial := doc(
+		bench("BenchmarkX/engine=serial/gcc", 400),
+		bench("BenchmarkX/engine=serial/hmmer", 300),
+	)
+	parallel := doc(
+		bench("BenchmarkX/engine=parallel-8/gcc", 100),
+		bench("BenchmarkX/engine=parallel-8/hmmer", 150),
+	)
+	deltas, onlyOld, onlyNew, regressed, err := CompareCrossCohort(serial, parallel, "ns/op", 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyOld) != 0 || len(onlyNew) != 0 || regressed {
+		t.Errorf("pairing failed: onlyOld %v onlyNew %v regressed %v", onlyOld, onlyNew, regressed)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(deltas))
+	}
+	if deltas[0].Name != "BenchmarkX/gcc" || deltas[0].Ratio != 0.25 {
+		t.Errorf("gcc delta wrong (speedup should be 4x): %+v", deltas[0])
+	}
+	if deltas[1].Name != "BenchmarkX/hmmer" || deltas[1].Ratio != 0.5 {
+		t.Errorf("hmmer delta wrong (speedup should be 2x): %+v", deltas[1])
+	}
+	// A collision surfaces as an error, not a panic or silent drop.
+	both := doc(
+		bench("BenchmarkX/engine=serial/gcc", 400),
+		bench("BenchmarkX/engine=parallel-8/gcc", 100),
+	)
+	if _, _, _, _, err := CompareCrossCohort(both, parallel, "ns/op", 1.25); err == nil {
+		t.Error("collision in old baseline not reported")
+	}
+}
+
+// TestRunCompareCrossCohort drives the flag through the CLI: plain
+// governed compare refuses the engine cohorts, -cross-cohort accepts
+// them and prints a speedup column, and a genuine slowdown still fails
+// the threshold gate.
+func TestRunCompareCrossCohort(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d *Document) string {
+		path := filepath.Join(dir, name)
+		buf, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	serial := write("serial.json", governedDoc("readduo/campaign/abc", 5,
+		"BenchmarkX/engine=serial/gcc"))
+	par := governedDoc("readduo/campaign/abc/engine=parallel-8", 5,
+		"BenchmarkX/engine=parallel-8/gcc")
+	for i := range par.Benchmarks[0].Runs {
+		par.Benchmarks[0].Runs[i].Metrics["ns/op"] = 25 + float64(i)
+	}
+	parallel := write("parallel.json", par)
+
+	var out, errOut strings.Builder
+	if code := runCompare([]string{"-governance", serial, parallel}, &out, &errOut); code != 1 {
+		t.Fatalf("plain governance accepted engine cohorts: exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "mixed cohorts") {
+		t.Errorf("stderr lacks the mixed-cohort refusal: %s", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := runCompare([]string{"-governance", "-cross-cohort", serial, parallel}, &out, &errOut); code != 0 {
+		t.Fatalf("cross-cohort compare exit %d; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "speedup") || !strings.Contains(out.String(), "4.00x") {
+		t.Errorf("table lacks the 4x speedup column:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkX/gcc") {
+		t.Errorf("table lacks the normalized name:\n%s", out.String())
+	}
+	// The threshold gate still works in reverse: parallel as old, serial
+	// as new is a 4x regression.
+	out.Reset()
+	errOut.Reset()
+	if code := runCompare([]string{"-cross-cohort", parallel, serial}, &out, &errOut); code != 1 {
+		t.Errorf("4x slowdown not gated: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("table lacks the regression mark:\n%s", out.String())
+	}
+}

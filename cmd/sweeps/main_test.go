@@ -14,19 +14,19 @@ import (
 
 func TestRunSweepValidation(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, "nonesuch", 10_000, 1, "gcc", 1, "", new(obs.Session)); err == nil {
+	if err := run(ctx, "nonesuch", 10_000, 1, "gcc", poolOpts{parallel: 1}, "", new(obs.Session)); err == nil {
 		t.Error("unknown sweep accepted")
 	}
-	if err := run(ctx, "k", 10_000, 1, "nonesuch", 1, "", new(obs.Session)); err == nil {
+	if err := run(ctx, "k", 10_000, 1, "nonesuch", poolOpts{parallel: 1}, "", new(obs.Session)); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run(ctx, "custom", 10_000, 1, "gcc", 1, "", new(obs.Session)); err == nil {
+	if err := run(ctx, "custom", 10_000, 1, "gcc", poolOpts{parallel: 1}, "", new(obs.Session)); err == nil {
 		t.Error("custom sweep without -schemes accepted")
 	}
-	if err := run(ctx, "custom", 10_000, 1, "gcc", 1, "Ideal", new(obs.Session)); err == nil {
+	if err := run(ctx, "custom", 10_000, 1, "gcc", poolOpts{parallel: 1}, "Ideal", new(obs.Session)); err == nil {
 		t.Error("single-scheme custom sweep accepted")
 	}
-	if err := run(ctx, "custom", 10_000, 1, "gcc", 1, "Ideal,bogus", new(obs.Session)); err == nil {
+	if err := run(ctx, "custom", 10_000, 1, "gcc", poolOpts{parallel: 1}, "Ideal,bogus", new(obs.Session)); err == nil {
 		t.Error("bogus custom scheme list accepted")
 	}
 }
@@ -36,7 +36,7 @@ func TestRunSweepSmoke(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	for _, sweep := range []string{"k", "s", "conversion"} {
-		if err := run(context.Background(), sweep, 30_000, 1, "gcc", 2, "", new(obs.Session)); err != nil {
+		if err := run(context.Background(), sweep, 30_000, 1, "gcc", poolOpts{parallel: 2}, "", new(obs.Session)); err != nil {
 			t.Errorf("run(%s): %v", sweep, err)
 		}
 	}
@@ -48,7 +48,7 @@ func TestRunCustomSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	if err := run(context.Background(), "custom", 30_000, 1, "gcc", 2, "Ideal,lwt:k=8,Select-8:4", new(obs.Session)); err != nil {
+	if err := run(context.Background(), "custom", 30_000, 1, "gcc", poolOpts{parallel: 2}, "Ideal,lwt:k=8,Select-8:4", new(obs.Session)); err != nil {
 		t.Errorf("custom sweep: %v", err)
 	}
 }
@@ -70,7 +70,7 @@ func TestCampaignMatrixReportsPartialProgress(t *testing.T) {
 		},
 	}
 	var partial bytes.Buffer
-	_, err := campaignMatrix(context.Background(), spec, 2, &partial, new(obs.Session))
+	_, err := campaignMatrix(context.Background(), spec, poolOpts{parallel: 2}, &partial, new(obs.Session))
 	if err == nil || !strings.Contains(err.Error(), "failed") {
 		t.Fatalf("poisoned sweep error = %v", err)
 	}
@@ -97,7 +97,7 @@ func TestCampaignMatrixInterrupted(t *testing.T) {
 		Budget:     10_000,
 	}
 	var partial bytes.Buffer
-	_, err := campaignMatrix(ctx, spec, 1, &partial, new(obs.Session))
+	_, err := campaignMatrix(ctx, spec, poolOpts{parallel: 1}, &partial, new(obs.Session))
 	if err == nil || !strings.Contains(err.Error(), "interrupted") {
 		t.Fatalf("cancelled sweep error = %v", err)
 	}

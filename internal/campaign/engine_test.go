@@ -1,0 +1,58 @@
+package campaign
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"readduo/internal/engine"
+	"readduo/internal/telemetry"
+)
+
+// TestEngineShardsClamped: a shard request that would oversubscribe the
+// cores across the worker pool is reduced, counted, and the campaign
+// still produces results identical to the serial engine.
+func TestEngineShardsClamped(t *testing.T) {
+	spec := testSpec(t, 2000)
+	serial := mustRun(t, spec, Options{Parallel: 2})
+
+	reg := telemetry.NewRegistry("test")
+	ask := runtime.GOMAXPROCS(0) * 8 // guaranteed past the 2-job budget
+	out := mustRun(t, spec, Options{
+		Parallel:     2,
+		Engine:       engine.Parallel,
+		EngineShards: ask,
+		Telemetry:    reg,
+	})
+	if out.Failed != 0 {
+		t.Fatalf("%d jobs failed", out.Failed)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["engine.shards.clamped"]; got != 1 {
+		t.Errorf("engine.shards.clamped = %d, want 1", got)
+	}
+	for i := range out.Records {
+		if !reflect.DeepEqual(out.Records[i].Result, serial.Records[i].Result) {
+			t.Errorf("job %s: parallel-engine result diverges from serial", out.Records[i].Key)
+		}
+	}
+}
+
+// TestEngineShardsWithinBudgetNotClamped: a request that fits is passed
+// through untouched and the counter stays silent.
+func TestEngineShardsWithinBudgetNotClamped(t *testing.T) {
+	spec := testSpec(t, 1000)
+	reg := telemetry.NewRegistry("test")
+	out := mustRun(t, spec, Options{
+		Parallel:     1,
+		Engine:       engine.Parallel,
+		EngineShards: 1,
+		Telemetry:    reg,
+	})
+	if out.Failed != 0 {
+		t.Fatalf("%d jobs failed", out.Failed)
+	}
+	if got := reg.Snapshot().Counters["engine.shards.clamped"]; got != 0 {
+		t.Errorf("engine.shards.clamped = %d, want 0", got)
+	}
+}

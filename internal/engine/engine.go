@@ -1,0 +1,154 @@
+// Package engine selects and powers the memory-controller event engine:
+// the serial reference loop or the conservative parallel engine that runs
+// per-bank work concurrently inside a safe time window (DESIGN §14).
+//
+// The package holds the pieces that are independent of the controller
+// itself: the engine Kind knob (flag-parseable), the campaign-level
+// oversubscription clamp (P jobs × S shards must not exceed GOMAXPROCS),
+// and a fixed-membership barrier pool — persistent workers that execute
+// one round of bank work per Run call and rendezvous before the clock is
+// allowed to advance.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind selects the controller event engine. The zero value is Serial, so
+// configurations that predate the knob (journals, goldens, zero-valued
+// Config literals) keep the reference behavior.
+type Kind int
+
+const (
+	// Serial is the reference single-threaded event loop.
+	Serial Kind = iota
+	// Parallel is the conservative parallel engine: per-bank event
+	// processing fans out across shards within a barrier-bounded window,
+	// bit-identical to Serial by construction.
+	Parallel
+)
+
+// String renders the kind the way the -engine flag spells it.
+func (k Kind) String() string {
+	switch k {
+	case Serial:
+		return "serial"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses a -engine flag value. The empty string selects Serial,
+// matching the Kind zero value.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "serial":
+		return Serial, nil
+	case "parallel":
+		return Parallel, nil
+	default:
+		return Serial, fmt.Errorf("engine: unknown kind %q (want serial or parallel)", s)
+	}
+}
+
+// ClampShards bounds a per-job shard request so jobs concurrent jobs of
+// shards shards each never oversubscribe maxProcs cores: the effective
+// value satisfies jobs × effective <= maxProcs, floored at 1 shard. The
+// second result reports whether the request was reduced. shards <= 0 asks
+// for the largest per-job count the budget allows.
+func ClampShards(shards, jobs, maxProcs int) (int, bool) {
+	if jobs < 1 {
+		jobs = 1
+	}
+	if maxProcs < 1 {
+		maxProcs = 1
+	}
+	budget := maxProcs / jobs
+	if budget < 1 {
+		budget = 1
+	}
+	if shards <= 0 {
+		return budget, false
+	}
+	if shards > budget {
+		return budget, true
+	}
+	return shards, false
+}
+
+// Pool is a fixed-membership barrier pool: workers-1 persistent goroutines
+// plus the caller execute the same work function (distinguished by worker
+// index) once per Run call, and Run returns only after every worker has
+// finished — the barrier the parallel engine sits behind before advancing
+// the clock. The work function is fixed at construction so the steady
+// state allocates nothing: a Run is a channel kick per worker, not a
+// closure per round.
+//
+// A Pool must be Closed when its controller retires, or its goroutines
+// leak. Close is idempotent.
+type Pool struct {
+	work    func(worker int)
+	workers int
+	kick    []chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPool starts a pool of the given worker count (minimum 1; worker 0 is
+// always the caller, so a 1-worker pool spawns no goroutines).
+func NewPool(workers int, work func(worker int)) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{work: work, workers: workers, done: make(chan struct{}, workers)}
+	for w := 1; w < workers; w++ {
+		ch := make(chan struct{}, 1)
+		p.kick = append(p.kick, ch)
+		p.wg.Add(1)
+		go func(w int, ch chan struct{}) {
+			defer p.wg.Done()
+			for range ch {
+				p.work(w)
+				p.done <- struct{}{}
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// Workers returns the pool's fixed worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes one round: every worker runs the work function with its
+// index, and Run returns once all have finished. The returned duration is
+// the barrier wait — how long the caller sat idle after finishing its own
+// share, i.e. the round's load imbalance as seen from worker 0.
+func (p *Pool) Run() time.Duration {
+	for _, ch := range p.kick {
+		ch <- struct{}{}
+	}
+	p.work(0)
+	if len(p.kick) == 0 {
+		return 0
+	}
+	start := time.Now()
+	for range p.kick {
+		<-p.done
+	}
+	return time.Since(start)
+}
+
+// Close retires the pool's goroutines and waits for them to exit.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		for _, ch := range p.kick {
+			close(ch)
+		}
+		p.wg.Wait()
+	})
+}

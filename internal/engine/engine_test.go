@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParseKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+		err  bool
+	}{
+		{"", Serial, false},
+		{"serial", Serial, false},
+		{"parallel", Parallel, false},
+		{"Parallel", Serial, true},
+		{"threads", Serial, true},
+	}
+	for _, c := range cases {
+		got, err := ParseKind(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseKind(%q): err=%v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseKind(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if Serial.String() != "serial" || Parallel.String() != "parallel" {
+		t.Errorf("String round-trip broken: %q, %q", Serial, Parallel)
+	}
+}
+
+func TestKindZeroValueIsSerial(t *testing.T) {
+	var k Kind
+	if k != Serial {
+		t.Fatalf("zero Kind = %v, want Serial", k)
+	}
+}
+
+func TestClampShards(t *testing.T) {
+	cases := []struct {
+		shards, jobs, procs int
+		want                int
+		clamped             bool
+	}{
+		{8, 1, 8, 8, false},  // exactly the budget
+		{8, 2, 8, 4, true},   // two jobs halve the per-job budget
+		{8, 8, 8, 1, true},   // fully subscribed pool: serial-ish shards
+		{8, 16, 8, 1, true},  // more jobs than cores still floors at 1
+		{2, 2, 8, 2, false},  // within budget: untouched
+		{1, 4, 8, 1, false},  // 1 shard never clamps
+		{0, 2, 8, 4, false},  // <=0 asks for the full per-job budget
+		{-3, 1, 6, 6, false}, // negative treated as "auto"
+		{4, 0, 8, 4, false},  // jobs floor at 1
+		{4, 2, 0, 1, true},   // procs floor at 1
+		{16, 3, 8, 2, true},  // integer division: 8/3 = 2
+	}
+	for _, c := range cases {
+		got, clamped := ClampShards(c.shards, c.jobs, c.procs)
+		if got != c.want || clamped != c.clamped {
+			t.Errorf("ClampShards(%d, %d, %d) = (%d, %v), want (%d, %v)",
+				c.shards, c.jobs, c.procs, got, clamped, c.want, c.clamped)
+		}
+		if c.jobs > 0 && c.procs >= c.jobs && c.jobs*got > c.procs {
+			t.Errorf("ClampShards(%d, %d, %d) = %d oversubscribes: %d×%d > %d",
+				c.shards, c.jobs, c.procs, got, c.jobs, got, c.procs)
+		}
+	}
+}
+
+func TestPoolRunsEveryWorkerEachRound(t *testing.T) {
+	const workers = 4
+	var hits [workers]atomic.Uint64
+	p := NewPool(workers, func(w int) { hits[w].Add(1) })
+	defer p.Close()
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		p.Run()
+	}
+	for w := range hits {
+		if got := hits[w].Load(); got != rounds {
+			t.Errorf("worker %d ran %d rounds, want %d", w, got, rounds)
+		}
+	}
+}
+
+func TestPoolBarrier(t *testing.T) {
+	// Every worker increments before the barrier; after Run returns the
+	// caller must observe all increments of the round — the barrier
+	// property the parallel engine's clock advance depends on.
+	const workers = 8
+	var count atomic.Int64
+	p := NewPool(workers, func(w int) { count.Add(1) })
+	defer p.Close()
+	for round := int64(1); round <= 50; round++ {
+		p.Run()
+		if got := count.Load(); got != round*workers {
+			t.Fatalf("after round %d: count = %d, want %d", round, got, round*workers)
+		}
+	}
+}
+
+func TestPoolSingleWorkerInline(t *testing.T) {
+	ran := false
+	p := NewPool(1, func(w int) {
+		if w != 0 {
+			t.Errorf("single-worker pool ran worker %d", w)
+		}
+		ran = true
+	})
+	defer p.Close()
+	if wait := p.Run(); wait != 0 {
+		t.Errorf("single-worker Run reported barrier wait %v, want 0", wait)
+	}
+	if !ran {
+		t.Fatal("work never ran")
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(4, func(int) {})
+	p.Run()
+	p.Close()
+	p.Close() // second close must not panic or deadlock
+}

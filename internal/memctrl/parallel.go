@@ -1,0 +1,402 @@
+// Conservative parallel event engine (DESIGN §14).
+//
+// Banks are independence domains: between two scrub arrivals, a bank's
+// event stream — op completions and the dispatches they unlock — touches
+// only that bank's queues plus per-bank counter deltas, so any set of
+// banks can be advanced concurrently through a time window. The pieces
+// that couple banks are handled at explicit serialization points:
+//
+//   - scrub-hook callbacks draw from the simulation's shared RNG and read
+//     shared line state, so scrub arrivals run serially, in global
+//     (time, ascending bank) order — exactly the serial loop's tie-break;
+//   - controller stats and energy accounting are integer sums, merged once
+//     per window (order-free, therefore exactly equal to serial);
+//   - Completion delivery order is reconstructed by a (time ascending,
+//     bank descending) merge, the serial loop's completion tie-break.
+//
+// The result is bit-identical to the serial engine for any shard count,
+// which the differential tests in parallel_test.go and
+// internal/sim/parallel_test.go pin across scheme × banks × shards.
+package memctrl
+
+import (
+	"runtime"
+
+	"readduo/internal/energy"
+	"readduo/internal/engine"
+	"readduo/internal/sense"
+	"readduo/internal/telemetry"
+)
+
+// bankDelta is one bank's private sink for cross-bank state produced
+// while shards run concurrently: controller-stat increments, energy cell
+// counts, and demand-read completions. Deltas are merged single-threaded
+// at the window barrier and reset in place, so the steady state reuses
+// the same backing memory every window.
+type bankDelta struct {
+	stats Stats
+	ec    energy.Counts
+	comps []Completion
+}
+
+// parEngine is the parallel engine's controller-side state. It exists
+// only when Config.Engine is engine.Parallel; serial controllers carry a
+// nil pointer and never touch any of this.
+type parEngine struct {
+	c      *Controller
+	shards int
+	pool   *engine.Pool // nil when shards < 2: window machinery, inline execution
+	deltas []bankDelta
+	pos    []int // completion-merge cursors, one per bank
+
+	// Round state read by shard workers. Written only between barriers
+	// (the pool's channel handoff orders the writes before the reads).
+	order []int
+	limit int64
+
+	// Probes, all nil-safe when Config.Telemetry is nil.
+	windows       *telemetry.Counter   // parallel windows executed
+	serialRounds  *telemetry.Counter   // windows bounced to the serial loop (rearm edge)
+	scrubRounds   *telemetry.Counter   // serialized scrub rounds inside windows
+	barrierWaitNS *telemetry.Histogram // worker 0's idle time at each barrier
+	shardBanks    *telemetry.Histogram // banks processed per shard per round (imbalance)
+}
+
+func newParEngine(c *Controller) *parEngine {
+	shards := c.cfg.EngineShards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > c.cfg.Banks {
+		shards = c.cfg.Banks
+	}
+	p := &parEngine{
+		c:      c,
+		shards: shards,
+		deltas: make([]bankDelta, c.cfg.Banks),
+		pos:    make([]int, c.cfg.Banks),
+		order:  make([]int, 0, c.cfg.Banks),
+	}
+	s := c.cfg.Telemetry.Sink("memctrl").Sub("engine")
+	p.windows = s.Counter("windows")
+	p.serialRounds = s.Counter("serial_fallbacks")
+	p.scrubRounds = s.Counter("scrub_rounds")
+	p.barrierWaitNS = s.Histogram("barrier_wait_ns")
+	p.shardBanks = s.Histogram("shard_banks")
+	if shards >= 2 {
+		p.pool = engine.NewPool(shards, p.shardWork)
+	}
+	return p
+}
+
+func (p *parEngine) close() {
+	if p.pool != nil {
+		p.pool.Close()
+	}
+}
+
+// shardWork is one worker's share of a local round: a static stride over
+// the round's bank list. Static partitioning keeps the assignment
+// deterministic (not that it matters for results — banks are disjoint —
+// but it makes the imbalance histogram meaningful) and contention-free.
+func (p *parEngine) shardWork(w int) {
+	order, limit := p.order, p.limit
+	n := uint64(0)
+	for k := w; k < len(order); k += p.shards {
+		i := order[k]
+		p.c.bankAdvanceLocal(&p.c.banks[i], &p.deltas[i], limit)
+		n++
+	}
+	p.shardBanks.Observe(n)
+}
+
+// runLocal advances every listed bank to the window limit, fanning out
+// across the shard pool when there is enough work to cover a barrier.
+func (p *parEngine) runLocal(order []int, limit int64) {
+	if p.pool == nil || len(order) < 2 {
+		for _, i := range order {
+			p.c.bankAdvanceLocal(&p.c.banks[i], &p.deltas[i], limit)
+		}
+		return
+	}
+	p.order, p.limit = order, limit
+	wait := p.pool.Run()
+	p.barrierWaitNS.Observe(uint64(wait.Nanoseconds()))
+}
+
+// bankAdvanceLocal retires one bank's internal events up to and including
+// limit: completions and the dispatches they unlock, stopping short of
+// the bank's next scrub arrival (scrub hooks run in the serial phase).
+// Single-bank event selection mirrors the serial loop exactly: a
+// completion tied with a scrub at the same instant retires first
+// (AdvanceTo admits completions before scrubs at ties); a scrub strictly
+// earlier than the completion pauses local processing.
+func (c *Controller) bankAdvanceLocal(b *bank, d *bankDelta, limit int64) {
+	for b.hasInflight {
+		at := b.busyUntil
+		if at > limit {
+			return
+		}
+		if b.scrubEnabled && b.nextScrubAt <= limit && b.nextScrubAt < at {
+			return
+		}
+		c.completeLocal(b, d, at)
+		c.dispatchLocal(b, at)
+	}
+}
+
+// completeLocal retires the bank's in-flight op into the bank's delta.
+// It mirrors complete() except that stats, energy, and completions land
+// in d instead of the shared controller sinks (and the event time is the
+// explicit at, which in the serial loop is always c.now at completion).
+// TestCompleteLocalMirrorsSerial pins the two against each other.
+func (c *Controller) completeLocal(b *bank, d *bankDelta, at int64) {
+	o := b.inflight
+	b.hasInflight = false
+	d.stats.BankBusyPS += o.latencyPS
+	switch o.kind {
+	case opRead:
+		d.stats.Reads++
+		if int(o.mode) < len(d.stats.ReadsByMode) {
+			d.stats.ReadsByMode[o.mode]++
+		}
+		d.stats.ReadLatencySumPS += at - o.enqueuedAt
+		switch o.mode {
+		case sense.ModeR:
+			d.ec.RReadCells += uint64(o.cells)
+		case sense.ModeM:
+			d.ec.MReadCells += uint64(o.cells)
+		case sense.ModeRM:
+			d.ec.RReadCells += uint64(o.cells)
+			d.ec.MReadCells += uint64(o.cells)
+		}
+		d.comps = append(d.comps, Completion{ID: o.id, At: at})
+	case opWrite:
+		d.stats.Writes++
+		d.stats.WriteCells += uint64(o.cells)
+		d.ec.WriteCells += uint64(o.cells)
+	case opScrubRead:
+		d.stats.ScrubReads++
+		if o.mode == sense.ModeM {
+			d.ec.ScrubReadCellsM += uint64(o.cells)
+		} else {
+			d.ec.ScrubReadCellsR += uint64(o.cells)
+		}
+		if o.rewriteAfter {
+			b.writeQ.pushBack(op{
+				kind: opScrubWrite, line: o.line,
+				latencyPS: PS(c.cfg.Timing.Write), cells: o.rewriteCells, enqueuedAt: at,
+			})
+		}
+	case opScrubWrite:
+		d.stats.ScrubWrites++
+		d.stats.ScrubWriteCells += uint64(o.cells)
+		d.ec.ScrubWriteCells += uint64(o.cells)
+	}
+}
+
+// dispatchLocal is dispatch() for the concurrent phase: identical policy,
+// but the final cache refresh is bank-local (the controller-level minimum
+// is invalidated once at the window barrier instead of per dispatch).
+func (c *Controller) dispatchLocal(b *bank, now int64) {
+	if b.hasInflight {
+		b.refreshLocal()
+		return
+	}
+	if b.writeQ.n >= c.cfg.WriteDrainHi {
+		b.draining = true
+	}
+	if b.writeQ.n <= c.cfg.WriteDrainLo {
+		b.draining = false
+	}
+	var q *opQueue
+	switch {
+	case b.draining && b.writeQ.n > 0:
+		q = &b.writeQ
+	case b.readQ.n > 0:
+		q = &b.readQ
+	case b.scrubPending.n > 0:
+		q = &b.scrubPending
+	case b.writeQ.n > 0:
+		q = &b.writeQ
+	default:
+		b.refreshLocal()
+		return
+	}
+	next := q.popFront()
+	next.startedAt = now
+	b.inflight = next
+	b.hasInflight = true
+	b.busyUntil = now + next.latencyPS
+	b.refreshLocal()
+}
+
+// AdvanceWindow is the parallel engine's AdvanceTo: it runs the
+// controller forward to time t with per-bank event processing fanned out
+// across the shard pool, and returns the demand-read completions in the
+// serial loop's delivery order. Controllers built with the serial engine
+// (or hitting the rare rearm edge, whose dispatch-at-now interleaving the
+// serial loop defines) delegate to AdvanceTo — the caller may use
+// AdvanceWindow unconditionally.
+//
+// The caller owns the conservative horizon: t must be chosen so no new
+// operation is enqueued before t (see internal/sim's windowed loop).
+func (c *Controller) AdvanceWindow(t int64, comps []Completion) []Completion {
+	p := c.par
+	if p == nil {
+		return c.AdvanceTo(t, comps)
+	}
+	if !c.minValid {
+		c.recomputeMin()
+	}
+	if c.rearmAny {
+		p.serialRounds.Inc()
+		return c.AdvanceTo(t, comps)
+	}
+	c.completions = comps[:0]
+	if !c.minOK || c.minAt > t {
+		if t > c.now {
+			c.now = t
+		}
+		return c.completions
+	}
+	p.windows.Inc()
+
+	// Concurrent phase: every bank with an internal event due by t
+	// advances independently, pausing at its first scrub arrival.
+	order := p.order[:0]
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.eventOK && b.eventAt <= t {
+			order = append(order, i)
+		}
+	}
+	p.runLocal(order, t)
+
+	// Scrub rounds: run the earliest due arrivals serially in ascending
+	// bank order (the serial tie-break; the hook draws from the shared
+	// RNG), then re-advance only the banks that fired, until no scrub
+	// remains due within the window.
+	for {
+		sMin, found := int64(0), false
+		for i := range c.banks {
+			b := &c.banks[i]
+			if b.scrubEnabled && b.nextScrubAt <= t && (!found || b.nextScrubAt < sMin) {
+				sMin, found = b.nextScrubAt, true
+			}
+		}
+		if !found {
+			break
+		}
+		p.scrubRounds.Inc()
+		if sMin > c.now {
+			c.now = sMin
+		}
+		order = p.order[:0]
+		for i := range c.banks {
+			b := &c.banks[i]
+			if b.scrubEnabled && b.nextScrubAt == sMin {
+				c.scrubArrive(b)
+				c.dispatch(b, c.now)
+				order = append(order, i)
+			}
+		}
+		p.runLocal(order, t)
+	}
+
+	p.merge()
+	if t > c.now {
+		c.now = t
+	}
+	c.minValid = false
+	for i := range c.banks {
+		if c.banks[i].rearm {
+			c.dispatch(&c.banks[i], c.now)
+		}
+	}
+	return c.completions
+}
+
+// accumulate folds a window delta into the controller stats.
+func (s *Stats) accumulate(d *Stats) {
+	s.Reads += d.Reads
+	for i := range s.ReadsByMode {
+		s.ReadsByMode[i] += d.ReadsByMode[i]
+	}
+	s.ReadLatencySumPS += d.ReadLatencySumPS
+	s.Writes += d.Writes
+	s.WriteCells += d.WriteCells
+	s.ScrubReads += d.ScrubReads
+	s.ScrubWrites += d.ScrubWrites
+	s.ScrubWriteCells += d.ScrubWriteCells
+	s.Cancellations += d.Cancellations
+	s.BankBusyPS += d.BankBusyPS
+	s.WriteQueueStalls += d.WriteQueueStalls
+}
+
+// merge folds every bank delta into the shared controller state at the
+// window barrier: stats and energy counts are order-free sums; the
+// completion lists — each already time-sorted — are k-way merged by
+// (time ascending, bank descending), reproducing the serial loop's
+// completion selection (its scan replaces on <=, so the highest bank
+// index among a tied instant retires first). Deltas are reset in place.
+func (p *parEngine) merge() {
+	c := p.c
+	total := 0
+	for i := range p.deltas {
+		d := &p.deltas[i]
+		c.stats.accumulate(&d.stats)
+		c.acct.AddCounts(d.ec)
+		total += len(d.comps)
+		p.pos[i] = 0
+	}
+	for ; total > 0; total-- {
+		best, bestAt := -1, int64(0)
+		for i := range p.deltas {
+			d := &p.deltas[i]
+			if p.pos[i] < len(d.comps) {
+				if at := d.comps[p.pos[i]].At; best == -1 || at <= bestAt {
+					best, bestAt = i, at
+				}
+			}
+		}
+		c.completions = append(c.completions, p.deltas[best].comps[p.pos[best]])
+		p.pos[best]++
+	}
+	for i := range p.deltas {
+		d := &p.deltas[i]
+		d.stats = Stats{}
+		d.ec = energy.Counts{}
+		d.comps = d.comps[:0]
+	}
+}
+
+// EarliestDemandReadBound returns a conservative lower bound on the
+// earliest time any currently known demand read can complete, or ok=false
+// when no demand read is in flight or queued. An in-flight read completes
+// exactly at busyUntil; a queued read cannot complete before the bank
+// frees plus the fastest sensing latency. Reads enqueued after the call
+// only ever complete later, so the bound is a floor on future demand-read
+// completions — the quantity the windowed loop's lookahead horizon needs.
+func (c *Controller) EarliestDemandReadBound() (int64, bool) {
+	bound, ok := int64(0), false
+	for i := range c.banks {
+		b := &c.banks[i]
+		var cand int64
+		switch {
+		case b.hasInflight && b.inflight.kind == opRead:
+			cand = b.busyUntil
+		case b.readQ.n > 0:
+			cand = c.now + c.minReadLatPS
+			if b.hasInflight {
+				cand = b.busyUntil + c.minReadLatPS
+			}
+		default:
+			continue
+		}
+		if !ok || cand < bound {
+			bound, ok = cand, true
+		}
+	}
+	return bound, ok
+}

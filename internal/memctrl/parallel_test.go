@@ -1,0 +1,335 @@
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"readduo/internal/energy"
+	"readduo/internal/engine"
+	"readduo/internal/sense"
+)
+
+// scrubRec captures one hook invocation: its arguments plus the random
+// draw that shaped the returned action. Comparing the full sequence
+// between engines proves the hooks fired in the same order, at the same
+// times, with the same shared-RNG stream.
+type scrubRec struct {
+	now  int64
+	line uint64
+	roll float64
+}
+
+// scriptHook is a scheme-free stand-in for the simulator's scrub hook: it
+// consumes a private RNG (the analogue of the simulator's shared drift
+// RNG) and varies the action, exercising rewrite and voltage paths.
+type scriptHook struct {
+	rng *rand.Rand
+	rec []scrubRec
+}
+
+func (h *scriptHook) OnScrub(now int64, line uint64) ScrubAction {
+	roll := h.rng.Float64()
+	h.rec = append(h.rec, scrubRec{now, line, roll})
+	act := ScrubAction{Voltage: roll < 0.5}
+	if roll < 0.3 {
+		act.Rewrite = true
+		act.CellsWritten = 10 + int(roll*500)
+	}
+	return act
+}
+
+// scriptResult is everything observable from a scripted controller run.
+type scriptResult struct {
+	stats  Stats
+	comps  []Completion
+	energy energy.Breakdown
+	hook   []scrubRec
+}
+
+var scriptModes = []sense.Mode{sense.ModeR, sense.ModeM, sense.ModeRM}
+
+// runScript drives a controller through a fixed-seed random workload —
+// bursts of reads and writes followed by an advance — through either
+// AdvanceTo or AdvanceWindow, and returns every observable output.
+func runScript(t *testing.T, cfg Config, seed int64, steps int, window bool) scriptResult {
+	t.Helper()
+	var hook ScrubHook
+	var sh *scriptHook
+	if cfg.ScrubInterval > 0 {
+		sh = &scriptHook{rng: rand.New(rand.NewSource(seed + 7))}
+		hook = sh
+	}
+	c, acct := mustController(t, cfg, hook)
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	var out scriptResult
+	var scratch []Completion
+	now, id := int64(0), uint64(1)
+	for s := 0; s < steps; s++ {
+		for j := rng.Intn(8); j > 0; j-- {
+			line := uint64(rng.Intn(1 << 10))
+			if rng.Float64() < 0.4 {
+				c.EnqueueWrite(now, line, 200+rng.Intn(100))
+			} else {
+				if err := c.EnqueueRead(now, id, line, scriptModes[rng.Intn(len(scriptModes))]); err != nil {
+					t.Fatalf("EnqueueRead: %v", err)
+				}
+				id++
+			}
+		}
+		now += int64(10_000 + rng.Intn(500_000))
+		if window {
+			scratch = c.AdvanceWindow(now, scratch)
+		} else {
+			scratch = c.AdvanceTo(now, scratch)
+		}
+		out.comps = append(out.comps, scratch...)
+	}
+	out.stats = c.Stats()
+	out.energy = acct.Dynamic()
+	if sh != nil {
+		out.hook = sh.rec
+	}
+	return out
+}
+
+func diffResults(t *testing.T, serial, parallel scriptResult) {
+	t.Helper()
+	if !reflect.DeepEqual(serial.stats, parallel.stats) {
+		t.Errorf("stats diverge:\n serial:   %+v\n parallel: %+v", serial.stats, parallel.stats)
+	}
+	if !reflect.DeepEqual(serial.comps, parallel.comps) {
+		t.Errorf("completion streams diverge: %d vs %d entries", len(serial.comps), len(parallel.comps))
+		for i := 0; i < len(serial.comps) && i < len(parallel.comps); i++ {
+			if serial.comps[i] != parallel.comps[i] {
+				t.Errorf("first divergence at %d: serial %+v, parallel %+v",
+					i, serial.comps[i], parallel.comps[i])
+				break
+			}
+		}
+	}
+	if serial.energy != parallel.energy {
+		t.Errorf("energy diverges:\n serial:   %+v\n parallel: %+v", serial.energy, parallel.energy)
+	}
+	if !reflect.DeepEqual(serial.hook, parallel.hook) {
+		t.Errorf("scrub hook sequences diverge: %d vs %d calls", len(serial.hook), len(parallel.hook))
+	}
+}
+
+// TestAdvanceWindowMatchesSerial is the controller-level differential:
+// the same scripted workload through the serial and parallel engines must
+// produce identical stats, completion streams (order included), energy,
+// and scrub-hook call sequences, across bank and shard counts.
+func TestAdvanceWindowMatchesSerial(t *testing.T) {
+	for _, banks := range []int{1, 4, 16} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("banks=%d/shards=%d", banks, shards), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Banks = banks
+				cfg.TotalLines = 1 << 12
+				cfg.ScrubInterval = 5 * time.Millisecond
+				serial := runScript(t, cfg, 42, 300, false)
+				cfg.Engine = engine.Parallel
+				cfg.EngineShards = shards
+				parallel := runScript(t, cfg, 42, 300, true)
+				diffResults(t, serial, parallel)
+			})
+		}
+	}
+}
+
+// TestAdvanceWindowMatchesSerialNoCancelNoScrub covers the policy corners
+// the main differential leaves at their defaults.
+func TestAdvanceWindowMatchesSerialNoCancelNoScrub(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Banks = 8
+	cfg.TotalLines = 1 << 12
+	cfg.CancelWrites = false
+	serial := runScript(t, cfg, 99, 400, false)
+	cfg.Engine = engine.Parallel
+	cfg.EngineShards = 4
+	parallel := runScript(t, cfg, 99, 400, true)
+	diffResults(t, serial, parallel)
+}
+
+// TestCompleteLocalMirrorsSerial pins the delta-writing mirror of
+// complete()/dispatch() against the serial originals at unit granularity:
+// identical ops on one bank, retired through AdvanceTo on one controller
+// and bankAdvanceLocal on the other, must yield the same stats, energy,
+// and completions.
+func TestCompleteLocalMirrorsSerial(t *testing.T) {
+	cfg := testConfig() // 2 banks, no scrub
+	cS, acctS := mustController(t, cfg, nil)
+	cP, acctP := mustController(t, cfg, nil)
+	for _, c := range []*Controller{cS, cP} {
+		// All lines even → everything lands on bank 0.
+		c.EnqueueWrite(0, 0, 250)
+		for i, m := range scriptModes {
+			if err := c.EnqueueRead(int64(i)*1000, uint64(i+1), 2, m); err != nil {
+				t.Fatalf("EnqueueRead: %v", err)
+			}
+		}
+		c.EnqueueWrite(5000, 4, 300)
+	}
+	// Enqueue-time effects (the read/write cancellation above) land in the
+	// shared controller stats under both engines; the delta mirrors only
+	// what retires during the advance.
+	base := cS.Stats()
+	if !reflect.DeepEqual(base, cP.Stats()) {
+		t.Fatalf("enqueue phases diverged: %+v vs %+v", base, cP.Stats())
+	}
+	const horizon = int64(10_000_000_000) // far past all latencies
+	comps := cS.AdvanceTo(horizon, nil)
+	want := cS.Stats().Sub(base)
+
+	var d bankDelta
+	cP.bankAdvanceLocal(&cP.banks[0], &d, horizon)
+	acctP.AddCounts(d.ec)
+
+	if !reflect.DeepEqual(d.stats, want) {
+		t.Errorf("delta stats mirror broken:\n local:  %+v\n serial: %+v", d.stats, want)
+	}
+	if !reflect.DeepEqual(d.comps, comps) {
+		t.Errorf("delta completions mirror broken:\n local:  %+v\n serial: %+v", d.comps, comps)
+	}
+	if acctP.Dynamic() != acctS.Dynamic() {
+		t.Errorf("energy mirror broken:\n local:  %+v\n serial: %+v", acctP.Dynamic(), acctS.Dynamic())
+	}
+}
+
+// TestWindowSameInstantCancellation is the determinism edge from the
+// issue: reads arriving at the same timestamp on several banks, each
+// cancelling that bank's in-flight write, must behave identically under
+// both engines — including the paused writes' shortened relaunch.
+func TestWindowSameInstantCancellation(t *testing.T) {
+	run := func(parallel bool) scriptResult {
+		cfg := DefaultConfig()
+		cfg.Banks = 4
+		cfg.TotalLines = 1 << 12
+		if parallel {
+			cfg.Engine = engine.Parallel
+			cfg.EngineShards = 4
+		}
+		c, acct := mustController(t, cfg, nil)
+		defer c.Close()
+		advance := func(at int64, comps []Completion) []Completion {
+			if parallel {
+				return c.AdvanceWindow(at, comps)
+			}
+			return c.AdvanceTo(at, comps)
+		}
+		var out scriptResult
+		for b := 0; b < 4; b++ {
+			c.EnqueueWrite(0, uint64(b), 256) // dispatches immediately on each bank
+		}
+		// Mid-write, one read per bank at the identical instant.
+		const tRead = int64(100_000)
+		out.comps = append(out.comps, advance(tRead, nil)...)
+		for b := 0; b < 4; b++ {
+			if err := c.EnqueueRead(tRead, uint64(b+1), uint64(b), sense.ModeR); err != nil {
+				t.Fatalf("EnqueueRead: %v", err)
+			}
+		}
+		out.comps = append(out.comps, advance(10_000_000_000, nil)...)
+		out.stats = c.Stats()
+		out.energy = acct.Dynamic()
+		return out
+	}
+	serial, parallel := run(false), run(true)
+	if serial.stats.Cancellations != 4 {
+		t.Fatalf("scenario did not cancel all 4 writes: %+v", serial.stats)
+	}
+	diffResults(t, serial, parallel)
+}
+
+// TestWindowScrubOnBarrierTimestamp advances both engines to exactly a
+// bank's scrub due time: the arrival sits on the window boundary and must
+// fire inside that window (<=), once, in both engines.
+func TestWindowScrubOnBarrierTimestamp(t *testing.T) {
+	run := func(parallel bool) (scriptResult, []scrubRec) {
+		cfg := DefaultConfig()
+		cfg.Banks = 4
+		cfg.TotalLines = 1 << 12
+		cfg.ScrubInterval = 1 * time.Millisecond
+		if parallel {
+			cfg.Engine = engine.Parallel
+			cfg.EngineShards = 2
+		}
+		hook := &scriptHook{rng: rand.New(rand.NewSource(11))}
+		c, acct := mustController(t, cfg, hook)
+		defer c.Close()
+		advance := func(at int64, comps []Completion) []Completion {
+			if parallel {
+				return c.AdvanceWindow(at, comps)
+			}
+			return c.AdvanceTo(at, comps)
+		}
+		// Bank 1's first walk is staggered to 1*period/4; land exactly there.
+		period := PS(cfg.ScrubInterval) / int64(1<<12/4)
+		barrier := 1 * period / 4
+		var out scriptResult
+		out.comps = append(out.comps, advance(barrier, nil)...)
+		if got := c.Stats().ScrubReads + uint64(len(hook.rec)); got == 0 {
+			t.Fatalf("scrub on barrier timestamp did not fire (period=%d)", period)
+		}
+		out.comps = append(out.comps, advance(barrier+10*period, nil)...)
+		out.stats = c.Stats()
+		out.energy = acct.Dynamic()
+		return out, hook.rec
+	}
+	serial, serialRec := run(false)
+	parallel, parallelRec := run(true)
+	serial.hook, parallel.hook = serialRec, parallelRec
+	diffResults(t, serial, parallel)
+}
+
+// TestOneBankDegeneratesToSerial: a 1-bank parallel controller (shards
+// clamp to the bank count) must still match serial bit-for-bit — the
+// degenerate case where the window machinery does all the work and the
+// pool none.
+func TestOneBankDegeneratesToSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Banks = 1
+	cfg.TotalLines = 1 << 10
+	cfg.ScrubInterval = 2 * time.Millisecond
+	serial := runScript(t, cfg, 5, 250, false)
+	cfg.Engine = engine.Parallel
+	cfg.EngineShards = 8 // capped to 1 by the bank count
+	parallel := runScript(t, cfg, 5, 250, true)
+	diffResults(t, serial, parallel)
+}
+
+// TestAdvanceWindowOnSerialControllerDelegates: calling AdvanceWindow on
+// a serial-engine controller must be exactly AdvanceTo.
+func TestAdvanceWindowOnSerialControllerDelegates(t *testing.T) {
+	cfg := testConfig()
+	c, _ := mustController(t, cfg, nil)
+	defer c.Close()
+	if c.ParallelEngine() {
+		t.Fatal("serial config built a parallel engine")
+	}
+	if err := c.EnqueueRead(0, 1, 0, sense.ModeR); err != nil {
+		t.Fatal(err)
+	}
+	comps := c.AdvanceWindow(10_000_000_000, nil)
+	if len(comps) != 1 || comps[0].ID != 1 {
+		t.Fatalf("delegated AdvanceWindow returned %+v", comps)
+	}
+}
+
+// TestParallelControllerCloseIdempotent exercises engine teardown.
+func TestParallelControllerCloseIdempotent(t *testing.T) {
+	cfg := testConfig()
+	cfg.Engine = engine.Parallel
+	cfg.EngineShards = 4
+	c, _ := mustController(t, cfg, nil)
+	if !c.ParallelEngine() {
+		t.Fatal("parallel config did not build the engine")
+	}
+	c.Close()
+	c.Close()
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"readduo/internal/engine"
+	"readduo/internal/memctrl"
+	"readduo/internal/trace"
+)
+
+// The parallel engine's whole-system contract: for any scheme, bank
+// count, and shard count, a run under the conservative windowed engine
+// returns a Result bit-identical to the serial reference — same execution
+// time, same stats, same energy, same silent-error draws.
+
+func parallelTestSchemes() []Scheme {
+	return []Scheme{
+		Ideal(), Scrubbing(), MMetric(), TLC(), Hybrid(), LWT(4, true),
+	}
+}
+
+func runOnce(t *testing.T, scheme Scheme, banks, shards int, kind engine.Kind) *Result {
+	t.Helper()
+	b, ok := trace.ByName("gcc")
+	if !ok {
+		t.Fatal("gcc benchmark missing")
+	}
+	cfg := DefaultConfig(b)
+	cfg.CPU.InstrBudget = 8_000
+	cfg.Seed = 7
+	cfg.Mem.Banks = banks
+	cfg.Mem.Engine = kind
+	cfg.Mem.EngineShards = shards
+	res, err := Run(cfg, scheme)
+	if err != nil {
+		t.Fatalf("Run(%s, banks=%d, shards=%d, %v): %v", scheme.Name(), banks, shards, kind, err)
+	}
+	return res
+}
+
+func TestParallelEngineBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is slow")
+	}
+	for _, scheme := range parallelTestSchemes() {
+		for _, banks := range []int{1, 4, 16} {
+			serial := runOnce(t, scheme, banks, 0, engine.Serial)
+			for _, shards := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("%s/banks=%d/shards=%d", scheme.Name(), banks, shards)
+				t.Run(name, func(t *testing.T) {
+					parallel := runOnce(t, scheme, banks, shards, engine.Parallel)
+					if !reflect.DeepEqual(serial, parallel) {
+						t.Errorf("results diverge:\n serial:   %+v\n parallel: %+v", serial, parallel)
+					}
+				})
+			}
+		}
+	}
+}
+
+// steadyParallelEngine mirrors steadyEngine but drives AdvanceWindow on a
+// sharded parallel controller, warming the bank deltas, the completion
+// merge scratch, and the shard pool.
+func steadyParallelEngine(t *testing.T) (*Engine, []memctrl.Completion, func(i int) uint64) {
+	t.Helper()
+	b, ok := trace.ByName("gcc")
+	if !ok {
+		t.Fatal("gcc benchmark missing")
+	}
+	cfg := DefaultConfig(b)
+	cfg.CPU.InstrBudget = 10_000
+	cfg.Seed = 1
+	cfg.Mem.Engine = engine.Parallel
+	cfg.Mem.EngineShards = 2
+	e, err := newEngine(cfg, Scrubbing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.ctrl.Close)
+	line := func(i int) uint64 { return uint64(i % 4096) }
+	var scratch []memctrl.Completion
+	now := int64(0)
+	for i := 0; i < 20_000; i++ {
+		if _, err := e.Read(now, i%4, line(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Write(now, i%4, line(i*7)); err != nil {
+			t.Fatal(err)
+		}
+		now += 200_000
+		scratch = e.ctrl.AdvanceWindow(now, scratch)
+	}
+	return e, scratch, line
+}
+
+// TestParallelSteadyStateZeroAlloc extends the serial 0-alloc contract to
+// the parallel hot loop: windows, barriers, and the merge all run out of
+// reused scratch (bank deltas, the merge cursors, the pool's fixed kick
+// channels), so the steady state allocates nothing.
+func TestParallelSteadyStateZeroAlloc(t *testing.T) {
+	e, scratch, line := steadyParallelEngine(t)
+	now := e.ctrl.Now()
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		if _, err := e.Read(now, i%4, line(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Write(now, i%4, line(i*7)); err != nil {
+			t.Fatal(err)
+		}
+		now += 200_000
+		scratch = e.ctrl.AdvanceWindow(now, scratch)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state parallel window cycle allocates %.1f times per op, want 0", allocs)
+	}
+}
