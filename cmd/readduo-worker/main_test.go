@@ -35,7 +35,7 @@ func TestRunComputesAndDrainsOnSIGTERM(t *testing.T) {
 		t.Fatal("worker never came up")
 	}
 
-	body := `{"key":"policy|m=R|e=8|s=16|w=1","spec":{"op":"policy","body":{"metric":"R","e":8,"s":16,"w":1}}}`
+	body := `{"key":"policy|m=R|t=300|e=8|s=16|w=1","spec":{"op":"policy","body":{"metric":"R","e":8,"s":16,"w":1}}}`
 	resp, err := http.Post("http://"+addr+"/compute", "application/json", bytes.NewReader([]byte(body)))
 	if err != nil {
 		t.Fatalf("compute: %v", err)
@@ -48,7 +48,7 @@ func TestRunComputesAndDrainsOnSIGTERM(t *testing.T) {
 
 	// A mismatched key must be refused deterministically (version-skew
 	// guard), not computed under the wrong identity.
-	skew := `{"key":"policy|m=R|e=9|s=16|w=1","spec":{"op":"policy","body":{"metric":"R","e":8,"s":16,"w":1}}}`
+	skew := `{"key":"policy|m=R|t=300|e=9|s=16|w=1","spec":{"op":"policy","body":{"metric":"R","e":8,"s":16,"w":1}}}`
 	resp, err = http.Post("http://"+addr+"/compute", "application/json", bytes.NewReader([]byte(skew)))
 	if err != nil {
 		t.Fatalf("skewed compute: %v", err)

@@ -9,14 +9,19 @@
 //
 // Usage:
 //
-//	sweeps [-sweep=k|s|conversion|all|custom] [-budget=2000000] [-seed=1]
+//	sweeps [-sweep=k|s|conversion|temp|all|custom] [-budget=2000000] [-seed=1]
 //	       [-benchmarks=mcf,sphinx3,...] [-parallel=N]
 //	       [-engine=serial|parallel] [-engine-shards=S]
 //	       [-schemes=Ideal,LWT-8,Select-4:2]
+//	       [-base=scrubbing] [-temps=250,300,350]
 //
 // -sweep=custom compares an arbitrary scheme list from the registry
 // grammar, normalized to the first entry. Passing -schemes implies
 // -sweep=custom.
+//
+// -sweep=temp runs the ambient-temperature study: the -base scheme
+// evaluated at each -temps point (Kelvin, 4..400), normalized to the
+// first point — the cryo/hot-aisle sensitivity axis of the drift model.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -47,7 +53,7 @@ type poolOpts struct {
 }
 
 func main() {
-	sweep := flag.String("sweep", "all", "k, s, conversion, all, or custom")
+	sweep := flag.String("sweep", "all", "k, s, conversion, temp, all, or custom")
 	budget := flag.Uint64("budget", 2_000_000, "instructions per core")
 	seed := flag.Int64("seed", 1, "campaign seed (per-job seeds are derived from it)")
 	benchList := flag.String("benchmarks", "", "comma-separated workloads (default: full suite)")
@@ -58,6 +64,10 @@ func main() {
 		"parallel-engine shards per job (0 = auto; clamped so jobs x shards <= GOMAXPROCS)")
 	schemeList := flag.String("schemes", "",
 		"scheme list for the custom sweep, normalized to the first entry (implies -sweep=custom)")
+	baseScheme := flag.String("base", "scrubbing",
+		"scheme the temperature sweep decorates with temp= points")
+	tempList := flag.String("temps", "250,300,350",
+		"comma-separated ambient temperatures in Kelvin for -sweep=temp")
 	telemetry := flag.Bool("telemetry", false, "collect hot-path counters; print a snapshot table and write telemetry.json at exit")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	traceSpans := flag.String("trace-spans", "", "stream per-job span events to this JSONL file")
@@ -92,7 +102,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	runErr := run(ctx, *sweep, *budget, *seed, *benchList, pool, *schemeList, session)
+	runErr := run(ctx, *sweep, *budget, *seed, *benchList, pool, *schemeList, *baseScheme, *tempList, session)
 	if err := session.Report(os.Stderr); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -133,7 +143,7 @@ func campaignMatrix(ctx context.Context, spec campaign.Spec, pool poolOpts, part
 	return matrices[0].Matrix, nil
 }
 
-func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList string, pool poolOpts, schemeList string, session *obs.Session) error {
+func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList string, pool poolOpts, schemeList, baseScheme, tempList string, session *obs.Session) error {
 	benches := trace.Benchmarks()
 	if benchList != "" {
 		benches = benches[:0]
@@ -207,6 +217,28 @@ func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList
 		fmt.Printf("\nconversion improvement (mean): %.2f%%\n\n", 100*(means[1]-means[2])/means[1])
 	}
 
+	if sweep == "temp" {
+		ran = true
+		schemes, err := temperatureSchemes(baseScheme, tempList)
+		if err != nil {
+			return err
+		}
+		m, err := campaignMatrix(ctx, spec(schemes...), pool, os.Stdout, session)
+		if err != nil {
+			return err
+		}
+		baseline := schemes[0].Name()
+		rows, means, err := m.Normalized(baseline, report.ExecTime)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteNormalizedTable(os.Stdout,
+			fmt.Sprintf("Temperature sweep: execution time vs %s", baseline), m, rows, means); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
 	if sweep == "custom" {
 		ran = true
 		if schemeList == "" {
@@ -239,4 +271,35 @@ func run(ctx context.Context, sweep string, budget uint64, seed int64, benchList
 		return fmt.Errorf("unknown sweep %q", sweep)
 	}
 	return nil
+}
+
+// temperatureSchemes decorates the base scheme with each temperature
+// point. The 300 K point normalizes to the plain base scheme, so a sweep
+// crossing the default shares its cache/journal entries with every other
+// campaign.
+func temperatureSchemes(baseScheme, tempList string) ([]sim.Scheme, error) {
+	base, err := sim.Parse(baseScheme)
+	if err != nil {
+		return nil, err
+	}
+	var schemes []sim.Scheme
+	for _, part := range strings.Split(tempList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tempK, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("temperature %q is not a number", part)
+		}
+		s, err := base.AtEnv(sim.Environment{TempK: tempK})
+		if err != nil {
+			return nil, err
+		}
+		schemes = append(schemes, s)
+	}
+	if len(schemes) < 2 {
+		return nil, fmt.Errorf("temperature sweep needs at least two -temps points, got %d", len(schemes))
+	}
+	return schemes, nil
 }

@@ -12,22 +12,71 @@ import (
 	"readduo/internal/trace"
 )
 
+// runSweep calls run with the default temperature-sweep knobs, keeping the
+// older test cases readable.
+func runSweep(ctx context.Context, sweep string, budget uint64, seed int64, benchList string, pool poolOpts, schemeList string, session *obs.Session) error {
+	return run(ctx, sweep, budget, seed, benchList, pool, schemeList, "scrubbing", "250,300,350", session)
+}
+
 func TestRunSweepValidation(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, "nonesuch", 10_000, 1, "gcc", poolOpts{parallel: 1}, "", new(obs.Session)); err == nil {
+	if err := runSweep(ctx, "nonesuch", 10_000, 1, "gcc", poolOpts{parallel: 1}, "", new(obs.Session)); err == nil {
 		t.Error("unknown sweep accepted")
 	}
-	if err := run(ctx, "k", 10_000, 1, "nonesuch", poolOpts{parallel: 1}, "", new(obs.Session)); err == nil {
+	if err := runSweep(ctx, "k", 10_000, 1, "nonesuch", poolOpts{parallel: 1}, "", new(obs.Session)); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run(ctx, "custom", 10_000, 1, "gcc", poolOpts{parallel: 1}, "", new(obs.Session)); err == nil {
+	if err := runSweep(ctx, "custom", 10_000, 1, "gcc", poolOpts{parallel: 1}, "", new(obs.Session)); err == nil {
 		t.Error("custom sweep without -schemes accepted")
 	}
-	if err := run(ctx, "custom", 10_000, 1, "gcc", poolOpts{parallel: 1}, "Ideal", new(obs.Session)); err == nil {
+	if err := runSweep(ctx, "custom", 10_000, 1, "gcc", poolOpts{parallel: 1}, "Ideal", new(obs.Session)); err == nil {
 		t.Error("single-scheme custom sweep accepted")
 	}
-	if err := run(ctx, "custom", 10_000, 1, "gcc", poolOpts{parallel: 1}, "Ideal,bogus", new(obs.Session)); err == nil {
+	if err := runSweep(ctx, "custom", 10_000, 1, "gcc", poolOpts{parallel: 1}, "Ideal,bogus", new(obs.Session)); err == nil {
 		t.Error("bogus custom scheme list accepted")
+	}
+}
+
+// TestTemperatureSchemes pins the -sweep=temp expansion: each -temps point
+// decorates the base scheme, the 300 K point normalizes to the plain base,
+// and malformed axes are rejected before any simulation runs.
+func TestTemperatureSchemes(t *testing.T) {
+	schemes, err := temperatureSchemes("scrubbing", "250, 300 ,350")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range schemes {
+		names = append(names, s.Name())
+	}
+	want := []string{"Scrubbing@temp=250", "Scrubbing", "Scrubbing@temp=350"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("point %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	for base, temps := range map[string]string{
+		"bogus":     "250,350", // unknown base scheme
+		"scrubbing": "250,x",   // non-numeric point
+		"ideal":     "250",     // needs at least two points
+		"hybrid":    "2,350",   // outside the modeled range
+		"lwt:k=4":   "",        // empty axis
+	} {
+		if _, err := temperatureSchemes(base, temps); err == nil {
+			t.Errorf("temperatureSchemes(%q, %q) accepted", base, temps)
+		}
+	}
+}
+
+// TestRunTempSweep drives the temperature sweep end to end on a small
+// budget: cryo, default, and hot points of the scrubbing scheme.
+func TestRunTempSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	err := run(context.Background(), "temp", 30_000, 1, "gcc", poolOpts{parallel: 2}, "", "scrubbing", "250,300,350", new(obs.Session))
+	if err != nil {
+		t.Errorf("temp sweep: %v", err)
 	}
 }
 
@@ -36,7 +85,7 @@ func TestRunSweepSmoke(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	for _, sweep := range []string{"k", "s", "conversion"} {
-		if err := run(context.Background(), sweep, 30_000, 1, "gcc", poolOpts{parallel: 2}, "", new(obs.Session)); err != nil {
+		if err := runSweep(context.Background(), sweep, 30_000, 1, "gcc", poolOpts{parallel: 2}, "", new(obs.Session)); err != nil {
 			t.Errorf("run(%s): %v", sweep, err)
 		}
 	}
@@ -48,7 +97,7 @@ func TestRunCustomSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	if err := run(context.Background(), "custom", 30_000, 1, "gcc", poolOpts{parallel: 2}, "Ideal,lwt:k=8,Select-8:4", new(obs.Session)); err != nil {
+	if err := runSweep(context.Background(), "custom", 30_000, 1, "gcc", poolOpts{parallel: 2}, "Ideal,lwt:k=8,Select-8:4", new(obs.Session)); err != nil {
 		t.Errorf("custom sweep: %v", err)
 	}
 }

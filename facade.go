@@ -238,7 +238,8 @@ type Scheme = sim.Scheme
 // SchemeDesign is the three-axis policy composition behind a Scheme.
 type SchemeDesign = sim.Design
 
-// The paper's schemes.
+// The paper's schemes, plus the LWC write family (Kim et al., "Locally
+// Rewritable Codes for Resistive Memories").
 var (
 	SchemeIdeal     = sim.Ideal
 	SchemeScrubbing = sim.Scrubbing
@@ -247,7 +248,19 @@ var (
 	SchemeHybrid    = sim.Hybrid
 	SchemeLWT       = sim.LWT
 	SchemeSelect    = sim.Select
+	SchemeLWC       = sim.LWC
 )
+
+// SchemeEnvironment is the physical environment a scheme runs in: the
+// ambient temperature scaling drift (Kelvin, 300 = the paper's model) and
+// the per-read disturb probability (0 = channel off). The zero value is
+// the paper's default physics.
+type SchemeEnvironment = sim.Environment
+
+// SchemeAtEnv returns the scheme evaluated in the given environment; the
+// default environment returns the scheme unchanged, so canonical names
+// and result caches stay stable.
+func SchemeAtEnv(s Scheme, env SchemeEnvironment) (Scheme, error) { return s.AtEnv(env) }
 
 // Policy constructors for composing schemes beyond the paper's seven.
 var (
@@ -261,6 +274,7 @@ var (
 	TLCWritePolicy      = sim.TLCWrite
 	TrackedWritePolicy  = sim.TrackedWrite
 	SelectWritePolicy   = sim.SelectWrite
+	LWCWritePolicy      = sim.LWCWrite
 )
 
 // ComposeScheme names an arbitrary policy composition so it can run
@@ -268,7 +282,9 @@ var (
 func ComposeScheme(label string, d SchemeDesign) Scheme { return sim.Compose(label, d) }
 
 // ParseScheme resolves one scheme spec string: a paper name ("LWT-8"), a
-// registry alias ("mmetric"), or a parameterized family ("select:k=4,s=2").
+// registry alias ("mmetric"), a parameterized family ("select:k=4,s=2",
+// "lwc:r=16"), or any of those in an environment ("scrubbing:temp=250",
+// "LWT-4@disturb=1e-06").
 func ParseScheme(spec string) (Scheme, error) { return sim.Parse(spec) }
 
 // ParseSchemes resolves a comma-separated scheme list.

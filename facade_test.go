@@ -286,3 +286,36 @@ func TestPublicHardErrorSubstrates(t *testing.T) {
 		t.Error("Start-Gap never moved over 64 writes at psi=16")
 	}
 }
+
+func TestPublicPhysicsFamilies(t *testing.T) {
+	// The LWC family and the environment axis through the public facade.
+	lwc := readduo.SchemeLWC(16)
+	if lwc.Name() != "LWC-16" {
+		t.Fatalf("SchemeLWC(16).Name() = %q", lwc.Name())
+	}
+	cryo, err := readduo.SchemeAtEnv(readduo.SchemeScrubbing(), readduo.SchemeEnvironment{TempK: 250})
+	if err != nil {
+		t.Fatalf("SchemeAtEnv: %v", err)
+	}
+	if cryo.Name() != "Scrubbing@temp=250" {
+		t.Fatalf("cryo scheme name %q", cryo.Name())
+	}
+	// The default environment is the identity, keeping cache keys stable.
+	same, err := readduo.SchemeAtEnv(lwc, readduo.SchemeEnvironment{TempK: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != lwc {
+		t.Errorf("default environment changed the scheme: %+v", same)
+	}
+	for _, spec := range []string{"lwc:r=16", "scrubbing:temp=250", "LWT-4@disturb=1e-06"} {
+		s, err := readduo.ParseScheme(spec)
+		if err != nil {
+			t.Errorf("ParseScheme(%q): %v", spec, err)
+			continue
+		}
+		if back, err := readduo.ParseScheme(s.Name()); err != nil || back != s {
+			t.Errorf("%q does not round-trip through its name %q: %v", spec, s.Name(), err)
+		}
+	}
+}

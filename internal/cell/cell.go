@@ -29,6 +29,7 @@ type Cell struct {
 	programmed   bool
 	endurance    uint64 // writes until permanent failure; 0 = unlimited
 	stuck        bool   // worn out: ignores programming, holds its level
+	disturbed    bool   // read disturb: partial SET until the next program
 }
 
 // Level returns the programmed level (ground truth, independent of drift).
@@ -40,6 +41,36 @@ func (c *Cell) Writes() uint64 { return c.writes }
 
 // Programmed reports whether the cell has ever been written.
 func (c *Cell) Programmed() bool { return c.programmed }
+
+// Disturbed reports whether accumulated read current has partially SET the
+// cell since its last program (see RecordRead).
+func (c *Cell) Disturbed() bool { return c.disturbed }
+
+// RecordRead models one sensing operation under a read-disturb channel
+// with per-read disturb probability d (drift.DisturbChannel): with
+// probability d the read's current pulse partially crystallizes the GST,
+// dropping the cell one readout level until the next program operation
+// restores it. Disturbance latches — once disturbed, further reads change
+// nothing — so P[disturbed after r reads] = 1-(1-d)^r, the closed form the
+// differential tests pin.
+func (c *Cell) RecordRead(d float64, rng *rand.Rand) {
+	if d <= 0 || !c.programmed || c.disturbed {
+		return
+	}
+	if rng.Float64() < d {
+		c.disturbed = true
+	}
+}
+
+// disturbShift applies the read-disturb level drop to a sensed level: a
+// partially SET cell reads one state low, and the bottom state has nothing
+// below it.
+func (c *Cell) disturbShift(level int) int {
+	if c.disturbed && level > 0 {
+		return level - 1
+	}
+	return level
+}
 
 // Program performs a program-and-verify write at time now (seconds): the
 // iterative SET/RESET loop lands the R-metric inside the acceptance window
@@ -57,6 +88,7 @@ func (c *Cell) Program(rcfg drift.Config, level int, now float64, rng *rand.Rand
 	c.programmedAt = now
 	c.writes++
 	c.programmed = true
+	c.disturbed = false
 	if c.endurance > 0 && c.writes >= c.endurance {
 		c.stuck = true
 	}
@@ -90,14 +122,17 @@ func (c *Cell) LogM(rcfg, mcfg drift.Config, now float64) float64 {
 	return mcfg.LogValueAt(logM0, alphaM, c.age(now)+mcfg.T0)
 }
 
-// SenseR returns the level an R-metric (current-mode) readout reports now.
+// SenseR returns the level an R-metric (current-mode) readout reports now,
+// including any latched read-disturb level drop.
 func (c *Cell) SenseR(rcfg drift.Config, now float64) int {
-	return rcfg.SenseLevel(c.LogR(rcfg, now))
+	return c.disturbShift(rcfg.SenseLevel(c.LogR(rcfg, now)))
 }
 
 // SenseM returns the level an M-metric (voltage-mode) readout reports now.
+// Read disturb alters the phase configuration itself, so both readouts of
+// a disturbed cell drop a level.
 func (c *Cell) SenseM(rcfg, mcfg drift.Config, now float64) int {
-	return mcfg.SenseLevel(c.LogM(rcfg, mcfg, now))
+	return c.disturbShift(mcfg.SenseLevel(c.LogM(rcfg, mcfg, now)))
 }
 
 // Population is a cohort of cells programmed to the same level, used to

@@ -1,0 +1,95 @@
+package cell
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"readduo/internal/drift"
+)
+
+// TestDisturbMCMatchesClosedForm is the read-disturb differential test:
+// Monte-Carlo cells absorbing r reads at per-read disturb probability d
+// must misread at the channel's closed-form rate — (LevelCount-1)/LevelCount
+// of 1-(1-d)^r with uniform data — within z=4 binomial bounds.
+func TestDisturbMCMatchesClosedForm(t *testing.T) {
+	const (
+		perLevel = 10_000
+		d        = 0.002
+		reads    = 50
+	)
+	rcfg := drift.RMetricConfig()
+	rng := rand.New(rand.NewSource(42))
+	cells := make([]Cell, drift.LevelCount*perLevel)
+	for i := range cells {
+		cells[i].Program(rcfg, i%drift.LevelCount, 0, rng)
+	}
+	for r := 0; r < reads; r++ {
+		for i := range cells {
+			cells[i].RecordRead(d, rng)
+		}
+	}
+	// Sense at the program instant: age 0 means zero drift errors, so every
+	// misread is a disturb error.
+	errs := 0
+	bottomErrs := 0
+	for i := range cells {
+		if got := cells[i].SenseR(rcfg, 0); got != cells[i].Level() {
+			errs++
+			if cells[i].Level() == 0 {
+				bottomErrs++
+			}
+		}
+	}
+	if bottomErrs != 0 {
+		t.Fatalf("bottom-level cells misread %d times; they have no state below", bottomErrs)
+	}
+	ch := drift.DisturbChannel{PerRead: d}
+	n := float64(len(cells))
+	want := ch.CellErrorProb(reads)
+	got := float64(errs) / n
+	sigma := math.Sqrt(want * (1 - want) / n)
+	if z := math.Abs(got-want) / sigma; z > 4 {
+		t.Errorf("disturb error rate %v vs closed form %v: z=%.2f > 4", got, want, z)
+	}
+}
+
+// TestDisturbLatchAndClear pins the state machine: disturbance latches
+// across reads, drops exactly one level on both readouts, and a program
+// operation clears it.
+func TestDisturbLatchAndClear(t *testing.T) {
+	rcfg, mcfg := drift.RMetricConfig(), drift.MMetricConfig()
+	rng := rand.New(rand.NewSource(7))
+	var c Cell
+	c.Program(rcfg, 2, 0, rng)
+	c.RecordRead(1.01, rng) // certain disturb (internal prob compare, any d>=1)
+	if !c.Disturbed() {
+		t.Fatal("certain disturb did not latch")
+	}
+	if got := c.SenseR(rcfg, 0); got != 1 {
+		t.Errorf("disturbed level-2 cell senses R level %d, want 1", got)
+	}
+	if got := c.SenseM(rcfg, mcfg, 0); got != 1 {
+		t.Errorf("disturbed level-2 cell senses M level %d, want 1", got)
+	}
+	c.Program(rcfg, 2, 1, rng)
+	if c.Disturbed() {
+		t.Fatal("program did not clear disturbance")
+	}
+	if got := c.SenseR(rcfg, 1); got != 2 {
+		t.Errorf("reprogrammed cell senses level %d, want 2", got)
+	}
+	// An unprogrammed cell never disturbs.
+	var fresh Cell
+	fresh.RecordRead(1.01, rng)
+	if fresh.Disturbed() {
+		t.Error("unprogrammed cell latched a disturb")
+	}
+	// Bottom level clamps at 0.
+	var bottom Cell
+	bottom.Program(rcfg, 0, 0, rng)
+	bottom.RecordRead(1.01, rng)
+	if got := bottom.SenseR(rcfg, 0); got != 0 {
+		t.Errorf("disturbed bottom cell senses level %d, want 0", got)
+	}
+}

@@ -1,0 +1,63 @@
+package drift
+
+import (
+	"fmt"
+	"math"
+)
+
+// Read-disturb error channel.
+//
+// Each sensing operation pushes a small current through the cell; with a
+// small per-read probability the accumulated Joule heating partially
+// crystallizes the GST, dropping the cell's resistance below its lower read
+// reference so it senses one level low (the PCM analogue of the charge-gain
+// read disturb of Cai et al., "Read Disturb Errors in MLC NAND Flash
+// Memory", PAPERS.md). Disturbance persists until the next program
+// operation rewrites the cell, so errors accumulate over the reads since
+// the line's last rewrite:
+//
+//	P[disturbed after r reads] = 1 - (1-d)^r
+//
+// The bottom level has no state below it, so with uniform data only
+// (LevelCount-1)/LevelCount of disturbed cells actually misread — the
+// closed form the Monte-Carlo cell model is differentially tested against.
+type DisturbChannel struct {
+	// PerRead is the per-read per-cell disturb probability d; 0 disables
+	// the channel.
+	PerRead float64
+}
+
+// MaxDisturb bounds the per-read disturb probability; beyond it a handful
+// of reads destroys the line and the model degenerates.
+const MaxDisturb = 0.1
+
+// Validate rejects probabilities outside [0, MaxDisturb].
+func (c DisturbChannel) Validate() error {
+	if !(c.PerRead >= 0 && c.PerRead <= MaxDisturb) { // negated so NaN fails too
+		return fmt.Errorf("drift: per-read disturb probability %v outside [0, %v]", c.PerRead, MaxDisturb)
+	}
+	return nil
+}
+
+// Enabled reports whether the channel disturbs at all.
+func (c DisturbChannel) Enabled() bool { return c.PerRead > 0 }
+
+// AccumProb returns P[cell disturbed after reads sensing operations],
+// 1-(1-d)^r, computed in log space so tiny d times many reads stays exact.
+func (c DisturbChannel) AccumProb(reads int64) float64 {
+	if c.PerRead <= 0 || reads <= 0 {
+		return 0
+	}
+	if c.PerRead >= 1 {
+		return 1
+	}
+	// 1-(1-d)^r = -expm1(r*log1p(-d)), stable for d down to denormals.
+	return -math.Expm1(float64(reads) * math.Log1p(-c.PerRead))
+}
+
+// CellErrorProb returns the probability that a uniformly-programmed cell
+// misreads due to disturb after reads sensing operations: disturbed cells
+// at the bottom level have no state below them and still read correctly.
+func (c DisturbChannel) CellErrorProb(reads int64) float64 {
+	return c.AccumProb(reads) * float64(LevelCount-1) / LevelCount
+}

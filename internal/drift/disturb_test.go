@@ -1,0 +1,72 @@
+package drift
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDisturbValidate(t *testing.T) {
+	for _, d := range []float64{0, 1e-9, 1e-3, MaxDisturb} {
+		if err := (DisturbChannel{PerRead: d}).Validate(); err != nil {
+			t.Errorf("Validate(%v): %v", d, err)
+		}
+	}
+	for _, d := range []float64{-1e-9, MaxDisturb + 1e-9, 1, math.NaN()} {
+		if err := (DisturbChannel{PerRead: d}).Validate(); err == nil {
+			t.Errorf("Validate(%v) accepted an out-of-range probability", d)
+		}
+	}
+	if (DisturbChannel{}).Enabled() {
+		t.Error("zero channel reports Enabled")
+	}
+	if !(DisturbChannel{PerRead: 1e-6}).Enabled() {
+		t.Error("nonzero channel reports disabled")
+	}
+}
+
+// TestDisturbAccumClosedForm checks the log-space accumulation against the
+// naive product for representative rates and read counts.
+func TestDisturbAccumClosedForm(t *testing.T) {
+	for _, d := range []float64{1e-9, 1e-6, 1e-3, 0.05} {
+		c := DisturbChannel{PerRead: d}
+		for _, r := range []int64{0, 1, 2, 10, 1000, 1_000_000} {
+			want := 1 - math.Pow(1-d, float64(r))
+			got := c.AccumProb(r)
+			// math.Pow itself carries relative error at r=1e6 exponents;
+			// the log-space form is the more accurate of the two.
+			if math.Abs(got-want) > 1e-7*math.Max(1e-9, want) {
+				t.Errorf("AccumProb(d=%v, r=%d) = %v, want %v", d, r, got, want)
+			}
+		}
+	}
+}
+
+// TestDisturbAccumProperties: zero without reads or rate, monotone in both
+// arguments, bounded by 1, and the uniform-data error probability carries
+// the (LevelCount-1)/LevelCount bottom-level discount.
+func TestDisturbAccumProperties(t *testing.T) {
+	c := DisturbChannel{PerRead: 1e-4}
+	if c.AccumProb(0) != 0 || (DisturbChannel{}).AccumProb(100) != 0 {
+		t.Fatal("disturb probability nonzero without reads or rate")
+	}
+	prev := -1.0
+	for _, r := range []int64{1, 2, 5, 100, 10_000, 10_000_000} {
+		p := c.AccumProb(r)
+		if p <= prev || p > 1 {
+			t.Fatalf("AccumProb not strictly increasing into (0,1]: r=%d p=%v prev=%v", r, p, prev)
+		}
+		prev = p
+	}
+	prevRate := -1.0
+	for _, d := range []float64{1e-8, 1e-6, 1e-4, 1e-2} {
+		p := DisturbChannel{PerRead: d}.AccumProb(1000)
+		if p <= prevRate {
+			t.Fatalf("AccumProb not increasing in rate: d=%v", d)
+		}
+		prevRate = p
+	}
+	wantRatio := float64(LevelCount-1) / LevelCount
+	if got := c.CellErrorProb(1000) / c.AccumProb(1000); math.Abs(got-wantRatio) > 1e-12 {
+		t.Errorf("CellErrorProb/AccumProb = %v, want %v", got, wantRatio)
+	}
+}

@@ -1,0 +1,100 @@
+package drift
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTempConfigIdentityAt300 pins the golden-safety invariant: the
+// temperature-parameterized constructors at the default operating point
+// return configurations that are == (comparable-struct identical) to the
+// paper's, so they hit the same memoized probability tables.
+func TestTempConfigIdentityAt300(t *testing.T) {
+	if got, want := RMetricConfigAt(DefaultTempK), RMetricConfig(); got != want {
+		t.Errorf("RMetricConfigAt(300) != RMetricConfig():\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := MMetricConfigAt(DefaultTempK), MMetricConfig(); got != want {
+		t.Errorf("MMetricConfigAt(300) != MMetricConfig():\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := MetricConfigAt(MetricR, DefaultTempK), RMetricConfig(); got != want {
+		t.Errorf("MetricConfigAt(R, 300) != RMetricConfig()")
+	}
+	if got, want := MetricConfigAt(MetricM, DefaultTempK), MMetricConfig(); got != want {
+		t.Errorf("MetricConfigAt(M, 300) != MMetricConfig()")
+	}
+	if AlphaScale(DefaultTempK) != 1 {
+		t.Errorf("AlphaScale(300) = %v, want exactly 1", AlphaScale(DefaultTempK))
+	}
+}
+
+// TestTempScaledConfigsValidate checks every supported operating point
+// yields an internally consistent configuration.
+func TestTempScaledConfigsValidate(t *testing.T) {
+	for _, temp := range []float64{MinTempK, 77, 125, 250, 300, 350, MaxTempK} {
+		if err := ValidateTempK(temp); err != nil {
+			t.Fatalf("ValidateTempK(%v): %v", temp, err)
+		}
+		for _, cfg := range []Config{RMetricConfigAt(temp), MMetricConfigAt(temp)} {
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("config at %vK invalid: %v", temp, err)
+			}
+		}
+	}
+	for _, temp := range []float64{MinTempK - 1, 0, -10, MaxTempK + 1, math.NaN()} {
+		if err := ValidateTempK(temp); err == nil {
+			t.Errorf("ValidateTempK(%v) accepted an out-of-range temperature", temp)
+		}
+	}
+}
+
+// TestTempAlphaScalingShape checks the scaling law itself: alpha scales
+// linearly with T, sigma_alpha keeps its 0.4 proportionality, and
+// everything except the drift exponents is untouched.
+func TestTempAlphaScalingShape(t *testing.T) {
+	base := RMetricConfig()
+	cold := RMetricConfigAt(150)
+	for i := range base.Levels {
+		wantMu := base.Levels[i].MuAlpha * 0.5
+		if math.Abs(cold.Levels[i].MuAlpha-wantMu) > 1e-15 {
+			t.Errorf("level %d: MuAlpha at 150K = %v, want %v", i, cold.Levels[i].MuAlpha, wantMu)
+		}
+		if math.Abs(cold.Levels[i].SigmaAlpha-0.4*cold.Levels[i].MuAlpha) > 1e-15 {
+			t.Errorf("level %d: SigmaAlpha lost its 0.4 mu_alpha proportionality", i)
+		}
+		if cold.Levels[i].MuLog != base.Levels[i].MuLog || cold.Levels[i].SigmaLog != base.Levels[i].SigmaLog {
+			t.Errorf("level %d: temperature scaling moved the programmed-value distribution", i)
+		}
+	}
+}
+
+// TestDriftErrorMonotoneInTemperature is the cryo-paper sign property: the
+// drift-error rate is monotonically non-decreasing in ambient temperature
+// (hotter devices relax faster), with a strict increase somewhere in the
+// sweep so the test cannot pass vacuously.
+func TestDriftErrorMonotoneInTemperature(t *testing.T) {
+	temps := []float64{77, 150, 200, 250, 300, 350, 400}
+	for _, tc := range []struct {
+		name string
+		cfg  func(float64) Config
+		age  float64
+	}{
+		{"R-metric", RMetricConfigAt, 64},
+		{"M-metric", MMetricConfigAt, 64000},
+	} {
+		prev := -1.0
+		strict := false
+		for _, temp := range temps {
+			p := tc.cfg(temp).AvgCellErrorProb(tc.age)
+			if p < prev {
+				t.Errorf("%s: AvgCellErrorProb decreased from %v to %v going to %vK", tc.name, prev, p, temp)
+			}
+			if p > prev && prev >= 0 {
+				strict = true
+			}
+			prev = p
+		}
+		if !strict {
+			t.Errorf("%s: error probability flat across the whole temperature sweep", tc.name)
+		}
+	}
+}

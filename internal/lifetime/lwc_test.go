@@ -1,0 +1,93 @@
+package lifetime_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"readduo/internal/lifetime"
+	"readduo/internal/lwc"
+)
+
+// TestLWCLifetimeGainMatchesCostModel ties the LWC write-cost model to the
+// lifetime projection: against a full-line-write baseline issuing the same
+// demand writes, the relative lifetime gain must equal the cell-write
+// ratio (n cells per full write vs E[update cost] per local write), both
+// through lifetime.Relative and through the Model projections.
+func TestLWCLifetimeGainMatchesCostModel(t *testing.T) {
+	const (
+		k, r   = 216, 16 // the simulator's data-cell geometry
+		p      = 0.36    // per-cell change probability of a demand write
+		writes = 100_000
+	)
+	c, err := lwc.New(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := lwc.ExpectedUpdateCost(k, r, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullLine := uint64(c.N())
+	baseline := uint64(writes) * fullLine
+	scheme := uint64(float64(writes) * cost)
+	gain, err := lifetime.Relative(baseline, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGain := float64(fullLine) / cost
+	if math.Abs(gain-wantGain)/wantGain > 1e-4 {
+		t.Errorf("relative lifetime gain %v, want cost ratio %v", gain, wantGain)
+	}
+	if gain <= 1 {
+		t.Errorf("LWC local writes did not extend lifetime: gain %v", gain)
+	}
+
+	// The same ratio must come out of absolute projections.
+	m, err := lifetime.NewModel(lifetime.DefaultEndurance, float64(c.N())*1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dur = time.Second // any common duration cancels in the ratio
+	lifeBase, err := m.Project(baseline, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifeLWC, err := m.Project(scheme, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(lifeLWC) / float64(lifeBase); math.Abs(ratio-gain)/gain > 1e-4 {
+		t.Errorf("projected lifetime ratio %v disagrees with Relative %v", ratio, gain)
+	}
+}
+
+// TestLWCLocalityTradeoff pins the shape of the cost model the write
+// policy exposes to lifetime accounting: larger locality r means fewer
+// parity cells but more parity writes per update, so expected update cost
+// is monotone non-increasing in r while the codeword shrinks.
+func TestLWCLocalityTradeoff(t *testing.T) {
+	const k, p = 216, 0.36
+	prevCost := math.Inf(1)
+	prevN := 1 << 30
+	for _, r := range []int{2, 4, 8, 16, 32, 64} {
+		c, err := lwc.New(k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := lwc.ExpectedUpdateCost(k, r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > prevCost {
+			t.Errorf("r=%d: expected cost %v rose above %v", r, cost, prevCost)
+		}
+		if c.N() > prevN {
+			t.Errorf("r=%d: codeword grew to %d", r, c.N())
+		}
+		if cost <= float64(k)*p {
+			t.Errorf("r=%d: cost %v below the data-cell floor %v", r, cost, float64(k)*p)
+		}
+		prevCost, prevN = cost, c.N()
+	}
+}

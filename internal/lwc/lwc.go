@@ -1,0 +1,224 @@
+// Package lwc implements locally rewritable codes for resistive memories
+// (Kim et al., "Locally Rewritable Codes for Resistive Memories",
+// PAPERS.md), the write-locality dual of locally repairable codes.
+//
+// A codeword holds k data symbols split into groups of r consecutive
+// symbols, each closed by one local XOR parity. Updating a data symbol
+// rewrites only that symbol and its group parity — never a global parity
+// avalanche — so the expected rewrite cost of an update pattern that
+// touches each data symbol independently with probability p is
+//
+//	E[cost] = k*p + sum over groups (1 - (1-p)^|group|)
+//
+// (every changed data symbol, plus one parity per touched group). The
+// locality also buys single-erasure recovery per group: a lost symbol is
+// the XOR of the rest of its group.
+//
+// Symbols are bytes under XOR (GF(2^8) addition), which covers both the
+// bit-level codes of the paper and the byte-organized lines the simulator
+// accounts in.
+package lwc
+
+import (
+	"fmt"
+)
+
+// MaxR bounds the locality; beyond it a group parity amortizes so little
+// it cannot pay for its area.
+const MaxR = 64
+
+// Code is one (k, r) locally rewritable code layout.
+type Code struct {
+	k, r int
+}
+
+// New validates and builds a (k, r) code: k data symbols in groups of r.
+func New(k, r int) (*Code, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("lwc: k=%d data symbols, need at least 2", k)
+	}
+	if r < 2 || r > MaxR {
+		return nil, fmt.Errorf("lwc: locality r=%d outside 2..%d", r, MaxR)
+	}
+	return &Code{k: k, r: r}, nil
+}
+
+// K returns the data-symbol count.
+func (c *Code) K() int { return c.k }
+
+// R returns the locality (symbols per parity group).
+func (c *Code) R() int { return c.r }
+
+// Groups returns the local-parity count, ceil(k/r); the last group may be
+// short.
+func (c *Code) Groups() int { return (c.k + c.r - 1) / c.r }
+
+// N returns the codeword length: k data symbols followed by Groups()
+// local parities.
+func (c *Code) N() int { return c.k + c.Groups() }
+
+// group returns the parity-group index owning data position pos.
+func (c *Code) group(pos int) int { return pos / c.r }
+
+// groupBounds returns the data-symbol range [lo, hi) of group g.
+func (c *Code) groupBounds(g int) (lo, hi int) {
+	lo = g * c.r
+	hi = lo + c.r
+	if hi > c.k {
+		hi = c.k
+	}
+	return lo, hi
+}
+
+// ParityIndex returns the codeword position of group g's parity symbol.
+func (c *Code) ParityIndex(g int) int { return c.k + g }
+
+// Encode returns the codeword for data: the k data symbols followed by one
+// XOR parity per group.
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("lwc: encoding %d symbols with a k=%d code", len(data), c.k)
+	}
+	word := make([]byte, c.N())
+	copy(word, data)
+	for g := 0; g < c.Groups(); g++ {
+		lo, hi := c.groupBounds(g)
+		var p byte
+		for _, b := range data[lo:hi] {
+			p ^= b
+		}
+		word[c.ParityIndex(g)] = p
+	}
+	return word, nil
+}
+
+// Verify reports whether every group parity is consistent with its data
+// symbols.
+func (c *Code) Verify(word []byte) bool {
+	if len(word) != c.N() {
+		return false
+	}
+	for g := 0; g < c.Groups(); g++ {
+		lo, hi := c.groupBounds(g)
+		p := word[c.ParityIndex(g)]
+		for _, b := range word[lo:hi] {
+			p ^= b
+		}
+		if p != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RecoverErasure reconstructs the symbol at codeword position pos (data or
+// parity) from the rest of its group — the single-erasure-per-group
+// guarantee of the local parities.
+func (c *Code) RecoverErasure(word []byte, pos int) (byte, error) {
+	if len(word) != c.N() {
+		return 0, fmt.Errorf("lwc: codeword length %d, want %d", len(word), c.N())
+	}
+	if pos < 0 || pos >= c.N() {
+		return 0, fmt.Errorf("lwc: position %d outside codeword of length %d", pos, c.N())
+	}
+	g := c.group(pos)
+	if pos >= c.k {
+		g = pos - c.k
+	}
+	lo, hi := c.groupBounds(g)
+	var v byte
+	for i := lo; i < hi; i++ {
+		if i != pos {
+			v ^= word[i]
+		}
+	}
+	if pi := c.ParityIndex(g); pi != pos {
+		v ^= word[pi]
+	}
+	return v, nil
+}
+
+// Update writes val into data position pos of word in place and returns
+// the codeword positions rewritten: the data symbol and its group parity.
+// An update that does not change the symbol rewrites nothing — the local
+// rewritability the code exists for.
+func (c *Code) Update(word []byte, pos int, val byte) ([]int, error) {
+	if len(word) != c.N() {
+		return nil, fmt.Errorf("lwc: codeword length %d, want %d", len(word), c.N())
+	}
+	if pos < 0 || pos >= c.k {
+		return nil, fmt.Errorf("lwc: update position %d outside data symbols 0..%d", pos, c.k-1)
+	}
+	delta := word[pos] ^ val
+	if delta == 0 {
+		return nil, nil
+	}
+	word[pos] = val
+	pi := c.ParityIndex(c.group(pos))
+	word[pi] ^= delta
+	return []int{pos, pi}, nil
+}
+
+// UpdateBatch rewrites word in place so its data symbols equal newData,
+// and returns the codeword positions programmed: every changed data symbol
+// plus — once each — the parity of every touched group. This is the
+// demand-write pattern of a resistive-memory line, and its cost is exactly
+// what ExpectedUpdateCost models.
+func (c *Code) UpdateBatch(word []byte, newData []byte) ([]int, error) {
+	if len(word) != c.N() {
+		return nil, fmt.Errorf("lwc: codeword length %d, want %d", len(word), c.N())
+	}
+	if len(newData) != c.k {
+		return nil, fmt.Errorf("lwc: updating %d symbols with a k=%d code", len(newData), c.k)
+	}
+	var written []int
+	for g := 0; g < c.Groups(); g++ {
+		lo, hi := c.groupBounds(g)
+		var delta byte
+		touched := false
+		for i := lo; i < hi; i++ {
+			if d := word[i] ^ newData[i]; d != 0 {
+				word[i] = newData[i]
+				delta ^= d
+				touched = true
+				written = append(written, i)
+			}
+		}
+		if touched {
+			pi := c.ParityIndex(g)
+			word[pi] ^= delta
+			written = append(written, pi)
+		}
+	}
+	return written, nil
+}
+
+// ExpectedUpdateCost returns the closed-form expected number of symbols a
+// (k, r) code rewrites when each data symbol changes independently with
+// probability p: every changed symbol plus one parity per touched group.
+func ExpectedUpdateCost(k, r int, p float64) (float64, error) {
+	c, err := New(k, r)
+	if err != nil {
+		return 0, err
+	}
+	if !(p >= 0 && p <= 1) {
+		return 0, fmt.Errorf("lwc: change probability %v outside [0,1]", p)
+	}
+	cost := float64(k) * p
+	for g := 0; g < c.Groups(); g++ {
+		lo, hi := c.groupBounds(g)
+		cost += 1 - pow1p(1-p, hi-lo)
+	}
+	return cost, nil
+}
+
+// pow1p computes q^n by repeated multiplication — n is at most MaxR, and
+// the exact product keeps the closed form aligned with the MC test's
+// arithmetic.
+func pow1p(q float64, n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= q
+	}
+	return v
+}

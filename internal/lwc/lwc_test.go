@@ -1,0 +1,190 @@
+package lwc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExhaustiveSmallCodes sweeps every (k, r) with k <= 8, r <= k and all
+// 2^k binary data words: encode, verify, recover every single erasure, and
+// check every single-symbol update keeps the codeword consistent while
+// touching exactly {symbol, its group parity}.
+func TestExhaustiveSmallCodes(t *testing.T) {
+	for k := 2; k <= 8; k++ {
+		for r := 2; r <= k; r++ {
+			c, err := New(k, r)
+			if err != nil {
+				t.Fatalf("New(%d,%d): %v", k, r, err)
+			}
+			if c.N() != k+c.Groups() || c.Groups() != (k+r-1)/r {
+				t.Fatalf("(%d,%d): inconsistent geometry N=%d groups=%d", k, r, c.N(), c.Groups())
+			}
+			for w := 0; w < 1<<k; w++ {
+				data := make([]byte, k)
+				for i := range data {
+					data[i] = byte(w>>i) & 1
+				}
+				word, err := c.Encode(data)
+				if err != nil {
+					t.Fatalf("(%d,%d) Encode: %v", k, r, err)
+				}
+				if !c.Verify(word) {
+					t.Fatalf("(%d,%d) word %v fails Verify after Encode", k, r, word)
+				}
+				// Every position recoverable from the rest of its group.
+				for pos := 0; pos < c.N(); pos++ {
+					got, err := c.RecoverErasure(word, pos)
+					if err != nil {
+						t.Fatalf("(%d,%d) RecoverErasure(%d): %v", k, r, pos, err)
+					}
+					if got != word[pos] {
+						t.Fatalf("(%d,%d) data %v: erasure at %d recovered %d, want %d",
+							k, r, data, pos, got, word[pos])
+					}
+				}
+				// Every single-symbol flip updates locally and stays consistent.
+				for pos := 0; pos < k; pos++ {
+					cp := append([]byte(nil), word...)
+					written, err := c.Update(cp, pos, cp[pos]^1)
+					if err != nil {
+						t.Fatalf("(%d,%d) Update(%d): %v", k, r, pos, err)
+					}
+					wantParity := c.ParityIndex(pos / r)
+					if len(written) != 2 || written[0] != pos || written[1] != wantParity {
+						t.Fatalf("(%d,%d) Update(%d) wrote %v, want [%d %d]", k, r, pos, written, pos, wantParity)
+					}
+					if !c.Verify(cp) {
+						t.Fatalf("(%d,%d) word inconsistent after Update(%d)", k, r, pos)
+					}
+					// A no-op update writes nothing.
+					if w2, _ := c.Update(cp, pos, cp[pos]); len(w2) != 0 {
+						t.Fatalf("(%d,%d) no-op update wrote %v", k, r, w2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateBatchMatchesSerialUpdates cross-checks the two update paths:
+// a batch update lands the same codeword as serial per-symbol updates, and
+// its write set is the distinct data symbols plus one parity per touched
+// group.
+func TestUpdateBatchMatchesSerialUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(40)
+		r := 2 + rng.Intn(k-1)
+		c, err := New(k, r)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", k, r, err)
+		}
+		data := make([]byte, k)
+		rng.Read(data)
+		word, _ := c.Encode(data)
+		newData := append([]byte(nil), data...)
+		changed := map[int]bool{}
+		groups := map[int]bool{}
+		for i := range newData {
+			if rng.Float64() < 0.3 {
+				newData[i] ^= byte(1 + rng.Intn(255))
+				changed[i] = true
+				groups[i/r] = true
+			}
+		}
+		batch := append([]byte(nil), word...)
+		written, err := c.UpdateBatch(batch, newData)
+		if err != nil {
+			t.Fatalf("UpdateBatch: %v", err)
+		}
+		if len(written) != len(changed)+len(groups) {
+			t.Fatalf("(%d,%d) batch wrote %d symbols, want %d data + %d parities",
+				k, r, len(written), len(changed), len(groups))
+		}
+		serial := append([]byte(nil), word...)
+		for i := range newData {
+			if _, err := c.Update(serial, i, newData[i]); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+		}
+		for i := range batch {
+			if batch[i] != serial[i] {
+				t.Fatalf("(%d,%d) batch and serial updates diverge at %d", k, r, i)
+			}
+		}
+		if !c.Verify(batch) {
+			t.Fatalf("(%d,%d) batch-updated word fails Verify", k, r)
+		}
+	}
+}
+
+// TestExpectedUpdateCostMatchesMC is the LWC differential test: the
+// closed-form expected rewrite cost must match Monte-Carlo batch updates
+// within z=4 of the sample mean's standard error.
+func TestExpectedUpdateCostMatchesMC(t *testing.T) {
+	for _, tc := range []struct {
+		k, r int
+		p    float64
+	}{
+		{216, 16, 0.36}, // the simulator's line geometry and cell-change rate
+		{216, 8, 0.36},
+		{64, 4, 0.1},
+		{50, 7, 0.5}, // short last group
+	} {
+		c, err := New(tc.k, tc.r)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", tc.k, tc.r, err)
+		}
+		want, err := ExpectedUpdateCost(tc.k, tc.r, tc.p)
+		if err != nil {
+			t.Fatalf("ExpectedUpdateCost: %v", err)
+		}
+		rng := rand.New(rand.NewSource(int64(tc.k*1000 + tc.r)))
+		const trials = 20_000
+		var sum, sumSq float64
+		data := make([]byte, tc.k)
+		newData := make([]byte, tc.k)
+		for trial := 0; trial < trials; trial++ {
+			rng.Read(data)
+			word, _ := c.Encode(data)
+			copy(newData, data)
+			for i := range newData {
+				if rng.Float64() < tc.p {
+					// Force a real change so the change mask is exactly
+					// Bernoulli(p), matching the closed form.
+					newData[i] ^= byte(1 + rng.Intn(255))
+				}
+			}
+			written, err := c.UpdateBatch(word, newData)
+			if err != nil {
+				t.Fatalf("UpdateBatch: %v", err)
+			}
+			cost := float64(len(written))
+			sum += cost
+			sumSq += cost * cost
+		}
+		mean := sum / trials
+		variance := (sumSq - sum*sum/trials) / (trials - 1)
+		se := math.Sqrt(variance / trials)
+		if z := math.Abs(mean-want) / se; z > 4 {
+			t.Errorf("(k=%d,r=%d,p=%v): MC cost %v vs closed form %v, z=%.2f > 4",
+				tc.k, tc.r, tc.p, mean, want, z)
+		}
+	}
+}
+
+// TestNewRejectsBadParameters pins the constructor's error surface.
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, tc := range []struct{ k, r int }{{1, 2}, {0, 2}, {8, 1}, {8, 0}, {8, MaxR + 1}, {-3, 4}} {
+		if _, err := New(tc.k, tc.r); err == nil {
+			t.Errorf("New(%d,%d) accepted invalid parameters", tc.k, tc.r)
+		}
+	}
+	if _, err := ExpectedUpdateCost(8, 4, -0.1); err == nil {
+		t.Error("ExpectedUpdateCost accepted p<0")
+	}
+	if _, err := ExpectedUpdateCost(8, 4, math.NaN()); err == nil {
+		t.Error("ExpectedUpdateCost accepted NaN")
+	}
+}

@@ -1,0 +1,102 @@
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"readduo/internal/engine"
+)
+
+// disturbHook models the simulator's read-disturb scrub path at the
+// controller level: per-line state accumulates across visits, and the
+// number of RNG draws per call depends on that state — the adversarial
+// shape for the parallel engine, because a single reordered or skipped
+// hook call desynchronizes every later draw on the shared stream.
+type disturbHook struct {
+	rng    *rand.Rand
+	visits map[uint64]int
+	rec    []scrubRec
+}
+
+func (h *disturbHook) OnScrub(now int64, line uint64) ScrubAction {
+	h.visits[line]++
+	n := h.visits[line]
+	// Conditional draw count: latched lines (odd visit parity) consume an
+	// extra roll, mirroring the engine's accumulated-read rewrite test.
+	roll := h.rng.Float64()
+	if n%2 == 1 {
+		roll = (roll + h.rng.Float64()) / 2
+	}
+	h.rec = append(h.rec, scrubRec{now, line, roll})
+	act := ScrubAction{Voltage: roll < 0.4}
+	if roll < 0.25+0.05*float64(n%4) {
+		act.Rewrite = true
+		act.CellsWritten = 50 + n%7*30
+		h.visits[line] = 0 // rewrite clears the latched state
+	}
+	return act
+}
+
+// TestAdvanceWindowMatchesSerialDisturbHook extends the controller
+// differential to the read-disturb families: a scrub hook with per-line
+// latched state and a state-dependent number of shared-RNG draws must see
+// the identical call sequence — and so produce identical actions — under
+// the serial and windowed parallel engines.
+func TestAdvanceWindowMatchesSerialDisturbHook(t *testing.T) {
+	run := func(banks, shards int, parallel bool) scriptResult {
+		cfg := DefaultConfig()
+		cfg.Banks = banks
+		cfg.TotalLines = 1 << 12
+		cfg.ScrubInterval = 3 * time.Millisecond
+		if parallel {
+			cfg.Engine = engine.Parallel
+			cfg.EngineShards = shards
+		}
+		hook := &disturbHook{rng: rand.New(rand.NewSource(23)), visits: map[uint64]int{}}
+		c, acct := mustController(t, cfg, hook)
+		defer c.Close()
+
+		rng := rand.New(rand.NewSource(17))
+		var out scriptResult
+		var scratch []Completion
+		now, id := int64(0), uint64(1)
+		for s := 0; s < 300; s++ {
+			for j := rng.Intn(6); j > 0; j-- {
+				line := uint64(rng.Intn(1 << 10))
+				if rng.Float64() < 0.35 {
+					c.EnqueueWrite(now, line, 200+rng.Intn(100))
+				} else {
+					if err := c.EnqueueRead(now, id, line, scriptModes[rng.Intn(len(scriptModes))]); err != nil {
+						t.Fatalf("EnqueueRead: %v", err)
+					}
+					id++
+				}
+			}
+			now += int64(10_000 + rng.Intn(400_000))
+			if parallel {
+				scratch = c.AdvanceWindow(now, scratch)
+			} else {
+				scratch = c.AdvanceTo(now, scratch)
+			}
+			out.comps = append(out.comps, scratch...)
+		}
+		out.stats = c.Stats()
+		out.energy = acct.Dynamic()
+		out.hook = hook.rec
+		return out
+	}
+	for _, banks := range []int{1, 4, 16} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("banks=%d/shards=%d", banks, shards), func(t *testing.T) {
+				serial := run(banks, shards, false)
+				parallel := run(banks, shards, true)
+				if len(serial.hook) == 0 {
+					t.Fatal("scripted run never fired the disturb hook")
+				}
+				diffResults(t, serial, parallel)
+			})
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package reliability
+
+import (
+	"testing"
+
+	"readduo/internal/drift"
+)
+
+// TestLERWithDisturbReducesToLER pins the default-off gate: a zero channel
+// (or zero reads) reproduces the plain drift-only LER bit-for-bit.
+func TestLERWithDisturbReducesToLER(t *testing.T) {
+	an, err := NewAnalyzer(drift.RMetricConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, age := range []float64{1, 8, 64, 640, 1e5} {
+		want := an.LER(8, age)
+		if got := an.LERWithDisturb(8, age, drift.DisturbChannel{}, 1000); got != want {
+			t.Errorf("age %v: zero channel LER %v != plain LER %v", age, got, want)
+		}
+		if got := an.LERWithDisturb(8, age, drift.DisturbChannel{PerRead: 1e-6}, 0); got != want {
+			t.Errorf("age %v: zero reads LER %v != plain LER %v", age, got, want)
+		}
+	}
+}
+
+// TestLERMonotoneInDisturb is the satellite property: the line error rate
+// is monotonically non-decreasing in the disturb rate (and in the read
+// count), with a strict increase somewhere so the sweep is not vacuous.
+func TestLERMonotoneInDisturb(t *testing.T) {
+	an, err := NewAnalyzer(drift.RMetricConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const age, reads = 8.0, 10_000
+	prev := -1.0
+	strict := false
+	for _, d := range []float64{0, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3} {
+		ler := an.LERWithDisturb(8, age, drift.DisturbChannel{PerRead: d}, reads)
+		if ler < prev {
+			t.Errorf("LER decreased to %v at disturb=%v", ler, d)
+		}
+		if prev >= 0 && ler > prev {
+			strict = true
+		}
+		prev = ler
+	}
+	if !strict {
+		t.Error("LER flat across the whole disturb sweep")
+	}
+	ch := drift.DisturbChannel{PerRead: 1e-6}
+	prev = -1
+	for _, r := range []int64{0, 1, 10, 100, 1000, 100_000} {
+		ler := an.LERWithDisturb(8, age, ch, r)
+		if ler < prev {
+			t.Errorf("LER decreased to %v at reads=%d", ler, r)
+		}
+		prev = ler
+	}
+}
+
+// TestLERMonotoneInTemperature carries the cryo-paper sign through the
+// reliability layer: hotter ambient, faster relaxation, higher LER.
+func TestLERMonotoneInTemperature(t *testing.T) {
+	prev := -1.0
+	strict := false
+	for _, temp := range []float64{77, 150, 200, 250, 300, 350, 400} {
+		an, err := NewAnalyzer(drift.RMetricConfigAt(temp))
+		if err != nil {
+			t.Fatalf("analyzer at %vK: %v", temp, err)
+		}
+		ler := an.LER(8, 64)
+		if ler < prev {
+			t.Errorf("LER decreased to %v at %vK", ler, temp)
+		}
+		if prev >= 0 && ler > prev {
+			strict = true
+		}
+		prev = ler
+	}
+	if !strict {
+		t.Error("LER flat across the whole temperature sweep")
+	}
+}

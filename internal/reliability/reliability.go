@@ -86,6 +86,24 @@ func (a *Analyzer) LER(e int, t float64) float64 {
 	return dist.BinomTailGT(a.cells, p, e)
 }
 
+// LERWithDisturb extends LER with a read-disturb channel: the line absorbed
+// `reads` sensing operations since its last rewrite under per-read disturb
+// probability ch.PerRead. Drift and disturb strike a cell independently
+// (drift moves the metric up, disturb latches it one level down), so the
+// per-cell error probability is the complement-product combination — and
+// the line error rate is monotonically non-decreasing in both the disturb
+// rate and the read count, the property the physics test sweep pins.
+func (a *Analyzer) LERWithDisturb(e int, t float64, ch drift.DisturbChannel, reads int64) float64 {
+	q := ch.CellErrorProb(reads)
+	if q == 0 {
+		// Exact default-off gate: 1-(1-p) rounds, LER does not.
+		return a.LER(e, t)
+	}
+	p := a.cfg.AvgCellErrorProb(t)
+	combined := 1 - (1-p)*(1-q)
+	return dist.BinomTailGT(a.cells, combined, e)
+}
+
 // WPolicySecondInterval returns probability (ii) of the policy definition:
 // the line sees fewer than w errors during its first interval (so a W-policy
 // scrub skips the rewrite) yet more than e-w errors arrive during the second

@@ -106,6 +106,7 @@ func (q *lerRequest) compute(context.Context, *telemetry.Registry) (any, error) 
 	tab := an.BuildTable(q.Intervals, q.ECCs)
 	return lerResponse{
 		Metric:    q.Metric,
+		TempK:     q.TempK,
 		Intervals: tab.Intervals,
 		ECCs:      tab.ECCs,
 		Targets:   tab.Targets,
@@ -123,7 +124,7 @@ func (q *policyRequest) compute(context.Context, *telemetry.Registry) (any, erro
 		return nil, err
 	}
 	return policyResponse{
-		Metric: q.Metric, E: q.E, S: q.S, W: q.W,
+		Metric: q.Metric, TempK: q.TempK, E: q.E, S: q.S, W: q.W,
 		FirstInterval:  rep.FirstInterval,
 		SecondInterval: rep.SecondInterval,
 		ThirdInterval:  rep.ThirdInterval,

@@ -19,6 +19,7 @@ import (
 
 type lerResponse struct {
 	Metric    string      `json:"metric"`
+	TempK     float64     `json:"temp_k"`
 	Intervals []float64   `json:"intervals_s"`
 	ECCs      []int       `json:"eccs"`
 	Targets   []float64   `json:"targets"`
@@ -27,6 +28,7 @@ type lerResponse struct {
 
 type policyResponse struct {
 	Metric         string  `json:"metric"`
+	TempK          float64 `json:"temp_k"`
 	E              int     `json:"e"`
 	S              float64 `json:"s"`
 	W              int     `json:"w"`
@@ -81,6 +83,9 @@ func (s *Server) handleLER(w http.ResponseWriter, r *http.Request) {
 	var req lerRequest
 	err := decodeRequest(r, &req, func(qv *queryValues) error {
 		qv.str("metric", &req.Metric)
+		if err := qv.float("temp", &req.TempK); err != nil {
+			return err
+		}
 		if err := qv.intList("eccs", &req.ECCs); err != nil {
 			return err
 		}
@@ -94,6 +99,9 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	var req policyRequest
 	err := decodeRequest(r, &req, func(qv *queryValues) error {
 		qv.str("metric", &req.Metric)
+		if err := qv.float("temp", &req.TempK); err != nil {
+			return err
+		}
 		if err := qv.int("e", &req.E); err != nil {
 			return err
 		}

@@ -41,15 +41,23 @@ func badf(format string, args ...any) error {
 }
 
 // metricConfig resolves the metric name ("R" or "M", case-insensitive)
-// to its drift configuration.
-func metricConfig(name string) (string, drift.Config, error) {
+// and the ambient temperature (0 means the 300 K default) to a drift
+// configuration. The returned temperature is always explicit so request
+// keys stay canonical: temp omitted and temp=300 are the same entry.
+func metricConfig(name string, tempK float64) (string, float64, drift.Config, error) {
+	if tempK == 0 {
+		tempK = drift.DefaultTempK
+	}
+	if err := drift.ValidateTempK(tempK); err != nil {
+		return "", 0, drift.Config{}, badRequestError{err}
+	}
 	switch strings.ToUpper(strings.TrimSpace(name)) {
 	case "", "R":
-		return "R", drift.RMetricConfig(), nil
+		return "R", tempK, drift.RMetricConfigAt(tempK), nil
 	case "M":
-		return "M", drift.MMetricConfig(), nil
+		return "M", tempK, drift.MMetricConfigAt(tempK), nil
 	default:
-		return "", drift.Config{}, badf("unknown metric %q (want R or M)", name)
+		return "", 0, drift.Config{}, badf("unknown metric %q (want R or M)", name)
 	}
 }
 
@@ -59,6 +67,7 @@ func metricConfig(name string) (string, drift.Config, error) {
 // readout metric evaluated over scrub intervals x BCH strengths.
 type lerRequest struct {
 	Metric    string    `json:"metric"`
+	TempK     float64   `json:"temp"`
 	ECCs      []int     `json:"eccs"`
 	Intervals []float64 `json:"intervals"`
 
@@ -66,11 +75,11 @@ type lerRequest struct {
 }
 
 func (q *lerRequest) normalize(lim limits) error {
-	name, cfg, err := metricConfig(q.Metric)
+	name, tempK, cfg, err := metricConfig(q.Metric, q.TempK)
 	if err != nil {
 		return err
 	}
-	q.Metric, q.cfg = name, cfg
+	q.Metric, q.TempK, q.cfg = name, tempK, cfg
 	if len(q.ECCs) == 0 {
 		q.ECCs = reliability.PaperECCs()
 	}
@@ -98,8 +107,9 @@ func (q *lerRequest) normalize(lim limits) error {
 }
 
 func (q *lerRequest) Key() string {
-	return fmt.Sprintf("ler|m=%s|e=%s|s=%s",
-		q.Metric, joinInts(q.ECCs), joinFloats(q.Intervals))
+	return fmt.Sprintf("ler|m=%s|t=%s|e=%s|s=%s",
+		q.Metric, strconv.FormatFloat(q.TempK, 'g', -1, 64),
+		joinInts(q.ECCs), joinFloats(q.Intervals))
 }
 
 // --- Policy checks ----------------------------------------------------
@@ -107,6 +117,7 @@ func (q *lerRequest) Key() string {
 // policyRequest asks for the (BCH=E, S, W) acceptability verdict.
 type policyRequest struct {
 	Metric string  `json:"metric"`
+	TempK  float64 `json:"temp"`
 	E      int     `json:"e"`
 	S      float64 `json:"s"`
 	W      int     `json:"w"`
@@ -115,11 +126,11 @@ type policyRequest struct {
 }
 
 func (q *policyRequest) normalize(limits) error {
-	name, cfg, err := metricConfig(q.Metric)
+	name, tempK, cfg, err := metricConfig(q.Metric, q.TempK)
 	if err != nil {
 		return err
 	}
-	q.Metric, q.cfg = name, cfg
+	q.Metric, q.TempK, q.cfg = name, tempK, cfg
 	if q.E < 0 || q.E > 64 {
 		return badf("e=%d out of range 0..64", q.E)
 	}
@@ -133,8 +144,9 @@ func (q *policyRequest) normalize(limits) error {
 }
 
 func (q *policyRequest) Key() string {
-	return fmt.Sprintf("policy|m=%s|e=%d|s=%s|w=%d",
-		q.Metric, q.E, strconv.FormatFloat(q.S, 'g', -1, 64), q.W)
+	return fmt.Sprintf("policy|m=%s|t=%s|e=%d|s=%s|w=%d",
+		q.Metric, strconv.FormatFloat(q.TempK, 'g', -1, 64),
+		q.E, strconv.FormatFloat(q.S, 'g', -1, 64), q.W)
 }
 
 // --- Monte-Carlo endurance --------------------------------------------

@@ -66,7 +66,7 @@ func TestPolicyValidation(t *testing.T) {
 	if err := good.normalize(testLimits()); err != nil {
 		t.Fatal(err)
 	}
-	if want := "policy|m=R|e=8|s=16|w=1"; good.Key() != want {
+	if want := "policy|m=R|t=300|e=8|s=16|w=1"; good.Key() != want {
 		t.Fatalf("key = %s, want %s", good.Key(), want)
 	}
 	bad := []policyRequest{

@@ -137,6 +137,14 @@ type Engine struct {
 	scrubIntervalPS int64
 	scrubPerLinePS  int64
 	linesPerBank    uint64
+	// lineCells is the physical line size after any LineGeometry override —
+	// what a scrub rewrite programs.
+	lineCells int
+
+	// Read-disturb channel (Environment.Disturb). readCounts is nil when
+	// the channel is off, so default-environment runs never touch it.
+	disturb    drift.DisturbChannel
+	readCounts *linetable.Table
 
 	// Probability caches for the scan metric and the R read path.
 	rProbs *probCache
@@ -249,10 +257,18 @@ func newEngine(cfg Config, scheme Scheme) (*Engine, error) {
 	if lg, ok := scheme.Write.(LineGeometry); ok {
 		memCfg.CellsPerLine = lg.LineCells(cfg)
 	}
+	e.lineCells = memCfg.CellsPerLine
 	e.scrubMetric, e.scrubW = metric, w
 	e.recordScrubRewrites = scheme.Write.Tracking()
 	if sr, ok := scheme.Sense.(ScrubRewriteRecorder); ok && sr.RecordsScrubRewrites() {
 		e.recordScrubRewrites = true
+	}
+	if sr, ok := scheme.Write.(ScrubRewriteRecorder); ok && sr.RecordsScrubRewrites() {
+		e.recordScrubRewrites = true
+	}
+	if scheme.Env.Disturb > 0 {
+		e.disturb = drift.DisturbChannel{PerRead: scheme.Env.Disturb}
+		e.readCounts = linetable.New(1 << 12)
 	}
 	e.tel.scrubIntervalMS.Set(interval.Milliseconds())
 	e.tel.scrubW.Set(int64(w))
@@ -280,8 +296,12 @@ func newEngine(cfg Config, scheme Scheme) (*Engine, error) {
 
 	// Reliability machinery for the scan and read paths. The tables are
 	// memoized process-wide: every job of a campaign shares the same
-	// immutable quadrature results instead of rebuilding them.
-	rCfg, mCfg := drift.RMetricConfig(), drift.MMetricConfig()
+	// immutable quadrature results instead of rebuilding them. At the
+	// default 300 K the temperature-parameterized configs are bit-identical
+	// to the paper's (drift.RMetricConfigAt anchors exactly), so default
+	// runs hit the very same memo entries as before.
+	tempK := scheme.Env.Temperature()
+	rCfg, mCfg := drift.RMetricConfigAt(tempK), drift.MMetricConfigAt(tempK)
 	e.rProbs = sharedProbCache(rCfg, 8)
 	e.mProbs = sharedProbCache(mCfg, 8)
 	if interval > 0 && w == 1 {
@@ -522,6 +542,9 @@ func (e *Engine) Read(now int64, core int, line uint64) (uint64, error) {
 	if err := e.ctrl.EnqueueRead(now, id, phys, mode); err != nil {
 		return 0, err
 	}
+	if e.readCounts != nil {
+		e.noteDisturbRead(phys)
+	}
 	e.reads++
 	e.epochTick()
 	return id, nil
@@ -558,6 +581,7 @@ func (e *Engine) Write(now int64, core int, line uint64) (bool, error) {
 		// flag semantics, the rest so scrub-rewrite sampling and Hybrid's
 		// age math see correct drift clocks.
 		e.lastWrite.Put(phys, now)
+		e.noteDisturbRewrite(phys)
 		if e.scheme.Write.Tracking() {
 			e.acct.AddFlagAccess(e.scheme.Write.FlagBits())
 		}
@@ -577,7 +601,7 @@ func (e *Engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
 		return memctrl.ScrubAction{}
 	}
 	e.tel.scrubScan.Inc()
-	act := memctrl.ScrubAction{CellsWritten: e.cfg.Mem.CellsPerLine}
+	act := memctrl.ScrubAction{CellsWritten: e.lineCells}
 	if e.scrubMetric == drift.MetricM {
 		act.ReadLatency = e.cfg.Mem.Timing.MRead
 		act.Voltage = true
@@ -601,7 +625,13 @@ func (e *Engine) OnScrub(now int64, phys uint64) memctrl.ScrubAction {
 			// Untouched line: long-run renewal rate.
 			p = e.steadyRewrite
 		}
+		if e.readCounts != nil {
+			p = e.disturbCombine(p, phys)
+		}
 		act.Rewrite = e.rng.Float64() < p
+	}
+	if e.readCounts != nil {
+		e.noteDisturbScrub(phys, act.Rewrite)
 	}
 	if act.Rewrite {
 		e.tel.scrubRewrite.Inc()

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The physics golden file pins fixed-seed Result structs for the
+// environment-parameterized families this repo adds on top of the paper
+// schemes: temperature-scaled drift (temp=), the read-disturb channel
+// (disturb=), and LWC parity-group writes (lwc:r=). It plays the same
+// role results/golden_schemes.json plays for the paper schemes — the
+// oracle CI diffs against so the physics models can never drift
+// silently — while golden_schemes.json itself proves the defaults
+// (temp=300, disturb=0) left the original engine byte-identical.
+//
+// Regenerate (only for a DELIBERATE model change, with the diff
+// explained in the commit):
+//
+//	go test ./internal/sim -run TestGoldenPhysics -update-golden-physics
+
+var updateGoldenPhysics = flag.Bool("update-golden-physics", false,
+	"rewrite results/golden_physics.json from the current engine")
+
+const goldenPhysicsPath = "../../results/golden_physics.json"
+
+func TestGoldenPhysics(t *testing.T) {
+	data, err := os.ReadFile(filepath.FromSlash(goldenPhysicsPath))
+	if err != nil {
+		t.Fatalf("read golden file: %v (regenerate with -update-golden-physics)", err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("decode golden file: %v", err)
+	}
+	if len(g.Schemes) == 0 || len(g.Benchmarks) == 0 {
+		t.Fatal("golden file names no schemes/benchmarks")
+	}
+
+	got := goldenRun(t, &g)
+
+	if *updateGoldenPhysics {
+		g.Results = got
+		buf, err := json.MarshalIndent(&g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(filepath.FromSlash(goldenPhysicsPath), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d results", goldenPhysicsPath, len(got))
+		return
+	}
+
+	if len(g.Results) != len(got) {
+		t.Fatalf("golden file has %d results, run produced %d", len(g.Results), len(got))
+	}
+	for i, want := range g.Results {
+		if !reflect.DeepEqual(want, got[i]) {
+			t.Errorf("%s/%s diverged from golden:\n got: %+v\nwant: %+v",
+				want.Benchmark, want.Scheme, got[i], want)
+		}
+	}
+}

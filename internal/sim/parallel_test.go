@@ -16,9 +16,25 @@ import (
 // time, same stats, same energy, same silent-error draws.
 
 func parallelTestSchemes() []Scheme {
-	return []Scheme{
+	schemes := []Scheme{
 		Ideal(), Scrubbing(), MMetric(), TLC(), Hybrid(), LWT(4, true),
 	}
+	// Physics families: temperature-scaled drift, the read-disturb channel
+	// (its per-read rng draws must land identically under sharding), and
+	// LWC's parity-group write costing.
+	for _, spec := range []string{
+		"scrubbing:temp=250",
+		"hybrid:temp=330,disturb=0.001",
+		"lwc:r=16",
+		"lwc:r=8,disturb=0.0005",
+	} {
+		s, err := Parse(spec)
+		if err != nil {
+			panic(err)
+		}
+		schemes = append(schemes, s)
+	}
+	return schemes
 }
 
 func runOnce(t *testing.T, scheme Scheme, banks, shards int, kind engine.Kind) *Result {

@@ -12,13 +12,20 @@ import (
 //   - bare family names and aliases: "ideal", "Scrubbing", "m-metric",
 //     "mmetric", "tlc", "hybrid"
 //   - parameterized specs: "lwt:k=8", "lwt:k=8,convert=false",
-//     "select:k=4,s=2"
+//     "select:k=4,s=2", "lwc:r=16"
 //   - the paper's labels, as printed by Scheme.Name(): "LWT-8",
-//     "LWT-8-noconv", "Select-4:2"
+//     "LWT-8-noconv", "Select-4:2", "LWC-16"
+//   - an operating environment on any of the above, as spec parameters
+//     ("scrubbing:temp=250", "lwt:k=4,disturb=1e-06") or label suffixes
+//     ("Scrubbing@temp=250", "LWT-4@temp=250@disturb=1e-06"). The
+//     environment keys temp= (Kelvin, default 300) and disturb= (per-read
+//     probability, default 0) are extracted centrally before family
+//     dispatch, so every family accepts them; explicit defaults normalize
+//     away ("ideal:temp=300" == "ideal").
 //
 // Round trip: Parse(s.Name()) == s and Parse(s.Spec()) == s for every
-// scheme built by a registered family. Malformed specs return errors that
-// name the offending fragment and the accepted grammar.
+// scheme built by a registered family, at any environment. Malformed specs
+// return errors that name the offending fragment and the accepted grammar.
 func Parse(spec string) (Scheme, error) {
 	s := strings.TrimSpace(spec)
 	if s == "" {
@@ -26,16 +33,31 @@ func Parse(spec string) (Scheme, error) {
 			strings.Join(SchemeGrammars(), "; "))
 	}
 	lower := strings.ToLower(s)
+	lower, labelEnv, err := splitEnvLabel(lower)
+	if err != nil {
+		return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, err)
+	}
+	env, err := extractEnv(labelEnvMap(labelEnv))
+	if err != nil {
+		return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, err)
+	}
 
-	build := func(f *SchemeFamily, params map[string]string) (Scheme, error) {
-		sch, err := f.Build(params)
+	finish := func(sch Scheme) (Scheme, error) {
+		sch, err := sch.AtEnv(env)
 		if err != nil {
-			return Scheme{}, err
+			return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, err)
 		}
 		if err := sch.Validate(); err != nil {
 			return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, err)
 		}
 		return sch, nil
+	}
+	build := func(f *SchemeFamily, params map[string]string) (Scheme, error) {
+		sch, err := f.Build(params)
+		if err != nil {
+			return Scheme{}, err
+		}
+		return finish(sch)
 	}
 
 	if f, ok := familyByName[lower]; ok {
@@ -45,6 +67,13 @@ func Parse(spec string) (Scheme, error) {
 		if f, ok := familyByName[strings.TrimSpace(head)]; ok {
 			params, err := parseParams(rest)
 			if err != nil {
+				return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, err)
+			}
+			paramEnv, err := extractEnv(params)
+			if err != nil {
+				return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, err)
+			}
+			if env, err = mergeEnv(env, paramEnv); err != nil {
 				return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, err)
 			}
 			return build(f, params)
@@ -59,14 +88,37 @@ func Parse(spec string) (Scheme, error) {
 			return Scheme{}, err
 		}
 		if ok {
-			if verr := sch.Validate(); verr != nil {
-				return Scheme{}, fmt.Errorf("sim: scheme %q: %w", spec, verr)
-			}
-			return sch, nil
+			return finish(sch)
 		}
 	}
 	return Scheme{}, fmt.Errorf("sim: unknown scheme %q (known schemes: %s)",
 		spec, strings.Join(SchemeGrammars(), "; "))
+}
+
+// labelEnvMap adapts splitEnvLabel's possibly-nil param map for extractEnv.
+func labelEnvMap(m map[string]string) map[string]string {
+	if m == nil {
+		return map[string]string{}
+	}
+	return m
+}
+
+// mergeEnv combines the label-suffix and spec-parameter environments,
+// rejecting a key given through both channels.
+func mergeEnv(a, b Environment) (Environment, error) {
+	if a.TempK != 0 && b.TempK != 0 {
+		return Environment{}, fmt.Errorf("parameter %q given twice", envKeyTemp)
+	}
+	if a.Disturb != 0 && b.Disturb != 0 {
+		return Environment{}, fmt.Errorf("parameter %q given twice", envKeyDisturb)
+	}
+	if b.TempK != 0 {
+		a.TempK = b.TempK
+	}
+	if b.Disturb != 0 {
+		a.Disturb = b.Disturb
+	}
+	return a, nil
 }
 
 // ParseList parses a comma-separated scheme list ("Ideal,LWT-8,
@@ -81,9 +133,10 @@ func ParseList(list string) ([]Scheme, error) {
 			continue
 		}
 		// A bare key=value fragment belongs to the previous spec's
-		// parameter list.
+		// parameter list. A fragment with an @-environment suffix is a
+		// label ("Scrubbing@temp=250"), never a parameter continuation.
 		if len(specs) > 0 && strings.Contains(frag, "=") && !strings.Contains(frag, ":") &&
-			strings.Contains(specs[len(specs)-1], ":") {
+			!strings.Contains(frag, "@") && strings.Contains(specs[len(specs)-1], ":") {
 			specs[len(specs)-1] += "," + frag
 			continue
 		}

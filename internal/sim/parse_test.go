@@ -15,6 +15,27 @@ func registeredDesigns() []Scheme {
 			out = append(out, Select(k, s))
 		}
 	}
+	for r := 2; r <= 64; r++ {
+		out = append(out, LWC(r))
+	}
+	// Environment-decorated variants of every family: the round trip must
+	// hold with temp= and disturb= riding along.
+	envs := []Environment{
+		{TempK: 250},
+		{Disturb: 1e-6},
+		{TempK: 350, Disturb: 0.001},
+	}
+	base := []Scheme{Ideal(), Scrubbing(), MMetric(), TLC(), Hybrid(),
+		LWT(4, true), LWT(8, false), Select(4, 2), LWC(16)}
+	for _, b := range base {
+		for _, env := range envs {
+			s, err := b.AtEnv(env)
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, s)
+		}
+	}
 	return out
 }
 
@@ -59,6 +80,20 @@ func TestParseForms(t *testing.T) {
 		{"select:k=4,s=2", "Select-4:2"},
 		{"Select-4:2", "Select-4:2"},
 		{"SELECT-32:16", "Select-32:16"},
+		{"lwc:r=16", "LWC-16"},
+		{"LWC-16", "LWC-16"},
+		{"lwc:r=8,disturb=0.0005", "LWC-8@disturb=0.0005"},
+		// Environment parameters decorate any family; the defaults
+		// normalize away so the canonical key stays stable.
+		{"scrubbing:temp=250", "Scrubbing@temp=250"},
+		{"Scrubbing@temp=250", "Scrubbing@temp=250"},
+		{"ideal:temp=300", "Ideal"},
+		{"ideal:disturb=0", "Ideal"},
+		{"hybrid:temp=330,disturb=0.001", "Hybrid@temp=330@disturb=0.001"},
+		{"Hybrid@temp=330@disturb=0.001", "Hybrid@temp=330@disturb=0.001"},
+		{"lwt:k=4,temp=250", "LWT-4@temp=250"},
+		{"LWT-4-noconv@disturb=1e-06", "LWT-4-noconv@disturb=1e-06"},
+		{"select:k=4,s=2,temp=350", "Select-4:2@temp=350"},
 	}
 	for _, tt := range tests {
 		s, err := Parse(tt.in)
@@ -98,6 +133,23 @@ func TestParseRejectsMalformed(t *testing.T) {
 		{"select:k=4,s=5", "out of range"},
 		{"Select-4", "want Select-<k>:<s>"},
 		{"Select-4:x", "want Select-<k>:<s>"},
+		{"lwc", "missing required parameter"},
+		{"lwc:r=1", "out of range"},
+		{"lwc:r=99", "out of range"},
+		{"lwc:r=zz", "not an integer"},
+		{"LWC-x", "want LWC-<r>"},
+		{"ideal:temp=0", "not a temperature"},
+		{"ideal:temp=2", "outside"},
+		{"ideal:temp=999", "outside"},
+		{"ideal:temp=zzz", "not a number"},
+		{"ideal:disturb=0.5", "outside"},
+		{"ideal:disturb=-1", "outside"},
+		{"ideal:disturb=zzz", "not a number"},
+		{"ideal:temp=250,temp=300", "given twice"},
+		{"Ideal@temp=250@temp=300", "given twice"},
+		{"Ideal@frob=1", "unknown environment suffix key"},
+		{"Ideal@temp", "want @temp=<K> or @disturb=<p>"},
+		{"lwt:k=4@temp=250@temp=300", "given twice"},
 	}
 	for _, tt := range tests {
 		_, err := Parse(tt.in)
@@ -129,8 +181,32 @@ func TestParseList(t *testing.T) {
 		t.Errorf("ParseList split spec params wrong: %+v", got)
 	}
 
+	// Environment labels must not be glued onto a preceding parameterized
+	// spec, and the same family at different environments is not a
+	// duplicate.
+	got, err = ParseList("Ideal,lwt:k=8,convert=false,Scrubbing@temp=250,lwc:r=16,disturb=0.001")
+	if err != nil {
+		t.Fatalf("ParseList with env labels: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("ParseList with env labels split into %d schemes: %+v", len(got), got)
+	}
+	if got[2].Name() != "Scrubbing@temp=250" || got[3].Name() != "LWC-16@disturb=0.001" {
+		t.Errorf("ParseList env entries wrong: %q, %q", got[2].Name(), got[3].Name())
+	}
+	got, err = ParseList("Scrubbing,Scrubbing@temp=250,Scrubbing@temp=350")
+	if err != nil {
+		t.Fatalf("ParseList same family across environments: %v", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("temperature sweep list split into %d schemes", len(got))
+	}
+
 	if _, err := ParseList("Ideal,ideal"); err == nil {
 		t.Error("duplicate scheme accepted")
+	}
+	if _, err := ParseList("Ideal@temp=250,ideal:temp=250"); err == nil {
+		t.Error("duplicate environment-decorated scheme accepted")
 	}
 	if _, err := ParseList(""); err == nil {
 		t.Error("empty list accepted")
@@ -159,7 +235,7 @@ func TestFlagBitsExact(t *testing.T) {
 			t.Errorf("Select-%d:1 flag bits = %d, want %d", k, got, want)
 		}
 	}
-	for _, s := range []Scheme{Ideal(), Scrubbing(), MMetric(), TLC(), Hybrid()} {
+	for _, s := range []Scheme{Ideal(), Scrubbing(), MMetric(), TLC(), Hybrid(), LWC(16)} {
 		if got := s.FlagBits(); got != 0 {
 			t.Errorf("%s flag bits = %d, want 0", s.Name(), got)
 		}
@@ -205,6 +281,14 @@ func FuzzParseScheme(f *testing.F) {
 		"", "lwt", "lwt:", "lwt:k=", "lwt:k=0", "lwt:k=99", "lwt:k=4,k=4",
 		"select:k=4,s=9", "Select-4", "ideal:k=1", "bogus", "LWT--3",
 		"lwt:K=8", " Ideal ", "select:s=2,k=4",
+		"lwc:r=16", "LWC-16", "lwc:r=1", "lwc", "LWC-x",
+		"scrubbing:temp=250", "Scrubbing@temp=250", "ideal:temp=300",
+		"ideal:temp=0", "ideal:temp=2", "ideal:temp=zzz",
+		"ideal:disturb=0", "ideal:disturb=0.5", "ideal:disturb=-0",
+		"lwt:k=4,temp=250,disturb=1e-06", "LWT-4@temp=250@disturb=1e-06",
+		"Ideal@frob=1", "Ideal@temp", "Ideal@temp=250@temp=300",
+		"lwc:r=8,disturb=0.0005", "LWC-8@disturb=0.0005",
+		"select:k=4,s=2,temp=350", "hybrid:temp=330,disturb=0.001",
 	}
 	for _, s := range seeds {
 		f.Add(s)

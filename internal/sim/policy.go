@@ -51,6 +51,11 @@ type Design struct {
 	Sense SensePolicy
 	Scrub ScrubPolicy
 	Write WritePolicy
+	// Env is the operating environment (ambient temperature, read-disturb
+	// rate); the zero value is the paper's 300 K disturb-free point. Set it
+	// through Scheme.AtEnv or the temp=/disturb= spec parameters so the
+	// scheme's name and spec stay in sync.
+	Env Environment
 }
 
 // Optional capabilities. The engine probes for these with type assertions;

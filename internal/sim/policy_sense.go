@@ -96,6 +96,7 @@ func (p trackedSense) ReadMode(e *Engine, now int64, phys uint64) sense.Mode {
 		// bank's write queue is saturated.
 		if e.ctrl.WriteQueueSpace(phys) > 1 && e.ctrl.EnqueueWrite(now, phys, e.cfg.Mem.CellsPerLine) {
 			e.lastWrite.Put(phys, now)
+			e.noteDisturbRewrite(phys)
 			e.acct.AddFlagAccess(trackingFlagBits(p.k))
 			e.stats.conversions++
 			e.epochConversions++

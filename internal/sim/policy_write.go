@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"readduo/internal/area"
+	"readduo/internal/lwc"
 	"readduo/internal/lwt"
 )
 
@@ -73,6 +74,87 @@ func (p trackedWrite) SubIntervals() int { return p.k }
 func (p trackedWrite) Validate() error {
 	if p.k < 2 || p.k > lwt.MaxK {
 		return fmt.Errorf("sim: LWT k=%d out of range 2..%d", p.k, lwt.MaxK)
+	}
+	return nil
+}
+
+// lwcWrite is the LWC-r write path (package lwc; Kim et al., "Locally
+// Rewritable Codes for Resistive Memories"): the line's data cells are
+// grouped r-to-a-local-XOR-parity, so a demand write after first touch
+// programs only the changed data cells plus one parity per touched group —
+// no global BCH avalanche, whose refresh is deferred to the next scrub
+// rewrite. Local writes do not advance the drift clock (unchanged cells
+// keep drifting, the Figure 6 risk), which is why LWC pairs with the
+// Scrubbing baseline's aggressive 8-second scan.
+type lwcWrite struct {
+	r int
+}
+
+// LWCWrite returns the LWC-r write policy.
+func LWCWrite(r int) WritePolicy { return lwcWrite{r: r} }
+
+// lwcGroups returns the line's local-parity cell count, ceil(data/r).
+func (p lwcWrite) lwcGroups(cfg Config) int {
+	dataCells := cfg.Mem.CellsPerLine - cfg.ParityCells
+	return (dataCells + p.r - 1) / p.r
+}
+
+// powN computes q^n by repeated multiplication, the exact arithmetic of
+// lwc.ExpectedUpdateCost, so the engine's deterministic cell counts agree
+// with the package's closed form to the last bit.
+func powN(q float64, n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= q
+	}
+	return v
+}
+
+func (p lwcWrite) PlanWrite(e *Engine, now int64, phys uint64) (int, bool) {
+	if _, ok := e.lastWrite.Get(phys); !ok {
+		// First touch: program the whole line, local parities included.
+		return p.LineCells(e.cfg), true
+	}
+	// Local rewrite: expected changed data cells plus one parity per
+	// touched group — lwc.ExpectedUpdateCost at the engine's geometry.
+	dataCells := e.cfg.Mem.CellsPerLine - e.cfg.ParityCells
+	f := e.cfg.DiffDataCellFraction
+	cost := float64(dataCells) * f
+	fullGroups, rem := dataCells/p.r, dataCells%p.r
+	cost += float64(fullGroups) * (1 - powN(1-f, p.r))
+	if rem > 0 {
+		cost += 1 - powN(1-f, rem)
+	}
+	return int(cost), false
+}
+
+func (p lwcWrite) Tracking() bool { return false }
+func (p lwcWrite) FlagBits() int  { return 0 }
+
+// LineCells implements LineGeometry: the LWC line carries its local
+// parities as extra MLC cells.
+func (p lwcWrite) LineCells(cfg Config) int {
+	return cfg.Mem.CellsPerLine + p.lwcGroups(cfg)
+}
+
+// Footprint implements FootprintPolicy: BCH parity plus the local-parity
+// cells on the density axis.
+func (p lwcWrite) Footprint(cfg Config, flagBits int) area.LineFootprint {
+	fp, err := area.MLCFootprint(2*(cfg.ParityCells+p.lwcGroups(cfg)), flagBits)
+	if err != nil {
+		fp, _ = area.MLCFootprint(2*cfg.ParityCells, flagBits)
+	}
+	return fp
+}
+
+// RecordsScrubRewrites implements ScrubRewriteRecorder: demand writes
+// never advance the drift clock, so only scrub rewrites do — without
+// recording them every line's age would grow without bound.
+func (p lwcWrite) RecordsScrubRewrites() bool { return true }
+
+func (p lwcWrite) Validate() error {
+	if p.r < 2 || p.r > lwc.MaxR {
+		return fmt.Errorf("sim: LWC r=%d out of range 2..%d", p.r, lwc.MaxR)
 	}
 	return nil
 }

@@ -22,6 +22,8 @@ type engineProbes struct {
 	readR, readM, readRM *telemetry.Counter
 	// Hybrid's probabilistic fallbacks and past-detection reads.
 	hybridRetry, silentError *telemetry.Counter
+	// Read-disturb silent errors (Environment.Disturb channel).
+	disturbSilent *telemetry.Counter
 	// Tracked-design events.
 	untracked, conversion, convSkipped, convRehit *telemetry.Counter
 	// Demand-write split; writeBlocked counts full write queues.
@@ -60,6 +62,7 @@ func newEngineProbes(reg *telemetry.Registry) *engineProbes {
 		readRM:          read.Counter("rm"),
 		hybridRetry:     read.Counter("hybrid_retry"),
 		silentError:     read.Counter("silent_error"),
+		disturbSilent:   read.Counter("disturb_silent"),
 		untracked:       read.Counter("untracked"),
 		conversion:      read.Counter("conversion"),
 		convSkipped:     read.Counter("conversion_skipped"),

@@ -120,6 +120,32 @@ func init() {
 	})
 
 	RegisterScheme(SchemeFamily{
+		Key:     "lwc",
+		Grammar: "lwc:r=<2..64>  (label: LWC-<r>)",
+		Build: func(params map[string]string) (Scheme, error) {
+			r, err := intParam(params, "r", true, 0)
+			if err != nil {
+				return Scheme{}, err
+			}
+			if err := rejectUnknown(params, "r"); err != nil {
+				return Scheme{}, err
+			}
+			return LWC(r), nil
+		},
+		BuildLabel: func(label string) (Scheme, bool, error) {
+			rest, ok := strings.CutPrefix(label, "lwc-")
+			if !ok {
+				return Scheme{}, false, nil
+			}
+			r, err := strconv.Atoi(rest)
+			if err != nil {
+				return Scheme{}, false, fmt.Errorf("sim: bad LWC label %q (want LWC-<r>)", label)
+			}
+			return LWC(r), true, nil
+		},
+	})
+
+	RegisterScheme(SchemeFamily{
 		Key:     "select",
 		Grammar: "select:k=<2..32>,s=<1..k>  (label: Select-<k>:<s>)",
 		Build: func(params map[string]string) (Scheme, error) {

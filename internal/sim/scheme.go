@@ -103,6 +103,20 @@ func LWT(k int, convert bool) Scheme {
 		}}
 }
 
+// LWC returns the locally-rewritable-code design (Kim et al., PAPERS.md):
+// R-sensing with efficient scrubbing like the Scrubbing baseline, but
+// demand writes after first touch program only the changed data cells plus
+// their local XOR group parities (locality r) instead of the full line —
+// trading scrub pressure for write cost and lifetime against LWT/SDW.
+func LWC(r int) Scheme {
+	return Scheme{name: fmt.Sprintf("LWC-%d", r), spec: fmt.Sprintf("lwc:r=%d", r),
+		Design: Design{
+			Sense: RSense(),
+			Scrub: IntervalScrub(8*time.Second, drift.MetricR, 1),
+			Write: LWCWrite(r),
+		}}
+}
+
 // Select returns ReadDuo-Select-(k:s): LWT plus selective differential
 // writes.
 func Select(k, s int) Scheme {
@@ -141,6 +155,9 @@ func (s Scheme) Validate() error {
 				return err
 			}
 		}
+	}
+	if err := s.Env.Validate(); err != nil {
+		return fmt.Errorf("sim: scheme %q: %w", s.name, err)
 	}
 	// A design whose sense and write axes disagree on the sub-interval
 	// count would read flags the writes never maintain.
